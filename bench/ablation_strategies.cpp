@@ -1,0 +1,141 @@
+// Ablation bench: the design choices of the generator, isolated.
+//
+//   A. attack scope — neutral (no attack) / global rounds only (the paper's
+//      construction) / global + intra-block extension (paper Sec. V future
+//      work: the per-warp pattern applies to any merge round with >= 2
+//      warps per pair).
+//   B. base-tile order — ascending tiles vs seeded-shuffled tiles (the
+//      permutation *family* of Sec. V item 2: elements invisible to the
+//      attacked rounds can be permuted freely).
+//   C. input-kind spectrum — sorted / nearly-sorted / random / reversed /
+//      worst-case, demonstrating where the constructed input sits relative
+//      to natural input classes.
+
+#include <iostream>
+
+#include "core/generator.hpp"
+#include "sort/pairwise_sort.hpp"
+#include "util/table.hpp"
+#include "workload/inputs.hpp"
+
+int main() {
+  using namespace wcm;
+
+  const auto dev = gpusim::quadro_m4000();
+  const auto cfg = sort::params_15_512();
+  const u32 k = 5;
+  const std::size_t n = cfg.tile() << k;
+
+  std::cout << "=== Ablation A/B: attack scope x base-tile order ("
+            << dev.name << ", " << cfg.to_string() << ", n=" << n
+            << ") ===\n\n";
+
+  struct Variant {
+    const char* name;
+    core::AttackOptions opts;
+  };
+  const Variant variants[] = {
+      {"no attack, ascending tiles", {false, false, 0}},
+      {"no attack, shuffled tiles", {false, false, 99}},
+      {"global attack, ascending tiles", {true, false, 0}},
+      {"global attack, shuffled tiles", {true, false, 99}},
+      {"global+intra attack, ascending", {true, true, 0}},
+      {"global+intra attack, shuffled", {true, true, 99}},
+  };
+
+  const auto random_input = workload::random_permutation(n, 7);
+  const auto r_random = sort::pairwise_merge_sort(random_input, cfg, dev);
+
+  Table t({"variant", "time_ms", "slowdown_vs_random", "confl/elem",
+           "beta2"});
+  t.new_row()
+      .add("random baseline")
+      .add(r_random.seconds() * 1e3, 3)
+      .add("-")
+      .add(r_random.conflicts_per_element(), 3)
+      .add(r_random.beta2(), 2);
+  for (const auto& v : variants) {
+    const auto input = core::worst_case_input(n, cfg, v.opts);
+    const auto r = sort::pairwise_merge_sort(input, cfg, dev);
+    t.new_row()
+        .add(v.name)
+        .add(r.seconds() * 1e3, 3)
+        .add(format_fixed(
+                 (r.seconds() - r_random.seconds()) / r_random.seconds() *
+                     100.0,
+                 2) +
+             "%")
+        .add(r.conflicts_per_element(), 3)
+        .add(r.beta2(), 2);
+  }
+  t.print(std::cout);
+
+  std::cout << "\n=== Ablation D: Lemma 2 alignment strategies (same "
+               "conflicts, different permutations) ===\n\n";
+  Table ts({"strategy", "time_ms", "confl/elem", "beta2",
+            "permutation_prefix"});
+  for (const auto s : {core::AlignmentStrategy::front_to_back,
+                       core::AlignmentStrategy::back_to_front,
+                       core::AlignmentStrategy::outside_in}) {
+    core::AttackOptions opts;
+    opts.tile_shuffle_seed = 99;
+    opts.small_e_strategy = s;
+    const auto input = core::worst_case_input(n, cfg, opts);
+    const auto r = sort::pairwise_merge_sort(input, cfg, dev);
+    std::string prefix;
+    for (int i = 0; i < 4; ++i) {
+      prefix += std::to_string(input[static_cast<std::size_t>(i)]) + " ";
+    }
+    ts.new_row()
+        .add(core::to_string(s))
+        .add(r.seconds() * 1e3, 3)
+        .add(r.conflicts_per_element(), 3)
+        .add(r.beta2(), 2)
+        .add(prefix + "...");
+  }
+  ts.print(std::cout);
+
+  std::cout << "\n=== Ablation E: merge-read accounting fidelity ===\n\n";
+  Table tf({"fidelity", "input", "beta2(last round)", "time_ms"});
+  for (const bool realistic : {false, true}) {
+    sort::SortConfig fcfg = cfg;
+    fcfg.realistic_refills = realistic;
+    for (const auto kind :
+         {workload::InputKind::random, workload::InputKind::worst_case}) {
+      const auto input = workload::make_input(kind, n, fcfg, 7);
+      const auto r = sort::pairwise_merge_sort(input, fcfg, dev);
+      tf.new_row()
+          .add(realistic ? "realistic refills" : "consumed (paper model)")
+          .add(workload::to_string(kind))
+          .add(gpusim::beta2(r.rounds.back().kernel), 2)
+          .add(r.seconds() * 1e3, 3);
+    }
+  }
+  tf.print(std::cout);
+  std::cout << "(the attack's serialization survives the realistic "
+               "counting: aligned refills collide one bank over)\n";
+
+  std::cout << "\n=== Ablation C: input-kind spectrum ===\n\n";
+  Table t2({"input", "time_ms", "confl/elem", "beta2"});
+  for (const auto kind :
+       {workload::InputKind::sorted, workload::InputKind::nearly_sorted,
+        workload::InputKind::random, workload::InputKind::reversed,
+        workload::InputKind::worst_case}) {
+    const auto input = workload::make_input(kind, n, cfg, 7);
+    const auto r = sort::pairwise_merge_sort(input, cfg, dev);
+    t2.new_row()
+        .add(workload::to_string(kind))
+        .add(r.seconds() * 1e3, 3)
+        .add(r.conflicts_per_element(), 3)
+        .add(r.beta2(), 2);
+  }
+  t2.print(std::cout);
+
+  std::cout
+      << "\nshape checks:\n"
+      << "  shuffled base tiles strictly increase the attack's damage (the\n"
+      << "  ascending-tile base case is accidentally conflict-light), and\n"
+      << "  the intra-block extension adds further conflicts on top;\n"
+      << "  worst-case sits above every natural input class.\n";
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Adversary zoo: four sorting algorithms x four input classes.  The
+// generalization of the paper's thesis: worst cases are *algorithm
+// shaped* — the constructed permutation devastates the pairwise merge sort
+// it targets, partially transfers to the K-way tree, leaves the oblivious
+// bitonic network untouched, and barely grazes radix sort, which has its
+// own (all-equal-keys) adversary that the comparison sorts shrug off.
+
+#include <iostream>
+
+#include "sort/bitonic.hpp"
+#include "sort/multiway.hpp"
+#include "sort/pairwise_sort.hpp"
+#include "sort/radix.hpp"
+#include "util/table.hpp"
+#include "workload/inputs.hpp"
+
+int main() {
+  using namespace wcm;
+
+  const auto dev = gpusim::quadro_m4000();
+  const sort::SortConfig cfg{15, 128, 32};
+  const std::size_t n = cfg.tile() << 5;  // 61440: not a power of two
+  std::size_t n_pow2 = 1;                 // bitonic needs a power of two
+  while (n_pow2 * 2 <= n) {
+    n_pow2 *= 2;
+  }
+
+  struct Inputs {
+    const char* name;
+    std::vector<dmm::word> general;  // size n
+    std::vector<dmm::word> pow2;     // size n_pow2 (for bitonic)
+  };
+  const auto truncate = [&](std::vector<dmm::word> v) {
+    v.resize(n_pow2);
+    return v;
+  };
+  std::vector<Inputs> inputs;
+  inputs.push_back({"random", workload::random_permutation(n, 7),
+                    workload::random_permutation(n_pow2, 7)});
+  inputs.push_back(
+      {"merge-adversary",
+       workload::make_input(workload::InputKind::worst_case, n, cfg, 7),
+       truncate(workload::make_input(workload::InputKind::worst_case, n, cfg,
+                                     7))});
+  inputs.push_back({"radix-adversary", sort::radix_adversarial_input(n),
+                    sort::radix_adversarial_input(n_pow2)});
+  inputs.push_back({"reversed", workload::reversed_input(n),
+                    workload::reversed_input(n_pow2)});
+
+  std::cout << "=== Adversary zoo (" << dev.name << ", " << cfg.to_string()
+            << ", n=" << n << "; bitonic at n=" << n_pow2
+            << ") — modeled ms ===\n\n";
+
+  Table t({"input", "pairwise", "4-way", "bitonic", "radix"});
+  double cell[4][4];
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const auto& in = inputs[i];
+    cell[i][0] = sort::pairwise_merge_sort(in.general, cfg, dev).seconds();
+    cell[i][1] =
+        sort::multiway_merge_sort(in.general, cfg, dev, 4).seconds();
+    sort::SortConfig bcfg;
+    bcfg.E = 2;
+    bcfg.b = cfg.b;
+    cell[i][2] = sort::bitonic_sort(in.pow2, bcfg, dev).seconds();
+    cell[i][3] = sort::radix_sort(in.general, cfg, dev).seconds();
+    t.new_row().add(in.name);
+    for (int a = 0; a < 4; ++a) {
+      t.add(cell[i][a] * 1e3, 3);
+    }
+  }
+  t.print(std::cout);
+  maybe_export_csv(t, "adversary_zoo");
+
+  const auto slowdown = [&](int input, int algo) {
+    return (cell[input][algo] - cell[0][algo]) / cell[0][algo] * 100.0;
+  };
+  std::cout << "\nslowdown vs the random row (per algorithm):\n";
+  for (std::size_t i = 1; i < inputs.size(); ++i) {
+    std::cout << "  " << inputs[i].name << ": pairwise "
+              << format_fixed(slowdown(static_cast<int>(i), 0), 1)
+              << "%, 4-way "
+              << format_fixed(slowdown(static_cast<int>(i), 1), 1)
+              << "%, bitonic "
+              << format_fixed(slowdown(static_cast<int>(i), 2), 1)
+              << "%, radix "
+              << format_fixed(slowdown(static_cast<int>(i), 3), 1) << "%\n";
+  }
+
+  const bool merge_adv_targets_pairwise =
+      slowdown(1, 0) > 1.5 * slowdown(1, 1) && slowdown(1, 2) < 1.0 &&
+      slowdown(1, 3) < 1.0;
+  const bool radix_adv_targets_radix =
+      slowdown(2, 3) > 10.0 && slowdown(2, 0) < 1.0;
+  std::cout << "\nshape checks:\n"
+            << "  the paper's construction is pairwise-merge-shaped "
+               "(>= 1.5x the 4-way damage, ~0 on bitonic and radix): "
+            << (merge_adv_targets_pairwise ? "ok" : "MISMATCH") << '\n'
+            << "  radix's adversary is radix-shaped (harmless to the "
+               "comparison sorts): "
+            << (radix_adv_targets_radix ? "ok" : "MISMATCH") << '\n';
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 6 reproduction: runtime per element and bank conflicts per element
+// for Thrust on the RTX 2080 Ti model, both parameter sets, on the
+// constructed worst-case inputs.  The paper's two claims:
+//   1. the conflicts-per-element curve *predicts* the runtime-per-element
+//      curve (their relative order matches), and
+//   2. both grow logarithmically in n (each doubling of n adds one merge
+//      round of roughly constant per-element cost).
+
+#include <cmath>
+#include <iostream>
+
+#include "analysis/experiment.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace wcm;
+
+  const auto dev = gpusim::rtx_2080ti();
+  analysis::SweepSpec base;
+  base.device = dev;
+  base.library = sort::MergeSortLibrary::thrust;
+  base.input = workload::InputKind::worst_case;
+  base.min_k = 1;
+  base.max_k = 8;
+  analysis::apply_env_overrides(base);
+
+  analysis::SweepSpec s1 = base;
+  s1.config = sort::params_15_512();
+  analysis::SweepSpec s2 = base;
+  s2.config = sort::params_17_256();
+  const auto c1 = analysis::run_sweep(s1);
+  const auto c2 = analysis::run_sweep(s2);
+
+  std::cout << "=== Figure 6: per-element runtime and bank conflicts, "
+               "Thrust worst-case on "
+            << dev.name << " ===\n\n";
+  Table t({"k", "n(15,512)", "ns/elem(15,512)", "confl/elem(15,512)",
+           "n(17,256)", "ns/elem(17,256)", "confl/elem(17,256)"});
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    t.new_row()
+        .add(static_cast<std::size_t>(base.min_k + i))
+        .add(c1[i].n)
+        .add(c1[i].seconds / static_cast<double>(c1[i].n) * 1e9, 3)
+        .add(c1[i].conflicts_per_elem, 3)
+        .add(c2[i].n)
+        .add(c2[i].seconds / static_cast<double>(c2[i].n) * 1e9, 3)
+        .add(c2[i].conflicts_per_elem, 3);
+  }
+  t.print(std::cout);
+  maybe_export_csv(t, "fig6_conflicts_runtime");
+
+  // Claim 1: conflicts/element predicts runtime/element — compare relative
+  // order of the two configurations' curves at the common-k grid.
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    const bool conflicts_higher = c1[i].conflicts_per_elem >
+                                  c2[i].conflicts_per_elem;
+    const bool runtime_higher =
+        c1[i].seconds / static_cast<double>(c1[i].n) >
+        c2[i].seconds / static_cast<double>(c2[i].n);
+    agree += conflicts_higher == runtime_higher ? 1 : 0;
+  }
+
+  // Claim 2: logarithmic growth — per-doubling increments of
+  // conflicts/element are roughly constant (linear in k = log2(n / bE)).
+  std::vector<double> inc;
+  for (std::size_t i = 1; i < c1.size(); ++i) {
+    inc.push_back(c1[i].conflicts_per_elem - c1[i - 1].conflicts_per_elem);
+  }
+  double inc_min = inc[0], inc_max = inc[0];
+  for (const double d : inc) {
+    inc_min = std::min(inc_min, d);
+    inc_max = std::max(inc_max, d);
+  }
+
+  std::cout << "\nshape checks (paper Sec. IV-B, Fig. 6):\n"
+            << "  conflicts/element predicts runtime/element ranking at "
+            << agree << "/" << c1.size() << " sizes\n"
+            << "  logarithmic growth: per-doubling conflict increment in ["
+            << format_fixed(inc_min, 3) << ", " << format_fixed(inc_max, 3)
+            << "] (roughly constant -> log growth): "
+            << (inc_max - inc_min < 0.5 * inc_max + 0.2 ? "ok" : "MISMATCH")
+            << '\n';
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Microbenchmarks (google-benchmark): host-side throughput of the
+// library's building blocks — the constructions, the generator, merge
+// path, the DMM step analyzer, and the simulator itself.  These measure
+// *this library's* code on the host CPU (the figure benches report modeled
+// GPU time instead).
+
+#include <benchmark/benchmark.h>
+
+#include "core/generator.hpp"
+#include "core/warp_construction.hpp"
+#include "dmm/access.hpp"
+#include "mergepath/partition.hpp"
+#include "sort/cpu_reference.hpp"
+#include "sort/pairwise_sort.hpp"
+#include "workload/inputs.hpp"
+
+namespace {
+
+using namespace wcm;
+
+void BM_WarpConstructionSmallE(benchmark::State& state) {
+  const u32 e = static_cast<u32>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::worst_case_warp(32, e));
+  }
+}
+BENCHMARK(BM_WarpConstructionSmallE)->Arg(5)->Arg(15);
+
+void BM_WarpConstructionLargeE(benchmark::State& state) {
+  const u32 e = static_cast<u32>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::worst_case_warp(32, e));
+  }
+}
+BENCHMARK(BM_WarpConstructionLargeE)->Arg(17)->Arg(31);
+
+void BM_WorstCaseGenerator(benchmark::State& state) {
+  const auto cfg = sort::params_15_512();
+  const std::size_t n = cfg.tile() << static_cast<u32>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::worst_case_input(n, cfg));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_WorstCaseGenerator)->Arg(1)->Arg(4)->Arg(7);
+
+void BM_MergePathPartition(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = workload::sorted_input(n);
+  auto b = workload::sorted_input(n);
+  for (auto& x : b) {
+    x += 1;  // interleave
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mergepath::partition_tiles(a, b, n / 64));
+  }
+}
+BENCHMARK(BM_MergePathPartition)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_DmmAnalyzeStep(benchmark::State& state) {
+  // A 32-lane step with a mid-grade conflict pattern.
+  std::vector<dmm::Request> step;
+  for (std::size_t lane = 0; lane < 32; ++lane) {
+    step.push_back({lane, (lane % 8) * 32 + lane, dmm::Op::read, 0});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dmm::analyze_step(step, 32));
+  }
+}
+BENCHMARK(BM_DmmAnalyzeStep);
+
+void BM_SimulatedSort(benchmark::State& state) {
+  const sort::SortConfig cfg{5, 64, 32};
+  const std::size_t n = cfg.tile() << static_cast<u32>(state.range(0));
+  const auto input = workload::random_permutation(n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sort::pairwise_merge_sort(input, cfg, gpusim::quadro_m4000()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimulatedSort)->Arg(1)->Arg(3);
+
+void BM_CpuReferenceSort(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto input = workload::random_permutation(n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sort::cpu_pairwise_merge_sort(input, 512));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CpuReferenceSort)->Arg(1 << 14)->Arg(1 << 18);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Oblivious-vs-adaptive comparison: pairwise merge sort (fast on random,
+// attackable) against bitonic sort (data-oblivious, immune to the
+// constructed inputs, but Theta(n log^2 n) work).  Quantifies the trade the
+// paper's introduction describes: conflict-free / oblivious algorithms "come
+// at a price of increased complexity ... more overall work".
+
+#include <iostream>
+
+#include "sort/bitonic.hpp"
+#include "sort/pairwise_sort.hpp"
+#include "util/table.hpp"
+#include "workload/inputs.hpp"
+
+int main() {
+  using namespace wcm;
+
+  const auto dev = gpusim::quadro_m4000();
+  const auto merge_cfg = sort::params_15_512();
+  sort::SortConfig bitonic_cfg;
+  bitonic_cfg.E = 2;
+  bitonic_cfg.b = 512;
+
+  std::cout << "=== Merge sort vs bitonic sort under attack (" << dev.name
+            << ") ===\n\n";
+
+  Table t({"n", "merge_rand_ms", "merge_worst_ms", "merge_slowdown",
+           "bitonic_rand_ms", "bitonic_worst_ms", "bitonic_slowdown"});
+
+  double merge_rand_last = 0, bitonic_rand_last = 0,
+         bitonic_worst_last = 0;
+  for (u32 k = 4; k <= 6; ++k) {
+    // Merge sort sweeps bE * 2^k; bitonic needs a power of two, so use the
+    // nearest power of two for its runs and compare slowdowns (the attack
+    // is defined relative to each algorithm's own input).
+    const std::size_t n_merge = merge_cfg.tile() << k;
+    std::size_t n_bitonic = 1;
+    while (n_bitonic * 2 <= n_merge) {
+      n_bitonic *= 2;
+    }
+
+    const auto merge_rand = sort::pairwise_merge_sort(
+        workload::random_permutation(n_merge, k), merge_cfg, dev);
+    const auto merge_worst = sort::pairwise_merge_sort(
+        workload::make_input(workload::InputKind::worst_case, n_merge,
+                             merge_cfg, k),
+        merge_cfg, dev);
+    // The merge sort's worst-case permutation, scaled to bitonic's size, is
+    // just "some input" to an oblivious network; random is equivalent.
+    const auto bitonic_rand = sort::bitonic_sort(
+        workload::random_permutation(n_bitonic, k), bitonic_cfg, dev);
+    const auto bitonic_worst = sort::bitonic_sort(
+        workload::reversed_input(n_bitonic), bitonic_cfg, dev);
+
+    merge_rand_last = merge_rand.seconds();
+    bitonic_rand_last = bitonic_rand.seconds();
+    bitonic_worst_last = bitonic_worst.seconds();
+
+    t.new_row()
+        .add(n_merge)
+        .add(merge_rand.seconds() * 1e3, 3)
+        .add(merge_worst.seconds() * 1e3, 3)
+        .add(format_fixed((merge_worst.seconds() - merge_rand.seconds()) /
+                              merge_rand.seconds() * 100.0,
+                          1) +
+             "%")
+        .add(bitonic_rand.seconds() * 1e3, 3)
+        .add(bitonic_worst.seconds() * 1e3, 3)
+        .add(format_fixed((bitonic_worst.seconds() - bitonic_rand.seconds()) /
+                              bitonic_rand.seconds() * 100.0,
+                          1) +
+             "%");
+  }
+  t.print(std::cout);
+
+  std::cout << "\n(bitonic sizes are the nearest power of two below the "
+               "merge sizes; bitonic's \"worst\" column is reversed input — "
+               "for an oblivious network every input costs the same)\n\n";
+
+  const bool immune =
+      std::abs(bitonic_worst_last - bitonic_rand_last) <
+      1e-9 * bitonic_rand_last;
+  const bool merge_wins_random = merge_rand_last < bitonic_rand_last * 1.05;
+  std::cout << "shape checks:\n"
+            << "  bitonic is immune to input choice (identical modeled time "
+               "on every input): "
+            << (immune ? "ok" : "MISMATCH") << '\n'
+            << "  merge sort is the faster algorithm on random inputs "
+               "(why Thrust uses it despite the worst case): "
+            << (merge_wins_random ? "ok" : "MISMATCH") << '\n';
+  return 0;
+}

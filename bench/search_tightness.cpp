@@ -1,0 +1,60 @@
+// Tightness probe: stochastic search vs the paper's constructions.  For
+// small E the constructions are provably optimal (E^2 ceiling); for large E
+// Theorem 9 gives a count without claiming optimality over the assignment
+// family — the search asks empirically whether anything in the family beats
+// it.  (In all runs to date: no.)
+
+#include <iostream>
+
+#include "core/numbers.hpp"
+#include "core/search.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace wcm;
+
+  std::cout << "=== Search vs construction (randomized hill climbing, "
+               "counts-only space, exact scan orders) ===\n\n";
+
+  core::SearchOptions opts;
+  opts.restarts = 8;
+  opts.iterations = 3000;
+  opts.seed = 2026;
+
+  Table t({"w", "E", "regime", "construction", "search_best", "ceiling(E^2)",
+           "search_beats_construction"});
+  bool any_beat = false;
+  for (const auto& [w, e] : {std::pair<u32, u32>{16, 5},
+                             {16, 7},
+                             {16, 9},
+                             {16, 11},
+                             {32, 7},
+                             {32, 15},
+                             {32, 17},
+                             {32, 21}}) {
+    const auto regime = core::classify_e(w, e);
+    const u64 constructed = core::aligned_worst_case(w, e);
+    const auto r = core::search_worst_case_warp(w, e, opts);
+    const bool beats = r.aligned > constructed;
+    any_beat = any_beat || beats;
+    t.new_row()
+        .add(static_cast<std::size_t>(w))
+        .add(static_cast<std::size_t>(e))
+        .add(regime == core::ERegime::small ? "small" : "large")
+        .add(static_cast<unsigned long long>(constructed))
+        .add(r.aligned)
+        .add(static_cast<std::size_t>(e) * e)
+        .add(beats ? "YES (finding!)" : "no");
+  }
+  t.print(std::cout);
+  maybe_export_csv(t, "search_tightness");
+
+  std::cout << "\nshape checks:\n"
+            << "  search never exceeds the proven E^2 ceiling: ok "
+               "(asserted inside the search)\n"
+            << "  search never beats the constructions in this run: "
+            << (any_beat ? "BEATEN — investigate!" : "ok")
+            << "\n  (small-E gaps, when present, are search-budget "
+               "artifacts: the constructions are proven optimal there)\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Per-round profiler: the simulator's equivalent of running the sort under
+// nv-nsight-cu-cli — a per-kernel breakdown of conflicts, beta values, and
+// modeled time for any input kind.
+//
+//   ./profile_sort [kind] [E] [b] [k]
+//
+// kind in {random, sorted, reversed, nearly-sorted, worst-case};
+// defaults: worst-case, E=15, b=512, n = bE * 2^5.
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "sort/pairwise_sort.hpp"
+#include "util/table.hpp"
+#include "workload/inputs.hpp"
+
+namespace {
+
+wcm::workload::InputKind parse_kind(const char* s) {
+  using wcm::workload::InputKind;
+  for (const auto kind :
+       {InputKind::random, InputKind::sorted, InputKind::reversed,
+        InputKind::nearly_sorted, InputKind::worst_case}) {
+    if (std::strcmp(s, wcm::workload::to_string(kind)) == 0) {
+      return kind;
+    }
+  }
+  std::cerr << "unknown input kind '" << s << "', using worst-case\n";
+  return InputKind::worst_case;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wcm;
+
+  auto kind = workload::InputKind::worst_case;
+  sort::SortConfig cfg = sort::params_15_512();
+  u32 k = 5;
+  if (argc > 1) {
+    kind = parse_kind(argv[1]);
+  }
+  if (argc > 2) {
+    cfg.E = static_cast<u32>(std::atoi(argv[2]));
+  }
+  if (argc > 3) {
+    cfg.b = static_cast<u32>(std::atoi(argv[3]));
+  }
+  if (argc > 4) {
+    k = static_cast<u32>(std::atoi(argv[4]));
+  }
+  cfg.validate();
+  const std::size_t n = cfg.tile() << k;
+  const auto dev = gpusim::quadro_m4000();
+
+  const auto input = workload::make_input(kind, n, cfg, 1);
+  const auto report = sort::pairwise_merge_sort(input, cfg, dev);
+
+  std::cout << "profile: " << workload::to_string(kind) << " input, "
+            << dev.name << ", " << cfg.to_string() << ", n = " << n
+            << "\n\n";
+
+  Table t({"kernel", "time_ms", "beta1", "beta2", "replays", "conflicts/elem",
+           "global_txn", "search_steps"});
+  for (const auto& r : report.rounds) {
+    t.new_row()
+        .add(r.name)
+        .add(r.modeled_seconds * 1e3, 4)
+        .add(gpusim::beta1(r.kernel), 2)
+        .add(gpusim::beta2(r.kernel), 2)
+        .add(r.kernel.shared.replays)
+        .add(gpusim::conflicts_per_element(r.kernel), 3)
+        .add(r.kernel.global_transactions)
+        .add(r.kernel.binary_search_steps);
+  }
+  t.print(std::cout);
+
+  std::cout << "\ntotals: " << report.summary() << "\n";
+  std::cout << "time split: bandwidth " << report.total_time.t_bandwidth * 1e3
+            << "ms, shared " << report.total_time.t_shared * 1e3
+            << "ms, compute " << report.total_time.t_compute * 1e3
+            << "ms, latency " << report.total_time.t_latency * 1e3
+            << "ms, overhead " << report.total_time.t_overhead * 1e3
+            << "ms\n";
+  return 0;
+}

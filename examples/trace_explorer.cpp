@@ -1,0 +1,71 @@
+// Trace explorer: record the shared-memory access stream of one block sort
+// on an adversarial tile, optionally save it (WCMT text format), and
+// re-price the identical stream under several padded layouts — the offline
+// "what would this cost under layout X" workflow.
+//
+//   ./trace_explorer [E] [b] [trace_out.wcmt]
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "core/generator.hpp"
+#include "gpusim/trace.hpp"
+#include "sort/blocksort.hpp"
+#include "util/table.hpp"
+#include "workload/inputs.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wcm;
+
+  sort::SortConfig cfg{15, 128, 32};
+  if (argc > 1) {
+    cfg.E = static_cast<u32>(std::atoi(argv[1]));
+  }
+  if (argc > 2) {
+    cfg.b = static_cast<u32>(std::atoi(argv[2]));
+  }
+  cfg.validate();
+
+  // One adversarial tile: take the first base tile of a worst-case input
+  // (shuffled family, so the block sort sees realistic data).
+  core::AttackOptions opts;
+  opts.tile_shuffle_seed = 9;
+  const auto full = core::worst_case_input(cfg.tile() * 2, cfg, opts);
+  std::vector<dmm::word> tile(full.begin(),
+                              full.begin() + static_cast<std::ptrdiff_t>(
+                                                 cfg.tile()));
+
+  gpusim::SharedMemory shm(cfg.w, cfg.tile());
+  gpusim::TraceRecorder recorder(cfg.w);
+  shm.attach_trace(&recorder);
+  gpusim::KernelStats stats;
+  sort::simulate_block_sort(shm, tile, cfg, stats);
+  shm.attach_trace(nullptr);
+
+  const auto& trace = recorder.trace();
+  std::cout << "recorded " << trace.steps.size() << " warp steps, "
+            << trace.total_accesses() << " accesses of one block sort ("
+            << cfg.to_string() << ")\n\n";
+
+  Table t({"padding", "serialization", "replays", "replays/access"});
+  for (const u32 pad : {0u, 1u, 2u, 3u}) {
+    const auto stats_for =
+        gpusim::replay_stats(trace, gpusim::SharedLayout{cfg.w, pad});
+    t.new_row()
+        .add(static_cast<std::size_t>(pad))
+        .add(stats_for.serialization_cycles)
+        .add(stats_for.replays)
+        .add(static_cast<double>(stats_for.replays) /
+                 static_cast<double>(stats_for.requests),
+             4);
+  }
+  t.print(std::cout);
+
+  if (argc > 3) {
+    std::ofstream os(argv[3]);
+    gpusim::write_trace(os, trace);
+    std::cout << "\ntrace written to " << argv[3] << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Warp visualizer: render the paper's Figure 1 / Figure 3 bank-matrix
+// depictions as text.
+//
+//   ./warp_visualizer [w] [E]
+//
+// With no arguments, reproduces all three of the paper's depictions:
+// Figure 1 (sorted order, w=16, E=12), Figure 3 left (w=16, E=7) and
+// Figure 3 right (w=16, E=9).  With arguments, renders the worst-case
+// construction for the given (w, E).
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/numbers.hpp"
+#include "core/warp_construction.hpp"
+
+namespace {
+
+using namespace wcm;
+
+void show(u32 w, u32 E) {
+  const auto regime = core::classify_e(w, E);
+  if (regime == core::ERegime::small || regime == core::ERegime::large) {
+    const auto wa = core::worst_case_warp(w, E);
+    const u32 s = core::alignment_window_start(w, E);
+    const auto eval = core::evaluate_warp(wa, s);
+    std::cout << "Worst-case construction, w=" << w << ", E=" << E << " ("
+              << (regime == core::ERegime::small ? "small" : "large")
+              << " E, window starts at bank " << s << "):\n"
+              << core::render_warp(wa) << "aligned " << eval.aligned
+              << " of " << w * E << " elements; per-step serialization:";
+    for (const auto d : eval.step_degree) {
+      std::cout << ' ' << d;
+    }
+    std::cout << "\n\nconflict heatmap (threads per bank per iteration):\n"
+              << core::render_conflict_heatmap(wa) << "\n";
+  } else {
+    // Sorted order (the Figure 1 situation): every d = gcd(w, E)-th chunk
+    // aligns.
+    const auto wa = core::sorted_order_warp(w, E);
+    const auto eval = core::evaluate_warp(wa, 0);
+    std::cout << "Sorted order, w=" << w << ", E=" << E
+              << " (gcd = " << gcd(w, E) << "):\n"
+              << core::render_warp(wa) << "aligned " << eval.aligned
+              << " of " << w * E << " elements\n\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 3) {
+    show(static_cast<u32>(std::atoi(argv[1])),
+         static_cast<u32>(std::atoi(argv[2])));
+    return 0;
+  }
+  std::cout << "=== Figure 1: sorted input, w=16, E=12, gcd=4 ===\n\n";
+  show(16, 12);
+  std::cout << "=== Figure 3 (left): worst case, w=16, E=7 (small) ===\n\n";
+  show(16, 7);
+  std::cout << "=== Figure 3 (right): worst case, w=16, E=9 (large) ===\n\n";
+  show(16, 9);
+  return 0;
+}

@@ -1,0 +1,247 @@
+// wcmgen — command-line front end for the library: generate, inspect, and
+// measure adversarial inputs without writing any C++.
+//
+//   wcmgen generate  --E 15 --b 512 [--k 8] [--seed S] [--strategy name]
+//                    [--intra] [--rounds m] [--out file.wcmi] [--csv]
+//   wcmgen evaluate  --E 15 [--w 32] [--side L|R] [--strategy name]
+//   wcmgen sort      --E 15 --b 512 [--k 6] [--input kind] [--device name]
+//                    [--library thrust|mgpu] [--padding p] [--seed S]
+//                    [--algorithm pairwise|multiway|bitonic|radix] [--json]
+//   wcmgen visualize --E 7 [--w 16] [--strategy name]
+//
+// Every subcommand prints to stdout; `generate --out` additionally writes
+// the WCMI binary (plus .csv with --csv).
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "analysis/json_export.hpp"
+#include "analysis/series.hpp"
+#include "core/conflict_model.hpp"
+#include "core/generator.hpp"
+#include "sort/bitonic.hpp"
+#include "sort/multiway.hpp"
+#include "sort/pairwise_sort.hpp"
+#include "sort/radix.hpp"
+#include "workload/inputs.hpp"
+#include "workload/inversions.hpp"
+#include "workload/io.hpp"
+
+namespace {
+
+using namespace wcm;
+
+struct Args {
+  std::map<std::string, std::string> named;
+  bool flag(const std::string& name) const { return named.count("--" + name) > 0; }
+  std::string get(const std::string& name, const std::string& fallback) const {
+    const auto it = named.find("--" + name);
+    return it == named.end() ? fallback : it->second;
+  }
+  u64 get_u64(const std::string& name, u64 fallback) const {
+    const auto it = named.find("--" + name);
+    return it == named.end() ? fallback : std::stoull(it->second);
+  }
+};
+
+Args parse(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0 && i + 1 < argc &&
+        std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.named[key] = argv[++i];
+    } else {
+      args.named[key] = "";
+    }
+  }
+  return args;
+}
+
+core::AlignmentStrategy parse_strategy(const std::string& s) {
+  if (s == "back-to-front") {
+    return core::AlignmentStrategy::back_to_front;
+  }
+  if (s == "outside-in") {
+    return core::AlignmentStrategy::outside_in;
+  }
+  return core::AlignmentStrategy::front_to_back;
+}
+
+sort::SortConfig config_from(const Args& a) {
+  sort::SortConfig cfg;
+  cfg.E = static_cast<u32>(a.get_u64("E", 15));
+  cfg.b = static_cast<u32>(a.get_u64("b", 512));
+  cfg.w = static_cast<u32>(a.get_u64("w", 32));
+  cfg.padding = static_cast<u32>(a.get_u64("padding", 0));
+  cfg.validate();
+  return cfg;
+}
+
+gpusim::Device device_from(const Args& a) {
+  const std::string name = a.get("device", "m4000");
+  if (name == "2080ti" || name == "rtx2080ti") {
+    return gpusim::rtx_2080ti();
+  }
+  return gpusim::quadro_m4000();
+}
+
+int cmd_generate(const Args& a) {
+  const auto cfg = config_from(a);
+  const u32 k = static_cast<u32>(a.get_u64("k", 8));
+  const std::size_t n = cfg.tile() << k;
+  core::AttackOptions opts;
+  opts.tile_shuffle_seed = a.get_u64("seed", 1);
+  opts.small_e_strategy = parse_strategy(a.get("strategy", "front-to-back"));
+  opts.attack_intra_block = a.flag("intra");
+  opts.max_attacked_rounds =
+      static_cast<std::size_t>(a.get_u64("rounds", static_cast<u64>(-1)));
+
+  const auto input = core::worst_case_input(n, cfg, opts);
+  std::cout << "generated " << n << " keys for " << cfg.to_string()
+            << " (attacking "
+            << std::min<std::size_t>(opts.max_attacked_rounds,
+                                     core::attacked_round_count(n, cfg))
+            << " of " << core::attacked_round_count(n, cfg)
+            << " global rounds, predicted beta_2 = "
+            << core::predicted_beta2(cfg.w, cfg.E) << ")\n";
+  std::cout << "inversion fraction: "
+            << workload::inversion_fraction(input) << "\n";
+
+  const std::string out = a.get("out", "");
+  if (!out.empty()) {
+    workload::write_binary(out, input);
+    std::cout << "wrote " << out << "\n";
+    if (a.flag("csv")) {
+      workload::write_csv(out + ".csv", input);
+      std::cout << "wrote " << out << ".csv\n";
+    }
+  } else {
+    std::cout << "first keys:";
+    for (std::size_t i = 0; i < std::min<std::size_t>(16, n); ++i) {
+      std::cout << ' ' << input[i];
+    }
+    std::cout << " ...\n(use --out file.wcmi to save)\n";
+  }
+  return 0;
+}
+
+int cmd_evaluate(const Args& a) {
+  const u32 w = static_cast<u32>(a.get_u64("w", 32));
+  const u32 e = static_cast<u32>(a.get_u64("E", 15));
+  const auto side =
+      a.get("side", "L") == "R" ? core::WarpSide::R : core::WarpSide::L;
+  const auto strategy = parse_strategy(a.get("strategy", "front-to-back"));
+  const auto wa = core::worst_case_warp(w, e, side, strategy);
+  const u32 s = core::alignment_window_start(w, e, strategy);
+  const auto eval = core::evaluate_warp(wa, s);
+  std::cout << "w=" << w << " E=" << e << " side="
+            << (side == core::WarpSide::L ? "L" : "R") << " strategy="
+            << core::to_string(strategy) << "\n"
+            << "aligned " << eval.aligned << " / " << w * e
+            << " (closed form " << core::aligned_worst_case(w, e) << ")\n"
+            << "serialization " << eval.totals.serialization << " cycles, "
+            << eval.totals.replays << " replays, effective parallelism "
+            << w << " -> " << core::effective_parallelism(w, e) << "\n";
+  return 0;
+}
+
+int cmd_sort(const Args& a) {
+  const auto cfg = config_from(a);
+  const auto dev = device_from(a);
+  const u32 k = static_cast<u32>(a.get_u64("k", 6));
+  const std::size_t n = cfg.tile() << k;
+  const auto lib = a.get("library", "thrust") == "mgpu"
+                       ? sort::MergeSortLibrary::mgpu
+                       : sort::MergeSortLibrary::thrust;
+
+  workload::InputKind kind = workload::InputKind::worst_case;
+  const std::string kind_name = a.get("input", "worst-case");
+  for (const auto candidate :
+       {workload::InputKind::random, workload::InputKind::sorted,
+        workload::InputKind::reversed, workload::InputKind::nearly_sorted,
+        workload::InputKind::worst_case}) {
+    if (kind_name == workload::to_string(candidate)) {
+      kind = candidate;
+    }
+  }
+
+  const auto input = workload::make_input(kind, n, cfg, a.get_u64("seed", 1));
+  const std::string algo = a.get("algorithm", "pairwise");
+  sort::SortReport report;
+  if (algo == "multiway") {
+    report = sort::multiway_merge_sort(input, cfg, dev,
+                                       static_cast<u32>(a.get_u64("ways", 4)));
+  } else if (algo == "bitonic") {
+    sort::SortConfig bcfg = cfg;
+    bcfg.E = 2;
+    std::size_t n2 = 1;
+    while (n2 * 2 <= n) {
+      n2 *= 2;
+    }
+    report = sort::bitonic_sort(
+        std::vector<dmm::word>(input.begin(),
+                               input.begin() +
+                                   static_cast<std::ptrdiff_t>(n2)),
+        bcfg, dev);
+  } else if (algo == "radix") {
+    report = sort::radix_sort(input, cfg, dev,
+                              static_cast<u32>(a.get_u64("digit-bits", 4)));
+  } else {
+    report = sort::pairwise_merge_sort(input, cfg, dev, lib);
+  }
+  if (a.flag("json")) {
+    analysis::write_report_json(std::cout, report);
+    std::cout << "\n";
+    return 0;
+  }
+  std::cout << report.summary() << "\n";
+  for (const auto& r : report.rounds) {
+    std::cout << "  " << r.name << ": " << r.modeled_seconds * 1e3
+              << " ms, beta2 " << gpusim::beta2(r.kernel) << "\n";
+  }
+  return 0;
+}
+
+int cmd_visualize(const Args& a) {
+  const u32 w = static_cast<u32>(a.get_u64("w", 16));
+  const u32 e = static_cast<u32>(a.get_u64("E", 7));
+  const auto strategy = parse_strategy(a.get("strategy", "front-to-back"));
+  const auto wa = core::worst_case_warp(w, e, core::WarpSide::L, strategy);
+  std::cout << core::render_warp(wa);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: wcmgen {generate|evaluate|sort|visualize} "
+                 "[--flags]\n(see the file header for the full synopsis)\n";
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Args args = parse(argc, argv, 2);
+  try {
+    if (cmd == "generate") {
+      return cmd_generate(args);
+    }
+    if (cmd == "evaluate") {
+      return cmd_evaluate(args);
+    }
+    if (cmd == "sort") {
+      return cmd_sort(args);
+    }
+    if (cmd == "visualize") {
+      return cmd_visualize(args);
+    }
+    std::cerr << "unknown subcommand '" << cmd << "'\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

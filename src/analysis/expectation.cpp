@@ -1,0 +1,87 @@
+#include "analysis/expectation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+#include "workload/inversions.hpp"
+
+namespace wcm::analysis {
+
+Moments moments_of(const std::vector<double>& xs) {
+  WCM_EXPECTS(!xs.empty(), "moments of an empty sample");
+  Moments m;
+  m.min = xs.front();
+  m.max = xs.front();
+  double sum = 0.0;
+  for (const double x : xs) {
+    sum += x;
+    m.min = std::min(m.min, x);
+    m.max = std::max(m.max, x);
+  }
+  m.mean = sum / static_cast<double>(xs.size());
+  double sq = 0.0;
+  for (const double x : xs) {
+    sq += (x - m.mean) * (x - m.mean);
+  }
+  // Population variance: the samples *are* the population of interest for
+  // reporting; with the sample counts used here the distinction is noise.
+  m.stddev = std::sqrt(sq / static_cast<double>(xs.size()));
+  return m;
+}
+
+ConflictDistribution sample_distribution(workload::InputKind kind,
+                                         std::size_t n,
+                                         const sort::SortConfig& cfg,
+                                         const gpusim::Device& dev,
+                                         std::size_t samples, u64 seed) {
+  WCM_EXPECTS(samples > 0, "need at least one sample");
+  std::vector<double> beta2s, confl, secs;
+  beta2s.reserve(samples);
+  confl.reserve(samples);
+  secs.reserve(samples);
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto input = workload::make_input(kind, n, cfg, seed + s);
+    const auto report = sort::pairwise_merge_sort(input, cfg, dev);
+    beta2s.push_back(report.beta2());
+    confl.push_back(report.conflicts_per_element());
+    secs.push_back(report.seconds());
+  }
+  ConflictDistribution d;
+  d.samples = samples;
+  d.beta2 = moments_of(beta2s);
+  d.conflicts_per_element = moments_of(confl);
+  d.seconds = moments_of(secs);
+  return d;
+}
+
+double z_score(const Moments& m, double value) {
+  if (m.stddev <= 0.0) {
+    return value > m.mean ? std::numeric_limits<double>::infinity()
+                          : value < m.mean
+                                ? -std::numeric_limits<double>::infinity()
+                                : 0.0;
+  }
+  return (value - m.mean) / m.stddev;
+}
+
+std::vector<InversionPoint> inversion_sweep(
+    std::size_t n, const sort::SortConfig& cfg, const gpusim::Device& dev,
+    const std::vector<std::size_t>& swap_counts, u64 seed) {
+  std::vector<InversionPoint> points;
+  points.reserve(swap_counts.size());
+  for (const std::size_t swaps : swap_counts) {
+    const auto input = workload::nearly_sorted_input(n, swaps, seed);
+    const auto report = sort::pairwise_merge_sort(input, cfg, dev);
+    InversionPoint p;
+    p.swaps = swaps;
+    p.inversion_fraction = workload::inversion_fraction(input);
+    p.beta2 = report.beta2();
+    p.conflicts_per_element = report.conflicts_per_element();
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace wcm::analysis

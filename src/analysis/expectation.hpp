@@ -1,0 +1,58 @@
+#pragma once
+// Monte Carlo estimation of the *expected* number of bank conflicts for a
+// given input distribution — the open problem the paper's conclusion poses
+// ("can we analyze the expected number of bank conflicts for a given
+// algorithm, for a specific input distribution?").  A closed form is out of
+// reach for data-dependent merging; the simulator makes the empirical
+// distribution cheap and exact, which is the natural first step the paper
+// calls for.
+
+#include <vector>
+
+#include "sort/pairwise_sort.hpp"
+#include "workload/inputs.hpp"
+
+namespace wcm::analysis {
+
+/// Summary statistics of one scalar across samples.
+struct Moments {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] Moments moments_of(const std::vector<double>& xs);
+
+/// Distribution of the conflict metrics over `samples` independent inputs
+/// of `kind` (seeded deterministically from `seed`).
+struct ConflictDistribution {
+  std::size_t samples = 0;
+  Moments beta2;
+  Moments conflicts_per_element;
+  Moments seconds;
+};
+
+[[nodiscard]] ConflictDistribution sample_distribution(
+    workload::InputKind kind, std::size_t n, const sort::SortConfig& cfg,
+    const gpusim::Device& dev, std::size_t samples, u64 seed);
+
+/// How many standard deviations `value` sits above the distribution mean.
+[[nodiscard]] double z_score(const Moments& m, double value);
+
+/// One point of the inversions-vs-conflicts sweep.
+struct InversionPoint {
+  std::size_t swaps = 0;
+  double inversion_fraction = 0.0;
+  double beta2 = 0.0;
+  double conflicts_per_element = 0.0;
+};
+
+/// Sweep nearly-sorted inputs with increasing numbers of random
+/// transpositions and record the conflict metrics (Karsin et al.: conflicts
+/// grow with inversions).
+[[nodiscard]] std::vector<InversionPoint> inversion_sweep(
+    std::size_t n, const sort::SortConfig& cfg, const gpusim::Device& dev,
+    const std::vector<std::size_t>& swap_counts, u64 seed);
+
+}  // namespace wcm::analysis

@@ -1,0 +1,48 @@
+#include "analysis/experiment.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace wcm::analysis {
+
+namespace {
+bool env_u32(const char* name, u32& out) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return false;
+  }
+  out = static_cast<u32>(std::stoul(v));
+  return true;
+}
+}  // namespace
+
+void apply_env_overrides(SweepSpec& spec) {
+  env_u32("WCM_MIN_K", spec.min_k);
+  env_u32("WCM_MAX_K", spec.max_k);
+  WCM_EXPECTS(spec.min_k >= 1 && spec.min_k <= spec.max_k,
+              "WCM_MIN_K / WCM_MAX_K out of range");
+}
+
+std::vector<SeriesPoint> run_sweep(const SweepSpec& spec) {
+  std::vector<SeriesPoint> series;
+  series.reserve(spec.max_k - spec.min_k + 1);
+  for (u32 k = spec.min_k; k <= spec.max_k; ++k) {
+    const std::size_t n = spec.config.tile() << k;
+    const auto input = workload::make_input(spec.input, n, spec.config,
+                                            spec.seed + k);
+    const auto report = sort::pairwise_merge_sort(input, spec.config,
+                                                  spec.device, spec.library);
+    SeriesPoint p;
+    p.n = n;
+    p.throughput = report.throughput();
+    p.seconds = report.seconds();
+    p.conflicts_per_elem = report.conflicts_per_element();
+    p.beta2 = report.beta2();
+    series.push_back(p);
+  }
+  return series;
+}
+
+}  // namespace wcm::analysis

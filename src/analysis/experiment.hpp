@@ -1,0 +1,34 @@
+#pragma once
+// Experiment runner shared by the figure benches: sweep input sizes
+// n = bE * 2^k for one (device, library, config, input kind) combination
+// and collect the throughput series.  Honors the WCM_MAX_K / WCM_MIN_K
+// environment variables so the full paper-scale sweep can be requested
+// explicitly (functional simulation of 1e8+ elements takes hours on one
+// host core; the shape is present by k ~ 8).
+
+#include <vector>
+
+#include "analysis/series.hpp"
+#include "sort/pairwise_sort.hpp"
+#include "workload/inputs.hpp"
+
+namespace wcm::analysis {
+
+struct SweepSpec {
+  gpusim::Device device;
+  sort::SortConfig config;
+  sort::MergeSortLibrary library = sort::MergeSortLibrary::thrust;
+  workload::InputKind input = workload::InputKind::random;
+  u32 min_k = 1;  ///< smallest size: bE * 2^min_k
+  u32 max_k = 8;  ///< largest size: bE * 2^max_k
+  u64 seed = 1;   ///< seed for stochastic inputs
+};
+
+/// Clamp a sweep's k range from the environment (WCM_MIN_K / WCM_MAX_K).
+void apply_env_overrides(SweepSpec& spec);
+
+/// Run the sweep; one simulated sort per size.  Validates that every sort's
+/// output is sorted (the simulator enforces this internally).
+[[nodiscard]] std::vector<SeriesPoint> run_sweep(const SweepSpec& spec);
+
+}  // namespace wcm::analysis

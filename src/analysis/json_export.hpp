@@ -1,0 +1,22 @@
+#pragma once
+// Minimal JSON export of sort reports for downstream tooling (plotting,
+// dashboards, regression tracking).  Hand-rolled writer — the structure is
+// flat and fixed, so a JSON library would be overkill; the output is
+// valid, stable-ordered JSON (tests parse-check it structurally).
+
+#include <iosfwd>
+#include <string>
+
+#include "sort/report.hpp"
+
+namespace wcm::analysis {
+
+/// Serialize a report: config, device, totals, per-round rows, derived
+/// metrics.  Deterministic field order; numbers in minimal-precision
+/// printf formats.
+void write_report_json(std::ostream& os, const sort::SortReport& report);
+
+/// Convenience: the JSON as a string.
+[[nodiscard]] std::string report_to_json(const sort::SortReport& report);
+
+}  // namespace wcm::analysis

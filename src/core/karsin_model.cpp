@@ -1,0 +1,39 @@
+#include "core/karsin_model.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace wcm::core {
+
+namespace {
+double log2_pos(double x) { return std::log2(std::max(x, 2.0)); }
+}  // namespace
+
+double karsin_global_accesses(std::size_t n, const sort::SortConfig& cfg,
+                              double physical_cores) {
+  cfg.validate();
+  WCM_EXPECTS(physical_cores > 0, "need at least one core");
+  const double N = static_cast<double>(n);
+  const double rounds = log2_pos(N / static_cast<double>(cfg.tile()));
+  const double partition_term = N * cfg.w /
+                                (physical_cores * cfg.b * cfg.E) * rounds *
+                                rounds;
+  const double transfer_term = N / physical_cores * rounds;
+  return partition_term + transfer_term;
+}
+
+double karsin_shared_accesses(std::size_t n, const sort::SortConfig& cfg,
+                              double physical_cores, double beta1,
+                              double beta2) {
+  cfg.validate();
+  WCM_EXPECTS(physical_cores > 0, "need at least one core");
+  WCM_EXPECTS(beta1 >= 1.0 && beta2 >= 1.0, "betas are serialization >= 1");
+  const double N = static_cast<double>(n);
+  const double rounds = log2_pos(N / static_cast<double>(cfg.tile()));
+  return N / (physical_cores * cfg.E) * rounds *
+         (beta1 * log2_pos(static_cast<double>(cfg.tile())) +
+          beta2 * cfg.E);
+}
+
+}  // namespace wcm::core

@@ -1,0 +1,37 @@
+#pragma once
+// The asymptotic access-complexity formulas the paper quotes from Karsin et
+// al. (ICS 2018) / Karsin's thesis in Sec. II-A, implemented so the
+// simulator's measured counts can be validated against them:
+//
+//   A_g = O( Nw/(PbE) log^2(N/bE) + N/P log(N/bE) )
+//   A_s = O( N/(PE) log(N/bE) (beta_1 log(bE) + beta_2 E) )
+//
+// where P is the number of physical cores, beta_1 the mean bank-conflict
+// serialization per partition probe, beta_2 per merge read.  These are the
+// quantities whose worst case the paper then pins down (beta_2 = Theta(E)).
+//
+// The functions return the formulas' values with all hidden constants set
+// to 1; tests and the bench check *scaling* (ratios across n and E), never
+// absolute equality.
+
+#include "sort/config.hpp"
+
+namespace wcm::core {
+
+/// Parallel coalesced global-memory access complexity A_g (constant = 1).
+[[nodiscard]] double karsin_global_accesses(std::size_t n,
+                                            const sort::SortConfig& cfg,
+                                            double physical_cores);
+
+/// Parallel shared-memory access complexity A_s (constant = 1).
+[[nodiscard]] double karsin_shared_accesses(std::size_t n,
+                                            const sort::SortConfig& cfg,
+                                            double physical_cores,
+                                            double beta1, double beta2);
+
+/// The paper's empirical reference values for Modern GPU on random inputs
+/// (Karsin et al.): beta_1 = 3.1, beta_2 = 2.2.
+inline constexpr double kKarsinBeta1Random = 3.1;
+inline constexpr double kKarsinBeta2Random = 2.2;
+
+}  // namespace wcm::core

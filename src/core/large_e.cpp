@@ -1,0 +1,93 @@
+#include "core/large_e.hpp"
+
+#include "core/numbers.hpp"
+#include "util/check.hpp"
+
+namespace wcm::core {
+
+std::vector<ThreadAssign> build_sequence_s(u32 w, u32 E) {
+  const auto x = x_sequence(w, E);
+  const auto y = y_sequence(w, E);
+
+  std::vector<ThreadAssign> s;
+  s.reserve(E - 1);
+  for (u32 i = 1; i < E; ++i) {
+    if (i % 2 == 0) {
+      s.push_back({x[i], y[i], true});
+    } else {
+      s.push_back({y[i], x[i], true});
+    }
+  }
+  return s;
+}
+
+std::vector<ThreadAssign> build_sequence_t(u32 w, u32 E) {
+  const u32 r = large_e_r(w, E);
+  const auto x = x_sequence(w, E);
+  const auto y = y_sequence(w, E);
+  const auto s = build_sequence_s(w, E);
+
+  // insert_after[i] lists tuples to append after S's (1-based) entry i, in
+  // rule order (rule 1 before rule 3 when both fire at i = E-1).
+  std::vector<std::vector<ThreadAssign>> insert_after(E);
+
+  // Rule 1: (E, 0) after (a_1, b_1) = (r, E-r) and after
+  // (a_{E-1}, b_{E-1}) = (r, E-r).
+  insert_after[1].push_back({E, 0, true});
+  insert_after[E - 1].push_back({E, 0, true});
+
+  // Rule 2: for k = 1 .. (E-1)/2 - 1, if x_{2k} + y_{2k+1} == r, insert
+  // (E, 0) after entry 2k+1.
+  for (u32 k = 1; k + 1 <= (E - 1) / 2; ++k) {
+    if (2 * k + 1 <= E - 1 && x[2 * k] + y[2 * k + 1] == r) {
+      insert_after[2 * k + 1].push_back({E, 0, true});
+    }
+  }
+
+  // Rule 3: for k = 1 .. (E-1)/2, if x_{2k-1} + y_{2k} == r, insert (0, E)
+  // after entry 2k.
+  for (u32 k = 1; k <= (E - 1) / 2; ++k) {
+    if (2 * k <= E - 1 && x[2 * k - 1] + y[2 * k] == r) {
+      insert_after[2 * k].push_back({0, E, false});
+    }
+  }
+
+  std::vector<ThreadAssign> t;
+  t.reserve(w);
+  for (u32 i = 1; i < E; ++i) {
+    t.push_back(s[i - 1]);
+    for (const ThreadAssign& ins : insert_after[i]) {
+      t.push_back(ins);
+    }
+  }
+  WCM_ENSURES(t.size() == w,
+              "sequence T must have exactly w entries (r+1 insertions)");
+  return t;
+}
+
+WarpAssignment build_large_e(u32 w, u32 E) {
+  WCM_EXPECTS(classify_e(w, E) == ERegime::large,
+              "Theorem 9 requires gcd(w, E) == 1 and w/2 < E < w");
+
+  WarpAssignment wa;
+  wa.w = w;
+  wa.E = E;
+  wa.threads = build_sequence_t(w, E);
+  wa.validate();
+  WCM_ENSURES(wa.total_a() ==
+                  static_cast<std::size_t>((E + 1) / 2) * w,
+              "A list must have (E+1)/2 full columns");
+  WCM_ENSURES(wa.total_b() ==
+                  static_cast<std::size_t>((E - 1) / 2) * w,
+              "B list must have (E-1)/2 full columns");
+
+  const u32 s = w - E;  // align to the last E banks
+  optimize_scan_orders(wa, s);
+
+  const WarpEval eval = evaluate_warp(wa, s);
+  WCM_ENSURES(eval.aligned == aligned_large_e(w, E),
+              "Theorem 9 construction must match its closed-form count");
+  return wa;
+}
+
+}  // namespace wcm::core

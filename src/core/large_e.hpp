@@ -1,0 +1,27 @@
+#pragma once
+// Theorem 9: for gcd(w, E) = 1 and w/2 < E < w, a warp assignment aligning
+// (E^2 + E + 2Er - r^2 - r)/2 elements (r = w - E) to the *last* E memory
+// banks (s = r), built from the residue sequences x_i = -ir mod E and
+// y_i = ir mod E assembled into the paper's sequences S and T.
+
+#include "core/assignment.hpp"
+
+namespace wcm::core {
+
+/// The sequence S of Section III-B: pairs (a_i, b_i) for i = 1..E-1 with
+/// a_i = x_i for even i, y_i for odd i (and b_i the other one).
+[[nodiscard]] std::vector<ThreadAssign> build_sequence_s(u32 w, u32 E);
+
+/// The sequence T: S with (E, 0) / (0, E) tuples inserted after every group
+/// of entries whose A- (resp. B-) components sum to a multiple of w, per the
+/// three insertion rules of Section III-B.  |T| == w.
+[[nodiscard]] std::vector<ThreadAssign> build_sequence_t(u32 w, u32 E);
+
+/// Build the L-warp assignment of Theorem 9 (scan orders chosen per thread
+/// to realize the alignment; the choice is exact because a thread's element
+/// addresses depend only on the counts, not the orders).  Postcondition
+/// (self-checked): evaluate_warp(result, w - E).aligned equals the
+/// closed-form count of Theorem 9.
+[[nodiscard]] WarpAssignment build_large_e(u32 w, u32 E);
+
+}  // namespace wcm::core

@@ -1,0 +1,79 @@
+#include "core/numbers.hpp"
+
+#include "util/check.hpp"
+
+namespace wcm::core {
+
+ERegime classify_e(u32 w, u32 E) {
+  WCM_EXPECTS(is_pow2(w), "warp size must be a power of two");
+  if (E < 3 || E >= w) {
+    return ERegime::unsupported;
+  }
+  const u64 d = gcd(w, E);
+  if (d == E) {
+    return ERegime::power_of_two;
+  }
+  if (d > 1) {
+    return ERegime::shared_factor;
+  }
+  // gcd(w, E) == 1 and w is a power of two, so E is odd; E != w/2.
+  return 2 * E < w ? ERegime::small : ERegime::large;
+}
+
+u64 lemma1_bound(u64 k, u64 w) {
+  WCM_EXPECTS(w > 0, "bank count must be positive");
+  const u64 by_pigeonhole = ceil_div(k, w);
+  return by_pigeonhole < w ? by_pigeonhole : w;
+}
+
+u32 large_e_r(u32 w, u32 E) {
+  WCM_EXPECTS(classify_e(w, E) == ERegime::large, "not a large-E pair");
+  const u32 r = w - E;
+  // Lemma 4: gcd(E, r) = 1 because E + r = w is a power of two and both are
+  // odd.  Checked here so every caller inherits the guarantee.
+  WCM_ENSURES(gcd(E, r) == 1, "Lemma 4 violated");
+  return r;
+}
+
+std::vector<u32> x_sequence(u32 w, u32 E) {
+  const u32 r = large_e_r(w, E);
+  std::vector<u32> x(E);  // x[0] unused; indices 1..E-1 as in the paper
+  for (u32 i = 1; i < E; ++i) {
+    x[i] = static_cast<u32>(
+        mod_floor(-static_cast<i64>(i) * r, static_cast<i64>(E)));
+  }
+  return x;
+}
+
+std::vector<u32> y_sequence(u32 w, u32 E) {
+  const u32 r = large_e_r(w, E);
+  std::vector<u32> y(E);
+  for (u32 i = 1; i < E; ++i) {
+    y[i] = static_cast<u32>(
+        mod_floor(static_cast<i64>(i) * r, static_cast<i64>(E)));
+  }
+  return y;
+}
+
+u64 aligned_small_e(u32 E) { return static_cast<u64>(E) * E; }
+
+u64 aligned_large_e(u32 w, u32 E) {
+  const u64 r = large_e_r(w, E);
+  const u64 e = E;
+  // (E^2 + E + 2Er - r^2 - r) / 2, Theorem 9.
+  return (e * e + e + 2 * e * r - r * r - r) / 2;
+}
+
+u64 aligned_worst_case(u32 w, u32 E) {
+  switch (classify_e(w, E)) {
+    case ERegime::small:
+      return aligned_small_e(E);
+    case ERegime::large:
+      return aligned_large_e(w, E);
+    default:
+      WCM_EXPECTS(false, "aligned_worst_case requires gcd(w, E) == 1, E < w");
+      return 0;
+  }
+}
+
+}  // namespace wcm::core

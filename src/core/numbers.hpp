@@ -1,0 +1,47 @@
+#pragma once
+// Number-theoretic machinery of Section III: the co-primality lemma for the
+// large-E case (Lemma 4), the x_i / y_i residue sequences (Lemmas 7 and 8),
+// the closed-form aligned-element counts (Theorems 3 and 9), and the
+// pigeonhole bound of Lemma 1.
+
+#include <vector>
+
+#include "util/math.hpp"
+
+namespace wcm::core {
+
+/// Which of the paper's construction regimes a (w, E) pair falls in.
+enum class ERegime {
+  power_of_two,  ///< gcd(w, E) = E: sorted order is already worst case
+  shared_factor, ///< 1 < gcd(w, E) < E: every d-th chunk aligns in sorted order
+  small,         ///< gcd = 1, E < w/2: Theorem 3, E^2 aligned
+  large,         ///< gcd = 1, w/2 < E < w: Theorem 9
+  unsupported,   ///< E >= w or degenerate (E < 3)
+};
+
+[[nodiscard]] ERegime classify_e(u32 w, u32 E);
+
+/// Lemma 1: worst-case bank conflicts for any warp access into k consecutive
+/// addresses on w banks: min(ceil(k / w), w).
+[[nodiscard]] u64 lemma1_bound(u64 k, u64 w);
+
+/// r = w - E of the large-E case (odd and co-prime with E by Lemma 4).
+[[nodiscard]] u32 large_e_r(u32 w, u32 E);
+
+/// x_i = -i r mod E for i = 1..E-1 (paper Sec. III-B).
+[[nodiscard]] std::vector<u32> x_sequence(u32 w, u32 E);
+/// y_i = i r mod E for i = 1..E-1.
+[[nodiscard]] std::vector<u32> y_sequence(u32 w, u32 E);
+
+/// Theorem 3's aligned-element count for small E: E^2.
+[[nodiscard]] u64 aligned_small_e(u32 E);
+
+/// Theorem 9's aligned-element count for large E:
+/// (E^2 + E + 2 E r - r^2 - r) / 2 with r = w - E.
+[[nodiscard]] u64 aligned_large_e(u32 w, u32 E);
+
+/// Aligned elements the dispatcher's construction achieves for any co-prime
+/// E < w (selects the regime's closed form).
+[[nodiscard]] u64 aligned_worst_case(u32 w, u32 E);
+
+}  // namespace wcm::core

@@ -1,0 +1,114 @@
+#include "core/search.hpp"
+
+#include <algorithm>
+
+#include "core/numbers.hpp"
+#include "core/warp_construction.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace wcm::core {
+
+namespace {
+
+WarpAssignment assignment_from_counts(u32 w, u32 E,
+                                      const std::vector<u32>& from_a) {
+  WarpAssignment wa;
+  wa.w = w;
+  wa.E = E;
+  wa.threads.resize(w);
+  for (u32 t = 0; t < w; ++t) {
+    wa.threads[t] = {from_a[t], E - from_a[t], true};
+  }
+  return wa;
+}
+
+std::size_t objective(u32 w, u32 E, u32 s, const std::vector<u32>& from_a) {
+  WarpAssignment wa = assignment_from_counts(w, E, from_a);
+  // Scan orders are exactly optimizable per thread, so the search space is
+  // the counts alone.
+  optimize_scan_orders(wa, s);
+  return evaluate_warp(wa, s).aligned;
+}
+
+/// Random feasible counts: from_a[t] in [0, E], summing to (E+1)/2 * w.
+std::vector<u32> random_counts(u32 w, u32 E, Xoshiro256& rng) {
+  const std::size_t target = static_cast<std::size_t>((E + 1) / 2) * w;
+  std::vector<u32> counts(w, 0);
+  std::size_t placed = 0;
+  // Round-robin random increments until the target is met.
+  while (placed < target) {
+    const auto t = static_cast<std::size_t>(rng.below(w));
+    if (counts[t] < E) {
+      ++counts[t];
+      ++placed;
+    }
+  }
+  return counts;
+}
+
+}  // namespace
+
+SearchResult search_worst_case_warp(u32 w, u32 E, const SearchOptions& opts) {
+  const ERegime regime = classify_e(w, E);
+  WCM_EXPECTS(regime == ERegime::small || regime == ERegime::large,
+              "search targets the co-prime regimes");
+  WCM_EXPECTS(opts.restarts > 0 && opts.iterations > 0,
+              "need a positive search budget");
+  const u32 s = regime == ERegime::small ? 0 : w - E;
+
+  Xoshiro256 rng(opts.seed);
+  SearchResult result;
+  result.window_start = s;
+
+  for (std::size_t restart = 0; restart < opts.restarts; ++restart) {
+    std::vector<u32> counts = random_counts(w, E, rng);
+    std::size_t current = objective(w, E, s, counts);
+    ++result.evaluations;
+    if (current >= result.aligned) {
+      result.aligned = current;
+      WarpAssignment wa = assignment_from_counts(w, E, counts);
+      optimize_scan_orders(wa, s);
+      result.best = std::move(wa);
+    }
+
+    for (std::size_t iter = 0; iter < opts.iterations; ++iter) {
+      // Proposal: move delta units of A-work from thread i to thread j.
+      const auto i = static_cast<std::size_t>(rng.below(w));
+      const auto j = static_cast<std::size_t>(rng.below(w));
+      if (i == j || counts[i] == 0 || counts[j] == E) {
+        continue;
+      }
+      const u32 max_delta = std::min<u32>(
+          {counts[i], E - counts[j], 1 + static_cast<u32>(rng.below(3))});
+      const u32 delta = 1 + static_cast<u32>(rng.below(max_delta));
+      counts[i] -= delta;
+      counts[j] += delta;
+      const std::size_t candidate = objective(w, E, s, counts);
+      ++result.evaluations;
+      // Strictly better always accepted; equal accepted often (plateau
+      // walks); slightly worse rarely (escape shallow optima).
+      const bool accept = candidate > current ||
+                          (candidate == current && rng.below(10) < 3) ||
+                          (candidate + 2 >= current && rng.below(100) < 2);
+      if (accept) {
+        current = candidate;
+      } else {
+        counts[i] += delta;
+        counts[j] -= delta;
+      }
+      if (current > result.aligned) {
+        result.aligned = current;
+        WarpAssignment wa = assignment_from_counts(w, E, counts);
+        optimize_scan_orders(wa, s);
+        result.best = std::move(wa);
+      }
+    }
+  }
+
+  WCM_ENSURES(result.aligned <= static_cast<std::size_t>(E) * E,
+              "aligned count can never exceed the E^2 ceiling");
+  return result;
+}
+
+}  // namespace wcm::core

@@ -1,0 +1,42 @@
+#pragma once
+// Stochastic search for worst-case warp assignments — an independent probe
+// of the constructions.  The paper proves its constructions reach E^2
+// (small E) and (E^2+E+2Er-r^2-r)/2 (large E) aligned elements; this module
+// searches the assignment space directly (randomized hill climbing with
+// restarts over per-thread counts and scan orders, the evaluator as the
+// objective) and lets tests and the bench ask:
+//
+//   * does search rediscover the closed-form optimum for small E?  (It
+//     must: E^2 is a proven ceiling.)
+//   * does search ever *beat* the large-E construction?  (It should not if
+//     Theorem 9's count is the true maximum over this assignment family —
+//     an empirical tightness check the paper leaves implicit.)
+//
+// The search space is the paper's own input family: each thread scans one
+// contiguous chunk of A then one of B (or vice versa), chunk sizes
+// summing to E, list totals fixed at ((E+1)/2) w and ((E-1)/2) w.
+
+#include "core/assignment.hpp"
+
+namespace wcm::core {
+
+struct SearchOptions {
+  std::size_t restarts = 8;
+  std::size_t iterations = 4000;  ///< proposal steps per restart
+  u64 seed = 1;
+};
+
+struct SearchResult {
+  WarpAssignment best;
+  u32 window_start = 0;     ///< the window the search targeted
+  std::size_t aligned = 0;  ///< evaluator count of `best`
+  std::size_t evaluations = 0;
+};
+
+/// Maximize aligned elements over the paper's assignment family for the
+/// regime's natural window (bank 0 for small E, w - E for large E).
+/// Requires gcd(w, E) = 1 and 3 <= E < w.
+[[nodiscard]] SearchResult search_worst_case_warp(u32 w, u32 E,
+                                                  const SearchOptions& opts = {});
+
+}  // namespace wcm::core

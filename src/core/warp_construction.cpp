@@ -1,0 +1,58 @@
+#include "core/warp_construction.hpp"
+
+#include "core/large_e.hpp"
+#include "core/small_e.hpp"
+#include "util/check.hpp"
+
+namespace wcm::core {
+
+WarpAssignment worst_case_warp(u32 w, u32 E, WarpSide side,
+                               AlignmentStrategy strategy) {
+  const ERegime regime = classify_e(w, E);
+  WarpAssignment wa;
+  switch (regime) {
+    case ERegime::small:
+      wa = build_small_e_variant(w, E, strategy).warp;
+      break;
+    case ERegime::large:
+      wa = build_large_e(w, E);
+      break;
+    default:
+      WCM_EXPECTS(false,
+                  "worst-case construction requires gcd(w, E) == 1, "
+                  "3 <= E < w");
+  }
+  return side == WarpSide::L ? wa : wa.mirrored();
+}
+
+u32 alignment_window_start(u32 w, u32 E, AlignmentStrategy strategy) {
+  const ERegime regime = classify_e(w, E);
+  WCM_EXPECTS(regime == ERegime::small || regime == ERegime::large,
+              "no alignment window outside the co-prime regimes");
+  if (regime == ERegime::large) {
+    return w - E;
+  }
+  return strategy == AlignmentStrategy::back_to_front ? w - E : 0;
+}
+
+WarpAssignment sorted_order_warp(u32 w, u32 E) {
+  WCM_EXPECTS(E >= 1 && E <= w, "E out of range");
+  // Sorted data: the warp's first total_a/E threads scan A, the rest scan
+  // B.  With |A| = ceil(w/2) E and |B| = floor(w/2) E both lists split at a
+  // thread boundary.
+  WarpAssignment wa;
+  wa.w = w;
+  wa.E = E;
+  wa.threads.assign(w, ThreadAssign{});
+  const u32 half = (w + 1) / 2;
+  for (u32 t = 0; t < w; ++t) {
+    if (t < half) {
+      wa.threads[t] = {E, 0, true};
+    } else {
+      wa.threads[t] = {0, E, false};
+    }
+  }
+  return wa;
+}
+
+}  // namespace wcm::core

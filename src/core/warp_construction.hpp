@@ -1,0 +1,35 @@
+#pragma once
+// Dispatcher over the paper's construction regimes, plus the baseline
+// assignments used for comparison figures.
+
+#include "core/assignment.hpp"
+#include "core/numbers.hpp"
+#include "core/small_e.hpp"
+
+namespace wcm::core {
+
+/// Which half of the thread block a warp belongs to (Sec. III "General
+/// Strategy"): L warps get (E+1)/2 columns of A and (E-1)/2 of B; R warps
+/// the symmetric assignment, so block totals are bE/2 from each list.
+enum class WarpSide { L, R };
+
+/// The worst-case warp assignment for any co-prime E < w (E >= 3):
+/// Theorem 3 for E < w/2, Theorem 9 for E > w/2.  Self-checked against the
+/// closed forms.  `strategy` selects among the Lemma 2 alignment strategies
+/// in the small-E regime (all align E^2; large E has one construction and
+/// ignores it).
+[[nodiscard]] WarpAssignment worst_case_warp(
+    u32 w, u32 E, WarpSide side = WarpSide::L,
+    AlignmentStrategy strategy = AlignmentStrategy::front_to_back);
+
+/// Start bank s of the alignment window the construction targets (0 for
+/// small E front-to-back / outside-in, w - E for small E back-to-front and
+/// for large E).
+[[nodiscard]] u32 alignment_window_start(
+    u32 w, u32 E, AlignmentStrategy strategy = AlignmentStrategy::front_to_back);
+
+/// Baseline: the assignment realized by already-sorted data (all of A
+/// before all of B), the pattern of Figure 1.
+[[nodiscard]] WarpAssignment sorted_order_warp(u32 w, u32 E);
+
+}  // namespace wcm::core

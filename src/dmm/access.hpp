@@ -1,0 +1,57 @@
+#pragma once
+// Contention analysis of one synchronous DMM step: a set of simultaneous
+// memory requests, one per processor at most.  This is where every conflict
+// metric in the repository is defined, in one place:
+//
+//  * serialization        — cycles the step takes: max over banks of the
+//                           number of distinct addresses requested in that
+//                           bank (a module answers one request per cycle;
+//                           same-address reads broadcast, per the paper's
+//                           footnote 1).
+//  * replays              — serialization - 1 when any request was made;
+//                           matches the "extra wavefronts" notion reported
+//                           by NVIDIA profilers (l1tex bank-conflict sums).
+//  * conflicting_accesses — sum over banks of the number of requests to
+//                           banks that needed >= 2 cycles.  This is the
+//                           paper's "total bank conflicts" count: Theorem 3
+//                           constructs E^2 of these per warp per round.
+//
+// CREW: concurrent writes to the same address are a model violation and
+// throw; concurrent reads are allowed (and broadcast for free).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace wcm::dmm {
+
+enum class Op : unsigned char { read, write };
+
+/// One processor's request within a synchronous step.  `value` is the
+/// payload of a write and ignored for reads.
+struct Request {
+  std::size_t proc = 0;
+  std::size_t addr = 0;
+  Op op = Op::read;
+  std::int64_t value = 0;
+};
+
+/// Cost of one synchronous step (see file comment for definitions).
+struct StepCost {
+  std::size_t requests = 0;
+  std::size_t serialization = 0;
+  std::size_t replays = 0;
+  std::size_t conflicting_accesses = 0;
+  std::size_t max_bank_degree = 0;  ///< distinct addresses in the worst bank
+
+  StepCost& operator+=(const StepCost& o) noexcept;
+};
+
+/// Analyze one synchronous step on a machine with `num_banks` modules.
+/// Throws wcm::contract_error on a CREW violation (two writes, or a read and
+/// a write, to the same address) or on duplicate processor ids.
+[[nodiscard]] StepCost analyze_step(std::span<const Request> step,
+                                    std::size_t num_banks);
+
+}  // namespace wcm::dmm

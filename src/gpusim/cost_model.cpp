@@ -1,0 +1,70 @@
+#include "gpusim/cost_model.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace wcm::gpusim {
+
+KernelTime& KernelTime::operator+=(const KernelTime& o) noexcept {
+  seconds += o.seconds;
+  t_bandwidth += o.t_bandwidth;
+  t_latency += o.t_latency;
+  t_shared += o.t_shared;
+  t_compute += o.t_compute;
+  t_overhead += o.t_overhead;
+  return *this;
+}
+
+KernelTime estimate_kernel_time(const Device& dev, const LaunchConfig& launch,
+                                const KernelStats& stats,
+                                const Calibration& cal) {
+  WCM_EXPECTS(launch.blocks > 0, "kernel with no blocks");
+  const Occupancy occ =
+      occupancy(dev, launch.threads_per_block, launch.shared_bytes_per_block);
+  WCM_EXPECTS(occ.resident_blocks > 0, "launch does not fit on the device");
+
+  const double clock_hz = dev.clock_ghz * 1e9;
+  const double waves = static_cast<double>(
+      ceil_div(launch.blocks,
+               static_cast<u64>(occ.resident_blocks) * dev.sm_count));
+  const double hiding =
+      std::min(1.0, static_cast<double>(occ.resident_warps) /
+                        dev.warps_for_peak);
+
+  KernelTime t;
+  constexpr double kTransactionBytes = 128.0;  // 32 lanes x 4-byte keys
+  t.t_bandwidth = static_cast<double>(stats.global_transactions) *
+                  kTransactionBytes / (dev.mem_bandwidth_gbs * 1e9);
+
+  const double chain = static_cast<double>(stats.binary_search_steps) /
+                       static_cast<double>(launch.blocks);
+  t.t_latency = waves * chain * dev.global_latency_cycles / clock_hz;
+
+  // Base accesses are latency-bound: they need full occupancy to hide the
+  // pipeline latency (divide by hiding).  Replay wavefronts are pipe-bound:
+  // at full occupancy every replay displaces another warp's access, but at
+  // lower occupancy the pipe has idle cycles and replays partially overlap
+  // other warps' stalls (multiply by hiding).  This asymmetry reproduces
+  // the paper's Sec. IV-B finding that the 75%-occupancy E=17,b=256
+  // configuration is slower on random inputs yet suffers a smaller
+  // relative slowdown on the constructed inputs.
+  t.t_shared = (static_cast<double>(stats.shared.steps) / hiding +
+                static_cast<double>(stats.shared.replays) * hiding) /
+               (static_cast<double>(dev.sm_count) *
+                dev.shared_wavefronts_per_cycle * clock_hz);
+
+  const double warp_issue_per_sm =
+      static_cast<double>(dev.cores_per_sm) / dev.warp_size;
+  t.t_compute = static_cast<double>(stats.warp_merge_steps) *
+                cal.compute_cycles_per_merge_step /
+                (static_cast<double>(dev.sm_count) * warp_issue_per_sm *
+                 clock_hz * hiding);
+
+  t.t_overhead = cal.launch_overhead_s;
+  t.seconds = std::max(t.t_bandwidth, t.t_shared + t.t_compute) +
+              t.t_latency + t.t_overhead;
+  return t;
+}
+
+}  // namespace wcm::gpusim

@@ -1,0 +1,77 @@
+#pragma once
+// Analytical cost model: converts the event counters of one simulated kernel
+// into modeled wall time on a Device.  This is the *only* place simulated
+// events become seconds, and the formula is deliberately simple and fully
+// documented:
+//
+//   occ      = occupancy(device, launch)
+//   waves    = ceil(blocks / (occ.resident_blocks * sm_count))
+//   hiding   = min(1, occ.resident_warps / warps_for_peak)
+//                — issue efficiency: with few resident warps the SM cannot
+//                  hide pipeline/memory latency and throughput degrades
+//                  proportionally (this is what makes the paper's
+//                  E=17,b=256 75%-occupancy configuration slower than
+//                  E=15,b=512 on random inputs).
+//   t_bw     = global_transactions * 128 B / bandwidth
+//   t_lat    = waves * (binary_search_steps / blocks) * latency / clock
+//                — dependent global round trips (partition binary search);
+//                  chains of concurrently-resident blocks overlap, so each
+//                  wave pays one chain.
+//   t_shared = (base wavefronts / hiding + replay wavefronts)
+//              / (sm_count * shared_wavefronts_per_cycle * clock)
+//                — THIS is where bank conflicts become time: a conflicted
+//                  warp access is replayed once per extra distinct address
+//                  in its worst bank.  Base accesses are latency-bound and
+//                  benefit from occupancy (hiding); replays occupy the
+//                  shared-memory pipe regardless of occupancy, which is why
+//                  the paper's low-occupancy E=17,b=256 configuration has a
+//                  slower baseline but a *smaller relative* slowdown under
+//                  attack (Sec. IV-B).
+//   t_comp   = warp_merge_steps * compute_cycles_per_merge_step
+//              / (sm_count * (cores_per_sm / warp_size) * clock * hiding)
+//   seconds  = max(t_bw, t_shared + t_comp) + t_lat + launch_overhead
+//
+// Absolute numbers are calibrated, not measured (we have no GPU); the
+// reproduction target is the *shape* of the paper's figures.  Calibration
+// constants live in Calibration and are documented in EXPERIMENTS.md.
+
+#include "gpusim/device.hpp"
+#include "gpusim/stats.hpp"
+
+namespace wcm::gpusim {
+
+struct LaunchConfig {
+  std::size_t blocks = 0;
+  u32 threads_per_block = 0;
+  std::size_t shared_bytes_per_block = 0;
+};
+
+/// Per-library calibration knobs (Thrust vs Modern GPU differ in constant
+/// factors, not algorithm).
+struct Calibration {
+  /// SM cycles of instruction work per lock-step merge iteration per warp
+  /// (comparison, index bookkeeping, predication).
+  double compute_cycles_per_merge_step = 28.0;
+  /// Fixed cost per kernel launch.
+  double launch_overhead_s = 3.0e-6;
+};
+
+struct KernelTime {
+  double seconds = 0.0;
+  double t_bandwidth = 0.0;
+  double t_latency = 0.0;
+  double t_shared = 0.0;
+  double t_compute = 0.0;
+  double t_overhead = 0.0;
+
+  KernelTime& operator+=(const KernelTime& o) noexcept;
+};
+
+/// Modeled execution time of one kernel.  Requires the launch to fit on the
+/// device (occupancy > 0).
+[[nodiscard]] KernelTime estimate_kernel_time(const Device& dev,
+                                              const LaunchConfig& launch,
+                                              const KernelStats& stats,
+                                              const Calibration& cal = {});
+
+}  // namespace wcm::gpusim

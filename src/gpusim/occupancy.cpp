@@ -1,0 +1,45 @@
+#include <algorithm>
+
+#include "gpusim/device.hpp"
+#include "util/check.hpp"
+
+namespace wcm::gpusim {
+
+Occupancy occupancy(const Device& dev, u32 threads_per_block,
+                    std::size_t shared_bytes_per_block) {
+  WCM_EXPECTS(threads_per_block > 0, "empty thread block");
+  WCM_EXPECTS(threads_per_block % dev.warp_size == 0,
+              "block size must be a whole number of warps");
+
+  Occupancy occ;
+  if (shared_bytes_per_block > dev.shared_mem_per_block ||
+      threads_per_block > dev.max_threads_per_sm) {
+    occ.limiter = Occupancy::Limiter::block_too_large;
+    return occ;
+  }
+
+  const u32 by_threads = dev.max_threads_per_sm / threads_per_block;
+  const u32 by_shared =
+      shared_bytes_per_block == 0
+          ? dev.max_blocks_per_sm
+          : static_cast<u32>(dev.shared_mem_per_sm / shared_bytes_per_block);
+  const u32 by_blocks = dev.max_blocks_per_sm;
+
+  occ.resident_blocks = std::min({by_threads, by_shared, by_blocks});
+  occ.limiter = Occupancy::Limiter::threads;
+  if (by_blocks < by_threads && by_blocks <= by_shared) {
+    occ.limiter = Occupancy::Limiter::blocks;
+  }
+  if (shared_bytes_per_block > 0 && by_shared < by_threads &&
+      by_shared < by_blocks) {
+    occ.limiter = Occupancy::Limiter::shared_memory;
+  }
+
+  occ.resident_threads = occ.resident_blocks * threads_per_block;
+  occ.resident_warps = occ.resident_threads / dev.warp_size;
+  occ.fraction = static_cast<double>(occ.resident_threads) /
+                 static_cast<double>(dev.max_threads_per_sm);
+  return occ;
+}
+
+}  // namespace wcm::gpusim

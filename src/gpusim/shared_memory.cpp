@@ -1,0 +1,63 @@
+#include "gpusim/shared_memory.hpp"
+
+#include "gpusim/trace.hpp"
+#include "util/check.hpp"
+
+namespace wcm::gpusim {
+
+SharedMemory::SharedMemory(u32 warp_size, std::size_t words, u32 pad)
+    : warp_size_(warp_size),
+      layout_{warp_size, pad},
+      logical_words_(words),
+      machine_(warp_size, layout_.physical_words(words)) {
+  WCM_EXPECTS(is_pow2(warp_size), "warp size must be a power of two");
+}
+
+std::vector<word> SharedMemory::warp_read(std::span<const LaneRead> reads) {
+  WCM_EXPECTS(reads.size() <= warp_size_, "more requests than lanes");
+  if (recorder_ != nullptr) {
+    recorder_->on_read(reads);
+  }
+  scratch_.clear();
+  for (const LaneRead& r : reads) {
+    WCM_EXPECTS(r.lane < warp_size_, "lane out of range");
+    WCM_EXPECTS(r.addr < logical_words_, "read out of bounds");
+    scratch_.push_back({r.lane, layout_.physical(r.addr), dmm::Op::read, 0});
+  }
+  machine_.step(scratch_, &scratch_reads_);
+  return scratch_reads_;
+}
+
+void SharedMemory::warp_write(std::span<const LaneWrite> writes) {
+  WCM_EXPECTS(writes.size() <= warp_size_, "more requests than lanes");
+  if (recorder_ != nullptr) {
+    recorder_->on_write(writes);
+  }
+  scratch_.clear();
+  for (const LaneWrite& w : writes) {
+    WCM_EXPECTS(w.lane < warp_size_, "lane out of range");
+    WCM_EXPECTS(w.addr < logical_words_, "write out of bounds");
+    scratch_.push_back(
+        {w.lane, layout_.physical(w.addr), dmm::Op::write, w.value});
+  }
+  machine_.step(scratch_, nullptr);
+}
+
+void SharedMemory::fill(std::span<const word> values, std::size_t base) {
+  WCM_EXPECTS(base + values.size() <= logical_words_, "fill out of bounds");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    machine_.poke(layout_.physical(base + i), values[i]);
+  }
+}
+
+std::vector<word> SharedMemory::dump(std::size_t base,
+                                     std::size_t count) const {
+  WCM_EXPECTS(base + count <= logical_words_, "dump out of bounds");
+  std::vector<word> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = machine_.peek(layout_.physical(base + i));
+  }
+  return out;
+}
+
+}  // namespace wcm::gpusim

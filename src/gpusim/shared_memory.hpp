@@ -1,0 +1,101 @@
+#pragma once
+// Banked shared memory for one simulated thread block: a thin, warp-oriented
+// wrapper over the formal DMM machine.  Every warp-wide access is one
+// synchronous DMM step; inactive lanes simply do not submit a request.
+// Conflict statistics accumulate in the underlying dmm::Machine and are
+// read out per kernel by the sort engine.
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dmm/machine.hpp"
+#include "util/math.hpp"
+
+namespace wcm::gpusim {
+
+using dmm::word;
+
+/// A lane's read request: lane id within the warp and shared address.
+struct LaneRead {
+  u32 lane = 0;
+  std::size_t addr = 0;
+};
+
+/// A lane's write request.
+struct LaneWrite {
+  u32 lane = 0;
+  std::size_t addr = 0;
+  word value = 0;
+};
+
+/// Optional padded layout (Dotsenko et al. 2008): insert `pad` unused words
+/// after every `w` logical words, so logical address x lives in bank
+/// (x + pad * floor(x / w)) mod w.  Padding breaks the congruences the
+/// worst-case construction relies on — the classic bank-conflict
+/// mitigation, at the price of wasted shared memory.
+struct SharedLayout {
+  u32 w = 32;
+  u32 pad = 0;
+
+  [[nodiscard]] std::size_t physical(std::size_t logical) const noexcept {
+    return logical + (logical / w) * pad;
+  }
+  /// Physical words needed to hold `logical_words` logical words.
+  [[nodiscard]] std::size_t physical_words(
+      std::size_t logical_words) const noexcept {
+    return logical_words == 0 ? 0 : physical(logical_words - 1) + 1;
+  }
+};
+
+class SharedMemory {
+ public:
+  /// `words` counts *logical* words; with pad > 0 the backing store is
+  /// correspondingly larger.  All addresses in the public API are logical;
+  /// bank-conflict accounting uses the physical (padded) addresses.
+  SharedMemory(u32 warp_size, std::size_t words, u32 pad = 0);
+
+  [[nodiscard]] u32 warp_size() const noexcept { return warp_size_; }
+  [[nodiscard]] std::size_t words() const noexcept { return logical_words_; }
+  [[nodiscard]] const SharedLayout& layout() const noexcept { return layout_; }
+
+  /// One warp-wide load; returns the value read by each request, in request
+  /// order.  Lanes must be distinct.  Accounted as one DMM step.
+  std::vector<word> warp_read(std::span<const LaneRead> reads);
+
+  /// One warp-wide store.  Accounted as one DMM step.
+  void warp_write(std::span<const LaneWrite> writes);
+
+  /// Host-side (unaccounted) access for kernel setup / result extraction.
+  void fill(std::span<const word> values, std::size_t base = 0);
+  [[nodiscard]] std::vector<word> dump(std::size_t base,
+                                       std::size_t count) const;
+  [[nodiscard]] word peek(std::size_t addr) const {
+    return machine_.peek(layout_.physical(addr));
+  }
+  void poke(std::size_t addr, word v) {
+    machine_.poke(layout_.physical(addr), v);
+  }
+
+  [[nodiscard]] const dmm::MachineStats& stats() const noexcept {
+    return machine_.stats();
+  }
+  void reset_stats() noexcept { machine_.reset_stats(); }
+
+  /// Attach an access-trace recorder (see gpusim/trace.hpp); nullptr
+  /// detaches.  The recorder must outlive its attachment.
+  void attach_trace(class TraceRecorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+
+ private:
+  u32 warp_size_;
+  SharedLayout layout_;
+  std::size_t logical_words_;
+  dmm::Machine machine_;
+  class TraceRecorder* recorder_ = nullptr;
+  std::vector<dmm::Request> scratch_;  // reused request buffer
+  std::vector<word> scratch_reads_;
+};
+
+}  // namespace wcm::gpusim

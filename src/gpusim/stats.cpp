@@ -1,0 +1,53 @@
+#include "gpusim/stats.hpp"
+
+namespace wcm::gpusim {
+
+KernelStats& KernelStats::operator+=(const KernelStats& o) noexcept {
+  shared += o.shared;
+  shared_merge_reads += o.shared_merge_reads;
+  shared_search += o.shared_search;
+  global_transactions += o.global_transactions;
+  global_requests += o.global_requests;
+  binary_search_steps += o.binary_search_steps;
+  warp_merge_steps += o.warp_merge_steps;
+  register_compare_steps += o.register_compare_steps;
+  blocks_launched += o.blocks_launched;
+  elements_processed += o.elements_processed;
+  return *this;
+}
+
+double mean_serialization(const KernelStats& s) noexcept {
+  if (s.shared.steps == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(s.shared.serialization_cycles) /
+         static_cast<double>(s.shared.steps);
+}
+
+namespace {
+double mean_over_steps(const dmm::MachineStats& m) noexcept {
+  if (m.steps == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(m.serialization_cycles) /
+         static_cast<double>(m.steps);
+}
+}  // namespace
+
+double beta2(const KernelStats& s) noexcept {
+  return mean_over_steps(s.shared_merge_reads);
+}
+
+double beta1(const KernelStats& s) noexcept {
+  return mean_over_steps(s.shared_search);
+}
+
+double conflicts_per_element(const KernelStats& s) noexcept {
+  if (s.elements_processed == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(s.shared.replays) /
+         static_cast<double>(s.elements_processed);
+}
+
+}  // namespace wcm::gpusim

@@ -1,0 +1,68 @@
+#pragma once
+// Event counters produced by one simulated kernel (one merge round, the
+// block sort, or the partition pass).  The cost model converts these into
+// modeled time; benches and tests read them directly.
+
+#include <string>
+#include <vector>
+
+#include "dmm/machine.hpp"
+#include "util/math.hpp"
+
+namespace wcm::gpusim {
+
+struct KernelStats {
+  /// Shared-memory contention totals (from SharedMemory / dmm::Machine).
+  dmm::MachineStats shared;
+  /// Subset of `shared`: the lock-step merge reads only (the accesses the
+  /// paper's beta_2 and the worst-case construction are about).
+  dmm::MachineStats shared_merge_reads;
+  /// Subset of `shared`: the in-block merge-path binary-search probes (the
+  /// paper's beta_1).
+  dmm::MachineStats shared_search;
+
+  /// Coalesced 32-lane global-memory transactions (loads + stores).
+  std::size_t global_transactions = 0;
+  /// Individual global element accesses (for coalescing-efficiency checks).
+  std::size_t global_requests = 0;
+
+  /// Dependent global-latency round trips on the critical path of one block
+  /// (binary-search iterations of the partitioning stage), summed over
+  /// blocks; divide by blocks_launched for the per-block chain length.
+  std::size_t binary_search_steps = 0;
+
+  /// Lock-step merge iterations, summed over warps.
+  std::size_t warp_merge_steps = 0;
+
+  /// Register-level compare-exchanges of the base case's odd-even sorting
+  /// network, summed over warps (no memory traffic, compute only).
+  std::size_t register_compare_steps = 0;
+
+  std::size_t blocks_launched = 0;
+  std::size_t elements_processed = 0;
+
+  KernelStats& operator+=(const KernelStats& o) noexcept;
+};
+
+/// A named kernel's stats (e.g. "block-sort", "round 3 partition").
+struct RoundStats {
+  std::string name;
+  KernelStats kernel;
+  double modeled_seconds = 0.0;
+};
+
+/// Mean serialization cycles per warp-wide shared access over all accesses.
+[[nodiscard]] double mean_serialization(const KernelStats& s) noexcept;
+
+/// beta_2: mean serialization per lock-step merge read (Karsin et al.
+/// measured ~2.2 on random inputs; the construction drives it to ~E).
+[[nodiscard]] double beta2(const KernelStats& s) noexcept;
+
+/// beta_1: mean serialization per merge-path binary-search probe.
+[[nodiscard]] double beta1(const KernelStats& s) noexcept;
+
+/// Bank conflicts per element, the Figure 6 y-axis: replay wavefronts (the
+/// metric NVIDIA's profiler reports) divided by elements processed.
+[[nodiscard]] double conflicts_per_element(const KernelStats& s) noexcept;
+
+}  // namespace wcm::gpusim

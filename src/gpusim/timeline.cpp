@@ -1,0 +1,51 @@
+#include "gpusim/timeline.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace wcm::gpusim {
+
+TimelineResult schedule_blocks(std::span<const double> block_cycles,
+                               std::size_t slots) {
+  WCM_EXPECTS(slots > 0, "need at least one residency slot");
+  TimelineResult r;
+  r.slots = slots;
+  if (block_cycles.empty()) {
+    r.utilization = 1.0;
+    return r;
+  }
+
+  // Min-heap of slot free times.
+  std::priority_queue<double, std::vector<double>, std::greater<>> free_at;
+  for (std::size_t s = 0; s < slots; ++s) {
+    free_at.push(0.0);
+  }
+  for (const double cost : block_cycles) {
+    WCM_EXPECTS(cost >= 0.0, "negative block cost");
+    const double start = free_at.top();
+    free_at.pop();
+    free_at.push(start + cost);
+    r.makespan_cycles = std::max(r.makespan_cycles, start + cost);
+    r.busy_cycles += cost;
+  }
+  r.utilization =
+      r.makespan_cycles > 0.0
+          ? r.busy_cycles / (static_cast<double>(slots) * r.makespan_cycles)
+          : 1.0;
+  return r;
+}
+
+TimelineResult schedule_on_device(std::span<const double> block_cycles,
+                                  const Device& dev, u32 threads_per_block,
+                                  std::size_t shared_bytes_per_block) {
+  const Occupancy occ =
+      occupancy(dev, threads_per_block, shared_bytes_per_block);
+  WCM_EXPECTS(occ.resident_blocks > 0, "launch does not fit on the device");
+  return schedule_blocks(
+      block_cycles,
+      static_cast<std::size_t>(occ.resident_blocks) * dev.sm_count);
+}
+
+}  // namespace wcm::gpusim

@@ -1,0 +1,34 @@
+#pragma once
+// Event-driven block scheduler: assigns thread blocks (with per-block cycle
+// costs) to SM residency slots in launch order, the way the hardware's
+// global work distributor does.  Where the analytic cost model uses
+// ceil(blocks / slots) whole waves, the timeline captures partial-wave tail
+// effects and per-block cost variance (a worst-case round has perfectly
+// uniform blocks; random rounds do not).
+
+#include <span>
+#include <vector>
+
+#include "gpusim/device.hpp"
+
+namespace wcm::gpusim {
+
+struct TimelineResult {
+  double makespan_cycles = 0.0;   ///< finish time of the last block
+  double busy_cycles = 0.0;       ///< sum over blocks of their costs
+  double utilization = 0.0;       ///< busy / (slots * makespan)
+  std::size_t slots = 0;          ///< concurrent residency slots used
+};
+
+/// Schedule `block_cycles` onto `slots` concurrent residency slots, in
+/// order, each block starting on the earliest-available slot (greedy list
+/// scheduling — the hardware policy).  Requires slots > 0.
+[[nodiscard]] TimelineResult schedule_blocks(
+    std::span<const double> block_cycles, std::size_t slots);
+
+/// Convenience: slots from the device's occupancy for the launch shape.
+[[nodiscard]] TimelineResult schedule_on_device(
+    std::span<const double> block_cycles, const Device& dev,
+    u32 threads_per_block, std::size_t shared_bytes_per_block);
+
+}  // namespace wcm::gpusim

@@ -1,0 +1,100 @@
+#include "gpusim/trace.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace wcm::gpusim {
+
+std::size_t Trace::total_accesses() const noexcept {
+  std::size_t n = 0;
+  for (const auto& s : steps) {
+    n += s.accesses.size();
+  }
+  return n;
+}
+
+void TraceRecorder::on_read(std::span<const LaneRead> reads) {
+  TraceStep step;
+  step.is_write = false;
+  step.accesses.reserve(reads.size());
+  for (const auto& r : reads) {
+    step.accesses.emplace_back(r.lane, r.addr);
+  }
+  trace_.steps.push_back(std::move(step));
+}
+
+void TraceRecorder::on_write(std::span<const LaneWrite> writes) {
+  TraceStep step;
+  step.is_write = true;
+  step.accesses.reserve(writes.size());
+  for (const auto& w : writes) {
+    step.accesses.emplace_back(w.lane, w.addr);
+  }
+  trace_.steps.push_back(std::move(step));
+}
+
+dmm::MachineStats replay_stats(const Trace& trace,
+                               const SharedLayout& layout) {
+  WCM_EXPECTS(layout.w == trace.warp_size,
+              "layout bank count must match the trace's warp size");
+  dmm::MachineStats stats;
+  std::vector<dmm::Request> step;
+  for (const auto& s : trace.steps) {
+    step.clear();
+    for (const auto& [lane, addr] : s.accesses) {
+      step.push_back({lane, layout.physical(addr),
+                      s.is_write ? dmm::Op::write : dmm::Op::read, 0});
+    }
+    stats += dmm::analyze_step(step, trace.warp_size);
+  }
+  return stats;
+}
+
+void write_trace(std::ostream& os, const Trace& trace) {
+  os << "WCMT " << trace.warp_size << ' ' << trace.steps.size() << '\n';
+  for (const auto& s : trace.steps) {
+    os << (s.is_write ? 'W' : 'R');
+    for (const auto& [lane, addr] : s.accesses) {
+      os << ' ' << lane << ':' << addr;
+    }
+    os << '\n';
+  }
+  WCM_ENSURES(static_cast<bool>(os), "trace write failed");
+}
+
+Trace read_trace(std::istream& is) {
+  std::string magic;
+  Trace trace;
+  std::size_t count = 0;
+  is >> magic >> trace.warp_size >> count;
+  WCM_EXPECTS(static_cast<bool>(is) && magic == "WCMT",
+              "not a WCMT trace stream");
+  is.ignore();  // trailing newline
+  trace.steps.reserve(count);
+  std::string line;
+  while (trace.steps.size() < count && std::getline(is, line)) {
+    WCM_EXPECTS(!line.empty() && (line[0] == 'R' || line[0] == 'W'),
+                "malformed trace line");
+    TraceStep step;
+    step.is_write = line[0] == 'W';
+    std::istringstream ls(line.substr(1));
+    std::string tok;
+    while (ls >> tok) {
+      const auto colon = tok.find(':');
+      WCM_EXPECTS(colon != std::string::npos, "malformed trace access");
+      step.accesses.emplace_back(
+          static_cast<u32>(std::stoul(tok.substr(0, colon))),
+          static_cast<std::size_t>(std::stoull(tok.substr(colon + 1))));
+    }
+    trace.steps.push_back(std::move(step));
+  }
+  WCM_EXPECTS(trace.steps.size() == count, "truncated trace stream");
+  return trace;
+}
+
+}  // namespace wcm::gpusim

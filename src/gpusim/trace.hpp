@@ -1,0 +1,64 @@
+#pragma once
+// Access-trace recording and replay.  A Trace captures the warp-wide
+// shared-memory access stream of a simulated kernel (logical addresses, so
+// it is layout-independent); replaying it under a different SharedLayout
+// re-prices the same algorithm under a different banking scheme without
+// re-running the sort — e.g. "what would this exact access stream cost
+// with one word of padding?".  Traces serialize to a simple line-oriented
+// text format for offline analysis.
+//
+// Format (one line per warp-wide step):
+//   R lane:addr lane:addr ...
+//   W lane:addr ...
+
+#include <iosfwd>
+#include <vector>
+
+#include "dmm/machine.hpp"
+#include "gpusim/shared_memory.hpp"
+
+namespace wcm::gpusim {
+
+struct TraceStep {
+  bool is_write = false;
+  /// (lane, logical address) per active lane.
+  std::vector<std::pair<u32, std::size_t>> accesses;
+};
+
+struct Trace {
+  u32 warp_size = 32;
+  std::vector<TraceStep> steps;
+
+  [[nodiscard]] std::size_t total_accesses() const noexcept;
+};
+
+/// Records every warp_read / warp_write of a SharedMemory into a Trace.
+/// Attach with SharedMemory::attach_trace; detach by attaching nullptr or
+/// destroying the SharedMemory first.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(u32 warp_size) { trace_.warp_size = warp_size; }
+
+  void on_read(std::span<const LaneRead> reads);
+  void on_write(std::span<const LaneWrite> writes);
+
+  [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
+  [[nodiscard]] Trace take() noexcept { return std::move(trace_); }
+
+ private:
+  Trace trace_;
+};
+
+/// Replay a trace's access stream through a fresh DMM machine under the
+/// given layout and return the contention statistics.  Replaying under the
+/// layout the trace was recorded with reproduces the live stats exactly
+/// (asserted by tests).
+[[nodiscard]] dmm::MachineStats replay_stats(const Trace& trace,
+                                             const SharedLayout& layout);
+
+/// Serialize / parse the text format.  Throws wcm::contract_error on
+/// malformed input.
+void write_trace(std::ostream& os, const Trace& trace);
+[[nodiscard]] Trace read_trace(std::istream& is);
+
+}  // namespace wcm::gpusim

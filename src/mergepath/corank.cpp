@@ -1,0 +1,34 @@
+#include "mergepath/corank.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace wcm::mergepath {
+
+CoRankResult merge_path(std::span<const word> a, std::span<const word> b,
+                        std::size_t diag) {
+  WCM_EXPECTS(diag <= a.size() + b.size(), "diagonal beyond both lists");
+
+  std::size_t lo = diag > b.size() ? diag - b.size() : 0;
+  std::size_t hi = std::min(diag, a.size());
+  std::size_t steps = 0;
+
+  // Invariant: the answer i (number of A elements among the first `diag`
+  // outputs of the stable merge) lies in [lo, hi].
+  while (lo < hi) {
+    ++steps;
+    const std::size_t i = lo + (hi - lo) / 2;
+    const std::size_t j = diag - i;
+    // If A[i] precedes B[j-1] in the stable merge (A-priority on ties),
+    // then A[i] must be among the first `diag` outputs: grow i.
+    if (a[i] <= b[j - 1]) {
+      lo = i + 1;
+    } else {
+      hi = i;
+    }
+  }
+  return {{lo, diag - lo}, steps};
+}
+
+}  // namespace wcm::mergepath

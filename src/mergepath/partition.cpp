@@ -1,0 +1,36 @@
+#include "mergepath/partition.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace wcm::mergepath {
+
+PartitionResult partition_tiles(std::span<const word> a,
+                                std::span<const word> b, std::size_t tile) {
+  WCM_EXPECTS(tile > 0, "tile must be positive");
+  const std::size_t n = a.size() + b.size();
+  WCM_EXPECTS(n % tile == 0, "merged size must be a multiple of the tile");
+
+  PartitionResult result;
+  result.splits.reserve(n / tile + 1);
+  for (std::size_t diag = 0; diag <= n; diag += tile) {
+    const CoRankResult r = merge_path(a, b, diag);
+    result.splits.push_back(r.split);
+    result.search_steps += r.search_steps;
+    result.max_chain = std::max(result.max_chain, r.search_steps);
+  }
+
+  // Postcondition: splits are monotone and consistent.
+  for (std::size_t t = 1; t < result.splits.size(); ++t) {
+    WCM_ENSURES(result.splits[t].i >= result.splits[t - 1].i &&
+                    result.splits[t].j >= result.splits[t - 1].j,
+                "merge-path splits must be monotone");
+  }
+  WCM_ENSURES(result.splits.back().i == a.size() &&
+                  result.splits.back().j == b.size(),
+              "final split must consume both runs");
+  return result;
+}
+
+}  // namespace wcm::mergepath

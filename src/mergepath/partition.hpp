@@ -1,0 +1,30 @@
+#pragma once
+// Partition stage of GPU Merge Path: compute, for every tile boundary, the
+// co-rank split of a pair of sorted runs.  On the GPU this is the global-
+// memory mutual binary search each thread block performs; here we count the
+// dependent search iterations so the cost model can charge global latency.
+
+#include <vector>
+
+#include "mergepath/corank.hpp"
+
+namespace wcm::mergepath {
+
+struct PartitionResult {
+  /// Splits at diagonals 0, tile, 2*tile, ..., |a|+|b| (inclusive of both
+  /// ends), so tile t merges a[splits[t].i, splits[t+1].i) with
+  /// b[splits[t].j, splits[t+1].j).
+  std::vector<CoRank> splits;
+  /// Total binary-search iterations over all boundaries.
+  std::size_t search_steps = 0;
+  /// Worst single boundary's iterations (per-block dependent chain length).
+  std::size_t max_chain = 0;
+};
+
+/// Partition the merge of runs a and b into tiles of `tile` output elements.
+/// Requires |a| + |b| to be a multiple of `tile`.
+[[nodiscard]] PartitionResult partition_tiles(std::span<const word> a,
+                                              std::span<const word> b,
+                                              std::size_t tile);
+
+}  // namespace wcm::mergepath

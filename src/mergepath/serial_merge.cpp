@@ -1,0 +1,31 @@
+#include "mergepath/serial_merge.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace wcm::mergepath {
+
+void serial_merge(std::span<const word> a, std::span<const word> b,
+                  std::span<word> out) {
+  WCM_EXPECTS(out.size() == a.size() + b.size(), "output size mismatch");
+  std::size_t i = 0, j = 0;
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    const bool take_a =
+        j >= b.size() || (i < a.size() && a[i] <= b[j]);  // A-priority
+    out[k] = take_a ? a[i++] : b[j++];
+  }
+}
+
+std::vector<word> serial_merge(std::span<const word> a,
+                               std::span<const word> b) {
+  std::vector<word> out(a.size() + b.size());
+  serial_merge(a, b, out);
+  return out;
+}
+
+bool is_sorted_run(std::span<const word> v) noexcept {
+  return std::is_sorted(v.begin(), v.end());
+}
+
+}  // namespace wcm::mergepath

@@ -1,0 +1,23 @@
+#pragma once
+// Sequential stable merge (A-priority) used as the reference for every
+// simulated merge and by the CPU baseline sort.
+
+#include <span>
+#include <vector>
+
+#include "mergepath/corank.hpp"
+
+namespace wcm::mergepath {
+
+/// Stable merge of sorted a and b into out (out.size() == |a| + |b|).
+void serial_merge(std::span<const word> a, std::span<const word> b,
+                  std::span<word> out);
+
+/// Convenience allocating overload.
+[[nodiscard]] std::vector<word> serial_merge(std::span<const word> a,
+                                             std::span<const word> b);
+
+/// True iff v is sorted ascending.
+[[nodiscard]] bool is_sorted_run(std::span<const word> v) noexcept;
+
+}  // namespace wcm::mergepath

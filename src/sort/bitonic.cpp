@@ -1,0 +1,228 @@
+#include "sort/bitonic.hpp"
+
+#include <algorithm>
+
+#include "gpusim/shared_memory.hpp"
+#include "sort/pairwise_sort.hpp"
+#include "util/check.hpp"
+
+namespace wcm::sort {
+
+u64 bitonic_comparator_count(std::size_t n) {
+  if (n < 2) {
+    return 0;
+  }
+  const u64 m = log2_exact(n);
+  return static_cast<u64>(n / 2) * (m * (m + 1) / 2);
+}
+
+namespace {
+
+/// Low element index of comparator `c` at the given stride (power of two).
+std::size_t comparator_low(std::size_t c, std::size_t stride) {
+  return ((c / stride) * (2 * stride)) | (c & (stride - 1));
+}
+
+/// Ascending iff bit `size` of the low element's global index is clear.
+bool ascending(std::size_t global_low, std::size_t size) {
+  return (global_low & size) == 0;
+}
+
+/// One global compare-exchange pass (stride >= tile): every element is read
+/// and written once, coalesced; no shared memory.
+void global_pass(std::vector<word>& data, std::size_t size,
+                 std::size_t stride, u32 w, gpusim::KernelStats& stats) {
+  const std::size_t n = data.size();
+  for (std::size_t c = 0; c < n / 2; ++c) {
+    const std::size_t l = comparator_low(c, stride);
+    const std::size_t h = l + stride;
+    const bool asc = ascending(l, size);
+    if (asc ? data[l] > data[h] : data[l] < data[h]) {
+      std::swap(data[l], data[h]);
+    }
+  }
+  stats.global_transactions += 2 * (n / w);  // read all, write all
+  stats.global_requests += 2 * n;
+  stats.warp_merge_steps += (n / 2) / w;
+}
+
+/// Run every substage of `substages` (pairs of (size, stride), stride <
+/// tile) for one tile staged in shared memory, with full warp-synchronous
+/// accounting.
+void shared_tile_pass(
+    gpusim::SharedMemory& shm, std::span<word> tile_data,
+    std::size_t tile_base,
+    const std::vector<std::pair<std::size_t, std::size_t>>& substages,
+    u32 b, u32 w, gpusim::KernelStats& stats) {
+  const std::size_t tile = tile_data.size();
+
+  // Coalesced load, then warp-synchronous staging stores (thread t stores
+  // elements t and t + b; conflict-free).
+  stats.global_transactions += tile / w;
+  stats.global_requests += tile;
+  std::vector<gpusim::LaneWrite> writes;
+  std::vector<gpusim::LaneRead> reads;
+  for (u32 warp_start = 0; warp_start < b; warp_start += w) {
+    for (u32 s = 0; s < 2; ++s) {
+      writes.clear();
+      for (u32 lane = 0; lane < w; ++lane) {
+        const std::size_t idx =
+            static_cast<std::size_t>(warp_start + lane) +
+            static_cast<std::size_t>(s) * b;
+        writes.push_back({lane, idx, tile_data[idx]});
+      }
+      shm.warp_write(writes);
+    }
+  }
+
+  for (const auto& [size, stride] : substages) {
+    // Thread t owns comparator t of the tile (tile/2 == b comparators).
+    for (u32 warp_start = 0; warp_start < b; warp_start += w) {
+      // Warp-synchronous: read lows, read highs, write lows, write highs.
+      reads.clear();
+      for (u32 lane = 0; lane < w; ++lane) {
+        reads.push_back(
+            {lane, comparator_low(warp_start + lane, stride)});
+      }
+      shm.warp_read(reads);
+      reads.clear();
+      for (u32 lane = 0; lane < w; ++lane) {
+        reads.push_back(
+            {lane, comparator_low(warp_start + lane, stride) + stride});
+      }
+      shm.warp_read(reads);
+
+      writes.clear();
+      std::vector<gpusim::LaneWrite> writes_high;
+      for (u32 lane = 0; lane < w; ++lane) {
+        const std::size_t l = comparator_low(warp_start + lane, stride);
+        const std::size_t h = l + stride;
+        word lo = shm.peek(l);
+        word hi = shm.peek(h);
+        if (ascending(tile_base + l, size) ? lo > hi : lo < hi) {
+          std::swap(lo, hi);
+        }
+        writes.push_back({lane, l, lo});
+        writes_high.push_back({lane, h, hi});
+      }
+      shm.warp_write(writes);
+      shm.warp_write(writes_high);
+    }
+    stats.warp_merge_steps += b / w;
+  }
+
+  // Warp-synchronous unstaging loads, then the coalesced store.
+  for (u32 warp_start = 0; warp_start < b; warp_start += w) {
+    for (u32 s = 0; s < 2; ++s) {
+      reads.clear();
+      for (u32 lane = 0; lane < w; ++lane) {
+        reads.push_back({lane, static_cast<std::size_t>(warp_start + lane) +
+                                   static_cast<std::size_t>(s) * b});
+      }
+      shm.warp_read(reads);
+    }
+  }
+  const auto result = shm.dump(0, tile);
+  std::copy(result.begin(), result.end(), tile_data.begin());
+  stats.global_transactions += tile / w;
+  stats.global_requests += tile;
+}
+
+}  // namespace
+
+SortReport bitonic_sort(std::span<const word> input, const SortConfig& cfg,
+                        const gpusim::Device& dev, std::vector<word>* output) {
+  WCM_EXPECTS(is_pow2(cfg.b) && cfg.b >= cfg.w,
+              "block size must be a power of two >= warp size");
+  WCM_EXPECTS(cfg.w == dev.warp_size, "config warp size must match device");
+  const std::size_t tile = 2 * static_cast<std::size_t>(cfg.b);
+  const std::size_t n = input.size();
+  WCM_EXPECTS(n >= tile && is_pow2(n), "n must be a power of two >= 2b");
+
+  const std::size_t pad_words = tile / cfg.w * cfg.padding;
+  const gpusim::LaunchConfig launch{n / tile, cfg.b, (tile + pad_words) * 4};
+  const gpusim::Calibration cal =
+      library_calibration(MergeSortLibrary::thrust);
+
+  SortReport report;
+  report.config = cfg;
+  report.device = dev;
+  report.n = n;
+
+  std::vector<word> data(input.begin(), input.end());
+  gpusim::SharedMemory shm(cfg.w, tile, cfg.padding);
+
+  const auto run_shared_tail =
+      [&](std::size_t size, std::size_t first_stride,
+          gpusim::KernelStats& stats) {
+        std::vector<std::pair<std::size_t, std::size_t>> substages;
+        for (std::size_t stride = first_stride; stride > 0; stride >>= 1) {
+          substages.emplace_back(size, stride);
+        }
+        for (std::size_t base = 0; base < n; base += tile) {
+          shm.reset_stats();
+          shared_tile_pass(shm, std::span<word>(data).subspan(base, tile),
+                           base, substages, cfg.b, cfg.w, stats);
+          stats.shared += shm.stats();
+          stats.blocks_launched += 1;
+        }
+        stats.elements_processed += n;
+      };
+
+  // Fused opening pass: every stage with size <= tile runs in shared.
+  {
+    gpusim::KernelStats stats;
+    std::vector<std::pair<std::size_t, std::size_t>> substages;
+    for (std::size_t size = 2; size <= tile; size <<= 1) {
+      for (std::size_t stride = size / 2; stride > 0; stride >>= 1) {
+        substages.emplace_back(size, stride);
+      }
+    }
+    for (std::size_t base = 0; base < n; base += tile) {
+      shm.reset_stats();
+      shared_tile_pass(shm, std::span<word>(data).subspan(base, tile), base,
+                       substages, cfg.b, cfg.w, stats);
+      stats.shared += shm.stats();
+      stats.blocks_launched += 1;
+    }
+    stats.elements_processed += n;
+
+    gpusim::RoundStats round;
+    round.name = "bitonic stages <= tile";
+    round.kernel = stats;
+    round.modeled_seconds =
+        gpusim::estimate_kernel_time(dev, launch, stats, cal).seconds;
+    report.totals += stats;
+    report.total_time += gpusim::estimate_kernel_time(dev, launch, stats, cal);
+    report.rounds.push_back(std::move(round));
+  }
+
+  // Remaining stages: global passes down to the tile boundary, then one
+  // fused shared tail per stage.
+  for (std::size_t size = 2 * tile; size <= n; size <<= 1) {
+    gpusim::KernelStats stats;
+    for (std::size_t stride = size / 2; stride >= tile; stride >>= 1) {
+      global_pass(data, size, stride, cfg.w, stats);
+      stats.blocks_launched += n / tile;
+    }
+    run_shared_tail(size, tile / 2, stats);
+
+    gpusim::RoundStats round;
+    round.name = "bitonic stage " + std::to_string(log2_exact(size));
+    round.kernel = stats;
+    round.modeled_seconds =
+        gpusim::estimate_kernel_time(dev, launch, stats, cal).seconds;
+    report.totals += stats;
+    report.total_time += gpusim::estimate_kernel_time(dev, launch, stats, cal);
+    report.rounds.push_back(std::move(round));
+  }
+
+  WCM_ENSURES(std::is_sorted(data.begin(), data.end()),
+              "bitonic sort must sort");
+  if (output != nullptr) {
+    *output = std::move(data);
+  }
+  return report;
+}
+
+}  // namespace wcm::sort

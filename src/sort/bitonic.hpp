@@ -1,0 +1,35 @@
+#pragma once
+// Simulated GPU bitonic sort (Batcher's network; Peters et al. 2011 — the
+// paper's refs [30, 31]).  Bitonic sort is *data-oblivious*: its
+// compare-exchange schedule depends only on n, so its shared-memory access
+// pattern — and hence its bank-conflict count — is identical for every
+// input.  It is the natural foil for the paper's attack: immune to the
+// constructed inputs, but paying Theta(n log^2 n) work where merge sort
+// pays Theta(n log n).
+//
+// Execution model: n = 2b * 2^k keys, thread blocks of b threads own tiles
+// of 2b keys (one comparator per thread per substage).  Substages with
+// comparator distance < tile run fused in shared memory (load tile, run
+// every in-tile substage, store); larger distances run as global
+// compare-exchange passes with coalesced accesses.
+
+#include <span>
+
+#include "sort/report.hpp"
+
+namespace wcm::sort {
+
+/// Sort `input` with the simulated bitonic network.  Requires |input| to be
+/// a positive multiple of 2b and a power of two overall.  `cfg.E` is
+/// ignored (every thread owns 2 keys); `cfg.b`, `cfg.w`, `cfg.padding`
+/// apply.  Returns the usual report (rounds are bitonic stages).
+[[nodiscard]] SortReport bitonic_sort(std::span<const word> input,
+                                      const SortConfig& cfg,
+                                      const gpusim::Device& dev,
+                                      std::vector<word>* output = nullptr);
+
+/// Compare-exchange count of the full network: n/2 comparators per
+/// substage, log2(n) * (log2(n)+1) / 2 substages.
+[[nodiscard]] u64 bitonic_comparator_count(std::size_t n);
+
+}  // namespace wcm::sort

@@ -1,0 +1,217 @@
+#include "sort/block_merge.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace wcm::sort {
+
+namespace {
+
+/// Accumulate the stats delta of a phase into a sub-counter.
+dmm::MachineStats delta(const dmm::MachineStats& after,
+                        const dmm::MachineStats& before) {
+  dmm::MachineStats d;
+  d.steps = after.steps - before.steps;
+  d.requests = after.requests - before.requests;
+  d.serialization_cycles =
+      after.serialization_cycles - before.serialization_cycles;
+  d.replays = after.replays - before.replays;
+  d.conflicting_accesses =
+      after.conflicting_accesses - before.conflicting_accesses;
+  d.max_bank_degree = std::max(d.max_bank_degree, after.max_bank_degree);
+  return d;
+}
+
+}  // namespace
+
+std::vector<mergepath::CoRank> simulate_block_search(
+    gpusim::SharedMemory& shm, std::span<const ThreadSearchCtx> ctxs,
+    gpusim::KernelStats& stats) {
+  const u32 w = shm.warp_size();
+  const std::size_t t = ctxs.size();
+  std::vector<mergepath::CoRank> result(t);
+
+  // Per-thread search state, advanced one iteration at a time so probes can
+  // be replayed warp-synchronously across lanes.
+  struct SearchState {
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+    bool done = false;
+  };
+  std::vector<SearchState> st(t);
+  for (std::size_t i = 0; i < t; ++i) {
+    const ThreadSearchCtx& c = ctxs[i];
+    WCM_EXPECTS(c.a_begin <= c.a_end && c.a_end <= shm.words(),
+                "A range invalid");
+    WCM_EXPECTS(c.b_begin <= c.b_end && c.b_end <= shm.words(),
+                "B range invalid");
+    const std::size_t na = c.a_end - c.a_begin;
+    const std::size_t nb = c.b_end - c.b_begin;
+    WCM_EXPECTS(c.diag <= na + nb, "diagonal beyond both lists");
+    st[i].lo = c.diag > nb ? c.diag - nb : 0;
+    st[i].hi = std::min(c.diag, na);
+    st[i].done = st[i].lo >= st[i].hi;
+    if (st[i].done) {
+      result[i] = {st[i].lo, c.diag - st[i].lo};
+    }
+  }
+
+  const auto shared_before = shm.stats();
+
+  std::vector<gpusim::LaneRead> probes_a;
+  std::vector<gpusim::LaneRead> probes_b;
+  std::vector<std::pair<std::size_t, std::size_t>> mids;  // (thread, mid)
+  probes_a.reserve(w);
+  probes_b.reserve(w);
+  mids.reserve(w);
+
+  for (std::size_t warp_start = 0; warp_start < t; warp_start += w) {
+    const std::size_t warp_end = std::min<std::size_t>(warp_start + w, t);
+    for (;;) {
+      probes_a.clear();
+      probes_b.clear();
+      mids.clear();
+      // Decide this iteration's probe addresses for every active lane.
+      for (std::size_t i = warp_start; i < warp_end; ++i) {
+        if (st[i].done) {
+          continue;
+        }
+        const std::size_t mid = st[i].lo + (st[i].hi - st[i].lo) / 2;
+        const std::size_t j = ctxs[i].diag - mid;
+        probes_a.push_back(
+            {static_cast<u32>(i - warp_start), ctxs[i].a_begin + mid});
+        probes_b.push_back(
+            {static_cast<u32>(i - warp_start), ctxs[i].b_begin + j - 1});
+        mids.emplace_back(i, mid);
+      }
+      if (probes_a.empty()) {
+        break;
+      }
+      // Two warp-wide loads per iteration: the A probe then the B probe.
+      shm.warp_read(probes_a);
+      shm.warp_read(probes_b);
+      for (const auto& [i, mid] : mids) {
+        const std::size_t j = ctxs[i].diag - mid;
+        const word av = shm.peek(ctxs[i].a_begin + mid);
+        const word bv = shm.peek(ctxs[i].b_begin + j - 1);
+        if (av <= bv) {  // A-priority, matches mergepath::merge_path
+          st[i].lo = mid + 1;
+        } else {
+          st[i].hi = mid;
+        }
+        if (st[i].lo >= st[i].hi) {
+          st[i].done = true;
+          result[i] = {st[i].lo, ctxs[i].diag - st[i].lo};
+        }
+      }
+    }
+  }
+
+  stats.shared_search += delta(shm.stats(), shared_before);
+  return result;
+}
+
+std::vector<word> simulate_block_merge(gpusim::SharedMemory& shm,
+                                       std::span<const ThreadMergeCtx> ctxs,
+                                       u32 E, bool write_back,
+                                       gpusim::KernelStats& stats,
+                                       bool realistic_refills) {
+  for (const ThreadMergeCtx& c : ctxs) {
+    WCM_EXPECTS(c.elements() == E, "every thread must merge exactly E keys");
+    WCM_EXPECTS(c.a_end <= shm.words() && c.b_end <= shm.words(),
+                "segment outside shared memory");
+  }
+
+  const u32 w = shm.warp_size();
+  const std::size_t t = ctxs.size();
+
+  // Per-thread cursors and register file.
+  std::vector<std::size_t> ai(t), bi(t);
+  for (std::size_t i = 0; i < t; ++i) {
+    ai[i] = ctxs[i].a_begin;
+    bi[i] = ctxs[i].b_begin;
+  }
+  std::vector<word> regs(t * E);
+
+  const auto before_merge = shm.stats();
+
+  std::vector<gpusim::LaneRead> reads;
+  reads.reserve(w);
+  for (std::size_t warp_start = 0; warp_start < t; warp_start += w) {
+    const std::size_t warp_end = std::min<std::size_t>(warp_start + w, t);
+    if (realistic_refills) {
+      // Initial head loads: every thread fetches its A head, then its B
+      // head, into registers (inactive lanes for empty segments).
+      for (const bool side_a : {true, false}) {
+        reads.clear();
+        for (std::size_t i = warp_start; i < warp_end; ++i) {
+          const std::size_t cur = side_a ? ai[i] : bi[i];
+          const std::size_t end = side_a ? ctxs[i].a_end : ctxs[i].b_end;
+          if (cur < end) {
+            reads.push_back({static_cast<u32>(i - warp_start), cur});
+          }
+        }
+        if (!reads.empty()) {
+          shm.warp_read(reads);
+        }
+      }
+    }
+    for (u32 s = 0; s < E; ++s) {
+      reads.clear();
+      for (std::size_t i = warp_start; i < warp_end; ++i) {
+        // Decide which side this thread consumes at iteration s.
+        const bool a_avail = ai[i] < ctxs[i].a_end;
+        const bool b_avail = bi[i] < ctxs[i].b_end;
+        bool take_a;
+        if (a_avail && b_avail) {
+          take_a = shm.peek(ai[i]) <= shm.peek(bi[i]);  // A-priority
+        } else {
+          WCM_EXPECTS(a_avail || b_avail,
+                      "thread ran out of elements before step E");
+          take_a = a_avail;
+        }
+        const std::size_t addr = take_a ? ai[i]++ : bi[i]++;
+        regs[i * E + s] = shm.peek(addr);
+        if (realistic_refills) {
+          // The consumed value was already in registers; the iteration's
+          // shared access is the *refill* of the consumed side's next
+          // element (none when that segment is exhausted).
+          const std::size_t next = take_a ? ai[i] : bi[i];
+          const std::size_t end = take_a ? ctxs[i].a_end : ctxs[i].b_end;
+          if (next < end) {
+            reads.push_back({static_cast<u32>(i - warp_start), next});
+          }
+        } else {
+          reads.push_back({static_cast<u32>(i - warp_start), addr});
+        }
+      }
+      if (!reads.empty()) {
+        shm.warp_read(reads);
+      }
+    }
+    stats.warp_merge_steps += E;
+  }
+  stats.shared_merge_reads += delta(shm.stats(), before_merge);
+
+  // Barrier, then thread-contiguous write-back of the register file.
+  if (write_back) {
+    std::vector<gpusim::LaneWrite> writes;
+    writes.reserve(w);
+    for (std::size_t warp_start = 0; warp_start < t; warp_start += w) {
+      const std::size_t warp_end = std::min<std::size_t>(warp_start + w, t);
+      for (u32 s = 0; s < E; ++s) {
+        writes.clear();
+        for (std::size_t i = warp_start; i < warp_end; ++i) {
+          writes.push_back({static_cast<u32>(i - warp_start),
+                            ctxs[i].out_begin + s, regs[i * E + s]});
+        }
+        shm.warp_write(writes);
+      }
+    }
+  }
+
+  return regs;
+}
+
+}  // namespace wcm::sort

@@ -1,0 +1,120 @@
+#include "sort/blocksort.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "sort/block_merge.hpp"
+#include "sort/registers.hpp"
+#include "util/check.hpp"
+
+namespace wcm::sort {
+
+void simulate_block_sort(gpusim::SharedMemory& shm, std::span<word> tile,
+                         const SortConfig& cfg, gpusim::KernelStats& stats) {
+  cfg.validate();
+  WCM_EXPECTS(tile.size() == cfg.tile(), "tile size mismatch");
+  WCM_EXPECTS(shm.words() >= cfg.tile(), "shared memory too small");
+  WCM_EXPECTS(shm.warp_size() == cfg.w, "warp size mismatch");
+
+  const u32 E = cfg.E;
+  const u32 b = cfg.b;
+  const u32 w = cfg.w;
+
+  // Coalesced global load of the tile into shared memory.
+  shm.fill(tile);
+  stats.global_transactions += ceil_div(tile.size(), w);
+  stats.global_requests += tile.size();
+
+  // Each thread loads its E consecutive keys from shared into registers
+  // (thread t reads addresses tE .. tE+E-1, lock-step across the warp),
+  // sorts them with the odd-even network, and stores them back.
+  std::vector<gpusim::LaneRead> reads;
+  std::vector<gpusim::LaneWrite> writes;
+  std::vector<word> regs(E);
+  for (u32 warp_start = 0; warp_start < b; warp_start += w) {
+    for (u32 s = 0; s < E; ++s) {
+      reads.clear();
+      for (u32 lane = 0; lane < w; ++lane) {
+        reads.push_back({lane, static_cast<std::size_t>(warp_start + lane) * E + s});
+      }
+      shm.warp_read(reads);
+    }
+    stats.register_compare_steps += odd_even_comparator_count(E);
+  }
+  // Register sort is per-thread; perform it on the backing data.
+  for (u32 t = 0; t < b; ++t) {
+    const std::size_t base = static_cast<std::size_t>(t) * E;
+    regs.assign(tile.begin() + static_cast<std::ptrdiff_t>(base),
+                tile.begin() + static_cast<std::ptrdiff_t>(base + E));
+    odd_even_sort(regs);
+    for (u32 s = 0; s < E; ++s) {
+      shm.poke(base + s, regs[s]);
+    }
+  }
+  for (u32 warp_start = 0; warp_start < b; warp_start += w) {
+    for (u32 s = 0; s < E; ++s) {
+      writes.clear();
+      for (u32 lane = 0; lane < w; ++lane) {
+        const std::size_t addr =
+            static_cast<std::size_t>(warp_start + lane) * E + s;
+        writes.push_back({lane, addr, shm.peek(addr)});
+      }
+      shm.warp_write(writes);
+    }
+  }
+
+  // log2(b) intra-block pairwise merge rounds.  In round i, b / 2^i pairs of
+  // runs of size 2^(i-1) E are merged by 2^i threads each; every thread
+  // handles E output elements.  Searches and merges run for the whole block
+  // at once so warps spanning several pairs share warp steps, as on real
+  // hardware.
+  const u32 rounds = log2_exact(b);
+  std::vector<ThreadSearchCtx> search_ctxs(b);
+  std::vector<ThreadMergeCtx> ctxs(b);
+  for (u32 round = 1; round <= rounds; ++round) {
+    const std::size_t threads_per_pair = std::size_t{1} << round;
+    const std::size_t half = (threads_per_pair / 2) * E;  // run size
+    const std::size_t pair_out = threads_per_pair * E;
+
+    for (std::size_t pair = 0; pair < cfg.tile() / pair_out; ++pair) {
+      const std::size_t base = pair * pair_out;
+      for (std::size_t t = 0; t < threads_per_pair; ++t) {
+        ThreadSearchCtx& c = search_ctxs[pair * threads_per_pair + t];
+        c.a_begin = base;
+        c.a_end = base + half;
+        c.b_begin = base + half;
+        c.b_end = base + pair_out;
+        c.diag = t * E;
+      }
+    }
+    const auto coranks = simulate_block_search(shm, search_ctxs, stats);
+
+    for (std::size_t pair = 0; pair < cfg.tile() / pair_out; ++pair) {
+      const std::size_t base = pair * pair_out;
+      for (std::size_t t = 0; t < threads_per_pair; ++t) {
+        const std::size_t tid = pair * threads_per_pair + t;
+        const bool last = t + 1 == threads_per_pair;
+        ThreadMergeCtx& c = ctxs[tid];
+        c.a_begin = base + coranks[tid].i;
+        c.b_begin = base + half + coranks[tid].j;
+        // Each thread's segment ends at the next thread's co-rank.
+        c.a_end = base + (last ? half : coranks[tid + 1].i);
+        c.b_end = base + half + (last ? half : coranks[tid + 1].j);
+        c.out_begin = base + t * E;
+      }
+    }
+    simulate_block_merge(shm, ctxs, E, /*write_back=*/true, stats,
+                         cfg.realistic_refills);
+  }
+
+  // Coalesced global store of the sorted tile.
+  const auto sorted = shm.dump(0, cfg.tile());
+  std::copy(sorted.begin(), sorted.end(), tile.begin());
+  stats.global_transactions += ceil_div(tile.size(), w);
+  stats.global_requests += tile.size();
+
+  WCM_ENSURES(std::is_sorted(tile.begin(), tile.end()),
+              "block sort must produce a sorted tile");
+}
+
+}  // namespace wcm::sort

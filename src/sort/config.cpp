@@ -1,0 +1,40 @@
+#include "sort/config.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace wcm::sort {
+
+void SortConfig::validate() const {
+  WCM_EXPECTS(E >= 1, "E must be positive");
+  WCM_EXPECTS(is_pow2(w), "warp size must be a power of two");
+  WCM_EXPECTS(is_pow2(b), "block size must be a power of two (paper Sec. II-A)");
+  WCM_EXPECTS(b >= 2 * w, "block must contain at least two warps");
+}
+
+std::string SortConfig::to_string() const {
+  std::ostringstream os;
+  os << "E=" << E << ",b=" << b << ",w=" << w;
+  return os.str();
+}
+
+SortConfig thrust_params(const gpusim::Device& dev) {
+  if (dev.cc_major <= 5) {
+    return params_15_512();
+  }
+  return params_17_256();
+}
+
+SortConfig mgpu_params(const gpusim::Device& dev) {
+  if (dev.cc_major <= 5) {
+    return params_15_128();
+  }
+  return params_17_256();
+}
+
+SortConfig params_15_512() { return SortConfig{15, 512, 32}; }
+SortConfig params_17_256() { return SortConfig{17, 256, 32}; }
+SortConfig params_15_128() { return SortConfig{15, 128, 32}; }
+
+}  // namespace wcm::sort

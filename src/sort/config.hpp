@@ -1,0 +1,64 @@
+#pragma once
+// Software configuration of the GPU pairwise merge sort (paper Sec. II-A):
+// E = elements per thread per merge round, b = threads per thread block,
+// w = warp size (= number of shared-memory banks).  Presets mirror the
+// parameters the paper reports for Thrust and Modern GPU.
+
+#include <string>
+
+#include "gpusim/device.hpp"
+#include "util/math.hpp"
+
+namespace wcm::sort {
+
+struct SortConfig {
+  u32 E = 15;  ///< elements per thread per merge round
+  u32 b = 512; ///< threads per thread block (power of two, multiple of w)
+  u32 w = 32;  ///< warp size == number of shared-memory banks
+  /// Padding words inserted after every w logical words of shared memory
+  /// (Dotsenko-style bank-conflict mitigation; 0 = the layout the paper
+  /// attacks).
+  u32 padding = 0;
+  /// Merge-read accounting fidelity.  The paper's model charges one shared
+  /// read per lock-step iteration: the *consumed* element (default).  Real
+  /// kernels keep both list heads in registers: two initial loads, then a
+  /// *refill* load of the consumed side each iteration — one access per
+  /// step either way, shifted by one element.  The attack survives both
+  /// countings (an aligned column's refills collide one bank over); the
+  /// ablation bench quantifies the difference.
+  bool realistic_refills = false;
+
+  /// Elements per thread-block tile (bE).
+  [[nodiscard]] std::size_t tile() const noexcept {
+    return static_cast<std::size_t>(E) * b;
+  }
+  /// Shared-memory bytes one block allocates (bE 4-byte keys, plus the
+  /// padding waste).
+  [[nodiscard]] std::size_t shared_bytes() const noexcept {
+    const std::size_t pad_words = tile() / w * padding;
+    return (tile() + pad_words) * 4;
+  }
+  [[nodiscard]] u32 warps_per_block() const noexcept { return b / w; }
+
+  /// Throws wcm::contract_error when the configuration is malformed.
+  void validate() const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Thrust's parameters for the given device, as described in Sec. IV-A:
+/// E=15, b=512 for compute capability 5.x (Quadro M4000); the CUDA 10.1
+/// default of E=17, b=256 (the cc 6.0 tuning) for newer devices such as the
+/// RTX 2080 Ti.
+[[nodiscard]] SortConfig thrust_params(const gpusim::Device& dev);
+
+/// Modern GPU's parameters: E=15, b=128 for cc 5.x; for newer devices the
+/// paper reuses the same two parameter sets as Thrust.
+[[nodiscard]] SortConfig mgpu_params(const gpusim::Device& dev);
+
+/// Named parameter sets used throughout the paper's evaluation.
+[[nodiscard]] SortConfig params_15_512();
+[[nodiscard]] SortConfig params_17_256();
+[[nodiscard]] SortConfig params_15_128();
+
+}  // namespace wcm::sort

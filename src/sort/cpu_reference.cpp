@@ -1,0 +1,65 @@
+#include "sort/cpu_reference.hpp"
+
+#include <algorithm>
+
+#include "mergepath/serial_merge.hpp"
+#include "util/check.hpp"
+
+namespace wcm::sort {
+
+std::vector<word> std_sort(std::span<const word> input) {
+  std::vector<word> v(input.begin(), input.end());
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+namespace {
+
+std::vector<word> run_rounds(std::span<const word> input, std::size_t base,
+                             std::size_t max_rounds) {
+  WCM_EXPECTS(base > 0 && input.size() % base == 0,
+              "input must be a multiple of the base-case width");
+  std::vector<word> data(input.begin(), input.end());
+  std::vector<word> buffer(data.size());
+
+  for (std::size_t lo = 0; lo < data.size(); lo += base) {
+    std::sort(data.begin() + static_cast<std::ptrdiff_t>(lo),
+              data.begin() + static_cast<std::ptrdiff_t>(lo + base));
+  }
+
+  std::size_t run = base;
+  std::size_t rounds = 0;
+  while (run < data.size() && rounds < max_rounds) {
+    const std::size_t out_run = 2 * run;
+    for (std::size_t lo = 0; lo < data.size(); lo += out_run) {
+      if (lo + run >= data.size()) {
+        std::copy(data.begin() + static_cast<std::ptrdiff_t>(lo), data.end(),
+                  buffer.begin() + static_cast<std::ptrdiff_t>(lo));
+        continue;
+      }
+      const std::size_t len_b = std::min(run, data.size() - lo - run);
+      mergepath::serial_merge(
+          std::span<const word>(data).subspan(lo, run),
+          std::span<const word>(data).subspan(lo + run, len_b),
+          std::span<word>(buffer).subspan(lo, run + len_b));
+    }
+    data.swap(buffer);
+    run = out_run;
+    ++rounds;
+  }
+  return data;
+}
+
+}  // namespace
+
+std::vector<word> cpu_pairwise_merge_sort(std::span<const word> input,
+                                          std::size_t base) {
+  return run_rounds(input, base, input.size());
+}
+
+std::vector<word> cpu_pairwise_partial(std::span<const word> input,
+                                       std::size_t base, std::size_t rounds) {
+  return run_rounds(input, base, rounds);
+}
+
+}  // namespace wcm::sort

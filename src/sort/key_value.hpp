@@ -1,0 +1,42 @@
+#pragma once
+// Key-value (pair) sorting, Thrust's sort_by_key: keys drive every merge
+// decision exactly as in the key-only sort; values ride along.  In the
+// Thrust / Modern GPU scheme the merge phase operates on keys (and merge
+// *indices*) in shared memory, then values are gathered through the merge
+// indices in global memory — so the bank-conflict behavior (and the
+// worst-case construction's effect) is identical to the key-only sort,
+// while each round moves one extra value array through global memory.
+//
+// The simulation reflects that split: key-phase statistics come from the
+// full functional simulation; per-round value traffic is added analytically
+// (documented below) because value gathers never touch the banked shared
+// memory.
+
+#include <span>
+#include <vector>
+
+#include "sort/pairwise_sort.hpp"
+
+namespace wcm::sort {
+
+struct PairSortResult {
+  SortReport report;  ///< includes value-traffic accounting per round
+  std::vector<word> keys;
+  std::vector<word> values;
+};
+
+/// Sort `values` by `keys` (stable; A-priority ties).  Sizes must match and
+/// satisfy the key-only sort's contract (positive multiple of bE).
+///
+/// Value-traffic model per merge round (and for the block sort): each
+/// element's value is read through the merge index — a gather touching
+/// `gather_segments` 128-byte segments per warp (values of one thread's
+/// quantile are contiguous runs from two source lists, so a warp's 32
+/// gathers land in few segments; we charge 4 transactions per warp, i.e.
+/// 25% coalescing efficiency) — and written back fully coalesced.
+[[nodiscard]] PairSortResult pairwise_merge_sort_pairs(
+    std::span<const word> keys, std::span<const word> values,
+    const SortConfig& cfg, const gpusim::Device& dev,
+    MergeSortLibrary lib = MergeSortLibrary::thrust);
+
+}  // namespace wcm::sort

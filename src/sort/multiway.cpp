@@ -1,0 +1,463 @@
+#include "sort/multiway.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "gpusim/shared_memory.hpp"
+#include "sort/blocksort.hpp"
+#include "sort/pairwise_sort.hpp"
+#include "util/check.hpp"
+
+namespace wcm::sort {
+
+std::size_t multiway_round_count(std::size_t n, const SortConfig& cfg,
+                                 u32 ways) {
+  WCM_EXPECTS(ways >= 2, "need at least 2 ways");
+  std::size_t runs = n / cfg.tile();
+  std::size_t rounds = 0;
+  while (runs > 1) {
+    runs = ceil_div(runs, ways);
+    ++rounds;
+  }
+  return rounds;
+}
+
+namespace {
+
+/// K-way co-rank at output rank `diag` over sorted runs: the per-run counts
+/// (i_1..i_K) of the stable K-way merge prefix (ties go to the lowest run
+/// index).  `steps` accumulates the value-domain bisection iterations (the
+/// dependent probe chain the partitioning stage pays).
+std::vector<std::size_t> kway_corank(
+    const std::vector<std::span<const word>>& runs, std::size_t diag,
+    std::size_t& steps) {
+  std::vector<std::size_t> split(runs.size(), 0);
+  std::size_t total = 0;
+  for (const auto& r : runs) {
+    total += r.size();
+  }
+  WCM_EXPECTS(diag <= total, "diagonal beyond the runs");
+  if (diag == 0) {
+    return split;
+  }
+  if (diag == total) {
+    for (std::size_t k = 0; k < runs.size(); ++k) {
+      split[k] = runs[k].size();
+    }
+    return split;
+  }
+
+  // Smallest value v with count_le(v) >= diag, by bisection on the value
+  // domain spanned by the runs.
+  word lo = runs[0].empty() ? 0 : runs[0].front();
+  word hi = lo;
+  for (const auto& r : runs) {
+    if (!r.empty()) {
+      lo = std::min(lo, r.front());
+      hi = std::max(hi, r.back());
+    }
+  }
+  const auto count_le = [&](word v) {
+    std::size_t c = 0;
+    for (const auto& r : runs) {
+      c += static_cast<std::size_t>(
+          std::upper_bound(r.begin(), r.end(), v) - r.begin());
+    }
+    return c;
+  };
+  while (lo < hi) {
+    ++steps;
+    const word mid = lo + (hi - lo) / 2;
+    if (count_le(mid) >= diag) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  const word v = lo;
+
+  // Elements strictly below v always belong to the prefix; ties at v are
+  // assigned in run order (stability).
+  std::size_t assigned = 0;
+  for (std::size_t k = 0; k < runs.size(); ++k) {
+    split[k] = static_cast<std::size_t>(
+        std::lower_bound(runs[k].begin(), runs[k].end(), v) -
+        runs[k].begin());
+    assigned += split[k];
+  }
+  WCM_ENSURES(assigned <= diag, "bisection overshot the diagonal");
+  std::size_t extra = diag - assigned;
+  for (std::size_t k = 0; k < runs.size() && extra > 0; ++k) {
+    const std::size_t ties = static_cast<std::size_t>(
+        std::upper_bound(runs[k].begin(), runs[k].end(), v) -
+        runs[k].begin()) - split[k];
+    const std::size_t take = std::min(extra, ties);
+    split[k] += take;
+    extra -= take;
+  }
+  WCM_ENSURES(extra == 0, "tie distribution must reach the diagonal");
+  return split;
+}
+
+/// One thread's K segments in shared memory.
+struct ThreadKCtx {
+  std::vector<std::pair<std::size_t, std::size_t>> segs;  // [begin, end)
+  std::size_t out_begin = 0;
+
+  [[nodiscard]] std::size_t elements() const noexcept {
+    std::size_t n = 0;
+    for (const auto& [b, e] : segs) {
+      n += e - b;
+    }
+    return n;
+  }
+};
+
+/// Account each thread's in-block quantile search: one binary search per
+/// run per thread (log2(|seg|) warp-synchronous probe loads), the dominant
+/// probe traffic of the K-way partition in shared memory.
+void account_kway_searches(gpusim::SharedMemory& shm,
+                           std::span<const ThreadKCtx> ctxs, u32 w,
+                           gpusim::KernelStats& stats) {
+  const std::size_t runs = ctxs.empty() ? 0 : ctxs[0].segs.size();
+  std::vector<gpusim::LaneRead> probes;
+  const auto before = shm.stats();
+  for (std::size_t warp_start = 0; warp_start < ctxs.size();
+       warp_start += w) {
+    const std::size_t warp_end =
+        std::min<std::size_t>(warp_start + w, ctxs.size());
+    for (std::size_t k = 0; k < runs; ++k) {
+      // Per-lane simulated bisection over its k-th segment.
+      struct Range {
+        std::size_t lo, hi;
+      };
+      std::vector<Range> r;
+      for (std::size_t i = warp_start; i < warp_end; ++i) {
+        r.push_back({ctxs[i].segs[k].first, ctxs[i].segs[k].second});
+      }
+      for (;;) {
+        probes.clear();
+        for (std::size_t i = 0; i < r.size(); ++i) {
+          if (r[i].lo < r[i].hi) {
+            probes.push_back({static_cast<u32>(i),
+                              r[i].lo + (r[i].hi - r[i].lo) / 2});
+          }
+        }
+        if (probes.empty()) {
+          break;
+        }
+        shm.warp_read(probes);
+        for (auto& range : r) {
+          if (range.lo < range.hi) {
+            const std::size_t mid = range.lo + (range.hi - range.lo) / 2;
+            // The probe halves the range; which half is data-dependent but
+            // both have the same length profile — walk deterministically.
+            range.lo = mid + 1;
+          }
+        }
+      }
+    }
+  }
+  const auto after = shm.stats();
+  gpusim::KernelStats delta;
+  delta.shared_search.steps = after.steps - before.steps;
+  delta.shared_search.requests = after.requests - before.requests;
+  delta.shared_search.serialization_cycles =
+      after.serialization_cycles - before.serialization_cycles;
+  delta.shared_search.replays = after.replays - before.replays;
+  delta.shared_search.conflicting_accesses =
+      after.conflicting_accesses - before.conflicting_accesses;
+  stats.shared_search += delta.shared_search;
+}
+
+/// Lock-step K-way merge: at each of E iterations every thread consumes the
+/// minimum head among its segments (lowest segment index wins ties) — one
+/// accounted shared read per thread per iteration, exactly like the
+/// pairwise engine.  A selection among K heads costs ceil(log2 K) extra
+/// compare steps, charged to warp_merge_steps.
+std::vector<word> simulate_kway_merge(gpusim::SharedMemory& shm,
+                                      std::span<ThreadKCtx> ctxs, u32 E,
+                                      gpusim::KernelStats& stats) {
+  const u32 w = shm.warp_size();
+  const std::size_t t = ctxs.size();
+  std::vector<std::vector<std::size_t>> cursor(t);
+  for (std::size_t i = 0; i < t; ++i) {
+    WCM_EXPECTS(ctxs[i].elements() == E, "thread must merge exactly E keys");
+    for (const auto& [b, e] : ctxs[i].segs) {
+      (void)e;
+      cursor[i].push_back(b);
+    }
+  }
+  std::vector<word> regs(t * E);
+  const u32 sel_depth = ctxs.empty() || ctxs[0].segs.size() < 2
+                            ? 1
+                            : floor_log2(2 * ctxs[0].segs.size() - 1);
+
+  const auto before = shm.stats();
+  std::vector<gpusim::LaneRead> reads;
+  for (std::size_t warp_start = 0; warp_start < t; warp_start += w) {
+    const std::size_t warp_end = std::min<std::size_t>(warp_start + w, t);
+    for (u32 s = 0; s < E; ++s) {
+      reads.clear();
+      for (std::size_t i = warp_start; i < warp_end; ++i) {
+        std::size_t best = static_cast<std::size_t>(-1);
+        word best_val = 0;
+        for (std::size_t k = 0; k < ctxs[i].segs.size(); ++k) {
+          if (cursor[i][k] < ctxs[i].segs[k].second) {
+            const word v = shm.peek(cursor[i][k]);
+            if (best == static_cast<std::size_t>(-1) || v < best_val) {
+              best = k;
+              best_val = v;
+            }
+          }
+        }
+        WCM_EXPECTS(best != static_cast<std::size_t>(-1),
+                    "thread ran out of elements before step E");
+        const std::size_t addr = cursor[i][best]++;
+        regs[(i) * E + s] = best_val;
+        reads.push_back({static_cast<u32>(i - warp_start), addr});
+      }
+      shm.warp_read(reads);
+    }
+    stats.warp_merge_steps += static_cast<std::size_t>(E) * sel_depth;
+  }
+  const auto after = shm.stats();
+  gpusim::KernelStats delta;
+  delta.shared_merge_reads.steps = after.steps - before.steps;
+  delta.shared_merge_reads.requests = after.requests - before.requests;
+  delta.shared_merge_reads.serialization_cycles =
+      after.serialization_cycles - before.serialization_cycles;
+  delta.shared_merge_reads.replays = after.replays - before.replays;
+  delta.shared_merge_reads.conflicting_accesses =
+      after.conflicting_accesses - before.conflicting_accesses;
+  stats.shared_merge_reads += delta.shared_merge_reads;
+
+  // Barrier, thread-contiguous write-back.
+  std::vector<gpusim::LaneWrite> writes;
+  for (std::size_t warp_start = 0; warp_start < t; warp_start += w) {
+    const std::size_t warp_end = std::min<std::size_t>(warp_start + w, t);
+    for (u32 s = 0; s < E; ++s) {
+      writes.clear();
+      for (std::size_t i = warp_start; i < warp_end; ++i) {
+        writes.push_back({static_cast<u32>(i - warp_start),
+                          ctxs[i].out_begin + s, regs[i * E + s]});
+      }
+      shm.warp_write(writes);
+    }
+  }
+  return regs;
+}
+
+/// Merge one group of K runs into `out`, one block per bE output tile.
+void simulate_group_merge(const std::vector<std::span<const word>>& runs,
+                          std::span<word> out, const SortConfig& cfg,
+                          gpusim::SharedMemory& shm,
+                          gpusim::KernelStats& stats) {
+  const std::size_t tile = cfg.tile();
+  const u32 E = cfg.E;
+  const u32 b = cfg.b;
+  const u32 w = cfg.w;
+  std::size_t total = 0;
+  for (const auto& r : runs) {
+    total += r.size();
+  }
+  WCM_EXPECTS(total % tile == 0, "group size must be a multiple of bE");
+
+  // Partitioning stage: K-way co-ranks at every tile boundary.
+  std::vector<std::vector<std::size_t>> boundary;
+  for (std::size_t diag = 0; diag <= total; diag += tile) {
+    std::size_t steps = 0;
+    boundary.push_back(kway_corank(runs, diag, steps));
+    stats.binary_search_steps += steps;
+    stats.global_requests += steps * runs.size();
+    stats.global_transactions += steps * runs.size();
+  }
+
+  std::vector<ThreadKCtx> ctxs(b);
+  std::vector<gpusim::LaneWrite> writes;
+  std::vector<gpusim::LaneRead> reads;
+  for (std::size_t tidx = 0; tidx + 1 < boundary.size(); ++tidx) {
+    const auto& lo = boundary[tidx];
+    const auto& hi = boundary[tidx + 1];
+
+    // Stage the tile: segment k at the shared offset of the cumulative
+    // segment sizes; remember the staged copy for the thread searches.
+    std::vector<word> staged;
+    std::vector<std::pair<std::size_t, std::size_t>> seg_addr(runs.size());
+    staged.reserve(tile);
+    for (std::size_t k = 0; k < runs.size(); ++k) {
+      const std::size_t begin = staged.size();
+      staged.insert(staged.end(),
+                    runs[k].begin() + static_cast<std::ptrdiff_t>(lo[k]),
+                    runs[k].begin() + static_cast<std::ptrdiff_t>(hi[k]));
+      seg_addr[k] = {begin, staged.size()};
+      stats.global_transactions += (hi[k] - lo[k] + w - 1) / w + 1;
+    }
+    WCM_ENSURES(staged.size() == tile, "tile staging mismatch");
+    shm.fill(staged);
+    stats.global_requests += tile;
+    for (u32 warp_start = 0; warp_start < b; warp_start += w) {
+      for (u32 s = 0; s < E; ++s) {
+        writes.clear();
+        for (u32 lane = 0; lane < w; ++lane) {
+          const std::size_t addr =
+              static_cast<std::size_t>(warp_start + lane) +
+              static_cast<std::size_t>(s) * b;
+          if (addr < tile) {
+            writes.push_back({lane, addr, shm.peek(addr)});
+          }
+        }
+        shm.warp_write(writes);
+      }
+    }
+
+    // Per-thread quantiles within the staged tile.
+    std::vector<std::span<const word>> segs(runs.size());
+    for (std::size_t k = 0; k < runs.size(); ++k) {
+      segs[k] = std::span<const word>(staged).subspan(
+          seg_addr[k].first, seg_addr[k].second - seg_addr[k].first);
+    }
+    std::vector<std::vector<std::size_t>> tsplit(b + 1);
+    for (u32 t = 0; t <= b; ++t) {
+      std::size_t steps = 0;
+      tsplit[t] = kway_corank(segs, static_cast<std::size_t>(t) * E, steps);
+    }
+    for (u32 t = 0; t < b; ++t) {
+      ctxs[t].segs.assign(runs.size(), {});
+      for (std::size_t k = 0; k < runs.size(); ++k) {
+        ctxs[t].segs[k] = {seg_addr[k].first + tsplit[t][k],
+                           seg_addr[k].first + tsplit[t + 1][k]};
+      }
+      ctxs[t].out_begin = static_cast<std::size_t>(t) * E;
+    }
+    account_kway_searches(shm, ctxs, w, stats);
+
+    simulate_kway_merge(shm, ctxs, E, stats);
+
+    // Coalesced store (conflict-free unstaging reads, as in the pairwise
+    // engine).
+    for (u32 warp_start = 0; warp_start < b; warp_start += w) {
+      for (u32 s = 0; s < E; ++s) {
+        reads.clear();
+        for (u32 lane = 0; lane < w; ++lane) {
+          const std::size_t addr =
+              static_cast<std::size_t>(warp_start + lane) +
+              static_cast<std::size_t>(s) * b;
+          if (addr < tile) {
+            reads.push_back({lane, addr});
+          }
+        }
+        shm.warp_read(reads);
+      }
+    }
+    const auto merged = shm.dump(0, tile);
+    std::copy(merged.begin(), merged.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(tidx * tile));
+    stats.global_transactions += tile / w;
+    stats.global_requests += tile;
+    stats.blocks_launched += 1;
+    stats.elements_processed += tile;
+  }
+}
+
+}  // namespace
+
+SortReport multiway_merge_sort(std::span<const word> input,
+                               const SortConfig& cfg,
+                               const gpusim::Device& dev, u32 ways,
+                               std::vector<word>* output) {
+  cfg.validate();
+  WCM_EXPECTS(ways >= 2, "need at least 2 ways");
+  WCM_EXPECTS(cfg.w == dev.warp_size, "config warp size must match device");
+  const std::size_t tile = cfg.tile();
+  const std::size_t n = input.size();
+  WCM_EXPECTS(n > 0 && n % tile == 0,
+              "input size must be a positive multiple of bE");
+
+  const gpusim::Calibration cal =
+      library_calibration(MergeSortLibrary::thrust);
+  const gpusim::LaunchConfig launch{n / tile, cfg.b, cfg.shared_bytes()};
+
+  SortReport report;
+  report.config = cfg;
+  report.device = dev;
+  report.n = n;
+
+  std::vector<word> data(input.begin(), input.end());
+  std::vector<word> buffer(n);
+  gpusim::SharedMemory shm(cfg.w, tile, cfg.padding);
+
+  // Base case: identical to the pairwise sort.
+  {
+    gpusim::KernelStats stats;
+    for (std::size_t base = 0; base < n; base += tile) {
+      shm.reset_stats();
+      simulate_block_sort(shm, std::span<word>(data).subspan(base, tile), cfg,
+                          stats);
+      stats.shared += shm.stats();
+      stats.blocks_launched += 1;
+      stats.elements_processed += tile;
+    }
+    gpusim::RoundStats round;
+    round.name = "block-sort";
+    round.kernel = stats;
+    round.modeled_seconds =
+        gpusim::estimate_kernel_time(dev, launch, stats, cal).seconds;
+    report.totals += stats;
+    report.total_time += gpusim::estimate_kernel_time(dev, launch, stats, cal);
+    report.rounds.push_back(std::move(round));
+  }
+
+  std::size_t run = tile;
+  u32 round_idx = 0;
+  while (run < n) {
+    ++round_idx;
+    gpusim::KernelStats stats;
+    const std::size_t group_out = run * ways;
+    for (std::size_t base = 0; base < n; base += group_out) {
+      std::vector<std::span<const word>> runs;
+      std::size_t group_size = 0;
+      for (u32 k = 0; k < ways && base + group_size < n; ++k) {
+        const std::size_t len =
+            std::min(run, n - base - group_size);
+        runs.push_back(
+            std::span<const word>(data).subspan(base + group_size, len));
+        group_size += len;
+      }
+      if (runs.size() == 1) {
+        std::copy(runs[0].begin(), runs[0].end(),
+                  buffer.begin() + static_cast<std::ptrdiff_t>(base));
+        stats.global_transactions += 2 * ceil_div(runs[0].size(), cfg.w);
+        stats.global_requests += 2 * runs[0].size();
+        continue;
+      }
+      shm.reset_stats();
+      gpusim::KernelStats group_stats;
+      simulate_group_merge(
+          runs, std::span<word>(buffer).subspan(base, group_size), cfg, shm,
+          group_stats);
+      group_stats.shared += shm.stats();
+      stats += group_stats;
+    }
+    data.swap(buffer);
+
+    gpusim::RoundStats round;
+    round.name = "multiway round " + std::to_string(round_idx);
+    round.kernel = stats;
+    round.modeled_seconds =
+        gpusim::estimate_kernel_time(dev, launch, stats, cal).seconds;
+    report.totals += stats;
+    report.total_time += gpusim::estimate_kernel_time(dev, launch, stats, cal);
+    report.rounds.push_back(std::move(round));
+    run = group_out;
+  }
+
+  WCM_ENSURES(std::is_sorted(data.begin(), data.end()),
+              "multiway merge sort must sort");
+  if (output != nullptr) {
+    *output = std::move(data);
+  }
+  return report;
+}
+
+}  // namespace wcm::sort

@@ -1,0 +1,46 @@
+#pragma once
+// Multiway (K-way) merge sort in the style of Karsin, Weichert, Casanova,
+// Iacono & Sitchinava (ICS 2018) — the paper's reference [19] and the
+// source of its A_g / A_s analysis.  Merging K runs per round reduces the
+// number of global memory passes from ceil(log2(N/bE)) to
+// ceil(log_K(N/bE)), the algorithm's selling point, at the price of more
+// comparison work per merged element (a log2(K)-deep selection per step)
+// and a more expensive partitioning stage.
+//
+// Structure per round:
+//   * groups of K adjacent sorted runs are merged together;
+//   * every bE output tile's boundary is located by a K-way rank partition
+//     (value-domain binary search probing one element per run per
+//     iteration — charged as dependent global latency like the pairwise
+//     partition);
+//   * the block stages its K segments in shared memory, every thread finds
+//     its E-element quantile by the same value-domain search in shared
+//     (probes accounted warp-synchronously), then lock-step merges E
+//     elements — one consumed-element read per iteration, exactly the
+//     access stream the pairwise analysis covers, but fed from K runs.
+//
+// The worst-case construction of the paper targets the *pairwise* merge
+// tree; this substrate exists to measure how specific the attack is (see
+// bench/multiway_comparison).
+
+#include <span>
+
+#include "sort/report.hpp"
+
+namespace wcm::sort {
+
+/// Sort `input` with the simulated K-way merge sort.  Requires
+/// |input| to be a positive multiple of cfg.tile() and ways >= 2.
+[[nodiscard]] SortReport multiway_merge_sort(std::span<const word> input,
+                                             const SortConfig& cfg,
+                                             const gpusim::Device& dev,
+                                             u32 ways = 4,
+                                             std::vector<word>* output =
+                                                 nullptr);
+
+/// Number of global rounds the K-way sort needs for n elements.
+[[nodiscard]] std::size_t multiway_round_count(std::size_t n,
+                                               const SortConfig& cfg,
+                                               u32 ways);
+
+}  // namespace wcm::sort

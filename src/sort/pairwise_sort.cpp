@@ -1,0 +1,289 @@
+#include "sort/pairwise_sort.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "mergepath/partition.hpp"
+#include "sort/block_merge.hpp"
+#include "sort/blocksort.hpp"
+#include "util/check.hpp"
+
+namespace wcm::sort {
+
+const char* to_string(MergeSortLibrary lib) noexcept {
+  return lib == MergeSortLibrary::thrust ? "Thrust" : "ModernGPU";
+}
+
+gpusim::Calibration library_calibration(MergeSortLibrary lib) {
+  gpusim::Calibration cal;
+  if (lib == MergeSortLibrary::thrust) {
+    cal.compute_cycles_per_merge_step = 28.0;
+    cal.launch_overhead_s = 3.0e-6;
+  } else {
+    // Modern GPU executes measurably more instructions per merged element
+    // than Thrust on the same algorithm (Karsin et al. 2018 observe the
+    // Thrust > MGPU throughput ordering the paper's Fig. 4 shows).
+    cal.compute_cycles_per_merge_step = 38.0;
+    cal.launch_overhead_s = 4.0e-6;
+  }
+  return cal;
+}
+
+namespace {
+
+/// Coalesced-transaction count of a contiguous global access of `count`
+/// elements starting at global element index `base` (128-byte segments of
+/// 32 4-byte lanes).
+std::size_t coalesced_transactions(std::size_t base, std::size_t count,
+                                   u32 w) {
+  if (count == 0) {
+    return 0;
+  }
+  const std::size_t first = base / w;
+  const std::size_t last = (base + count - 1) / w;
+  return last - first + 1;
+}
+
+/// Merge one pair of sorted runs (in `data`) into `out`, one simulated
+/// thread block per bE-element output tile.
+void simulate_pair_merge(std::span<const word> data_a,
+                         std::span<const word> data_b, std::size_t a_base,
+                         std::size_t b_base, std::span<word> out,
+                         const SortConfig& cfg, gpusim::SharedMemory& shm,
+                         gpusim::KernelStats& stats) {
+  const std::size_t tile = cfg.tile();
+  const u32 E = cfg.E;
+  const u32 b = cfg.b;
+  const u32 w = cfg.w;
+
+  // Partitioning stage: mutual binary search in global memory for every
+  // tile boundary (one dependent probe chain per thread block).
+  const auto part = mergepath::partition_tiles(data_a, data_b, tile);
+  stats.binary_search_steps += part.search_steps;
+  stats.global_requests += 2 * part.search_steps;
+  stats.global_transactions += 2 * part.search_steps;  // uncoalesced probes
+
+  std::vector<ThreadSearchCtx> search_ctxs(b);
+  std::vector<ThreadMergeCtx> merge_ctxs(b);
+  std::vector<gpusim::LaneWrite> writes;
+  std::vector<gpusim::LaneRead> reads;
+
+  const std::size_t tiles = (data_a.size() + data_b.size()) / tile;
+  for (std::size_t tidx = 0; tidx < tiles; ++tidx) {
+    const auto [a_lo, b_lo] = part.splits[tidx];
+    const auto [a_hi, b_hi] = part.splits[tidx + 1];
+    const std::size_t na = a_hi - a_lo;
+    const std::size_t nb = b_hi - b_lo;
+
+    // Stage the tile in shared memory: A segment at [0, na), B segment at
+    // [na, na + nb).  Global side is coalesced; the shared-side stores go
+    // through the banked memory (thread t stores elements t, t+b, ...).
+    shm.fill(data_a.subspan(a_lo, na), 0);
+    shm.fill(data_b.subspan(b_lo, nb), na);
+    stats.global_transactions += coalesced_transactions(a_base + a_lo, na, w);
+    stats.global_transactions += coalesced_transactions(b_base + b_lo, nb, w);
+    stats.global_requests += tile;
+    for (u32 warp_start = 0; warp_start < b; warp_start += w) {
+      for (u32 s = 0; s < E; ++s) {
+        writes.clear();
+        for (u32 lane = 0; lane < w; ++lane) {
+          const std::size_t addr =
+              static_cast<std::size_t>(warp_start + lane) +
+              static_cast<std::size_t>(s) * b;
+          if (addr < tile) {
+            writes.push_back({lane, addr, shm.peek(addr)});
+          }
+        }
+        shm.warp_write(writes);
+      }
+    }
+
+    // In-block merge-path searches: thread t owns output ranks
+    // [tE, (t+1)E) of the tile.
+    for (u32 t = 0; t < b; ++t) {
+      search_ctxs[t] = {0, na, na, na + nb,
+                        static_cast<std::size_t>(t) * E};
+    }
+    const auto coranks = simulate_block_search(shm, search_ctxs, stats);
+    for (u32 t = 0; t < b; ++t) {
+      const bool last = t + 1 == b;
+      merge_ctxs[t].a_begin = coranks[t].i;
+      merge_ctxs[t].a_end = last ? na : coranks[t + 1].i;
+      merge_ctxs[t].b_begin = na + coranks[t].j;
+      merge_ctxs[t].b_end = na + (last ? nb : coranks[t + 1].j);
+      merge_ctxs[t].out_begin = static_cast<std::size_t>(t) * E;
+    }
+
+    // Lock-step merge to registers, barrier, write-back to shared in rank
+    // order (this is the attacked access stream).
+    simulate_block_merge(shm, merge_ctxs, E, /*write_back=*/true, stats,
+                         cfg.realistic_refills);
+
+    // Coalesced store to global: thread t reads shared elements t, t+b, ...
+    // (bank-conflict free) and writes them out coalesced.
+    for (u32 warp_start = 0; warp_start < b; warp_start += w) {
+      for (u32 s = 0; s < E; ++s) {
+        reads.clear();
+        for (u32 lane = 0; lane < w; ++lane) {
+          const std::size_t addr =
+              static_cast<std::size_t>(warp_start + lane) +
+              static_cast<std::size_t>(s) * b;
+          if (addr < tile) {
+            reads.push_back({lane, addr});
+          }
+        }
+        shm.warp_read(reads);
+      }
+    }
+    const auto merged = shm.dump(0, tile);
+    std::copy(merged.begin(), merged.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(tidx * tile));
+    stats.global_transactions += tile / w;
+    stats.global_requests += tile;
+    stats.blocks_launched += 1;
+    stats.elements_processed += tile;
+  }
+}
+
+}  // namespace
+
+SortReport recost(const SortReport& report, const gpusim::Device& dev,
+                  MergeSortLibrary lib) {
+  WCM_EXPECTS(report.config.w == dev.warp_size,
+              "config warp size must match device");
+  const gpusim::Calibration cal = library_calibration(lib);
+  const gpusim::LaunchConfig launch{report.n / report.config.tile(),
+                                    report.config.b,
+                                    report.config.shared_bytes()};
+  SortReport out = report;
+  out.device = dev;
+  out.total_time = {};
+  for (auto& round : out.rounds) {
+    const auto t = gpusim::estimate_kernel_time(dev, launch, round.kernel, cal);
+    round.modeled_seconds = t.seconds;
+    out.total_time += t;
+  }
+  return out;
+}
+
+SortReport pairwise_merge_sort(std::span<const word> input,
+                               const SortConfig& cfg,
+                               const gpusim::Device& dev,
+                               MergeSortLibrary lib,
+                               std::vector<word>* output) {
+  cfg.validate();
+  WCM_EXPECTS(cfg.w == dev.warp_size, "config warp size must match device");
+  const std::size_t tile = cfg.tile();
+  const std::size_t n = input.size();
+  WCM_EXPECTS(n > 0 && n % tile == 0,
+              "input size must be a positive multiple of bE");
+
+  const gpusim::Calibration cal = library_calibration(lib);
+  const gpusim::LaunchConfig launch{n / tile, cfg.b, cfg.shared_bytes()};
+
+  SortReport report;
+  report.config = cfg;
+  report.device = dev;
+  report.n = n;
+
+  std::vector<word> data(input.begin(), input.end());
+  std::vector<word> buffer(n);
+  gpusim::SharedMemory shm(cfg.w, tile, cfg.padding);
+
+  // Base case: every block sorts its own tile.
+  {
+    gpusim::KernelStats stats;
+    for (std::size_t base = 0; base < n; base += tile) {
+      shm.reset_stats();
+      simulate_block_sort(shm, std::span<word>(data).subspan(base, tile), cfg,
+                          stats);
+      stats.shared += shm.stats();
+      stats.blocks_launched += 1;
+      stats.elements_processed += tile;
+    }
+    gpusim::RoundStats round;
+    round.name = "block-sort";
+    round.kernel = stats;
+    round.modeled_seconds =
+        gpusim::estimate_kernel_time(dev, launch, stats, cal).seconds;
+    report.totals += stats;
+    report.total_time +=
+        gpusim::estimate_kernel_time(dev, launch, stats, cal);
+    report.rounds.push_back(std::move(round));
+  }
+
+  // Global pairwise merge rounds: merge adjacent runs until one run is left.
+  std::size_t run = tile;
+  u32 round_idx = 0;
+  while (run < n) {
+    ++round_idx;
+    gpusim::KernelStats stats;
+    const std::size_t out_run = 2 * run;
+    for (std::size_t base = 0; base < n; base += out_run) {
+      if (base + run >= n) {
+        // Unpaired trailing run: copied through.
+        std::copy(data.begin() + static_cast<std::ptrdiff_t>(base),
+                  data.begin() + static_cast<std::ptrdiff_t>(n),
+                  buffer.begin() + static_cast<std::ptrdiff_t>(base));
+        const std::size_t rem = n - base;
+        stats.global_transactions += 2 * ceil_div(rem, cfg.w);
+        stats.global_requests += 2 * rem;
+        continue;
+      }
+      const std::size_t len_b = std::min(run, n - base - run);
+      shm.reset_stats();
+      gpusim::KernelStats pair_stats;
+      simulate_pair_merge(
+          std::span<const word>(data).subspan(base, run),
+          std::span<const word>(data).subspan(base + run, len_b), base,
+          base + run,
+          std::span<word>(buffer).subspan(base, run + len_b), cfg, shm,
+          pair_stats);
+      pair_stats.shared += shm.stats();
+      stats += pair_stats;
+    }
+    data.swap(buffer);
+
+    gpusim::RoundStats round;
+    round.name = "merge round " + std::to_string(round_idx);
+    round.kernel = stats;
+    round.modeled_seconds =
+        gpusim::estimate_kernel_time(dev, launch, stats, cal).seconds;
+    report.totals += stats;
+    report.total_time += gpusim::estimate_kernel_time(dev, launch, stats, cal);
+    report.rounds.push_back(std::move(round));
+    run = out_run;
+  }
+
+  WCM_ENSURES(std::is_sorted(data.begin(), data.end()),
+              "pairwise merge sort must sort");
+  if (output != nullptr) {
+    *output = std::move(data);
+  }
+  return report;
+}
+
+SortReport pairwise_merge_sort_any(std::span<const word> input,
+                                   const SortConfig& cfg,
+                                   const gpusim::Device& dev,
+                                   MergeSortLibrary lib,
+                                   std::vector<word>* output) {
+  cfg.validate();
+  WCM_EXPECTS(!input.empty(), "empty input");
+  const std::size_t tile = cfg.tile();
+  const std::size_t padded = ceil_div(input.size(), tile) * tile;
+
+  std::vector<word> work(input.begin(), input.end());
+  work.resize(padded, std::numeric_limits<word>::max());
+
+  std::vector<word> sorted;
+  SortReport report = pairwise_merge_sort(work, cfg, dev, lib, &sorted);
+  if (output != nullptr) {
+    sorted.resize(input.size());  // sentinels sort to the back
+    *output = std::move(sorted);
+  }
+  return report;
+}
+
+}  // namespace wcm::sort

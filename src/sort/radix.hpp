@@ -1,0 +1,45 @@
+#pragma once
+// Simulated LSD radix sort (Satish et al. 2009; CUB — the paper's refs
+// [25], [32]): the non-comparison alternative in the paper's related work.
+// Its interest for this study is that its shared-memory conflicts are
+// data-dependent through a *different* mechanism than merging: per-digit
+// histogram construction, where w threads increment bin counters in shared
+// memory — keys sharing a digit collide on the same bank.  The merge
+// sort's worst-case permutation is irrelevant to it (digits of a
+// permutation of 0..n-1 are near-uniform), but radix sort has its own
+// adversary: keys with constant digits serialize every histogram update
+// w ways.
+//
+// Structure per pass (digit_bits-wide digits, LSD order): every block
+// builds a per-tile histogram in shared memory (accounted: one warp-wide
+// read-modify-write per key, banked by bin), the histograms are combined
+// into global digit offsets (host-combined, charged as one coalesced pass),
+// and keys scatter to their buckets (uncoalesced writes, charged per
+// segment).
+
+#include <span>
+
+#include "sort/report.hpp"
+
+namespace wcm::sort {
+
+/// Sort `input` with the simulated radix sort.  Keys must be non-negative.
+/// `digit_bits` in [1, 16]; cfg.E is used as keys per thread for tile
+/// sizing; requires |input| to be a positive multiple of cfg.tile().
+[[nodiscard]] SortReport radix_sort(std::span<const word> input,
+                                    const SortConfig& cfg,
+                                    const gpusim::Device& dev,
+                                    u32 digit_bits = 4,
+                                    std::vector<word>* output = nullptr);
+
+/// Number of passes for keys < 2^key_bits with the given digit width.
+[[nodiscard]] u32 radix_pass_count(u32 key_bits, u32 digit_bits);
+
+/// Radix sort's own adversarial input: n keys whose digits are all equal
+/// (every histogram update of every pass collides), while still being n
+/// *distinct* keys is impossible — so this uses the standard adversary:
+/// all keys identical (the histogram worst case the literature pads
+/// against).
+[[nodiscard]] std::vector<word> radix_adversarial_input(std::size_t n);
+
+}  // namespace wcm::sort

@@ -1,0 +1,31 @@
+#include "sort/registers.hpp"
+
+#include <utility>
+
+namespace wcm::sort {
+
+std::size_t odd_even_sort(std::span<word> keys) {
+  const std::size_t n = keys.size();
+  std::size_t compares = 0;
+  for (std::size_t round = 0; round < n; ++round) {
+    const std::size_t start = round % 2;
+    for (std::size_t i = start; i + 1 < n; i += 2) {
+      ++compares;
+      if (keys[i] > keys[i + 1]) {
+        std::swap(keys[i], keys[i + 1]);
+      }
+    }
+  }
+  return compares;
+}
+
+std::size_t odd_even_comparator_count(std::size_t n) noexcept {
+  if (n < 2) {
+    return 0;
+  }
+  // n rounds; even rounds have ceil((n-1)/2) comparators, odd rounds
+  // floor((n-1)/2).  Summed: n * (n - 1) / 2.
+  return n * (n - 1) / 2;
+}
+
+}  // namespace wcm::sort

@@ -1,0 +1,42 @@
+#include "sort/report.hpp"
+
+#include <sstream>
+
+namespace wcm::sort {
+
+double SortReport::throughput() const noexcept {
+  if (total_time.seconds <= 0.0) {
+    return 0.0;
+  }
+  return static_cast<double>(n) / total_time.seconds;
+}
+
+double SortReport::ms_per_element() const noexcept {
+  if (n == 0) {
+    return 0.0;
+  }
+  return total_time.seconds * 1e3 / static_cast<double>(n);
+}
+
+double SortReport::conflicts_per_element() const noexcept {
+  if (n == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(totals.shared.replays) /
+         static_cast<double>(n);
+}
+
+double SortReport::beta2() const noexcept { return gpusim::beta2(totals); }
+double SortReport::beta1() const noexcept { return gpusim::beta1(totals); }
+
+std::string SortReport::summary() const {
+  std::ostringstream os;
+  os << device.name << " [" << config.to_string() << "] n=" << n
+     << " time=" << total_time.seconds * 1e3 << "ms"
+     << " throughput=" << throughput() / 1e6 << "Me/s"
+     << " conflicts/elem=" << conflicts_per_element()
+     << " beta1=" << beta1() << " beta2=" << beta2();
+  return os.str();
+}
+
+}  // namespace wcm::sort

@@ -1,0 +1,29 @@
+#pragma once
+// Simulated block-level parallel scan (prefix sum) — the paper's
+// introductory example (Dotsenko et al., ICS 2008, ref [12]): each thread
+// sequentially scans E consecutive elements in shared memory, the threads'
+// partial sums are combined, and the totals are added back.  When every
+// thread's stride E shares a factor with the bank count w, the per-thread
+// column accesses conflict deterministically; Dotsenko's fix — pad so the
+// effective stride is co-prime with w — eliminates them.  This substrate
+// exists to reproduce that original observation on the same banked-memory
+// machinery the merge sort uses.
+//
+// Unlike the merge sort, the scan's access pattern is data-independent, so
+// its conflicts are a function of (w, E, padding) only.
+
+#include <span>
+
+#include "sort/report.hpp"
+
+namespace wcm::sort {
+
+/// Inclusive prefix sum of `input`, simulated block-wise (tiles of bE, a
+/// serial carry between tiles — the single-kernel portion is what the bank
+/// analysis concerns).  Requires |input| to be a positive multiple of bE.
+[[nodiscard]] SortReport block_scan(std::span<const word> input,
+                                    const SortConfig& cfg,
+                                    const gpusim::Device& dev,
+                                    std::vector<word>* output = nullptr);
+
+}  // namespace wcm::sort

@@ -1,0 +1,17 @@
+#include "util/check.hpp"
+
+#include <sstream>
+
+namespace wcm::detail {
+
+void contract_failure(const char* kind, const char* cond, const char* file,
+                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw contract_error(os.str());
+}
+
+}  // namespace wcm::detail

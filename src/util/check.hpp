@@ -1,0 +1,43 @@
+#pragma once
+// Precondition / postcondition checking in the spirit of the C++ Core
+// Guidelines (I.6 "Prefer Expects()", I.8 "Prefer Ensures()").
+//
+// Violations throw `wcm::contract_error` so tests can assert on them and so a
+// misuse of the library never silently corrupts a simulation result.
+
+#include <stdexcept>
+#include <string>
+
+namespace wcm {
+
+/// Thrown when a WCM_EXPECTS / WCM_ENSURES contract is violated.
+class contract_error : public std::logic_error {
+ public:
+  explicit contract_error(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_failure(const char* kind, const char* cond,
+                                   const char* file, int line,
+                                   const std::string& msg);
+}  // namespace detail
+
+}  // namespace wcm
+
+/// Check a precondition; throws wcm::contract_error on failure.
+#define WCM_EXPECTS(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::wcm::detail::contract_failure("precondition", #cond, __FILE__,      \
+                                      __LINE__, (msg));                     \
+    }                                                                       \
+  } while (false)
+
+/// Check a postcondition; throws wcm::contract_error on failure.
+#define WCM_ENSURES(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::wcm::detail::contract_failure("postcondition", #cond, __FILE__,     \
+                                      __LINE__, (msg));                     \
+    }                                                                       \
+  } while (false)

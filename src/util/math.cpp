@@ -1,0 +1,83 @@
+#include "util/math.hpp"
+
+#include "util/check.hpp"
+
+namespace wcm {
+
+u64 gcd(u64 a, u64 b) noexcept {
+  while (b != 0) {
+    const u64 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+bool is_pow2(u64 x) noexcept { return x != 0 && (x & (x - 1)) == 0; }
+
+u32 floor_log2(u64 x) {
+  WCM_EXPECTS(x > 0, "floor_log2 of zero");
+  u32 r = 0;
+  while (x >>= 1) {
+    ++r;
+  }
+  return r;
+}
+
+u32 log2_exact(u64 x) {
+  WCM_EXPECTS(is_pow2(x), "log2_exact requires a power of two");
+  return floor_log2(x);
+}
+
+u64 ceil_div(u64 a, u64 b) {
+  WCM_EXPECTS(b > 0, "division by zero");
+  return (a + b - 1) / b;
+}
+
+i64 mod_floor(i64 a, i64 m) {
+  WCM_EXPECTS(m > 0, "modulus must be positive");
+  const i64 r = a % m;
+  return r < 0 ? r + m : r;
+}
+
+namespace {
+
+// Extended Euclid: returns g = gcd(a, b) and x with a*x === g (mod b).
+struct ext_gcd_result {
+  i64 g;
+  i64 x;
+};
+
+ext_gcd_result ext_gcd(i64 a, i64 b) {
+  i64 old_r = a, r = b;
+  i64 old_x = 1, x = 0;
+  while (r != 0) {
+    const i64 q = old_r / r;
+    const i64 tmp_r = old_r - q * r;
+    old_r = r;
+    r = tmp_r;
+    const i64 tmp_x = old_x - q * x;
+    old_x = x;
+    x = tmp_x;
+  }
+  return {old_r, old_x};
+}
+
+}  // namespace
+
+u64 mod_inverse(u64 a, u64 m) {
+  WCM_EXPECTS(m > 0, "modulus must be positive");
+  WCM_EXPECTS(gcd(a % m, m) == 1, "inverse requires gcd(a, m) == 1");
+  const auto [g, x] = ext_gcd(static_cast<i64>(a % m), static_cast<i64>(m));
+  WCM_ENSURES(g == 1, "extended gcd disagrees with gcd");
+  return static_cast<u64>(mod_floor(x, static_cast<i64>(m)));
+}
+
+u64 solve_linear_congruence(u64 a, u64 b, u64 m) {
+  // Fact 5: with gcd(a, m) == 1 the solution x = a^{-1} * b is unique in Z_m.
+  const u64 inv = mod_inverse(a, m);
+  __extension__ using u128 = unsigned __int128;
+  return static_cast<u64>((static_cast<u128>(inv) * (b % m)) % m);
+}
+
+}  // namespace wcm

@@ -1,0 +1,40 @@
+#pragma once
+// Small integer-math kit shared by every module: gcds, modular arithmetic,
+// power-of-two helpers.  All functions are total over their stated domains
+// and contract-checked otherwise.
+
+#include <cstdint>
+#include <cstddef>
+
+namespace wcm {
+
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+
+/// Greatest common divisor; gcd(0, 0) == 0 by convention.
+[[nodiscard]] u64 gcd(u64 a, u64 b) noexcept;
+
+/// True iff x is a power of two (x > 0).
+[[nodiscard]] bool is_pow2(u64 x) noexcept;
+
+/// floor(log2(x)) for x > 0.
+[[nodiscard]] u32 floor_log2(u64 x);
+
+/// log2(x) for x an exact power of two.
+[[nodiscard]] u32 log2_exact(u64 x);
+
+/// ceil(a / b) for b > 0.
+[[nodiscard]] u64 ceil_div(u64 a, u64 b);
+
+/// Non-negative remainder: ((a mod m) + m) mod m, for m > 0.
+[[nodiscard]] i64 mod_floor(i64 a, i64 m);
+
+/// Modular inverse of a modulo m (Fact 6 of the paper): exists and is unique
+/// when gcd(a, m) == 1.  Contract-checked.
+[[nodiscard]] u64 mod_inverse(u64 a, u64 m);
+
+/// Solve a*x === b (mod m) when gcd(a, m) == 1 (Fact 5): the unique x in Z_m.
+[[nodiscard]] u64 solve_linear_congruence(u64 a, u64 b, u64 m);
+
+}  // namespace wcm

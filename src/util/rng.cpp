@@ -1,0 +1,53 @@
+#include "util/rng.hpp"
+
+#include "util/check.hpp"
+
+namespace wcm {
+
+u64 splitmix64(u64& state) noexcept {
+  u64 z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline u64 rotl(u64 x, int k) noexcept { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Xoshiro256::Xoshiro256(u64 seed) noexcept {
+  u64 sm = seed;
+  for (auto& s : s_) {
+    s = splitmix64(sm);
+  }
+}
+
+Xoshiro256::result_type Xoshiro256::operator()() noexcept {
+  const u64 result = rotl(s_[1] * 5, 7) * 9;
+  const u64 t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+u64 Xoshiro256::below(u64 bound) {
+  WCM_EXPECTS(bound > 0, "below(0) is ill-defined");
+  // Lemire's nearly-divisionless method.
+  __extension__ using u128 = unsigned __int128;  // GCC/Clang extension
+  u128 m = static_cast<u128>((*this)()) * bound;
+  auto lo = static_cast<u64>(m);
+  if (lo < bound) {
+    const u64 threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+    while (lo < threshold) {
+      m = static_cast<u128>((*this)()) * bound;
+      lo = static_cast<u64>(m);
+    }
+  }
+  return static_cast<u64>(m >> 64);
+}
+
+}  // namespace wcm

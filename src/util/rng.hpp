@@ -1,0 +1,48 @@
+#pragma once
+// Deterministic, seedable pseudo-random generation.  Every stochastic input
+// in the repository flows through this generator so experiments are exactly
+// reproducible across runs and platforms (std::mt19937 would also work, but
+// splitmix64/xoshiro256** are faster and have a trivially portable spec).
+
+#include <cstdint>
+#include <vector>
+
+#include "util/math.hpp"
+
+namespace wcm {
+
+/// splitmix64: used to seed xoshiro and as a standalone mixer.
+[[nodiscard]] u64 splitmix64(u64& state) noexcept;
+
+/// xoshiro256** 1.0 (Blackman & Vigna).  Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = u64;
+
+  explicit Xoshiro256(u64 seed) noexcept;
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return ~static_cast<result_type>(0);
+  }
+
+  result_type operator()() noexcept;
+
+  /// Uniform draw from [0, bound) without modulo bias (Lemire's method).
+  [[nodiscard]] u64 below(u64 bound);
+
+ private:
+  u64 s_[4];
+};
+
+/// Fisher–Yates shuffle driven by Xoshiro256.
+template <typename T>
+void shuffle(std::vector<T>& v, Xoshiro256& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.below(i));
+    using std::swap;
+    swap(v[i - 1], v[j]);
+  }
+}
+
+}  // namespace wcm

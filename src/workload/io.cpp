@@ -1,0 +1,73 @@
+#include "workload/io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace wcm::workload {
+
+namespace {
+constexpr char kMagic[4] = {'W', 'C', 'M', 'I'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  WCM_EXPECTS(static_cast<bool>(is), "truncated WCMI file");
+  return v;
+}
+}  // namespace
+
+void write_binary(const std::filesystem::path& path,
+                  const std::vector<word>& keys) {
+  std::ofstream os(path, std::ios::binary);
+  WCM_EXPECTS(os.is_open(), "cannot open output file");
+  os.write(kMagic, sizeof(kMagic));
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<std::uint64_t>(keys.size()));
+  for (const word k : keys) {
+    WCM_EXPECTS(k >= std::numeric_limits<std::int32_t>::min() &&
+                    k <= std::numeric_limits<std::int32_t>::max(),
+                "key does not fit in int32");
+    write_pod(os, static_cast<std::int32_t>(k));
+  }
+  WCM_ENSURES(static_cast<bool>(os), "write failed");
+}
+
+std::vector<word> read_binary(const std::filesystem::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  WCM_EXPECTS(is.is_open(), "cannot open input file");
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  WCM_EXPECTS(static_cast<bool>(is) && std::equal(magic, magic + 4, kMagic),
+              "not a WCMI file");
+  const auto version = read_pod<std::uint32_t>(is);
+  WCM_EXPECTS(version == kVersion, "unsupported WCMI version");
+  const auto n = read_pod<std::uint64_t>(is);
+  std::vector<word> keys(n);
+  for (auto& k : keys) {
+    k = read_pod<std::int32_t>(is);
+  }
+  return keys;
+}
+
+void write_csv(const std::filesystem::path& path,
+               const std::vector<word>& keys) {
+  std::ofstream os(path);
+  WCM_EXPECTS(os.is_open(), "cannot open output file");
+  os << "key\n";
+  for (const word k : keys) {
+    os << k << '\n';
+  }
+  WCM_ENSURES(static_cast<bool>(os), "write failed");
+}
+
+}  // namespace wcm::workload

@@ -1,0 +1,34 @@
+#pragma once
+// Serialization of generated inputs: a small binary container (so the
+// adversarial inputs can be exported and fed to a real GPU harness) and a
+// CSV form for inspection.
+//
+// Binary layout (little-endian):
+//   magic   "WCMI"            4 bytes
+//   version u32               currently 1
+//   n       u64
+//   keys    n x i32           (inputs are permutations of 0..n-1, which the
+//                              paper's 4-byte-integer experiments match)
+
+#include <filesystem>
+#include <vector>
+
+#include "dmm/machine.hpp"
+
+namespace wcm::workload {
+
+using dmm::word;
+
+/// Write keys to `path` in the WCMI binary format.  Every key must fit in
+/// int32 (contract-checked).
+void write_binary(const std::filesystem::path& path,
+                  const std::vector<word>& keys);
+
+/// Read a WCMI file.  Throws wcm::contract_error on malformed content.
+[[nodiscard]] std::vector<word> read_binary(const std::filesystem::path& path);
+
+/// Write keys as a one-column CSV with header "key".
+void write_csv(const std::filesystem::path& path,
+               const std::vector<word>& keys);
+
+}  // namespace wcm::workload

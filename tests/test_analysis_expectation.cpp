@@ -1,0 +1,116 @@
+// Tests for inversion counting and the Monte Carlo expectation machinery.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/expectation.hpp"
+#include "util/check.hpp"
+#include "workload/inversions.hpp"
+
+namespace wcm {
+namespace {
+
+using dmm::word;
+
+TEST(Inversions, BaseCases) {
+  EXPECT_EQ(workload::count_inversions(std::vector<word>{}), 0u);
+  EXPECT_EQ(workload::count_inversions(std::vector<word>{5}), 0u);
+  EXPECT_EQ(workload::count_inversions(std::vector<word>{1, 2, 3}), 0u);
+  EXPECT_EQ(workload::count_inversions(std::vector<word>{3, 2, 1}), 3u);
+  EXPECT_EQ(workload::count_inversions(std::vector<word>{2, 1, 3}), 1u);
+  EXPECT_EQ(workload::count_inversions(std::vector<word>{1, 3, 2, 4}), 1u);
+}
+
+TEST(Inversions, MatchesBruteForce) {
+  const auto v = workload::random_permutation(200, 9);
+  u64 brute = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    for (std::size_t j = i + 1; j < v.size(); ++j) {
+      brute += v[i] > v[j] ? 1u : 0u;
+    }
+  }
+  EXPECT_EQ(workload::count_inversions(v), brute);
+}
+
+TEST(Inversions, ExtremesOfTheFraction) {
+  EXPECT_DOUBLE_EQ(
+      workload::inversion_fraction(workload::sorted_input(100)), 0.0);
+  EXPECT_DOUBLE_EQ(
+      workload::inversion_fraction(workload::reversed_input(100)), 1.0);
+  const double random_frac =
+      workload::inversion_fraction(workload::random_permutation(2000, 3));
+  EXPECT_NEAR(random_frac, 0.5, 0.05);  // E[fraction] = 1/2
+}
+
+TEST(Inversions, DuplicatesAreNotInversions) {
+  EXPECT_EQ(workload::count_inversions(std::vector<word>{2, 2, 2}), 0u);
+  EXPECT_EQ(workload::count_inversions(std::vector<word>{2, 1, 2}), 1u);
+}
+
+TEST(Moments, Statistics) {
+  const auto m = analysis::moments_of({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(m.mean, 2.5);
+  EXPECT_DOUBLE_EQ(m.min, 1.0);
+  EXPECT_DOUBLE_EQ(m.max, 4.0);
+  EXPECT_NEAR(m.stddev, std::sqrt(1.25), 1e-12);
+  EXPECT_THROW((void)analysis::moments_of({}), contract_error);
+}
+
+TEST(Moments, ZScore) {
+  analysis::Moments m;
+  m.mean = 10.0;
+  m.stddev = 2.0;
+  EXPECT_DOUBLE_EQ(analysis::z_score(m, 14.0), 2.0);
+  m.stddev = 0.0;
+  EXPECT_TRUE(std::isinf(analysis::z_score(m, 14.0)));
+  EXPECT_DOUBLE_EQ(analysis::z_score(m, 10.0), 0.0);
+}
+
+TEST(Expectation, DistributionIsTightAndReproducible) {
+  const sort::SortConfig cfg{5, 64, 32};
+  const std::size_t n = cfg.tile() * 4;
+  const auto dev = gpusim::quadro_m4000();
+  const auto d1 = analysis::sample_distribution(workload::InputKind::random,
+                                                n, cfg, dev, 6, 42);
+  const auto d2 = analysis::sample_distribution(workload::InputKind::random,
+                                                n, cfg, dev, 6, 42);
+  EXPECT_EQ(d1.samples, 6u);
+  EXPECT_DOUBLE_EQ(d1.beta2.mean, d2.beta2.mean);  // deterministic seeding
+  EXPECT_GT(d1.beta2.mean, 1.0);
+  EXPECT_LE(d1.beta2.min, d1.beta2.mean);
+  EXPECT_LE(d1.beta2.mean, d1.beta2.max);
+  // Random-input conflicts concentrate: spread within ~15% of the mean.
+  EXPECT_LT(d1.beta2.stddev, 0.15 * d1.beta2.mean);
+}
+
+TEST(Expectation, WorstCaseIsFarOutsideRandomDistribution) {
+  const sort::SortConfig cfg{5, 64, 32};
+  const std::size_t n = cfg.tile() * 4;
+  const auto dev = gpusim::quadro_m4000();
+  const auto dist = analysis::sample_distribution(workload::InputKind::random,
+                                                  n, cfg, dev, 8, 17);
+  const auto worst =
+      workload::make_input(workload::InputKind::worst_case, n, cfg, 1);
+  const auto report = sort::pairwise_merge_sort(worst, cfg, dev);
+  EXPECT_GT(analysis::z_score(dist.beta2, report.beta2()), 5.0);
+  EXPECT_GT(report.beta2(), dist.beta2.max);
+}
+
+TEST(Expectation, InversionSweepIsMonotoneInConflicts) {
+  const sort::SortConfig cfg{5, 64, 32};
+  const std::size_t n = cfg.tile() * 4;
+  const auto dev = gpusim::quadro_m4000();
+  const auto sweep =
+      analysis::inversion_sweep(n, cfg, dev, {0, 10, 100, 1000}, 3);
+  ASSERT_EQ(sweep.size(), 4u);
+  EXPECT_DOUBLE_EQ(sweep[0].inversion_fraction, 0.0);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GE(sweep[i].inversion_fraction, sweep[i - 1].inversion_fraction);
+    EXPECT_GT(sweep[i].conflicts_per_element,
+              sweep[0].conflicts_per_element);
+  }
+}
+
+}  // namespace
+}  // namespace wcm

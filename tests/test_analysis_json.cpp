@@ -1,0 +1,114 @@
+// Tests for the JSON report export: structural validity (balanced braces,
+// quoted strings, expected keys) and value round-trips for the fields a
+// downstream plotter would consume.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/json_export.hpp"
+#include "sort/pairwise_sort.hpp"
+#include "workload/inputs.hpp"
+
+namespace wcm::analysis {
+namespace {
+
+sort::SortReport sample_report() {
+  const sort::SortConfig cfg{5, 64, 32};
+  const auto input = workload::random_permutation(cfg.tile() * 4, 3);
+  return sort::pairwise_merge_sort(input, cfg, gpusim::quadro_m4000());
+}
+
+// Tiny structural validator: balanced {} and [] outside strings, no
+// trailing commas before closers.
+bool structurally_valid(const std::string& s) {
+  int brace = 0, bracket = 0;
+  bool in_string = false;
+  char prev = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '"' && prev != '\\') {
+        in_string = false;
+      }
+    } else {
+      switch (c) {
+        case '"':
+          in_string = true;
+          break;
+        case '{':
+          ++brace;
+          break;
+        case '}':
+          if (prev == ',') {
+            return false;
+          }
+          --brace;
+          break;
+        case '[':
+          ++bracket;
+          break;
+        case ']':
+          if (prev == ',') {
+            return false;
+          }
+          --bracket;
+          break;
+        default:
+          break;
+      }
+      if (brace < 0 || bracket < 0) {
+        return false;
+      }
+    }
+    prev = c;
+  }
+  return brace == 0 && bracket == 0 && !in_string;
+}
+
+TEST(JsonExport, StructurallyValid) {
+  const auto report = sample_report();
+  const std::string json = report_to_json(report);
+  EXPECT_TRUE(structurally_valid(json)) << json.substr(0, 200);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(JsonExport, ContainsExpectedFields) {
+  const auto report = sample_report();
+  const std::string json = report_to_json(report);
+  for (const char* key :
+       {"\"device\":\"Quadro M4000\"", "\"config\":", "\"E\":5", "\"b\":64",
+        "\"n\":1280", "\"beta2\":", "\"rounds\":[", "\"name\":\"block-sort\"",
+        "\"totals\":", "\"shared_replays\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(JsonExport, RoundCountMatches) {
+  const auto report = sample_report();
+  const std::string json = report_to_json(report);
+  std::size_t count = 0, pos = 0;
+  while ((pos = json.find("\"name\":", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, report.rounds.size());
+}
+
+TEST(JsonExport, EscapesStrings) {
+  auto report = sample_report();
+  report.rounds[0].name = "weird \"name\"\nwith newline";
+  const std::string json = report_to_json(report);
+  EXPECT_TRUE(structurally_valid(json));
+  EXPECT_NE(json.find("weird \\\"name\\\"\\nwith newline"),
+            std::string::npos);
+}
+
+TEST(JsonExport, Deterministic) {
+  const auto report = sample_report();
+  EXPECT_EQ(report_to_json(report), report_to_json(report));
+}
+
+}  // namespace
+}  // namespace wcm::analysis

@@ -1,0 +1,149 @@
+// Tests for the warp assignment representation, evaluator, and renderer.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/assignment.hpp"
+#include "core/warp_construction.hpp"
+#include "util/check.hpp"
+
+namespace wcm::core {
+namespace {
+
+WarpAssignment uniform(u32 w, u32 E, u32 from_a) {
+  WarpAssignment wa;
+  wa.w = w;
+  wa.E = E;
+  wa.threads.assign(w, ThreadAssign{from_a, E - from_a, true});
+  return wa;
+}
+
+TEST(WarpAssignment, Validation) {
+  auto wa = uniform(32, 5, 2);
+  wa.validate();
+  wa.threads[3].from_a = 3;  // now sums to 6
+  EXPECT_THROW(wa.validate(), contract_error);
+  wa.threads.pop_back();
+  EXPECT_THROW(wa.validate(), contract_error);
+}
+
+TEST(WarpAssignment, Totals) {
+  const auto wa = uniform(32, 5, 2);
+  EXPECT_EQ(wa.total_a(), 64u);
+  EXPECT_EQ(wa.total_b(), 96u);
+}
+
+TEST(WarpAssignment, MirrorSwapsRoles) {
+  const auto wa = uniform(32, 5, 2);
+  const auto m = wa.mirrored();
+  EXPECT_EQ(m.total_a(), wa.total_b());
+  EXPECT_EQ(m.total_b(), wa.total_a());
+  EXPECT_FALSE(m.threads[0].a_first);
+  const auto mm = m.mirrored();
+  EXPECT_EQ(mm.total_a(), wa.total_a());
+  EXPECT_TRUE(mm.threads[0].a_first);
+}
+
+// Sorted order with E | w: every thread's run starts at bank (tE mod w);
+// with gcd(w, E) = d, every d-th thread aligns (the Figure 1 situation).
+TEST(Evaluate, SortedOrderPowerOfTwoEIsFullyConflicted) {
+  // E = 8, w = 32: d = 8; threads 0, 4, 8, ... start at bank 0.  In sorted
+  // order, at step j, w/d = 4 A-threads plus B-threads hit the same bank.
+  const u32 w = 32, E = 8;
+  const auto wa = sorted_order_warp(w, E);
+  const auto eval = evaluate_warp(wa, 0);
+  // Every aligned element: threads whose start bank is 0.
+  // A has 16 threads, stride E=8 -> starts at banks 0,8,16,24,0,...: 4
+  // aligned threads; same for B; total (4+4)*E = 64.
+  EXPECT_EQ(eval.aligned, 64u);
+  EXPECT_GE(eval.totals.max_bank_degree, 8u);  // 8 threads per bank per step
+}
+
+TEST(Evaluate, AlignedCountWindowStart) {
+  // A single thread scanning A at bank 0 aligns all E elements for s=0 and
+  // none for s=1.
+  WarpAssignment wa;
+  wa.w = 8;
+  wa.E = 3;
+  wa.threads.assign(8, ThreadAssign{0, 3, false});
+  wa.threads[0] = {3, 0, true};
+  const auto e0 = evaluate_warp(wa, 0);
+  const auto e1 = evaluate_warp(wa, 1);
+  // Thread 0's three A elements at banks 0,1,2 read at steps 0,1,2.
+  EXPECT_GE(e0.aligned, 3u);
+  EXPECT_LT(e1.aligned, e0.aligned + 3);
+  EXPECT_THROW((void)evaluate_warp(wa, 8), contract_error);
+}
+
+TEST(Evaluate, StepDegreeHasLengthE) {
+  const auto wa = worst_case_warp(32, 15);
+  const auto eval = evaluate_warp(wa, 0);
+  EXPECT_EQ(eval.step_degree.size(), 15u);
+  for (const auto d : eval.step_degree) {
+    EXPECT_EQ(d, 15u);  // Theorem 3: every step is E-way serialized
+  }
+}
+
+TEST(Evaluate, TotalsConsistency) {
+  const auto wa = worst_case_warp(32, 15);
+  const auto eval = evaluate_warp(wa, 0);
+  // Requests: w threads x E steps.
+  EXPECT_EQ(eval.totals.requests, 32u * 15u);
+  // Serialization = sum of per-step max degrees.
+  std::size_t sum = 0;
+  for (const auto d : eval.step_degree) {
+    sum += d;
+  }
+  EXPECT_EQ(eval.totals.serialization, sum);
+  EXPECT_EQ(eval.totals.replays, sum - 15u);
+}
+
+TEST(Render, ConflictHeatmapShape) {
+  const auto wa = worst_case_warp(32, 5);
+  const std::string s = render_conflict_heatmap(wa);
+  // Header + separator + E rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2 + 5);
+  // Theorem 3: at step j, bank j carries 5 threads — a "5" appears in
+  // every data row, and the dot marks empty banks.
+  EXPECT_NE(s.find(" 5"), std::string::npos);
+  EXPECT_NE(s.find(" ."), std::string::npos);
+}
+
+TEST(Render, HeatmapDegreesSumToW) {
+  const auto wa = worst_case_warp(32, 7);
+  const std::string s = render_conflict_heatmap(wa);
+  // Each data row's digits sum to w = 32 (every lane reads once per step).
+  std::istringstream is(s);
+  std::string line;
+  std::getline(is, line);  // header
+  std::getline(is, line);  // separator
+  while (std::getline(is, line)) {
+    const auto bar = line.find('|');
+    ASSERT_NE(bar, std::string::npos);
+    int sum = 0;
+    for (std::size_t i = bar + 1; i < line.size(); ++i) {
+      if (line[i] >= '0' && line[i] <= '9') {
+        sum += line[i] - '0';
+      } else if (line[i] >= 'a' && line[i] <= 'z') {
+        sum += 10 + line[i] - 'a';
+      }
+    }
+    EXPECT_EQ(sum, 32) << line;
+  }
+}
+
+TEST(Render, ContainsThreadLabelsAndBankRows) {
+  const auto wa = worst_case_warp(16, 7);
+  const std::string s = render_warp(wa);
+  EXPECT_NE(s.find("A (64 elements):"), std::string::npos);
+  EXPECT_NE(s.find("B (48 elements):"), std::string::npos);
+  // 16 bank rows per list plus two headers.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2 + 16 + 16);
+  // Thread 15 appears somewhere.
+  EXPECT_NE(s.find("15"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wcm::core

@@ -1,0 +1,196 @@
+// Tests for the paper's number-theoretic lemmas: regime classification,
+// Lemma 1, Lemma 4, and the x_i / y_i sequence properties of Lemmas 7 / 8,
+// verified exhaustively over all valid (w, E) pairs with TEST_P sweeps.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/numbers.hpp"
+#include "util/check.hpp"
+
+namespace wcm::core {
+namespace {
+
+TEST(Classify, Regimes) {
+  EXPECT_EQ(classify_e(32, 15), ERegime::small);
+  EXPECT_EQ(classify_e(32, 17), ERegime::large);
+  EXPECT_EQ(classify_e(32, 16), ERegime::power_of_two);
+  EXPECT_EQ(classify_e(32, 8), ERegime::power_of_two);
+  EXPECT_EQ(classify_e(32, 12), ERegime::shared_factor);
+  EXPECT_EQ(classify_e(32, 2), ERegime::unsupported);   // E < 3
+  EXPECT_EQ(classify_e(32, 32), ERegime::unsupported);  // E >= w
+  EXPECT_EQ(classify_e(32, 40), ERegime::unsupported);
+  EXPECT_THROW((void)classify_e(30, 5), contract_error);
+}
+
+TEST(Lemma1, Bound) {
+  EXPECT_EQ(lemma1_bound(16, 32), 1u);
+  EXPECT_EQ(lemma1_bound(32, 32), 1u);
+  EXPECT_EQ(lemma1_bound(33, 32), 2u);
+  EXPECT_EQ(lemma1_bound(64, 32), 2u);
+  EXPECT_EQ(lemma1_bound(32 * 32, 32), 32u);
+  EXPECT_EQ(lemma1_bound(100000, 32), 32u);  // capped at w
+  EXPECT_THROW((void)lemma1_bound(5, 0), contract_error);
+}
+
+TEST(Lemma4, RIsOddAndCoprime) {
+  for (const u32 w : {8u, 16u, 32u, 64u, 128u}) {
+    for (u32 E = w / 2 + 1; E < w; E += 2) {
+      if (classify_e(w, E) != ERegime::large) {
+        continue;
+      }
+      const u32 r = large_e_r(w, E);
+      EXPECT_EQ(r, w - E);
+      EXPECT_EQ(r % 2, 1u);              // difference of even and odd
+      EXPECT_EQ(gcd(E, r), 1u);          // Lemma 4
+    }
+  }
+  EXPECT_THROW((void)large_e_r(32, 15), contract_error);  // small regime
+}
+
+struct SequenceCase {
+  u32 w;
+  u32 E;
+};
+
+class LargeESequences : public ::testing::TestWithParam<SequenceCase> {};
+
+// Lemma 7.1: x_i + y_i = E for all i in 1..E-1.
+TEST_P(LargeESequences, Lemma7SumIsE) {
+  const auto [w, E] = GetParam();
+  const auto x = x_sequence(w, E);
+  const auto y = y_sequence(w, E);
+  for (u32 i = 1; i < E; ++i) {
+    EXPECT_EQ(x[i] + y[i], E) << "i=" << i;
+    EXPECT_GT(x[i], 0u);  // never zero (proof of Lemma 7.1)
+    EXPECT_GT(y[i], 0u);
+  }
+}
+
+// Lemma 7.2: all x_i distinct, all y_i distinct.
+TEST_P(LargeESequences, Lemma7Uniqueness) {
+  const auto [w, E] = GetParam();
+  const auto x = x_sequence(w, E);
+  const auto y = y_sequence(w, E);
+  const std::set<u32> xs(x.begin() + 1, x.end());
+  const std::set<u32> ys(y.begin() + 1, y.end());
+  EXPECT_EQ(xs.size(), static_cast<std::size_t>(E - 1));
+  EXPECT_EQ(ys.size(), static_cast<std::size_t>(E - 1));
+}
+
+// Lemma 7.3: x_i = y_{E-i}.
+TEST_P(LargeESequences, Lemma7Symmetry) {
+  const auto [w, E] = GetParam();
+  const auto x = x_sequence(w, E);
+  const auto y = y_sequence(w, E);
+  for (u32 i = 1; i < E; ++i) {
+    EXPECT_EQ(x[i], y[E - i]) << "i=" << i;
+  }
+}
+
+// Lemma 8.3: consecutive sums x_i + y_{i+1} are either r or w, with
+// exactly (r-1) of them equal to r and (E-r-1) equal to w.
+TEST_P(LargeESequences, Lemma8ConsecutiveSums) {
+  const auto [w, E] = GetParam();
+  const u32 r = large_e_r(w, E);
+  const auto x = x_sequence(w, E);
+  const auto y = y_sequence(w, E);
+  u32 sum_r = 0, sum_w = 0;
+  for (u32 i = 1; i + 1 < E; ++i) {
+    const u32 s = x[i] + y[i + 1];
+    EXPECT_TRUE(s == r || s == w) << "i=" << i << " sum=" << s;
+    if (s == r) {
+      ++sum_r;
+    } else {
+      ++sum_w;
+    }
+    // Lemma 8.3's case split: sum is r iff x_i < r.
+    EXPECT_EQ(s == r, x[i] < r) << "i=" << i;
+  }
+  EXPECT_EQ(sum_r, r - 1);
+  EXPECT_EQ(sum_w, E - r - 1);
+}
+
+// Boundary values used by sequence T's rule 1:
+// (a_1, b_1) = (y_1, x_1) = (r, E - r) and x_{E-1} = r.
+TEST_P(LargeESequences, BoundaryValues) {
+  const auto [w, E] = GetParam();
+  const u32 r = large_e_r(w, E);
+  const auto x = x_sequence(w, E);
+  const auto y = y_sequence(w, E);
+  EXPECT_EQ(y[1], r);
+  EXPECT_EQ(x[1], E - r);
+  EXPECT_EQ(x[E - 1], r);
+  EXPECT_EQ(y[E - 1], E - r);
+}
+
+std::vector<SequenceCase> all_large_cases() {
+  std::vector<SequenceCase> cases;
+  for (const u32 w : {8u, 16u, 32u, 64u, 128u}) {
+    for (u32 E = 3; E < w; E += 2) {
+      if (classify_e(w, E) == ERegime::large) {
+        cases.push_back({w, E});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLargeE, LargeESequences,
+                         ::testing::ValuesIn(all_large_cases()),
+                         [](const auto& tinfo) {
+                           return "w" + std::to_string(tinfo.param.w) + "_E" +
+                                  std::to_string(tinfo.param.E);
+                         });
+
+TEST(ClosedForms, SmallE) {
+  EXPECT_EQ(aligned_small_e(7), 49u);
+  EXPECT_EQ(aligned_small_e(15), 225u);
+}
+
+TEST(ClosedForms, LargeEPaperValues) {
+  // Figure 3 right: w=16, E=9 aligns 80 of 144 elements.
+  EXPECT_EQ(aligned_large_e(16, 9), 80u);
+  // Paper Sec. III-B: E = w/2 + 1 gives E^2 - 1.
+  for (const u32 w : {8u, 16u, 32u, 64u}) {
+    const u32 e = w / 2 + 1;
+    EXPECT_EQ(aligned_large_e(w, e), static_cast<u64>(e) * e - 1);
+  }
+  // E = w - 1 gives E^2/2 + 3E/2 - 1 (paper: (E^2 + 3E)/2 - 1 ... with
+  // E odd this is integer).
+  for (const u32 w : {8u, 16u, 32u, 64u}) {
+    const u32 e = w - 1;
+    EXPECT_EQ(aligned_large_e(w, e),
+              (static_cast<u64>(e) * e + 3 * e) / 2 - 1);
+  }
+}
+
+TEST(ClosedForms, DispatcherRejectsOtherRegimes) {
+  EXPECT_EQ(aligned_worst_case(32, 15), 225u);
+  EXPECT_EQ(aligned_worst_case(32, 17), 288u);
+  EXPECT_THROW((void)aligned_worst_case(32, 16), contract_error);
+  EXPECT_THROW((void)aligned_worst_case(32, 12), contract_error);
+}
+
+// Sec. III-C: for small E the total is at most w^2/4; for large E it
+// approaches w^2/2 as E approaches w.
+TEST(ClosedForms, SectionIIICTradeoff) {
+  for (const u32 w : {16u, 32u, 64u}) {
+    for (u32 E = 3; E < w; E += 2) {
+      const auto regime = classify_e(w, E);
+      if (regime == ERegime::small) {
+        EXPECT_LE(aligned_small_e(E), static_cast<u64>(w) * w / 4);
+      } else if (regime == ERegime::large) {
+        EXPECT_LE(aligned_large_e(w, E), static_cast<u64>(E) * E);
+        EXPECT_GE(aligned_large_e(w, E), static_cast<u64>(E) * E / 2);
+      }
+    }
+    // The largest E gets within E/2 + ... of w^2/2.
+    const u32 e_max = w - 1;
+    EXPECT_GT(aligned_large_e(w, e_max), static_cast<u64>(w) * w / 2 - 2 * w);
+  }
+}
+
+}  // namespace
+}  // namespace wcm::core

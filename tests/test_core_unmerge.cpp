@@ -1,0 +1,128 @@
+// Tests for the unmerge machinery: block masks, pair masks, neutral masks,
+// and the value splitter.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/unmerge.hpp"
+#include "core/warp_construction.hpp"
+#include "mergepath/serial_merge.hpp"
+#include "util/check.hpp"
+
+namespace wcm::core {
+namespace {
+
+sort::SortConfig cfg_small() { return sort::SortConfig{5, 64, 32}; }
+
+TEST(AttackBlockMask, HalfTrueAndWellFormed) {
+  const auto cfg = cfg_small();
+  const auto l = worst_case_warp(cfg.w, cfg.E, WarpSide::L);
+  const auto r = worst_case_warp(cfg.w, cfg.E, WarpSide::R);
+  const auto mask = attack_block_mask(cfg, l, r);
+  EXPECT_EQ(mask.size(), cfg.tile());
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(mask.begin(), mask.end(), true)),
+            cfg.tile() / 2);
+}
+
+TEST(AttackBlockMask, PerThreadRunsAreContiguous) {
+  // Every thread scans one list then the other, so within each E-rank
+  // window the true entries form one contiguous run (possibly empty).
+  const auto cfg = cfg_small();
+  const auto l = worst_case_warp(cfg.w, cfg.E, WarpSide::L);
+  const auto r = worst_case_warp(cfg.w, cfg.E, WarpSide::R);
+  const auto mask = attack_block_mask(cfg, l, r);
+  for (std::size_t t = 0; t < cfg.b; ++t) {
+    const std::size_t base = t * cfg.E;
+    u32 transitions = 0;
+    for (u32 k = 1; k < cfg.E; ++k) {
+      transitions += mask[base + k] != mask[base + k - 1] ? 1u : 0u;
+    }
+    EXPECT_LE(transitions, 1u) << "thread " << t;
+  }
+}
+
+TEST(AttackBlockMask, WarpPrefixesAreWarpAligned) {
+  // The construction requires every warp's A segment to start at bank 0,
+  // i.e. the cumulative from-A count at each warp boundary is a multiple
+  // of w.
+  const auto cfg = cfg_small();
+  const auto l = worst_case_warp(cfg.w, cfg.E, WarpSide::L);
+  const auto r = worst_case_warp(cfg.w, cfg.E, WarpSide::R);
+  const auto mask = attack_block_mask(cfg, l, r);
+  const std::size_t warp_span = static_cast<std::size_t>(cfg.w) * cfg.E;
+  std::size_t from_a = 0;
+  for (std::size_t rank = 0; rank < mask.size(); ++rank) {
+    if (rank % warp_span == 0) {
+      EXPECT_EQ(from_a % cfg.w, 0u) << "warp boundary at rank " << rank;
+    }
+    from_a += mask[rank] ? 1u : 0u;
+  }
+}
+
+TEST(AttackBlockMask, RejectsAsymmetricLR) {
+  const auto cfg = cfg_small();
+  const auto l = worst_case_warp(cfg.w, cfg.E, WarpSide::L);
+  EXPECT_THROW((void)attack_block_mask(cfg, l, l), contract_error);
+}
+
+TEST(AttackPairMask, TilesBlockMask) {
+  const auto cfg = cfg_small();
+  const auto l = worst_case_warp(cfg.w, cfg.E, WarpSide::L);
+  const auto r = worst_case_warp(cfg.w, cfg.E, WarpSide::R);
+  const auto block = attack_block_mask(cfg, l, r);
+  const auto pair = attack_pair_mask(4 * cfg.tile(), cfg, l, r);
+  ASSERT_EQ(pair.size(), 4 * cfg.tile());
+  for (std::size_t i = 0; i < pair.size(); ++i) {
+    EXPECT_EQ(pair[i], block[i % cfg.tile()]);
+  }
+  EXPECT_THROW((void)attack_pair_mask(cfg.tile() + 1, cfg, l, r),
+               contract_error);
+}
+
+TEST(NeutralPairMask, FirstHalfTrue) {
+  const auto mask = neutral_pair_mask(10);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(mask[i]);
+    EXPECT_FALSE(mask[5 + i]);
+  }
+  EXPECT_THROW((void)neutral_pair_mask(7), contract_error);
+}
+
+TEST(Unmerge, SplitsAndRemergesToIdentity) {
+  // unmerge followed by a stable merge is the identity on sorted input —
+  // the core invariant the generator relies on.
+  const auto cfg = cfg_small();
+  const auto l = worst_case_warp(cfg.w, cfg.E, WarpSide::L);
+  const auto r = worst_case_warp(cfg.w, cfg.E, WarpSide::R);
+  const auto mask = attack_block_mask(cfg, l, r);
+
+  std::vector<dmm::word> values(cfg.tile());
+  std::iota(values.begin(), values.end(), dmm::word{100});
+  const auto split = unmerge(values, mask);
+  EXPECT_EQ(split.a.size(), cfg.tile() / 2);
+  EXPECT_EQ(split.b.size(), cfg.tile() / 2);
+  EXPECT_TRUE(mergepath::is_sorted_run(split.a));
+  EXPECT_TRUE(mergepath::is_sorted_run(split.b));
+  EXPECT_EQ(mergepath::serial_merge(split.a, split.b), values);
+}
+
+TEST(Unmerge, SizeMismatchThrows) {
+  std::vector<dmm::word> values(4);
+  std::vector<bool> mask(5);
+  EXPECT_THROW((void)unmerge(values, mask), contract_error);
+}
+
+TEST(AttackMasks, LargeERegimeAlsoWellFormed) {
+  const sort::SortConfig cfg{17, 256, 32};
+  const auto l = worst_case_warp(cfg.w, cfg.E, WarpSide::L);
+  const auto r = worst_case_warp(cfg.w, cfg.E, WarpSide::R);
+  const auto mask = attack_block_mask(cfg, l, r);
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(mask.begin(), mask.end(), true)),
+            cfg.tile() / 2);
+}
+
+}  // namespace
+}  // namespace wcm::core

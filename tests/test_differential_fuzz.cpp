@@ -1,0 +1,128 @@
+// Differential fuzzing: all four sorting substrates must agree with
+// std::sort (and hence each other) across randomized configurations,
+// sizes, and key distributions — duplicates, skew, near-sorted, adversarial.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sort/bitonic.hpp"
+#include "sort/cpu_reference.hpp"
+#include "sort/multiway.hpp"
+#include "sort/pairwise_sort.hpp"
+#include "sort/radix.hpp"
+#include "util/rng.hpp"
+#include "workload/inputs.hpp"
+
+namespace wcm {
+namespace {
+
+std::vector<dmm::word> fuzz_keys(std::size_t n, Xoshiro256& rng) {
+  std::vector<dmm::word> v(n);
+  switch (rng.below(5)) {
+    case 0:  // uniform small range (heavy duplicates)
+      for (auto& x : v) {
+        x = static_cast<dmm::word>(rng.below(7));
+      }
+      break;
+    case 1:  // uniform wide
+      for (auto& x : v) {
+        x = static_cast<dmm::word>(rng.below(1u << 20));
+      }
+      break;
+    case 2: {  // nearly sorted
+      v = workload::nearly_sorted_input(n, n / 20 + 1, rng());
+      break;
+    }
+    case 3:  // organ pipe
+      for (std::size_t i = 0; i < n; ++i) {
+        v[i] = static_cast<dmm::word>(std::min(i, n - 1 - i));
+      }
+      break;
+    default:  // runs of equal keys
+      for (std::size_t i = 0; i < n; ++i) {
+        v[i] = static_cast<dmm::word>((i / 13) % 11);
+      }
+      break;
+  }
+  return v;
+}
+
+TEST(DifferentialFuzz, AllSortsAgreeWithStdSort) {
+  Xoshiro256 rng(20260706);
+  const auto dev = gpusim::quadro_m4000();
+  const sort::SortConfig configs[] = {
+      {3, 64, 32}, {5, 64, 32}, {7, 128, 32}, {15, 128, 32}, {4, 64, 32}};
+
+  for (int trial = 0; trial < 12; ++trial) {
+    const auto& cfg = configs[rng.below(5)];
+    const std::size_t tiles = 1 + rng.below(6);
+    const std::size_t n = cfg.tile() * tiles;
+    const auto input = fuzz_keys(n, rng);
+    const auto expected = sort::std_sort(input);
+
+    std::vector<dmm::word> out;
+    (void)sort::pairwise_merge_sort(input, cfg, dev,
+                                    sort::MergeSortLibrary::thrust, &out);
+    ASSERT_EQ(out, expected) << "pairwise trial " << trial;
+
+    (void)sort::multiway_merge_sort(input, cfg, dev,
+                                    2 + static_cast<u32>(rng.below(4)),
+                                    &out);
+    ASSERT_EQ(out, expected) << "multiway trial " << trial;
+
+    // Radix needs non-negative keys (all fuzz classes are); bitonic needs a
+    // power-of-two size — run it on a truncated power-of-two prefix.
+    (void)sort::radix_sort(input, cfg, dev,
+                           1 + static_cast<u32>(rng.below(8)), &out);
+    ASSERT_EQ(out, expected) << "radix trial " << trial;
+
+    std::size_t n2 = 1;
+    while (n2 * 2 <= n) {
+      n2 *= 2;
+    }
+    if (n2 >= 2 * cfg.b) {
+      std::vector<dmm::word> prefix(input.begin(),
+                                    input.begin() +
+                                        static_cast<std::ptrdiff_t>(n2));
+      sort::SortConfig bcfg;
+      bcfg.E = 2;
+      bcfg.b = cfg.b;
+      (void)sort::bitonic_sort(prefix, bcfg, dev, &out);
+      ASSERT_EQ(out, sort::std_sort(prefix)) << "bitonic trial " << trial;
+    }
+  }
+}
+
+TEST(DifferentialFuzz, PaddedConfigsAlsoAgree) {
+  Xoshiro256 rng(777);
+  const auto dev = gpusim::quadro_m4000();
+  for (int trial = 0; trial < 4; ++trial) {
+    sort::SortConfig cfg{5, 64, 32};
+    cfg.padding = 1 + static_cast<u32>(rng.below(3));
+    const std::size_t n = cfg.tile() * (2 + rng.below(3));
+    const auto input = fuzz_keys(n, rng);
+    std::vector<dmm::word> out;
+    (void)sort::pairwise_merge_sort(input, cfg, dev,
+                                    sort::MergeSortLibrary::thrust, &out);
+    ASSERT_EQ(out, sort::std_sort(input)) << "trial " << trial;
+  }
+}
+
+TEST(DifferentialFuzz, RealisticFidelityAgrees) {
+  Xoshiro256 rng(99);
+  const auto dev = gpusim::quadro_m4000();
+  for (int trial = 0; trial < 4; ++trial) {
+    sort::SortConfig cfg{7, 64, 32};
+    cfg.realistic_refills = true;
+    const std::size_t n = cfg.tile() * (1 + rng.below(4));
+    const auto input = fuzz_keys(n, rng);
+    std::vector<dmm::word> out;
+    (void)sort::pairwise_merge_sort(input, cfg, dev,
+                                    sort::MergeSortLibrary::thrust, &out);
+    ASSERT_EQ(out, sort::std_sort(input)) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace wcm

@@ -1,0 +1,131 @@
+// Tests for the analytical cost model: monotonicity in every counted event,
+// the occupancy asymmetry between base accesses and replays, and basic
+// plausibility of the modeled times.
+
+#include <gtest/gtest.h>
+
+#include "gpusim/cost_model.hpp"
+#include "sort/pairwise_sort.hpp"
+#include "util/check.hpp"
+
+namespace wcm::gpusim {
+namespace {
+
+KernelStats base_stats() {
+  KernelStats s;
+  s.shared.steps = 100000;
+  s.shared.serialization_cycles = 150000;
+  s.shared.replays = 50000;
+  s.global_transactions = 40000;
+  s.binary_search_steps = 2400;
+  s.warp_merge_steps = 30000;
+  s.blocks_launched = 120;
+  s.elements_processed = 120 * 7680;
+  return s;
+}
+
+LaunchConfig launch_thrust_m4000() {
+  const auto cfg = wcm::sort::params_15_512();
+  return {120, cfg.b, cfg.shared_bytes()};
+}
+
+TEST(CostModel, PositiveComponents) {
+  const auto t = estimate_kernel_time(quadro_m4000(), launch_thrust_m4000(),
+                                      base_stats());
+  EXPECT_GT(t.seconds, 0.0);
+  EXPECT_GT(t.t_bandwidth, 0.0);
+  EXPECT_GT(t.t_latency, 0.0);
+  EXPECT_GT(t.t_shared, 0.0);
+  EXPECT_GT(t.t_compute, 0.0);
+  EXPECT_GE(t.seconds, t.t_latency + t.t_overhead);
+}
+
+TEST(CostModel, MoreReplaysNeverFaster) {
+  const auto dev = quadro_m4000();
+  const auto launch = launch_thrust_m4000();
+  KernelStats s = base_stats();
+  const double t0 = estimate_kernel_time(dev, launch, s).seconds;
+  s.shared.replays += 100000;
+  const double t1 = estimate_kernel_time(dev, launch, s).seconds;
+  EXPECT_GT(t1, t0);
+}
+
+TEST(CostModel, MoreTransactionsNeverFaster) {
+  const auto dev = quadro_m4000();
+  const auto launch = launch_thrust_m4000();
+  KernelStats s = base_stats();
+  const double t0 = estimate_kernel_time(dev, launch, s).seconds;
+  s.global_transactions *= 20;
+  const double t1 = estimate_kernel_time(dev, launch, s).seconds;
+  EXPECT_GT(t1, t0);
+}
+
+TEST(CostModel, LongerSearchChainsNeverFaster) {
+  const auto dev = quadro_m4000();
+  const auto launch = launch_thrust_m4000();
+  KernelStats s = base_stats();
+  const double t0 = estimate_kernel_time(dev, launch, s).seconds;
+  s.binary_search_steps *= 4;
+  const double t1 = estimate_kernel_time(dev, launch, s).seconds;
+  EXPECT_GT(t1, t0);
+}
+
+// The asymmetry that reproduces the paper's Sec. IV-B occupancy finding:
+// at 75% occupancy (E=17,b=256 on the 2080 Ti) the *baseline* is slower,
+// but each additional replay costs less than at 100% occupancy.
+TEST(CostModel, OccupancyAsymmetry) {
+  const auto dev = rtx_2080ti();
+  const auto full = wcm::sort::params_15_512();   // 100% occupancy
+  const auto partial = wcm::sort::params_17_256();  // 75% occupancy
+  const LaunchConfig lf{120, full.b, full.shared_bytes()};
+  const LaunchConfig lp{240, partial.b, partial.shared_bytes()};
+
+  KernelStats s = base_stats();
+  s.shared.replays = 0;
+  const double base_full = estimate_kernel_time(dev, lf, s).t_shared;
+  const double base_partial = estimate_kernel_time(dev, lp, s).t_shared;
+  EXPECT_GT(base_partial, base_full);  // slower baseline at low occupancy
+
+  KernelStats s2 = s;
+  s2.shared.replays = 200000;
+  const double delta_full =
+      estimate_kernel_time(dev, lf, s2).t_shared - base_full;
+  const double delta_partial =
+      estimate_kernel_time(dev, lp, s2).t_shared - base_partial;
+  EXPECT_LT(delta_partial, delta_full);  // replays cheaper at low occupancy
+}
+
+TEST(CostModel, RejectsImpossibleLaunches) {
+  const auto dev = quadro_m4000();
+  KernelStats s = base_stats();
+  EXPECT_THROW(
+      (void)estimate_kernel_time(dev, {0, 512, 1024}, s),
+      wcm::contract_error);
+  EXPECT_THROW(
+      (void)estimate_kernel_time(dev, {10, 512, 1024 * 1024}, s),
+      wcm::contract_error);
+}
+
+TEST(CostModel, KernelTimeAccumulation) {
+  KernelTime a;
+  a.seconds = 1.0;
+  a.t_shared = 0.5;
+  KernelTime b;
+  b.seconds = 2.0;
+  b.t_shared = 0.25;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.seconds, 3.0);
+  EXPECT_DOUBLE_EQ(a.t_shared, 0.75);
+}
+
+TEST(CostModel, ThrustCheaperThanMgpuPerStep) {
+  const auto thrust =
+      wcm::sort::library_calibration(wcm::sort::MergeSortLibrary::thrust);
+  const auto mgpu =
+      wcm::sort::library_calibration(wcm::sort::MergeSortLibrary::mgpu);
+  EXPECT_LT(thrust.compute_cycles_per_merge_step,
+            mgpu.compute_cycles_per_merge_step);
+}
+
+}  // namespace
+}  // namespace wcm::gpusim

@@ -1,0 +1,119 @@
+// Tests for device descriptors and the occupancy calculator, including the
+// exact occupancy arithmetic the paper walks through in Sec. IV-A.
+
+#include <gtest/gtest.h>
+
+#include "gpusim/device.hpp"
+#include "sort/pairwise_sort.hpp"
+#include "util/check.hpp"
+#include "workload/inputs.hpp"
+
+namespace wcm::gpusim {
+namespace {
+
+TEST(Device, PublishedSpecs) {
+  const Device m = quadro_m4000();
+  EXPECT_EQ(m.cc_major, 5u);
+  EXPECT_EQ(m.cc_minor, 2u);
+  EXPECT_EQ(m.sm_count, 13u);
+  EXPECT_EQ(m.total_cores(), 1664u);  // paper: 1664 physical processors
+  EXPECT_EQ(m.shared_mem_per_sm, 96u * 1024u);
+
+  const Device t = rtx_2080ti();
+  EXPECT_EQ(t.cc_major, 7u);
+  EXPECT_EQ(t.cc_minor, 5u);
+  EXPECT_EQ(t.sm_count, 68u);
+  EXPECT_EQ(t.total_cores(), 4352u);  // paper: 4352 physical processors
+  EXPECT_EQ(t.shared_mem_per_sm, 64u * 1024u);  // 32 L1 / 64 shared split
+}
+
+TEST(Device, Gtx770Specs) {
+  const Device g = gtx_770();
+  EXPECT_EQ(g.cc_major, 3u);
+  EXPECT_EQ(g.total_cores(), 1536u);
+  EXPECT_EQ(g.shared_mem_per_sm, 48u * 1024u);
+  // Thrust E=15,b=512 (30 KiB/block): only one block fits per Kepler SM.
+  const auto cfg = wcm::sort::params_15_512();
+  const Occupancy o = occupancy(g, cfg.b, cfg.shared_bytes());
+  EXPECT_EQ(o.resident_blocks, 1u);
+  EXPECT_EQ(o.limiter, Occupancy::Limiter::shared_memory);
+}
+
+TEST(Device, Gtx770EndToEnd) {
+  // Worst-case inputs slow the sort on the Kepler model too (Karsin et
+  // al.'s original observation on this card).
+  const wcm::sort::SortConfig cfg{15, 128, 32};
+  const std::size_t n = cfg.tile() * 16;
+  const auto worst = wcm::workload::make_input(
+      wcm::workload::InputKind::worst_case, n, cfg, 3);
+  const auto random = wcm::workload::random_permutation(n, 3);
+  const auto rw = wcm::sort::pairwise_merge_sort(worst, cfg, gtx_770());
+  const auto rr = wcm::sort::pairwise_merge_sort(random, cfg, gtx_770());
+  EXPECT_GT(rw.seconds(), rr.seconds());
+}
+
+// Paper Sec. IV-A: on the RTX 2080 Ti, E=17,b=256 -> 17 KiB per block, 3
+// resident blocks (768 threads), 75% occupancy; E=15,b=512 -> 30 KiB per
+// block, 2 resident blocks (1024 threads), 100% occupancy.
+TEST(Occupancy, PaperArithmetic2080Ti) {
+  const Device t = rtx_2080ti();
+
+  const auto cfg1 = sort::params_17_256();
+  EXPECT_EQ(cfg1.shared_bytes(), 17408u);  // "17 KiB"
+  const Occupancy o1 = occupancy(t, cfg1.b, cfg1.shared_bytes());
+  EXPECT_EQ(o1.resident_blocks, 3u);
+  EXPECT_EQ(o1.resident_threads, 768u);
+  EXPECT_DOUBLE_EQ(o1.fraction, 0.75);
+
+  const auto cfg2 = sort::params_15_512();
+  EXPECT_EQ(cfg2.shared_bytes(), 30720u);  // "30 KiB"
+  const Occupancy o2 = occupancy(t, cfg2.b, cfg2.shared_bytes());
+  EXPECT_EQ(o2.resident_blocks, 2u);
+  EXPECT_EQ(o2.resident_threads, 1024u);
+  EXPECT_DOUBLE_EQ(o2.fraction, 1.0);
+}
+
+TEST(Occupancy, M4000Thrust) {
+  const Device m = quadro_m4000();
+  const auto cfg = sort::params_15_512();
+  const Occupancy o = occupancy(m, cfg.b, cfg.shared_bytes());
+  // 96 KiB / 30 KiB -> 3 blocks; threads allow 4; shared memory limits.
+  EXPECT_EQ(o.resident_blocks, 3u);
+  EXPECT_EQ(o.resident_threads, 1536u);
+  EXPECT_EQ(o.limiter, Occupancy::Limiter::shared_memory);
+}
+
+TEST(Occupancy, M4000Mgpu) {
+  const Device m = quadro_m4000();
+  const auto cfg = sort::params_15_128();
+  const Occupancy o = occupancy(m, cfg.b, cfg.shared_bytes());
+  // 96 KiB / 7.5 KiB -> 12 blocks; threads allow 16 -> shared limits at 12.
+  EXPECT_EQ(o.resident_blocks, 12u);
+  EXPECT_EQ(o.resident_threads, 1536u);
+}
+
+TEST(Occupancy, BlockTooLarge) {
+  const Device t = rtx_2080ti();
+  const Occupancy o = occupancy(t, 256, 128 * 1024);
+  EXPECT_EQ(o.resident_blocks, 0u);
+  EXPECT_EQ(o.limiter, Occupancy::Limiter::block_too_large);
+  const Occupancy o2 = occupancy(t, 2048, 0);  // > max threads per SM
+  EXPECT_EQ(o2.resident_blocks, 0u);
+}
+
+TEST(Occupancy, BlockCountLimiter) {
+  const Device m = quadro_m4000();
+  // Tiny blocks with no shared memory: limited by max_blocks_per_sm.
+  const Occupancy o = occupancy(m, 32, 0);
+  EXPECT_EQ(o.resident_blocks, m.max_blocks_per_sm);
+  EXPECT_EQ(o.limiter, Occupancy::Limiter::blocks);
+}
+
+TEST(Occupancy, RejectsNonWarpMultipleBlocks) {
+  const Device m = quadro_m4000();
+  EXPECT_THROW((void)occupancy(m, 48, 0), contract_error);
+  EXPECT_THROW((void)occupancy(m, 0, 0), contract_error);
+}
+
+}  // namespace
+}  // namespace wcm::gpusim

@@ -1,0 +1,121 @@
+// Tests for the padded shared-memory layout (the Dotsenko-style
+// bank-conflict mitigation) and its end-to-end effect on the attack.
+
+#include <gtest/gtest.h>
+
+#include "gpusim/shared_memory.hpp"
+#include "sort/pairwise_sort.hpp"
+#include "util/check.hpp"
+#include "workload/inputs.hpp"
+
+namespace wcm::gpusim {
+namespace {
+
+TEST(SharedLayout, IdentityWithoutPadding) {
+  const SharedLayout l{32, 0};
+  for (const std::size_t a : {0u, 1u, 31u, 32u, 1000u}) {
+    EXPECT_EQ(l.physical(a), a);
+  }
+  EXPECT_EQ(l.physical_words(100), 100u);
+  EXPECT_EQ(l.physical_words(0), 0u);
+}
+
+TEST(SharedLayout, PaddingShiftsColumns) {
+  const SharedLayout l{32, 1};
+  EXPECT_EQ(l.physical(0), 0u);
+  EXPECT_EQ(l.physical(31), 31u);
+  EXPECT_EQ(l.physical(32), 33u);  // one pad word after each 32
+  EXPECT_EQ(l.physical(64), 66u);
+  EXPECT_EQ(l.physical_words(64), 65u);  // physical(63) + 1
+}
+
+TEST(SharedLayout, BankRotationProperty) {
+  // With pad = 1, logical column c of bank b lands in bank (b + c) mod w:
+  // a full stride-w logical column (the worst unpadded pattern) becomes
+  // conflict-free.
+  const SharedLayout l{32, 1};
+  for (std::size_t c = 0; c < 8; ++c) {
+    EXPECT_EQ(l.physical(c * 32) % 32, c % 32);
+  }
+}
+
+TEST(SharedMemoryPadded, ValuesUnaffectedByPadding) {
+  SharedMemory shm(32, 128, 1);
+  const auto vals = workload::random_permutation(128, 3);
+  shm.fill(vals);
+  EXPECT_EQ(shm.dump(0, 128), vals);
+  shm.poke(100, 42);
+  EXPECT_EQ(shm.peek(100), 42);
+}
+
+TEST(SharedMemoryPadded, StrideWBecomesConflictFree) {
+  // Logical stride-w reads: all one bank unpadded, all different banks with
+  // pad = 1.
+  std::vector<LaneRead> reads;
+  for (u32 lane = 0; lane < 32; ++lane) {
+    reads.push_back({lane, static_cast<std::size_t>(lane) * 32});
+  }
+  SharedMemory unpadded(32, 32 * 32, 0);
+  unpadded.warp_read(reads);
+  EXPECT_EQ(unpadded.stats().replays, 31u);
+
+  SharedMemory padded(32, 32 * 32, 1);
+  padded.warp_read(reads);
+  EXPECT_EQ(padded.stats().replays, 0u);
+}
+
+TEST(SharedMemoryPadded, BoundsAreLogical) {
+  SharedMemory shm(32, 64, 1);
+  EXPECT_EQ(shm.words(), 64u);
+  EXPECT_THROW((void)shm.peek(64), contract_error);
+  const std::vector<LaneRead> bad{{0, 64}};
+  EXPECT_THROW((void)shm.warp_read(bad), contract_error);
+}
+
+TEST(PaddingMitigation, ConfigSharedBytesIncludePadding) {
+  auto cfg = wcm::sort::params_15_512();
+  const auto base = cfg.shared_bytes();
+  cfg.padding = 1;
+  EXPECT_EQ(cfg.shared_bytes(), base + cfg.tile() / cfg.w * 4);
+}
+
+// End to end: padding collapses the constructed input's beta_2 to
+// random-like levels and removes the slowdown.
+TEST(PaddingMitigation, DefeatsTheConstruction) {
+  wcm::sort::SortConfig cfg{5, 64, 32};
+  const std::size_t n = cfg.tile() * 8;
+  const auto dev = quadro_m4000();
+  const auto worst =
+      workload::make_input(workload::InputKind::worst_case, n, cfg, 3);
+  const auto random =
+      workload::make_input(workload::InputKind::random, n, cfg, 3);
+
+  const auto attacked = wcm::sort::pairwise_merge_sort(worst, cfg, dev);
+  cfg.padding = 1;
+  const auto mitigated = wcm::sort::pairwise_merge_sort(worst, cfg, dev);
+  const auto random_padded =
+      wcm::sort::pairwise_merge_sort(random, cfg, dev);
+
+  // Sharpest on the attacked rounds themselves: beta_2 = E without
+  // padding, collapses well below E/1.5 with it.
+  const double attacked_round_beta2 =
+      beta2(attacked.rounds.back().kernel);
+  const double mitigated_round_beta2 =
+      beta2(mitigated.rounds.back().kernel);
+  EXPECT_DOUBLE_EQ(attacked_round_beta2, 5.0);  // = E
+  EXPECT_LT(mitigated_round_beta2, attacked_round_beta2 / 1.5);
+  EXPECT_LT(mitigated.beta2(), attacked.beta2());
+  // With padding, the constructed input behaves like any other input.
+  EXPECT_NEAR(mitigated.seconds(), random_padded.seconds(),
+              0.15 * random_padded.seconds());
+  // And it still sorts.
+  std::vector<word> out;
+  cfg.padding = 1;
+  (void)wcm::sort::pairwise_merge_sort(worst, cfg, dev,
+                                       wcm::sort::MergeSortLibrary::thrust,
+                                       &out);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+}
+
+}  // namespace
+}  // namespace wcm::gpusim

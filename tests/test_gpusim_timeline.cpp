@@ -1,0 +1,91 @@
+// Tests for the event-driven block scheduler.
+
+#include <gtest/gtest.h>
+
+#include "gpusim/timeline.hpp"
+#include "sort/config.hpp"
+#include "util/check.hpp"
+
+namespace wcm::gpusim {
+namespace {
+
+TEST(Timeline, EmptyLaunch) {
+  const auto r = schedule_blocks({}, 8);
+  EXPECT_DOUBLE_EQ(r.makespan_cycles, 0.0);
+  EXPECT_DOUBLE_EQ(r.utilization, 1.0);
+}
+
+TEST(Timeline, UniformBlocksQuantizeIntoWaves) {
+  // 10 blocks of cost 100 on 4 slots: 3 waves, makespan 300.
+  const std::vector<double> blocks(10, 100.0);
+  const auto r = schedule_blocks(blocks, 4);
+  EXPECT_DOUBLE_EQ(r.makespan_cycles, 300.0);
+  EXPECT_DOUBLE_EQ(r.busy_cycles, 1000.0);
+  EXPECT_NEAR(r.utilization, 1000.0 / 1200.0, 1e-12);
+}
+
+TEST(Timeline, ExactMultipleIsFullyUtilized) {
+  const std::vector<double> blocks(12, 50.0);
+  const auto r = schedule_blocks(blocks, 4);
+  EXPECT_DOUBLE_EQ(r.makespan_cycles, 150.0);
+  EXPECT_DOUBLE_EQ(r.utilization, 1.0);
+}
+
+TEST(Timeline, TailEffect) {
+  // 5 equal blocks on 4 slots: the straggler doubles the makespan.
+  const std::vector<double> blocks(5, 100.0);
+  const auto r = schedule_blocks(blocks, 4);
+  EXPECT_DOUBLE_EQ(r.makespan_cycles, 200.0);
+  EXPECT_NEAR(r.utilization, 500.0 / 800.0, 1e-12);
+}
+
+TEST(Timeline, GreedyPacksUnevenBlocks) {
+  // One long block overlaps several short ones.
+  const std::vector<double> blocks{400.0, 100.0, 100.0, 100.0, 100.0};
+  const auto r = schedule_blocks(blocks, 2);
+  // Slot A: 400; slot B: 100*4 = 400.
+  EXPECT_DOUBLE_EQ(r.makespan_cycles, 400.0);
+  EXPECT_DOUBLE_EQ(r.utilization, 1.0);
+}
+
+TEST(Timeline, MoreSlotsNeverSlower) {
+  std::vector<double> blocks;
+  for (int i = 0; i < 37; ++i) {
+    blocks.push_back(100.0 + 13.0 * (i % 7));
+  }
+  double prev = 1e18;
+  for (const std::size_t slots : {1u, 2u, 4u, 8u, 64u}) {
+    const auto r = schedule_blocks(blocks, slots);
+    EXPECT_LE(r.makespan_cycles, prev);
+    prev = r.makespan_cycles;
+  }
+}
+
+TEST(Timeline, SingleSlotIsSerial) {
+  const std::vector<double> blocks{10.0, 20.0, 30.0};
+  const auto r = schedule_blocks(blocks, 1);
+  EXPECT_DOUBLE_EQ(r.makespan_cycles, 60.0);
+  EXPECT_DOUBLE_EQ(r.utilization, 1.0);
+}
+
+TEST(Timeline, Contracts) {
+  EXPECT_THROW((void)schedule_blocks({}, 0), contract_error);
+  const std::vector<double> bad{-1.0};
+  EXPECT_THROW((void)schedule_blocks(bad, 2), contract_error);
+}
+
+TEST(Timeline, DeviceSlotCount) {
+  // Thrust E=15,b=512 on the M4000: 3 resident blocks x 13 SMs = 39 slots.
+  const auto dev = quadro_m4000();
+  const auto cfg = wcm::sort::params_15_512();
+  const std::vector<double> blocks(39, 10.0);
+  const auto r = schedule_on_device(blocks, dev, cfg.b, cfg.shared_bytes());
+  EXPECT_EQ(r.slots, 39u);
+  EXPECT_DOUBLE_EQ(r.makespan_cycles, 10.0);
+  EXPECT_THROW(
+      (void)schedule_on_device(blocks, dev, 512, 1024 * 1024),
+      contract_error);
+}
+
+}  // namespace
+}  // namespace wcm::gpusim

@@ -1,0 +1,111 @@
+// Tests for trace recording, replay (including cross-layout re-pricing),
+// and serialization.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gpusim/trace.hpp"
+#include "sort/blocksort.hpp"
+#include "util/check.hpp"
+#include "workload/inputs.hpp"
+
+namespace wcm::gpusim {
+namespace {
+
+TEST(Trace, RecordsReadsAndWrites) {
+  SharedMemory shm(32, 64);
+  TraceRecorder rec(32);
+  shm.attach_trace(&rec);
+  const std::vector<LaneRead> reads{{0, 1}, {1, 33}};
+  shm.warp_read(reads);
+  const std::vector<LaneWrite> writes{{2, 5, 42}};
+  shm.warp_write(writes);
+  shm.attach_trace(nullptr);
+  shm.warp_read(reads);  // not recorded
+
+  const Trace& t = rec.trace();
+  ASSERT_EQ(t.steps.size(), 2u);
+  EXPECT_FALSE(t.steps[0].is_write);
+  EXPECT_TRUE(t.steps[1].is_write);
+  EXPECT_EQ(t.total_accesses(), 3u);
+  EXPECT_EQ(t.steps[0].accesses[1],
+            (std::pair<u32, std::size_t>{1u, 33u}));
+}
+
+TEST(Trace, ReplayReproducesLiveStats) {
+  // Record a whole block sort and replay it: identical statistics.
+  const wcm::sort::SortConfig cfg{5, 64, 32};
+  auto tile = workload::random_permutation(cfg.tile(), 13);
+  SharedMemory shm(cfg.w, cfg.tile());
+  TraceRecorder rec(cfg.w);
+  shm.attach_trace(&rec);
+  KernelStats stats;
+  wcm::sort::simulate_block_sort(shm, tile, cfg, stats);
+
+  const auto replayed = replay_stats(rec.trace(), shm.layout());
+  EXPECT_EQ(replayed.steps, shm.stats().steps);
+  EXPECT_EQ(replayed.requests, shm.stats().requests);
+  EXPECT_EQ(replayed.serialization_cycles,
+            shm.stats().serialization_cycles);
+  EXPECT_EQ(replayed.replays, shm.stats().replays);
+  EXPECT_EQ(replayed.conflicting_accesses,
+            shm.stats().conflicting_accesses);
+}
+
+TEST(Trace, CrossLayoutRepricing) {
+  // The same access stream costs less under the padded layout (a stride-w
+  // pattern) — offline, without re-running anything.
+  Trace t;
+  t.warp_size = 32;
+  TraceStep step;
+  for (u32 lane = 0; lane < 32; ++lane) {
+    step.accesses.emplace_back(lane, static_cast<std::size_t>(lane) * 32);
+  }
+  t.steps.push_back(step);
+
+  const auto unpadded = replay_stats(t, SharedLayout{32, 0});
+  const auto padded = replay_stats(t, SharedLayout{32, 1});
+  EXPECT_EQ(unpadded.replays, 31u);
+  EXPECT_EQ(padded.replays, 0u);
+}
+
+TEST(Trace, SerializationRoundTrip) {
+  SharedMemory shm(32, 64);
+  TraceRecorder rec(32);
+  shm.attach_trace(&rec);
+  shm.warp_read(std::vector<LaneRead>{{0, 7}, {5, 39}});
+  shm.warp_write(std::vector<LaneWrite>{{1, 2, 9}});
+
+  std::stringstream ss;
+  write_trace(ss, rec.trace());
+  const Trace parsed = read_trace(ss);
+  ASSERT_EQ(parsed.steps.size(), 2u);
+  EXPECT_EQ(parsed.warp_size, 32u);
+  EXPECT_EQ(parsed.steps[0].accesses, rec.trace().steps[0].accesses);
+  EXPECT_EQ(parsed.steps[1].is_write, true);
+
+  const auto a = replay_stats(rec.trace(), SharedLayout{32, 0});
+  const auto b = replay_stats(parsed, SharedLayout{32, 0});
+  EXPECT_EQ(a.serialization_cycles, b.serialization_cycles);
+}
+
+TEST(Trace, ParserRejectsGarbage) {
+  std::istringstream bad1("nope");
+  EXPECT_THROW((void)read_trace(bad1), contract_error);
+  std::istringstream bad2("WCMT 32 2\nR 0:1\n");  // truncated
+  EXPECT_THROW((void)read_trace(bad2), contract_error);
+  std::istringstream bad3("WCMT 32 1\nX 0:1\n");  // bad op
+  EXPECT_THROW((void)read_trace(bad3), contract_error);
+  std::istringstream bad4("WCMT 32 1\nR 0-1\n");  // bad access
+  EXPECT_THROW((void)read_trace(bad4), contract_error);
+}
+
+TEST(Trace, ReplayRequiresMatchingWidth) {
+  Trace t;
+  t.warp_size = 32;
+  EXPECT_THROW((void)replay_stats(t, SharedLayout{16, 0}), contract_error);
+}
+
+}  // namespace
+}  // namespace wcm::gpusim

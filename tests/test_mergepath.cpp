@@ -1,0 +1,148 @@
+// Tests for merge path: co-rank search, serial merge, tile partitioning.
+// Includes property sweeps over random runs: every diagonal's split must
+// reproduce the prefix of the stable merge.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "mergepath/partition.hpp"
+#include "mergepath/serial_merge.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace wcm::mergepath {
+namespace {
+
+std::vector<word> sorted_random(std::size_t n, u64 seed, word lo, word hi) {
+  Xoshiro256 rng(seed);
+  std::vector<word> v(n);
+  for (auto& x : v) {
+    x = lo + static_cast<word>(rng.below(static_cast<u64>(hi - lo + 1)));
+  }
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(SerialMerge, BasicAndStability) {
+  const std::vector<word> a{1, 3, 5};
+  const std::vector<word> b{2, 3, 6};
+  const auto out = serial_merge(a, b);
+  EXPECT_EQ(out, (std::vector<word>{1, 2, 3, 3, 5, 6}));
+}
+
+TEST(SerialMerge, EmptySides) {
+  const std::vector<word> a{1, 2};
+  const std::vector<word> empty;
+  EXPECT_EQ(serial_merge(a, empty), a);
+  EXPECT_EQ(serial_merge(empty, a), a);
+  EXPECT_TRUE(serial_merge(empty, empty).empty());
+}
+
+TEST(SerialMerge, SizeContract) {
+  const std::vector<word> a{1};
+  const std::vector<word> b{2};
+  std::vector<word> out(3);
+  EXPECT_THROW(serial_merge(a, b, out), contract_error);
+}
+
+TEST(MergePath, EndpointDiagonals) {
+  const std::vector<word> a{1, 3, 5};
+  const std::vector<word> b{2, 4};
+  const auto r0 = merge_path(a, b, 0);
+  EXPECT_EQ(r0.split.i, 0u);
+  EXPECT_EQ(r0.split.j, 0u);
+  const auto rn = merge_path(a, b, 5);
+  EXPECT_EQ(rn.split.i, 3u);
+  EXPECT_EQ(rn.split.j, 2u);
+  EXPECT_THROW((void)merge_path(a, b, 6), contract_error);
+}
+
+TEST(MergePath, TieGoesToA) {
+  const std::vector<word> a{5};
+  const std::vector<word> b{5};
+  // First output must be A's 5 (A-priority): diag 1 -> (1, 0).
+  const auto r = merge_path(a, b, 1);
+  EXPECT_EQ(r.split.i, 1u);
+  EXPECT_EQ(r.split.j, 0u);
+}
+
+// Property: for every diagonal, (i, j) reproduces the stable merge prefix.
+TEST(MergePath, MatchesSerialMergePrefixes) {
+  for (const u64 seed : {1ULL, 2ULL, 3ULL}) {
+    const auto a = sorted_random(37, seed, 0, 20);       // many duplicates
+    const auto b = sorted_random(23, seed + 100, 0, 20);
+    const auto merged = serial_merge(a, b);
+    for (std::size_t d = 0; d <= a.size() + b.size(); ++d) {
+      const auto r = merge_path(a, b, d);
+      ASSERT_EQ(r.split.i + r.split.j, d);
+      // The first d merged values must be exactly a[0,i) + b[0,j).
+      std::vector<word> prefix(merged.begin(),
+                               merged.begin() + static_cast<std::ptrdiff_t>(d));
+      std::vector<word> chosen;
+      chosen.insert(chosen.end(), a.begin(),
+                    a.begin() + static_cast<std::ptrdiff_t>(r.split.i));
+      chosen.insert(chosen.end(), b.begin(),
+                    b.begin() + static_cast<std::ptrdiff_t>(r.split.j));
+      std::sort(chosen.begin(), chosen.end());
+      std::sort(prefix.begin(), prefix.end());
+      EXPECT_EQ(chosen, prefix) << "seed=" << seed << " d=" << d;
+    }
+  }
+}
+
+TEST(MergePath, SearchStepsLogarithmic) {
+  const auto a = sorted_random(1 << 12, 9, 0, 1 << 20);
+  const auto b = sorted_random(1 << 12, 10, 0, 1 << 20);
+  for (std::size_t d : {1000u, 4096u, 8000u}) {
+    const auto r = merge_path(a, b, d);
+    EXPECT_LE(r.search_steps, 13u);  // log2(4096) + 1
+  }
+}
+
+TEST(PartitionTiles, SplitsAreExactAndMonotone) {
+  const auto a = sorted_random(64, 4, 0, 100);
+  const auto b = sorted_random(64, 5, 0, 100);
+  const auto part = partition_tiles(a, b, 16);
+  ASSERT_EQ(part.splits.size(), 9u);
+  EXPECT_EQ(part.splits.front().i, 0u);
+  EXPECT_EQ(part.splits.back().i, 64u);
+  EXPECT_EQ(part.splits.back().j, 64u);
+  const auto merged = serial_merge(a, b);
+  // Re-merging every tile's segments reproduces the full merge.
+  std::vector<word> rebuilt;
+  for (std::size_t t = 0; t + 1 < part.splits.size(); ++t) {
+    const auto lo = part.splits[t];
+    const auto hi = part.splits[t + 1];
+    const auto piece = serial_merge(
+        std::span<const word>(a).subspan(lo.i, hi.i - lo.i),
+        std::span<const word>(b).subspan(lo.j, hi.j - lo.j));
+    rebuilt.insert(rebuilt.end(), piece.begin(), piece.end());
+  }
+  EXPECT_EQ(rebuilt, merged);
+}
+
+TEST(PartitionTiles, RequiresDivisibleTile) {
+  const std::vector<word> a{1, 2, 3};
+  const std::vector<word> b{4, 5};
+  EXPECT_THROW((void)partition_tiles(a, b, 2), contract_error);
+  EXPECT_THROW((void)partition_tiles(a, b, 0), contract_error);
+}
+
+TEST(PartitionTiles, CountsSearchSteps) {
+  const auto a = sorted_random(256, 6, 0, 1000);
+  const auto b = sorted_random(256, 7, 0, 1000);
+  const auto part = partition_tiles(a, b, 64);
+  EXPECT_GT(part.search_steps, 0u);
+  EXPECT_GE(part.search_steps, part.max_chain);
+}
+
+TEST(IsSortedRun, Basic) {
+  EXPECT_TRUE(is_sorted_run(std::vector<word>{}));
+  EXPECT_TRUE(is_sorted_run(std::vector<word>{1, 1, 2}));
+  EXPECT_FALSE(is_sorted_run(std::vector<word>{2, 1}));
+}
+
+}  // namespace
+}  // namespace wcm::mergepath

@@ -1,0 +1,140 @@
+// Tests for the simulated bitonic sort: correctness, the comparator-count
+// closed form, and — the property that makes it the paper's foil —
+// obliviousness: identical access statistics for every input.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sort/bitonic.hpp"
+#include "sort/cpu_reference.hpp"
+#include "util/check.hpp"
+#include "workload/inputs.hpp"
+
+namespace wcm::sort {
+namespace {
+
+SortConfig tiny() {
+  SortConfig cfg;
+  cfg.E = 2;
+  cfg.b = 64;
+  cfg.w = 32;
+  return cfg;
+}
+
+TEST(BitonicSort, SortsRandomInputs) {
+  const auto cfg = tiny();
+  for (const std::size_t n : {128u, 256u, 1024u, 4096u}) {
+    const auto input = workload::random_permutation(n, n);
+    std::vector<word> out;
+    const auto report =
+        bitonic_sort(input, cfg, gpusim::quadro_m4000(), &out);
+    EXPECT_EQ(out, std_sort(input)) << "n=" << n;
+    EXPECT_EQ(report.n, n);
+  }
+}
+
+TEST(BitonicSort, SortsAdversarialAndStructuredInputs) {
+  const auto cfg = tiny();
+  const std::size_t n = 2048;
+  for (const auto kind :
+       {workload::InputKind::sorted, workload::InputKind::reversed,
+        workload::InputKind::nearly_sorted}) {
+    const auto input = workload::make_input(kind, n, cfg, 3);
+    std::vector<word> out;
+    (void)bitonic_sort(input, cfg, gpusim::quadro_m4000(), &out);
+    EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  }
+}
+
+TEST(BitonicSort, DuplicatesSupported) {
+  const auto cfg = tiny();
+  auto input = workload::random_permutation(512, 9);
+  for (auto& x : input) {
+    x /= 7;
+  }
+  std::vector<word> out;
+  (void)bitonic_sort(input, cfg, gpusim::quadro_m4000(), &out);
+  EXPECT_EQ(out, std_sort(input));
+}
+
+TEST(BitonicSort, SizeContracts) {
+  const auto cfg = tiny();
+  const auto dev = gpusim::quadro_m4000();
+  EXPECT_THROW((void)bitonic_sort(workload::sorted_input(64), cfg, dev),
+               contract_error);  // < 2b
+  EXPECT_THROW((void)bitonic_sort(workload::sorted_input(384), cfg, dev),
+               contract_error);  // not a power of two
+}
+
+TEST(BitonicSort, ComparatorClosedForm) {
+  EXPECT_EQ(bitonic_comparator_count(1), 0u);
+  EXPECT_EQ(bitonic_comparator_count(2), 1u);
+  EXPECT_EQ(bitonic_comparator_count(4), 2u * 3u);
+  // n/2 * m(m+1)/2 with m = log2 n.
+  EXPECT_EQ(bitonic_comparator_count(1024), 512u * 55u);
+}
+
+// The headline property: bitonic sort is oblivious — its access pattern
+// (and therefore every conflict statistic) is the same for every input of
+// a given size, including the merge sort's worst-case input.
+TEST(BitonicSort, ObliviousAccessPattern) {
+  SortConfig merge_cfg{5, 64, 32};  // worst-case generator needs bE | n
+  const std::size_t n = 4096;      // not a bE multiple issue: use random +
+                                   // reversed + nearly-sorted inputs
+  const auto cfg = tiny();
+  const auto dev = gpusim::quadro_m4000();
+
+  const auto r1 =
+      bitonic_sort(workload::random_permutation(n, 1), cfg, dev);
+  const auto r2 = bitonic_sort(workload::reversed_input(n), cfg, dev);
+  const auto r3 =
+      bitonic_sort(workload::nearly_sorted_input(n, 50, 2), cfg, dev);
+
+  for (const auto* other : {&r2, &r3}) {
+    EXPECT_EQ(r1.totals.shared.serialization_cycles,
+              other->totals.shared.serialization_cycles);
+    EXPECT_EQ(r1.totals.shared.replays, other->totals.shared.replays);
+    EXPECT_EQ(r1.totals.shared.requests, other->totals.shared.requests);
+    EXPECT_EQ(r1.totals.global_transactions,
+              other->totals.global_transactions);
+    EXPECT_DOUBLE_EQ(r1.seconds(), other->seconds());
+  }
+  (void)merge_cfg;
+}
+
+TEST(BitonicSort, HasStructuralConflictsUnpadded) {
+  // Strides >= w put both comparator operands in the same bank: unpadded
+  // bitonic has deterministic conflicts even on sorted input.
+  const auto cfg = tiny();
+  const auto report =
+      bitonic_sort(workload::sorted_input(2048), cfg, gpusim::quadro_m4000());
+  EXPECT_GT(report.totals.shared.replays, 0u);
+}
+
+TEST(BitonicSort, PaddingReducesItsConflicts) {
+  auto cfg = tiny();
+  const auto unpadded =
+      bitonic_sort(workload::sorted_input(2048), cfg, gpusim::quadro_m4000());
+  cfg.padding = 1;
+  const auto padded =
+      bitonic_sort(workload::sorted_input(2048), cfg, gpusim::quadro_m4000());
+  EXPECT_LT(padded.totals.shared.replays, unpadded.totals.shared.replays);
+}
+
+TEST(BitonicSort, RoundStructure) {
+  const auto cfg = tiny();
+  const std::size_t n = 2048;  // tile 128, 4 stages above the tile
+  const auto report =
+      bitonic_sort(workload::random_permutation(n, 5), cfg,
+                   gpusim::quadro_m4000());
+  ASSERT_EQ(report.rounds.size(), 1u + 4u);
+  EXPECT_EQ(report.rounds[0].name, "bitonic stages <= tile");
+  EXPECT_EQ(report.rounds.back().name, "bitonic stage 11");
+  for (const auto& r : report.rounds) {
+    EXPECT_GT(r.modeled_seconds, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace wcm::sort

@@ -1,0 +1,125 @@
+// Tests for the K-way merge sort substrate: correctness across ways and
+// sizes, round-count arithmetic, and the attack-specificity property (the
+// pairwise worst-case input does not transfer its full damage).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sort/cpu_reference.hpp"
+#include "sort/multiway.hpp"
+#include "sort/pairwise_sort.hpp"
+#include "util/check.hpp"
+#include "workload/inputs.hpp"
+
+namespace wcm::sort {
+namespace {
+
+SortConfig tiny() { return SortConfig{5, 64, 32}; }
+
+TEST(MultiwaySort, SortsRandomForVariousWays) {
+  const auto cfg = tiny();
+  const std::size_t n = cfg.tile() * 16;
+  const auto input = workload::random_permutation(n, 41);
+  for (const u32 ways : {2u, 3u, 4u, 8u}) {
+    std::vector<word> out;
+    (void)multiway_merge_sort(input, cfg, gpusim::quadro_m4000(), ways,
+                              &out);
+    EXPECT_EQ(out, std_sort(input)) << "ways=" << ways;
+  }
+}
+
+TEST(MultiwaySort, NonMultipleRunCounts) {
+  const auto cfg = tiny();
+  for (const std::size_t tiles : {3u, 5u, 7u, 9u}) {
+    const auto input =
+        workload::random_permutation(cfg.tile() * tiles, tiles);
+    std::vector<word> out;
+    (void)multiway_merge_sort(input, cfg, gpusim::quadro_m4000(), 4, &out);
+    EXPECT_EQ(out, std_sort(input)) << "tiles=" << tiles;
+  }
+}
+
+TEST(MultiwaySort, DuplicateKeysStable) {
+  const auto cfg = tiny();
+  auto input = workload::random_permutation(cfg.tile() * 8, 3);
+  for (auto& x : input) {
+    x /= 16;
+  }
+  std::vector<word> out;
+  (void)multiway_merge_sort(input, cfg, gpusim::quadro_m4000(), 4, &out);
+  EXPECT_EQ(out, std_sort(input));
+}
+
+TEST(MultiwaySort, RoundCountArithmetic) {
+  const auto cfg = tiny();
+  EXPECT_EQ(multiway_round_count(cfg.tile() * 16, cfg, 4), 2u);
+  EXPECT_EQ(multiway_round_count(cfg.tile() * 16, cfg, 2), 4u);
+  EXPECT_EQ(multiway_round_count(cfg.tile() * 17, cfg, 4), 3u);
+  EXPECT_EQ(multiway_round_count(cfg.tile(), cfg, 4), 0u);
+  EXPECT_THROW((void)multiway_round_count(100, cfg, 1), contract_error);
+}
+
+TEST(MultiwaySort, FewerGlobalRoundsThanPairwise) {
+  const auto cfg = tiny();
+  const std::size_t n = cfg.tile() * 16;
+  const auto input = workload::random_permutation(n, 5);
+  const auto dev = gpusim::quadro_m4000();
+  const auto pw = pairwise_merge_sort(input, cfg, dev);
+  const auto mw = multiway_merge_sort(input, cfg, dev, 4);
+  EXPECT_EQ(pw.rounds.size(), 5u);  // block sort + 4 pairwise rounds
+  EXPECT_EQ(mw.rounds.size(), 3u);  // block sort + 2 four-way rounds
+  // The headline benefit: less global traffic.
+  EXPECT_LT(mw.totals.global_transactions, pw.totals.global_transactions);
+}
+
+TEST(MultiwaySort, PairwiseWorstCaseDoesNotTransferInFull) {
+  // The construction targets the pairwise merge tree; on the K-way tree
+  // the same permutation cannot pin every warp to beta_2 = E.
+  const auto cfg = tiny();
+  const std::size_t n = cfg.tile() * 16;
+  const auto dev = gpusim::quadro_m4000();
+  const auto worst =
+      workload::make_input(workload::InputKind::worst_case, n, cfg, 3);
+
+  const auto pw = pairwise_merge_sort(worst, cfg, dev);
+  const auto mw = multiway_merge_sort(worst, cfg, dev, 4);
+  // Pairwise: every global round at exactly beta_2 = E = 5.
+  for (std::size_t i = 1; i < pw.rounds.size(); ++i) {
+    EXPECT_NEAR(gpusim::beta2(pw.rounds[i].kernel), 5.0, 1e-9);
+  }
+  // Multiway: strictly below the pairwise worst case.
+  for (std::size_t i = 1; i < mw.rounds.size(); ++i) {
+    EXPECT_LT(gpusim::beta2(mw.rounds[i].kernel), 5.0);
+  }
+}
+
+TEST(MultiwaySort, SizeContracts) {
+  const auto cfg = tiny();
+  const auto dev = gpusim::quadro_m4000();
+  EXPECT_THROW(
+      (void)multiway_merge_sort(std::vector<word>{}, cfg, dev, 4),
+      contract_error);
+  EXPECT_THROW((void)multiway_merge_sort(
+                   workload::random_permutation(cfg.tile() + 3, 1), cfg, dev,
+                   4),
+               contract_error);
+  EXPECT_THROW((void)multiway_merge_sort(
+                   workload::random_permutation(cfg.tile() * 2, 1), cfg, dev,
+                   1),
+               contract_error);
+}
+
+TEST(MultiwaySort, TwoWayMatchesPairwiseMergeTreeOutput) {
+  const auto cfg = tiny();
+  const std::size_t n = cfg.tile() * 8;
+  const auto input = workload::random_permutation(n, 11);
+  std::vector<word> out_mw, out_pw;
+  (void)multiway_merge_sort(input, cfg, gpusim::quadro_m4000(), 2, &out_mw);
+  (void)pairwise_merge_sort(input, cfg, gpusim::quadro_m4000(),
+                            MergeSortLibrary::thrust, &out_pw);
+  EXPECT_EQ(out_mw, out_pw);
+}
+
+}  // namespace
+}  // namespace wcm::sort

@@ -1,0 +1,67 @@
+// Tests for the odd-even transposition network (the base case's in-register
+// sort): correctness on all permutations of small sizes (the 0-1 principle
+// would also do, but exhaustive small-n is direct), and the comparator-count
+// closed form.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "sort/registers.hpp"
+#include "util/rng.hpp"
+
+namespace wcm::sort {
+namespace {
+
+TEST(OddEvenSort, AllPermutationsUpTo7) {
+  for (std::size_t n = 0; n <= 7; ++n) {
+    std::vector<word> perm(n);
+    std::iota(perm.begin(), perm.end(), word{0});
+    do {
+      std::vector<word> v = perm;
+      odd_even_sort(v);
+      EXPECT_TRUE(std::is_sorted(v.begin(), v.end()))
+          << "n=" << n;
+    } while (std::next_permutation(perm.begin(), perm.end()));
+  }
+}
+
+TEST(OddEvenSort, DuplicatesAndRandom) {
+  Xoshiro256 rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<word> v(17);
+    for (auto& x : v) {
+      x = static_cast<word>(rng.below(5));
+    }
+    auto expected = v;
+    std::sort(expected.begin(), expected.end());
+    odd_even_sort(v);
+    EXPECT_EQ(v, expected);
+  }
+}
+
+TEST(OddEvenSort, ComparatorCountIsDataIndependent) {
+  // A sorting *network* must execute the same comparators regardless of the
+  // data — required for lock-step warp execution.
+  for (const std::size_t n : {1u, 2u, 5u, 15u, 17u}) {
+    std::vector<word> sorted_in(n), reversed_in(n);
+    std::iota(sorted_in.begin(), sorted_in.end(), word{0});
+    std::iota(reversed_in.rbegin(), reversed_in.rend(), word{0});
+    const std::size_t c1 = odd_even_sort(sorted_in);
+    const std::size_t c2 = odd_even_sort(reversed_in);
+    EXPECT_EQ(c1, c2);
+    EXPECT_EQ(c1, odd_even_comparator_count(n));
+  }
+}
+
+TEST(OddEvenSort, ComparatorClosedForm) {
+  EXPECT_EQ(odd_even_comparator_count(0), 0u);
+  EXPECT_EQ(odd_even_comparator_count(1), 0u);
+  EXPECT_EQ(odd_even_comparator_count(2), 1u);
+  EXPECT_EQ(odd_even_comparator_count(15), 105u);  // 15*14/2
+  EXPECT_EQ(odd_even_comparator_count(17), 136u);  // 17*16/2
+}
+
+}  // namespace
+}  // namespace wcm::sort

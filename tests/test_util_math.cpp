@@ -1,0 +1,112 @@
+// Unit and property tests for util/math: gcd, power-of-two helpers,
+// modular arithmetic, and the number-theory facts (Facts 5 and 6 of the
+// paper) the large-E construction relies on.
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace wcm {
+namespace {
+
+TEST(Gcd, BaseCases) {
+  EXPECT_EQ(gcd(0, 0), 0u);
+  EXPECT_EQ(gcd(0, 7), 7u);
+  EXPECT_EQ(gcd(7, 0), 7u);
+  EXPECT_EQ(gcd(1, 1), 1u);
+}
+
+TEST(Gcd, KnownValues) {
+  EXPECT_EQ(gcd(12, 18), 6u);
+  EXPECT_EQ(gcd(17, 32), 1u);
+  EXPECT_EQ(gcd(15, 32), 1u);
+  EXPECT_EQ(gcd(12, 16), 4u);
+  EXPECT_EQ(gcd(1071, 462), 21u);
+}
+
+TEST(Gcd, CommutativeAndDividesBoth) {
+  for (u64 a = 1; a <= 40; ++a) {
+    for (u64 b = 1; b <= 40; ++b) {
+      const u64 g = gcd(a, b);
+      EXPECT_EQ(g, gcd(b, a));
+      EXPECT_EQ(a % g, 0u);
+      EXPECT_EQ(b % g, 0u);
+    }
+  }
+}
+
+TEST(IsPow2, Classification) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ULL << 40));
+  EXPECT_FALSE(is_pow2((1ULL << 40) + 1));
+}
+
+TEST(FloorLog2, Values) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(4), 2u);
+  EXPECT_EQ(floor_log2(1023), 9u);
+  EXPECT_EQ(floor_log2(1024), 10u);
+  EXPECT_THROW((void)floor_log2(0), contract_error);
+}
+
+TEST(Log2Exact, RequiresPowerOfTwo) {
+  EXPECT_EQ(log2_exact(512), 9u);
+  EXPECT_THROW((void)log2_exact(511), contract_error);
+}
+
+TEST(CeilDiv, Values) {
+  EXPECT_EQ(ceil_div(0, 5), 0u);
+  EXPECT_EQ(ceil_div(1, 5), 1u);
+  EXPECT_EQ(ceil_div(5, 5), 1u);
+  EXPECT_EQ(ceil_div(6, 5), 2u);
+  EXPECT_THROW((void)ceil_div(1, 0), contract_error);
+}
+
+TEST(ModFloor, NegativeOperands) {
+  EXPECT_EQ(mod_floor(-1, 5), 4);
+  EXPECT_EQ(mod_floor(-5, 5), 0);
+  EXPECT_EQ(mod_floor(-6, 5), 4);
+  EXPECT_EQ(mod_floor(7, 5), 2);
+  EXPECT_THROW((void)mod_floor(1, 0), contract_error);
+}
+
+// Fact 6: the inverse exists and is unique modulo m when gcd(a, m) = 1.
+TEST(ModInverse, Property) {
+  for (u64 m = 2; m <= 60; ++m) {
+    for (u64 a = 1; a < m; ++a) {
+      if (gcd(a, m) != 1) {
+        EXPECT_THROW((void)mod_inverse(a, m), contract_error);
+        continue;
+      }
+      const u64 inv = mod_inverse(a, m);
+      EXPECT_LT(inv, m);
+      EXPECT_EQ(a * inv % m, 1u) << "a=" << a << " m=" << m;
+    }
+  }
+}
+
+// Fact 5: ax === b (mod m) has exactly one solution in Z_m when
+// gcd(a, m) = 1; verify the solver finds it for all b.
+TEST(LinearCongruence, SolvesAllResidues) {
+  for (u64 m : {5ULL, 9ULL, 15ULL, 17ULL, 31ULL}) {
+    for (u64 a = 1; a < m; ++a) {
+      if (gcd(a, m) != 1) {
+        continue;
+      }
+      for (u64 b = 0; b < m; ++b) {
+        const u64 x = solve_linear_congruence(a, b, m);
+        EXPECT_LT(x, m);
+        EXPECT_EQ(a * x % m, b % m);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wcm

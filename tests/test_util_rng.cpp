@@ -1,0 +1,101 @@
+// Tests for the deterministic RNG: reproducibility, bound correctness, and
+// shuffle permutation invariants.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace wcm {
+namespace {
+
+TEST(Splitmix64, KnownSequenceIsDeterministic) {
+  u64 s1 = 42, s2 = 42;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  }
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(Xoshiro256, SameSeedSameStream) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += a() == b() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Xoshiro256, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (u64 bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, (1ULL << 40)}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+  EXPECT_THROW((void)rng.below(0), contract_error);
+}
+
+TEST(Xoshiro256, BelowOneIsAlwaysZero) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rng.below(1), 0u);
+  }
+}
+
+TEST(Xoshiro256, BelowRoughlyUniform) {
+  Xoshiro256 rng(11);
+  constexpr u64 kBuckets = 8;
+  constexpr int kDraws = 8000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.below(kBuckets)];
+  }
+  for (const int c : counts) {
+    EXPECT_GT(c, kDraws / kBuckets / 2);
+    EXPECT_LT(c, kDraws / kBuckets * 2);
+  }
+}
+
+TEST(Shuffle, ProducesPermutation) {
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  Xoshiro256 rng(5);
+  shuffle(v, rng);
+  std::set<int> seen(v.begin(), v.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 99);
+}
+
+TEST(Shuffle, DeterministicPerSeed) {
+  std::vector<int> a(50), b(50);
+  std::iota(a.begin(), a.end(), 0);
+  std::iota(b.begin(), b.end(), 0);
+  Xoshiro256 r1(9), r2(9);
+  shuffle(a, r1);
+  shuffle(b, r2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Shuffle, ActuallyMoves) {
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  const auto before = v;
+  Xoshiro256 rng(13);
+  shuffle(v, rng);
+  EXPECT_NE(v, before);
+}
+
+}  // namespace
+}  // namespace wcm

@@ -1,0 +1,126 @@
+// Tests for the workload generators and input serialization.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "util/check.hpp"
+#include "workload/inputs.hpp"
+#include "workload/io.hpp"
+
+namespace wcm::workload {
+namespace {
+
+TEST(Inputs, RandomPermutationIsPermutation) {
+  const auto v = random_permutation(1000, 42);
+  EXPECT_TRUE(is_permutation_of_iota(v));
+  EXPECT_FALSE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(Inputs, RandomDeterministicPerSeed) {
+  EXPECT_EQ(random_permutation(100, 7), random_permutation(100, 7));
+  EXPECT_NE(random_permutation(100, 7), random_permutation(100, 8));
+}
+
+TEST(Inputs, SortedAndReversed) {
+  const auto s = sorted_input(5);
+  EXPECT_EQ(s, (std::vector<word>{0, 1, 2, 3, 4}));
+  const auto r = reversed_input(5);
+  EXPECT_EQ(r, (std::vector<word>{4, 3, 2, 1, 0}));
+}
+
+TEST(Inputs, NearlySortedHasFewInversions) {
+  const auto v = nearly_sorted_input(1000, 5, 3);
+  EXPECT_TRUE(is_permutation_of_iota(v));
+  std::size_t displaced = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    displaced += v[i] != static_cast<word>(i) ? 1u : 0u;
+  }
+  EXPECT_LE(displaced, 10u);  // 5 swaps displace at most 10 keys
+}
+
+TEST(Inputs, MakeInputDispatch) {
+  const sort::SortConfig cfg{5, 64, 32};
+  const std::size_t n = cfg.tile() * 2;
+  for (const auto kind : {InputKind::random, InputKind::sorted,
+                          InputKind::reversed, InputKind::nearly_sorted,
+                          InputKind::worst_case}) {
+    const auto v = make_input(kind, n, cfg, 1);
+    EXPECT_EQ(v.size(), n);
+    EXPECT_TRUE(is_permutation_of_iota(v)) << to_string(kind);
+  }
+}
+
+TEST(Inputs, WorstCaseFamilySeedChangesInput) {
+  const sort::SortConfig cfg{5, 64, 32};
+  const std::size_t n = cfg.tile() * 2;
+  EXPECT_NE(make_input(InputKind::worst_case, n, cfg, 1),
+            make_input(InputKind::worst_case, n, cfg, 2));
+}
+
+TEST(Inputs, IsPermutationRejectsBadVectors) {
+  EXPECT_FALSE(is_permutation_of_iota({0, 0}));
+  EXPECT_FALSE(is_permutation_of_iota({0, 2}));
+  EXPECT_FALSE(is_permutation_of_iota({-1, 0}));
+  EXPECT_TRUE(is_permutation_of_iota({}));
+  EXPECT_TRUE(is_permutation_of_iota({1, 0, 2}));
+}
+
+TEST(Inputs, KindNames) {
+  EXPECT_STREQ(to_string(InputKind::random), "random");
+  EXPECT_STREQ(to_string(InputKind::worst_case), "worst-case");
+}
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::filesystem::path path_ =
+      std::filesystem::temp_directory_path() /
+      ("wcm_io_test_" + std::to_string(::getpid()) + ".bin");
+  void TearDown() override { std::filesystem::remove(path_); }
+};
+
+TEST_F(IoTest, BinaryRoundTrip) {
+  const auto keys = random_permutation(777, 5);
+  write_binary(path_, keys);
+  EXPECT_EQ(read_binary(path_), keys);
+}
+
+TEST_F(IoTest, BinaryEmptyRoundTrip) {
+  write_binary(path_, {});
+  EXPECT_TRUE(read_binary(path_).empty());
+}
+
+TEST_F(IoTest, RejectsGarbage) {
+  {
+    std::ofstream os(path_, std::ios::binary);
+    os << "not a wcmi file at all";
+  }
+  EXPECT_THROW((void)read_binary(path_), contract_error);
+}
+
+TEST_F(IoTest, RejectsTruncated) {
+  const auto keys = random_permutation(100, 5);
+  write_binary(path_, keys);
+  std::filesystem::resize_file(path_, 30);
+  EXPECT_THROW((void)read_binary(path_), contract_error);
+}
+
+TEST_F(IoTest, CsvHasHeaderAndRows) {
+  write_csv(path_, {3, 1, 2});
+  std::ifstream is(path_);
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line, "key");
+  std::size_t rows = 0;
+  while (std::getline(is, line)) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, 3u);
+}
+
+}  // namespace
+}  // namespace wcm::workload
