@@ -7,16 +7,26 @@
 //   wcmgen sort      --E 15 --b 512 [--k 6] [--input kind] [--device name]
 //                    [--library thrust|mgpu] [--padding p] [--seed S]
 //                    [--algorithm pairwise|multiway|bitonic|radix] [--json]
+//   wcmgen inspect   --in file.wcmi
 //   wcmgen visualize --E 7 [--w 16] [--strategy name]
 //
 // Every subcommand prints to stdout; `generate --out` additionally writes
 // the WCMI binary (plus .csv with --csv).
+//
+// Exit codes (documented in docs/API.md):
+//   0 success
+//   2 usage error (unknown subcommand/flag, unparseable or unknown value)
+//   3 bad input file (missing, truncated, corrupt WCMI)
+//   4 invalid configuration (E/b/w constraint violated)
+//   5 internal error (simulator invariant break or any other exception)
 
-#include <cstring>
+#include <charconv>
+#include <cstdint>
 #include <iostream>
+#include <limits>
 #include <map>
-#include <optional>
 #include <string>
+#include <vector>
 
 #include "analysis/json_export.hpp"
 #include "analysis/series.hpp"
@@ -26,6 +36,7 @@
 #include "sort/multiway.hpp"
 #include "sort/pairwise_sort.hpp"
 #include "sort/radix.hpp"
+#include "util/error.hpp"
 #include "workload/inputs.hpp"
 #include "workload/inversions.hpp"
 #include "workload/io.hpp"
@@ -34,16 +45,106 @@ namespace {
 
 using namespace wcm;
 
+constexpr const char* kUsage =
+    R"(wcmgen — worst-case input engineering for GPU pairwise merge sort
+
+usage: wcmgen <subcommand> [--flags]
+
+subcommands:
+  generate   build a worst-case permutation
+             --E n --b n [--w n] [--padding n] [--k n] [--seed n]
+             [--strategy front-to-back|back-to-front|outside-in]
+             [--intra] [--rounds n] [--out file.wcmi] [--csv]
+  evaluate   score one worst-case warp against the closed forms
+             --E n [--w n] [--side L|R] [--strategy name]
+  sort       run a simulated sort and report conflicts/time
+             --E n --b n [--w n] [--padding n] [--k n] [--seed n]
+             [--input random|sorted|reversed|nearly-sorted|worst-case]
+             [--device m4000|2080ti] [--library thrust|mgpu]
+             [--algorithm pairwise|multiway|bitonic|radix]
+             [--ways n] [--digit-bits n] [--json]
+  inspect    validate and summarize a WCMI file
+             --in file.wcmi
+  visualize  render one worst-case warp assignment
+             --E n [--w n] [--strategy name]
+  help       print this message (also --help / -h)
+
+exit codes: 0 ok, 2 usage, 3 bad input file, 4 bad configuration,
+            5 internal error
+)";
+
+/// Strict full-string parse of an unsigned decimal; rejects empty values,
+/// signs, trailing garbage ("15x"), and values above `max`.
+u64 parse_u64_value(const std::string& flag, const std::string& text,
+                    u64 max = std::numeric_limits<u64>::max()) {
+  if (text.empty()) {
+    throw parse_error("flag " + flag + " requires a numeric value");
+  }
+  u64 value = 0;
+  const auto [ptr, err] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (err != std::errc() || ptr != text.data() + text.size()) {
+    throw parse_error("invalid value '" + text + "' for " + flag +
+                      " (expected an unsigned integer)");
+  }
+  if (value > max) {
+    throw parse_error("value " + text + " for " + flag +
+                      " is out of range (max " + std::to_string(max) + ")");
+  }
+  return value;
+}
+
+std::string join_choices(const std::vector<std::string>& choices) {
+  std::string out;
+  for (const auto& c : choices) {
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += c;
+  }
+  return out;
+}
+
 struct Args {
   std::map<std::string, std::string> named;
-  bool flag(const std::string& name) const { return named.count("--" + name) > 0; }
+
+  bool flag(const std::string& name) const {
+    return named.count("--" + name) > 0;
+  }
   std::string get(const std::string& name, const std::string& fallback) const {
     const auto it = named.find("--" + name);
     return it == named.end() ? fallback : it->second;
   }
-  u64 get_u64(const std::string& name, u64 fallback) const {
+  u64 get_u64(const std::string& name, u64 fallback,
+              u64 max = std::numeric_limits<u64>::max()) const {
     const auto it = named.find("--" + name);
-    return it == named.end() ? fallback : std::stoull(it->second);
+    return it == named.end() ? fallback
+                             : parse_u64_value("--" + name, it->second, max);
+  }
+  u32 get_u32(const std::string& name, u32 fallback) const {
+    return static_cast<u32>(get_u64(
+        name, fallback, std::numeric_limits<std::uint32_t>::max()));
+  }
+
+  /// Reject flags outside `allowed` (naming the subcommand and the valid
+  /// set) so a typo never silently falls back to a default.
+  void require_known(const std::string& cmd,
+                     const std::vector<std::string>& allowed) const {
+    for (const auto& [key, value] : named) {
+      bool ok = key == "--help";
+      for (const auto& a : allowed) {
+        ok = ok || key == "--" + a;
+      }
+      if (!ok) {
+        std::vector<std::string> pretty;
+        pretty.reserve(allowed.size());
+        for (const auto& a : allowed) {
+          pretty.push_back("--" + a);
+        }
+        throw parse_error("unknown flag '" + key + "' for subcommand '" +
+                          cmd + "' (valid: " + join_choices(pretty) + ")");
+      }
+    }
   }
 };
 
@@ -51,8 +152,11 @@ Args parse(int argc, char** argv, int first) {
   Args args;
   for (int i = first; i < argc; ++i) {
     std::string key = argv[i];
-    if (key.rfind("--", 0) == 0 && i + 1 < argc &&
-        std::string(argv[i + 1]).rfind("--", 0) != 0) {
+    if (key.rfind("--", 0) != 0) {
+      throw parse_error("unexpected argument '" + key +
+                        "' (flags start with --)");
+    }
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       args.named[key] = argv[++i];
     } else {
       args.named[key] = "";
@@ -61,37 +165,54 @@ Args parse(int argc, char** argv, int first) {
   return args;
 }
 
+/// Strict choice parse: value must match one of `choices` exactly.
+template <typename T>
+T parse_choice(const std::string& flag, const std::string& value,
+               const std::vector<std::pair<std::string, T>>& choices) {
+  std::vector<std::string> names;
+  names.reserve(choices.size());
+  for (const auto& [name, v] : choices) {
+    if (value == name) {
+      return v;
+    }
+    names.push_back(name);
+  }
+  throw parse_error("unknown value '" + value + "' for " + flag +
+                    " (valid: " + join_choices(names) + ")");
+}
+
 core::AlignmentStrategy parse_strategy(const std::string& s) {
-  if (s == "back-to-front") {
-    return core::AlignmentStrategy::back_to_front;
-  }
-  if (s == "outside-in") {
-    return core::AlignmentStrategy::outside_in;
-  }
-  return core::AlignmentStrategy::front_to_back;
+  return parse_choice<core::AlignmentStrategy>(
+      "--strategy", s,
+      {{"front-to-back", core::AlignmentStrategy::front_to_back},
+       {"back-to-front", core::AlignmentStrategy::back_to_front},
+       {"outside-in", core::AlignmentStrategy::outside_in}});
 }
 
 sort::SortConfig config_from(const Args& a) {
   sort::SortConfig cfg;
-  cfg.E = static_cast<u32>(a.get_u64("E", 15));
-  cfg.b = static_cast<u32>(a.get_u64("b", 512));
-  cfg.w = static_cast<u32>(a.get_u64("w", 32));
-  cfg.padding = static_cast<u32>(a.get_u64("padding", 0));
+  cfg.E = a.get_u32("E", 15);
+  cfg.b = a.get_u32("b", 512);
+  cfg.w = a.get_u32("w", 32);
+  cfg.padding = a.get_u32("padding", 0);
   cfg.validate();
   return cfg;
 }
 
 gpusim::Device device_from(const Args& a) {
-  const std::string name = a.get("device", "m4000");
-  if (name == "2080ti" || name == "rtx2080ti") {
-    return gpusim::rtx_2080ti();
-  }
-  return gpusim::quadro_m4000();
+  return parse_choice<gpusim::Device>(
+      "--device", a.get("device", "m4000"),
+      {{"m4000", gpusim::quadro_m4000()},
+       {"quadro", gpusim::quadro_m4000()},
+       {"2080ti", gpusim::rtx_2080ti()},
+       {"rtx2080ti", gpusim::rtx_2080ti()}});
 }
 
 int cmd_generate(const Args& a) {
+  a.require_known("generate", {"E", "b", "w", "padding", "k", "seed",
+                               "strategy", "intra", "rounds", "out", "csv"});
   const auto cfg = config_from(a);
-  const u32 k = static_cast<u32>(a.get_u64("k", 8));
+  const u32 k = static_cast<u32>(a.get_u64("k", 8, 40));  // n = bE * 2^k
   const std::size_t n = cfg.tile() << k;
   core::AttackOptions opts;
   opts.tile_shuffle_seed = a.get_u64("seed", 1);
@@ -130,10 +251,12 @@ int cmd_generate(const Args& a) {
 }
 
 int cmd_evaluate(const Args& a) {
-  const u32 w = static_cast<u32>(a.get_u64("w", 32));
-  const u32 e = static_cast<u32>(a.get_u64("E", 15));
-  const auto side =
-      a.get("side", "L") == "R" ? core::WarpSide::R : core::WarpSide::L;
+  a.require_known("evaluate", {"E", "w", "side", "strategy"});
+  const u32 w = a.get_u32("w", 32);
+  const u32 e = a.get_u32("E", 15);
+  const auto side = parse_choice<core::WarpSide>(
+      "--side", a.get("side", "L"),
+      {{"L", core::WarpSide::L}, {"R", core::WarpSide::R}});
   const auto strategy = parse_strategy(a.get("strategy", "front-to-back"));
   const auto wa = core::worst_case_warp(w, e, side, strategy);
   const u32 s = core::alignment_window_start(w, e, strategy);
@@ -150,31 +273,31 @@ int cmd_evaluate(const Args& a) {
 }
 
 int cmd_sort(const Args& a) {
+  a.require_known("sort", {"E", "b", "w", "padding", "k", "seed", "input",
+                           "device", "library", "algorithm", "ways",
+                           "digit-bits", "json"});
   const auto cfg = config_from(a);
   const auto dev = device_from(a);
-  const u32 k = static_cast<u32>(a.get_u64("k", 6));
+  const u32 k = static_cast<u32>(a.get_u64("k", 6, 40));  // n = bE * 2^k
   const std::size_t n = cfg.tile() << k;
-  const auto lib = a.get("library", "thrust") == "mgpu"
-                       ? sort::MergeSortLibrary::mgpu
-                       : sort::MergeSortLibrary::thrust;
+  const auto lib = parse_choice<sort::MergeSortLibrary>(
+      "--library", a.get("library", "thrust"),
+      {{"thrust", sort::MergeSortLibrary::thrust},
+       {"mgpu", sort::MergeSortLibrary::mgpu}});
 
-  workload::InputKind kind = workload::InputKind::worst_case;
-  const std::string kind_name = a.get("input", "worst-case");
-  for (const auto candidate :
-       {workload::InputKind::random, workload::InputKind::sorted,
-        workload::InputKind::reversed, workload::InputKind::nearly_sorted,
-        workload::InputKind::worst_case}) {
-    if (kind_name == workload::to_string(candidate)) {
-      kind = candidate;
-    }
-  }
+  const auto kind = parse_choice<workload::InputKind>(
+      "--input", a.get("input", "worst-case"),
+      {{"random", workload::InputKind::random},
+       {"sorted", workload::InputKind::sorted},
+       {"reversed", workload::InputKind::reversed},
+       {"nearly-sorted", workload::InputKind::nearly_sorted},
+       {"worst-case", workload::InputKind::worst_case}});
 
   const auto input = workload::make_input(kind, n, cfg, a.get_u64("seed", 1));
   const std::string algo = a.get("algorithm", "pairwise");
   sort::SortReport report;
   if (algo == "multiway") {
-    report = sort::multiway_merge_sort(input, cfg, dev,
-                                       static_cast<u32>(a.get_u64("ways", 4)));
+    report = sort::multiway_merge_sort(input, cfg, dev, a.get_u32("ways", 4));
   } else if (algo == "bitonic") {
     sort::SortConfig bcfg = cfg;
     bcfg.E = 2;
@@ -188,10 +311,13 @@ int cmd_sort(const Args& a) {
                                    static_cast<std::ptrdiff_t>(n2)),
         bcfg, dev);
   } else if (algo == "radix") {
-    report = sort::radix_sort(input, cfg, dev,
-                              static_cast<u32>(a.get_u64("digit-bits", 4)));
-  } else {
+    report = sort::radix_sort(input, cfg, dev, a.get_u32("digit-bits", 4));
+  } else if (algo == "pairwise") {
     report = sort::pairwise_merge_sort(input, cfg, dev, lib);
+  } else {
+    throw parse_error("unknown value '" + algo +
+                      "' for --algorithm (valid: pairwise, multiway, "
+                      "bitonic, radix)");
   }
   if (a.flag("json")) {
     analysis::write_report_json(std::cout, report);
@@ -206,42 +332,98 @@ int cmd_sort(const Args& a) {
   return 0;
 }
 
+int cmd_inspect(const Args& a) {
+  a.require_known("inspect", {"in"});
+  const std::string in = a.get("in", "");
+  if (in.empty()) {
+    throw parse_error("inspect requires --in file.wcmi");
+  }
+  const auto keys = workload::read_binary(in);
+  std::cout << in << ": " << keys.size() << " keys\n";
+  if (!keys.empty()) {
+    std::cout << "inversion fraction: "
+              << workload::inversion_fraction(keys) << "\n"
+              << "permutation of 0..n-1: "
+              << (workload::is_permutation_of_iota(keys) ? "yes" : "no")
+              << "\n";
+    std::cout << "first keys:";
+    for (std::size_t i = 0; i < std::min<std::size_t>(16, keys.size()); ++i) {
+      std::cout << ' ' << keys[i];
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
 int cmd_visualize(const Args& a) {
-  const u32 w = static_cast<u32>(a.get_u64("w", 16));
-  const u32 e = static_cast<u32>(a.get_u64("E", 7));
+  a.require_known("visualize", {"E", "w", "strategy"});
+  const u32 w = a.get_u32("w", 16);
+  const u32 e = a.get_u32("E", 7);
   const auto strategy = parse_strategy(a.get("strategy", "front-to-back"));
   const auto wa = core::worst_case_warp(w, e, core::WarpSide::L, strategy);
   std::cout << core::render_warp(wa);
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: wcmgen {generate|evaluate|sort|visualize} "
-                 "[--flags]\n(see the file header for the full synopsis)\n";
+    std::cerr << kUsage;
     return 2;
   }
   const std::string cmd = argv[1];
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    std::cout << kUsage;
+    return 0;
+  }
   const Args args = parse(argc, argv, 2);
+  if (args.flag("help")) {
+    std::cout << kUsage;
+    return 0;
+  }
+  if (cmd == "generate") {
+    return cmd_generate(args);
+  }
+  if (cmd == "evaluate") {
+    return cmd_evaluate(args);
+  }
+  if (cmd == "sort") {
+    return cmd_sort(args);
+  }
+  if (cmd == "inspect") {
+    return cmd_inspect(args);
+  }
+  if (cmd == "visualize") {
+    return cmd_visualize(args);
+  }
+  throw parse_error("unknown subcommand '" + cmd +
+                    "' (valid: generate, evaluate, sort, inspect, "
+                    "visualize, help)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   try {
-    if (cmd == "generate") {
-      return cmd_generate(args);
-    }
-    if (cmd == "evaluate") {
-      return cmd_evaluate(args);
-    }
-    if (cmd == "sort") {
-      return cmd_sort(args);
-    }
-    if (cmd == "visualize") {
-      return cmd_visualize(args);
-    }
-    std::cerr << "unknown subcommand '" << cmd << "'\n";
+    return run(argc, argv);
+  } catch (const parse_error& e) {
+    std::cerr << "usage error: " << e.what() << "\n"
+              << "(run 'wcmgen --help' for the full synopsis)\n";
     return 2;
+  } catch (const io_error& e) {
+    std::cerr << "input error: " << e.what() << "\n";
+    return 3;
+  } catch (const config_error& e) {
+    std::cerr << "config error: " << e.what() << "\n";
+    return 4;
+  } catch (const wcm::error& e) {
+    std::cerr << "internal error [" << to_string(e.code())
+              << "]: " << e.what() << "\n";
+    return 5;
   } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    std::cerr << "internal error: " << e.what() << "\n";
+    return 5;
+  } catch (...) {
+    std::cerr << "internal error: unknown exception\n";
+    return 5;
   }
 }

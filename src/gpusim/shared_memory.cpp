@@ -2,6 +2,7 @@
 
 #include "gpusim/trace.hpp"
 #include "util/check.hpp"
+#include "util/failpoint.hpp"
 
 namespace wcm::gpusim {
 
@@ -10,18 +11,22 @@ SharedMemory::SharedMemory(u32 warp_size, std::size_t words, u32 pad)
       layout_{warp_size, pad},
       logical_words_(words),
       machine_(warp_size, layout_.physical_words(words)) {
-  WCM_EXPECTS(is_pow2(warp_size), "warp size must be a power of two");
+  WCM_CHECK_CONFIG(is_pow2(warp_size), "warp size must be a power of two");
+  WCM_FAILPOINT("sim.smem.alloc", simulation_error,
+                "injected shared-memory allocation failure");
 }
 
 std::vector<word> SharedMemory::warp_read(std::span<const LaneRead> reads) {
-  WCM_EXPECTS(reads.size() <= warp_size_, "more requests than lanes");
+  WCM_CHECK_SIM(reads.size() <= warp_size_, "more requests than lanes");
+  WCM_FAILPOINT("sim.smem.invariant", simulation_error,
+                "injected mid-access invariant break");
   if (recorder_ != nullptr) {
     recorder_->on_read(reads);
   }
   scratch_.clear();
   for (const LaneRead& r : reads) {
-    WCM_EXPECTS(r.lane < warp_size_, "lane out of range");
-    WCM_EXPECTS(r.addr < logical_words_, "read out of bounds");
+    WCM_CHECK_SIM(r.lane < warp_size_, "lane out of range");
+    WCM_CHECK_SIM(r.addr < logical_words_, "read out of bounds");
     scratch_.push_back({r.lane, layout_.physical(r.addr), dmm::Op::read, 0});
   }
   machine_.step(scratch_, &scratch_reads_);
@@ -29,14 +34,14 @@ std::vector<word> SharedMemory::warp_read(std::span<const LaneRead> reads) {
 }
 
 void SharedMemory::warp_write(std::span<const LaneWrite> writes) {
-  WCM_EXPECTS(writes.size() <= warp_size_, "more requests than lanes");
+  WCM_CHECK_SIM(writes.size() <= warp_size_, "more requests than lanes");
   if (recorder_ != nullptr) {
     recorder_->on_write(writes);
   }
   scratch_.clear();
   for (const LaneWrite& w : writes) {
-    WCM_EXPECTS(w.lane < warp_size_, "lane out of range");
-    WCM_EXPECTS(w.addr < logical_words_, "write out of bounds");
+    WCM_CHECK_SIM(w.lane < warp_size_, "lane out of range");
+    WCM_CHECK_SIM(w.addr < logical_words_, "write out of bounds");
     scratch_.push_back(
         {w.lane, layout_.physical(w.addr), dmm::Op::write, w.value});
   }

@@ -1,12 +1,14 @@
 #include "gpusim/trace.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <string>
 
 #include "util/check.hpp"
+#include "util/failpoint.hpp"
 
 namespace wcm::gpusim {
 
@@ -64,36 +66,56 @@ void write_trace(std::ostream& os, const Trace& trace) {
     }
     os << '\n';
   }
-  WCM_ENSURES(static_cast<bool>(os), "trace write failed");
+  WCM_CHECK_IO(static_cast<bool>(os), "trace write failed");
 }
+
+namespace {
+
+/// Strict full-token unsigned parse; throws wcm::parse_error on anything
+/// other than a plain decimal number (so garbage tokens never escape as a
+/// raw std::invalid_argument from std::stoul).
+std::uint64_t parse_trace_number(const std::string& tok) {
+  std::uint64_t value = 0;
+  const auto [ptr, err] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), value);
+  WCM_CHECK_PARSE(err == std::errc() && ptr == tok.data() + tok.size() &&
+                      !tok.empty(),
+                  "malformed trace number '" + tok + "'");
+  return value;
+}
+
+}  // namespace
 
 Trace read_trace(std::istream& is) {
   std::string magic;
   Trace trace;
   std::size_t count = 0;
   is >> magic >> trace.warp_size >> count;
-  WCM_EXPECTS(static_cast<bool>(is) && magic == "WCMT",
-              "not a WCMT trace stream");
+  WCM_CHECK_PARSE(static_cast<bool>(is) && magic == "WCMT",
+                  "not a WCMT trace stream");
+  WCM_FAILPOINT("trace.read.malformed", parse_error,
+                "injected malformed trace stream");
   is.ignore();  // trailing newline
   trace.steps.reserve(count);
   std::string line;
   while (trace.steps.size() < count && std::getline(is, line)) {
-    WCM_EXPECTS(!line.empty() && (line[0] == 'R' || line[0] == 'W'),
-                "malformed trace line");
+    WCM_CHECK_PARSE(!line.empty() && (line[0] == 'R' || line[0] == 'W'),
+                    "malformed trace line '" + line + "'");
     TraceStep step;
     step.is_write = line[0] == 'W';
     std::istringstream ls(line.substr(1));
     std::string tok;
     while (ls >> tok) {
       const auto colon = tok.find(':');
-      WCM_EXPECTS(colon != std::string::npos, "malformed trace access");
+      WCM_CHECK_PARSE(colon != std::string::npos,
+                      "malformed trace access '" + tok + "'");
       step.accesses.emplace_back(
-          static_cast<u32>(std::stoul(tok.substr(0, colon))),
-          static_cast<std::size_t>(std::stoull(tok.substr(colon + 1))));
+          static_cast<u32>(parse_trace_number(tok.substr(0, colon))),
+          static_cast<std::size_t>(parse_trace_number(tok.substr(colon + 1))));
     }
     trace.steps.push_back(std::move(step));
   }
-  WCM_EXPECTS(trace.steps.size() == count, "truncated trace stream");
+  WCM_CHECK_PARSE(trace.steps.size() == count, "truncated trace stream");
   return trace;
 }
 

@@ -7,10 +7,11 @@
 namespace wcm::sort {
 
 void SortConfig::validate() const {
-  WCM_EXPECTS(E >= 1, "E must be positive");
-  WCM_EXPECTS(is_pow2(w), "warp size must be a power of two");
-  WCM_EXPECTS(is_pow2(b), "block size must be a power of two (paper Sec. II-A)");
-  WCM_EXPECTS(b >= 2 * w, "block must contain at least two warps");
+  WCM_CHECK_CONFIG(E >= 1, "E must be positive");
+  WCM_CHECK_CONFIG(is_pow2(w), "warp size must be a power of two");
+  WCM_CHECK_CONFIG(is_pow2(b),
+                   "block size must be a power of two (paper Sec. II-A)");
+  WCM_CHECK_CONFIG(b >= 2 * w, "block must contain at least two warps");
 }
 
 std::string SortConfig::to_string() const {

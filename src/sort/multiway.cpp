@@ -7,6 +7,7 @@
 #include "sort/blocksort.hpp"
 #include "sort/pairwise_sort.hpp"
 #include "util/check.hpp"
+#include "util/failpoint.hpp"
 
 namespace wcm::sort {
 
@@ -367,12 +368,13 @@ SortReport multiway_merge_sort(std::span<const word> input,
                                const gpusim::Device& dev, u32 ways,
                                std::vector<word>* output) {
   cfg.validate();
-  WCM_EXPECTS(ways >= 2, "need at least 2 ways");
-  WCM_EXPECTS(cfg.w == dev.warp_size, "config warp size must match device");
+  WCM_CHECK_CONFIG(ways >= 2, "need at least 2 ways");
+  WCM_CHECK_CONFIG(cfg.w == dev.warp_size,
+                   "config warp size must match device");
   const std::size_t tile = cfg.tile();
   const std::size_t n = input.size();
-  WCM_EXPECTS(n > 0 && n % tile == 0,
-              "input size must be a positive multiple of bE");
+  WCM_CHECK_CONFIG(n > 0 && n % tile == 0,
+                   "input size must be a positive multiple of bE");
 
   const gpusim::Calibration cal =
       library_calibration(MergeSortLibrary::thrust);
@@ -412,6 +414,8 @@ SortReport multiway_merge_sort(std::span<const word> input,
   u32 round_idx = 0;
   while (run < n) {
     ++round_idx;
+    WCM_FAILPOINT("sort.multiway.round", simulation_error,
+                  "injected mid-round invariant break");
     gpusim::KernelStats stats;
     const std::size_t group_out = run * ways;
     for (std::size_t base = 0; base < n; base += group_out) {
@@ -452,8 +456,8 @@ SortReport multiway_merge_sort(std::span<const word> input,
     run = group_out;
   }
 
-  WCM_ENSURES(std::is_sorted(data.begin(), data.end()),
-              "multiway merge sort must sort");
+  WCM_CHECK_SIM(std::is_sorted(data.begin(), data.end()),
+                "multiway merge sort must sort");
   if (output != nullptr) {
     *output = std::move(data);
   }

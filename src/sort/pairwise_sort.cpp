@@ -8,6 +8,7 @@
 #include "sort/block_merge.hpp"
 #include "sort/blocksort.hpp"
 #include "util/check.hpp"
+#include "util/failpoint.hpp"
 
 namespace wcm::sort {
 
@@ -173,11 +174,12 @@ SortReport pairwise_merge_sort(std::span<const word> input,
                                MergeSortLibrary lib,
                                std::vector<word>* output) {
   cfg.validate();
-  WCM_EXPECTS(cfg.w == dev.warp_size, "config warp size must match device");
+  WCM_CHECK_CONFIG(cfg.w == dev.warp_size,
+                   "config warp size must match device");
   const std::size_t tile = cfg.tile();
   const std::size_t n = input.size();
-  WCM_EXPECTS(n > 0 && n % tile == 0,
-              "input size must be a positive multiple of bE");
+  WCM_CHECK_CONFIG(n > 0 && n % tile == 0,
+                   "input size must be a positive multiple of bE");
 
   const gpusim::Calibration cal = library_calibration(lib);
   const gpusim::LaunchConfig launch{n / tile, cfg.b, cfg.shared_bytes()};
@@ -218,6 +220,8 @@ SortReport pairwise_merge_sort(std::span<const word> input,
   u32 round_idx = 0;
   while (run < n) {
     ++round_idx;
+    WCM_FAILPOINT("sort.pairwise.round", simulation_error,
+                  "injected mid-round invariant break");
     gpusim::KernelStats stats;
     const std::size_t out_run = 2 * run;
     for (std::size_t base = 0; base < n; base += out_run) {
@@ -256,8 +260,8 @@ SortReport pairwise_merge_sort(std::span<const word> input,
     run = out_run;
   }
 
-  WCM_ENSURES(std::is_sorted(data.begin(), data.end()),
-              "pairwise merge sort must sort");
+  WCM_CHECK_SIM(std::is_sorted(data.begin(), data.end()),
+                "pairwise merge sort must sort");
   if (output != nullptr) {
     *output = std::move(data);
   }

@@ -14,4 +14,10 @@ void contract_failure(const char* kind, const char* cond, const char* file,
   throw contract_error(os.str());
 }
 
+std::string source_context(const char* cond, const char* file, int line) {
+  std::ostringstream os;
+  os << cond << " at " << file << ":" << line;
+  return os.str();
+}
+
 }  // namespace wcm::detail

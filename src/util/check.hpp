@@ -2,27 +2,28 @@
 // Precondition / postcondition checking in the spirit of the C++ Core
 // Guidelines (I.6 "Prefer Expects()", I.8 "Prefer Ensures()").
 //
-// Violations throw `wcm::contract_error` so tests can assert on them and so a
-// misuse of the library never silently corrupts a simulation result.
+// Violations throw typed exceptions from util/error.hpp so tests can assert
+// on them and so a misuse of the library never silently corrupts a
+// simulation result.  WCM_EXPECTS / WCM_ENSURES throw the generic
+// `wcm::contract_error`; the WCM_CHECK_* variants throw the matching typed
+// error so callers can tell a misconfiguration from corrupt input from a
+// broken simulator invariant.
 
-#include <stdexcept>
 #include <string>
 
-namespace wcm {
+#include "util/error.hpp"
 
-/// Thrown when a WCM_EXPECTS / WCM_ENSURES contract is violated.
-class contract_error : public std::logic_error {
- public:
-  explicit contract_error(const std::string& what) : std::logic_error(what) {}
-};
+namespace wcm::detail {
 
-namespace detail {
 [[noreturn]] void contract_failure(const char* kind, const char* cond,
                                    const char* file, int line,
                                    const std::string& msg);
-}  // namespace detail
 
-}  // namespace wcm
+/// "`cond` at file:line" — the context string attached by WCM_CHECK_*.
+[[nodiscard]] std::string source_context(const char* cond, const char* file,
+                                         int line);
+
+}  // namespace wcm::detail
 
 /// Check a precondition; throws wcm::contract_error on failure.
 #define WCM_EXPECTS(cond, msg)                                              \
@@ -41,3 +42,28 @@ namespace detail {
                                       __LINE__, (msg));                     \
     }                                                                       \
   } while (false)
+
+/// Check a condition; throws `ErrorType(msg, "cond at file:line")` on
+/// failure.  ErrorType must be one of the util/error.hpp classes.
+#define WCM_CHECK_TYPED(cond, ErrorType, msg)                               \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      throw ErrorType((msg), ::wcm::detail::source_context(#cond, __FILE__, \
+                                                           __LINE__));      \
+    }                                                                       \
+  } while (false)
+
+/// Configuration check; throws wcm::config_error on failure.
+#define WCM_CHECK_CONFIG(cond, msg) \
+  WCM_CHECK_TYPED(cond, ::wcm::config_error, msg)
+
+/// File / stream check; throws wcm::io_error on failure.
+#define WCM_CHECK_IO(cond, msg) WCM_CHECK_TYPED(cond, ::wcm::io_error, msg)
+
+/// Text-parsing check; throws wcm::parse_error on failure.
+#define WCM_CHECK_PARSE(cond, msg) \
+  WCM_CHECK_TYPED(cond, ::wcm::parse_error, msg)
+
+/// Simulator-invariant check; throws wcm::simulation_error on failure.
+#define WCM_CHECK_SIM(cond, msg) \
+  WCM_CHECK_TYPED(cond, ::wcm::simulation_error, msg)

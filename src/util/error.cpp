@@ -1,0 +1,21 @@
+#include "util/error.hpp"
+
+namespace wcm {
+
+const char* to_string(errc code) noexcept {
+  switch (code) {
+    case errc::contract_violation:
+      return "contract-violation";
+    case errc::invalid_config:
+      return "invalid-config";
+    case errc::io_failure:
+      return "io-failure";
+    case errc::parse_failure:
+      return "parse-failure";
+    case errc::simulation_invariant:
+      return "simulation-invariant";
+  }
+  return "unknown";
+}
+
+}  // namespace wcm

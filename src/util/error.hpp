@@ -1,0 +1,99 @@
+#pragma once
+// Typed error taxonomy for the whole library.
+//
+// Every exception the library throws derives from `wcm::error`, which
+// carries a machine-readable error code (`wcm::errc`) and an optional
+// context string (source location, file path, failpoint name, ...), so
+// callers can distinguish
+//
+//   * "you misconfigured E/b/w"            -> wcm::config_error
+//   * "the input file is corrupt"          -> wcm::io_error
+//   * "this flag/value cannot be parsed"   -> wcm::parse_error
+//   * "the simulator broke an invariant"   -> wcm::simulation_error
+//   * "a library contract was violated"    -> wcm::contract_error
+//
+// `config_error` and `simulation_error` derive from `contract_error`
+// (a misconfiguration and a broken simulator invariant are both contract
+// violations), so pre-existing `catch (const wcm::contract_error&)` sites
+// keep working while new code can discriminate.  `io_error` and
+// `parse_error` describe bad *data*, not program bugs, and derive from
+// `wcm::error` directly.
+
+#include <stdexcept>
+#include <string>
+
+namespace wcm {
+
+/// Machine-readable error classes; `wcmgen` maps these onto process exit
+/// codes (see docs/API.md "Error handling & exit codes").
+enum class errc : int {
+  contract_violation = 1,    ///< WCM_EXPECTS / WCM_ENSURES failure
+  invalid_config = 2,        ///< malformed SortConfig / device mismatch
+  io_failure = 3,            ///< unreadable, truncated, or corrupt file
+  parse_failure = 4,         ///< unparseable text (CLI flag, trace line)
+  simulation_invariant = 5,  ///< the simulator broke an internal invariant
+};
+
+/// Human-readable name of an error code (e.g. "io-failure").
+[[nodiscard]] const char* to_string(errc code) noexcept;
+
+/// Common base of every exception thrown by the library.
+class error : public std::runtime_error {
+ public:
+  error(errc code, const std::string& what, std::string context = "")
+      : std::runtime_error(context.empty() ? what
+                                           : what + " (" + context + ")"),
+        code_(code),
+        context_(std::move(context)) {}
+
+  [[nodiscard]] errc code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& context() const noexcept {
+    return context_;
+  }
+
+ private:
+  errc code_;
+  std::string context_;
+};
+
+/// Thrown when a WCM_EXPECTS / WCM_ENSURES contract is violated.
+class contract_error : public error {
+ public:
+  explicit contract_error(const std::string& what, std::string context = "")
+      : error(errc::contract_violation, what, std::move(context)) {}
+
+ protected:
+  contract_error(errc code, const std::string& what, std::string context)
+      : error(code, what, std::move(context)) {}
+};
+
+/// A sort/device configuration is malformed (bad E/b/w, device mismatch).
+class config_error : public contract_error {
+ public:
+  explicit config_error(const std::string& what, std::string context = "")
+      : contract_error(errc::invalid_config, what, std::move(context)) {}
+};
+
+/// The simulator hit an internal invariant break mid-round.
+class simulation_error : public contract_error {
+ public:
+  explicit simulation_error(const std::string& what, std::string context = "")
+      : contract_error(errc::simulation_invariant, what,
+                       std::move(context)) {}
+};
+
+/// A file could not be opened, read, written, or is corrupt on disk.
+class io_error : public error {
+ public:
+  explicit io_error(const std::string& what, std::string context = "")
+      : error(errc::io_failure, what, std::move(context)) {}
+};
+
+/// Text could not be parsed (a CLI flag value, a trace line, ...).
+class parse_error : public error {
+ public:
+  explicit parse_error(const std::string& what, std::string context = "")
+      : error(errc::parse_failure, what, std::move(context)) {}
+};
+
+}  // namespace wcm

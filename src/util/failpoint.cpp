@@ -1,0 +1,246 @@
+#include "util/failpoint.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "util/error.hpp"
+
+namespace wcm::failpoint {
+
+namespace {
+
+/// Names compiled into library code paths.  Keep in sync with docs/API.md;
+/// test_fault_injection.cpp proves every entry fires.
+constexpr const char* kBuiltin[] = {
+    "io.read.open",       // read_binary: open failure
+    "io.read.alloc",      // read_binary: key-buffer allocation failure
+    "io.read.truncated",  // read_binary: short payload read
+    "io.read.checksum",   // read_binary: WCMI v2 checksum mismatch
+    "io.write.fail",      // write_binary: write failure
+    "trace.read.malformed",   // read_trace: malformed trace stream
+    "sim.smem.alloc",         // SharedMemory ctor: backing-store allocation
+    "sim.smem.invariant",     // SharedMemory::warp_read: mid-access break
+    "sort.pairwise.round",    // pairwise_merge_sort: mid-round break
+    "sort.multiway.round",    // multiway_merge_sort: mid-round break
+};
+
+struct State {
+  bool armed = false;
+  std::uint64_t skip = 0;
+  std::int64_t times = -1;  // <0: unlimited
+  std::uint64_t evaluations = 0;
+  std::uint64_t triggers = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, State> points;
+  std::string parsed_env;  // last WCM_FAILPOINTS value applied
+  bool env_checked = false;
+
+  Registry() {
+    for (const char* name : kBuiltin) {
+      points.emplace(name, State{});
+    }
+  }
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+/// Parse one WCM_FAILPOINTS entry: name[=skip[:times]].
+void arm_from_entry(Registry& r, const std::string& entry,
+                    std::size_t& armed_count) {
+  if (entry.empty()) {
+    return;
+  }
+  std::string name = entry;
+  std::uint64_t skip = 0;
+  std::int64_t times = -1;
+  const auto eq = entry.find('=');
+  if (eq != std::string::npos) {
+    name = entry.substr(0, eq);
+    std::string spec = entry.substr(eq + 1);
+    const auto colon = spec.find(':');
+    try {
+      if (colon != std::string::npos) {
+        skip = std::stoull(spec.substr(0, colon));
+        times = std::stoll(spec.substr(colon + 1));
+      } else {
+        skip = std::stoull(spec);
+      }
+    } catch (const std::exception&) {
+      throw parse_error("bad WCM_FAILPOINTS entry '" + entry +
+                        "' (expected name[=skip[:times]])");
+    }
+  }
+  State& s = r.points[name];  // registers unknown names
+  s.armed = true;
+  s.skip = skip;
+  s.times = times;
+  ++armed_count;
+}
+
+/// Apply WCM_FAILPOINTS if its value changed since the last application.
+/// Caller holds the registry mutex.
+std::size_t apply_env_locked(Registry& r) {
+  r.env_checked = true;
+  const char* env = std::getenv("WCM_FAILPOINTS");
+  const std::string value = env == nullptr ? "" : env;
+  if (value == r.parsed_env) {
+    return 0;
+  }
+  r.parsed_env = value;
+  std::size_t armed_count = 0;
+  std::string entry;
+  for (const char c : value) {
+    if (c == ';' || c == ',') {
+      arm_from_entry(r, entry, armed_count);
+      entry.clear();
+    } else {
+      entry.push_back(c);
+    }
+  }
+  arm_from_entry(r, entry, armed_count);
+  return armed_count;
+}
+
+}  // namespace
+
+bool should_fail(const char* name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (!r.env_checked) {
+    apply_env_locked(r);
+  }
+  State& s = r.points[name];
+  ++s.evaluations;
+  if (!s.armed) {
+    return false;
+  }
+  if (s.skip > 0) {
+    --s.skip;
+    return false;
+  }
+  if (s.times == 0) {
+    return false;
+  }
+  if (s.times > 0) {
+    --s.times;
+  }
+  ++s.triggers;
+  return true;
+}
+
+void arm(const std::string& name, std::uint64_t skip, std::int64_t times) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  State& s = r.points[name];
+  s.armed = true;
+  s.skip = skip;
+  s.times = times;
+}
+
+void disarm(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.points.find(name);
+  if (it != r.points.end()) {
+    it->second.armed = false;
+  }
+}
+
+void disarm_all() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, s] : r.points) {
+    s.armed = false;
+  }
+}
+
+void reset_counters() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, s] : r.points) {
+    s.evaluations = 0;
+    s.triggers = 0;
+  }
+}
+
+bool armed(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.points.find(name);
+  return it != r.points.end() && it->second.armed;
+}
+
+std::uint64_t evaluations(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.points.find(name);
+  return it == r.points.end() ? 0 : it->second.evaluations;
+}
+
+std::uint64_t triggers(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.points.find(name);
+  return it == r.points.end() ? 0 : it->second.triggers;
+}
+
+std::vector<std::string> known() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::string> names;
+  names.reserve(r.points.size());
+  for (const auto& [name, s] : r.points) {
+    names.push_back(name);
+  }
+  return names;  // std::map iteration is already sorted
+}
+
+std::size_t configure_from_env() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return apply_env_locked(r);
+}
+
+scoped_arm::scoped_arm(std::string name, std::uint64_t skip,
+                       std::int64_t times)
+    : name_(std::move(name)) {
+  arm(name_, skip, times);
+}
+
+scoped_arm::~scoped_arm() { disarm(name_); }
+
+scoped_disarm::scoped_disarm() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, s] : r.points) {
+    if (s.armed) {
+      saved_.push_back({name, s.skip, s.times});
+      s.armed = false;
+    }
+  }
+}
+
+scoped_disarm::scoped_disarm(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.points.find(name);
+  if (it != r.points.end() && it->second.armed) {
+    saved_.push_back({name, it->second.skip, it->second.times});
+    it->second.armed = false;
+  }
+}
+
+scoped_disarm::~scoped_disarm() {
+  for (const Saved& s : saved_) {
+    arm(s.name, s.skip, s.times);
+  }
+}
+
+}  // namespace wcm::failpoint

@@ -1,16 +1,31 @@
 #include "workload/io.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <limits>
+#include <new>
 
 #include "util/check.hpp"
+#include "util/failpoint.hpp"
 
 namespace wcm::workload {
 
 namespace {
 constexpr char kMagic[4] = {'W', 'C', 'M', 'I'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersionV1 = 1;
+constexpr std::uint64_t kHeaderBytes = 16;  // magic + version + n
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
 
 template <typename T>
 void write_pod(std::ostream& os, const T& v) {
@@ -21,7 +36,7 @@ template <typename T>
 T read_pod(std::istream& is) {
   T v{};
   is.read(reinterpret_cast<char*>(&v), sizeof(v));
-  WCM_EXPECTS(static_cast<bool>(is), "truncated WCMI file");
+  WCM_CHECK_IO(static_cast<bool>(is), "truncated WCMI file");
   return v;
 }
 }  // namespace
@@ -29,45 +44,122 @@ T read_pod(std::istream& is) {
 void write_binary(const std::filesystem::path& path,
                   const std::vector<word>& keys) {
   std::ofstream os(path, std::ios::binary);
-  WCM_EXPECTS(os.is_open(), "cannot open output file");
-  os.write(kMagic, sizeof(kMagic));
-  write_pod(os, kVersion);
-  write_pod(os, static_cast<std::uint64_t>(keys.size()));
+  WCM_FAILPOINT("io.write.fail", io_error, "injected write failure");
+  WCM_CHECK_IO(os.is_open(),
+               "cannot open output file: " + path.string());
+
+  std::vector<std::int32_t> buf;
+  buf.reserve(keys.size());
   for (const word k : keys) {
     WCM_EXPECTS(k >= std::numeric_limits<std::int32_t>::min() &&
                     k <= std::numeric_limits<std::int32_t>::max(),
                 "key does not fit in int32");
-    write_pod(os, static_cast<std::int32_t>(k));
+    buf.push_back(static_cast<std::int32_t>(k));
   }
-  WCM_ENSURES(static_cast<bool>(os), "write failed");
+
+  const auto n = static_cast<std::uint64_t>(keys.size());
+  std::uint64_t h = kFnvOffset;
+  os.write(kMagic, sizeof(kMagic));
+  h = fnv1a(h, kMagic, sizeof(kMagic));
+  write_pod(os, wcmi_version);
+  h = fnv1a(h, &wcmi_version, sizeof(wcmi_version));
+  write_pod(os, n);
+  h = fnv1a(h, &n, sizeof(n));
+  if (!buf.empty()) {
+    os.write(reinterpret_cast<const char*>(buf.data()),
+             static_cast<std::streamsize>(buf.size() * sizeof(std::int32_t)));
+    h = fnv1a(h, buf.data(), buf.size() * sizeof(std::int32_t));
+  }
+  write_pod(os, h);
+  WCM_CHECK_IO(static_cast<bool>(os), "write failed: " + path.string());
 }
 
 std::vector<word> read_binary(const std::filesystem::path& path) {
+  std::error_code ec;
+  const std::uint64_t file_size = std::filesystem::file_size(path, ec);
   std::ifstream is(path, std::ios::binary);
-  WCM_EXPECTS(is.is_open(), "cannot open input file");
+  WCM_FAILPOINT("io.read.open", io_error, "injected open failure");
+  WCM_CHECK_IO(!ec && is.is_open(),
+               "cannot open input file: " + path.string());
+  WCM_CHECK_IO(file_size >= kHeaderBytes,
+               "truncated WCMI header (" + std::to_string(file_size) +
+                   " bytes): " + path.string());
+
   char magic[4];
   is.read(magic, sizeof(magic));
-  WCM_EXPECTS(static_cast<bool>(is) && std::equal(magic, magic + 4, kMagic),
-              "not a WCMI file");
+  WCM_CHECK_IO(static_cast<bool>(is) &&
+                   std::equal(magic, magic + 4, kMagic),
+               "not a WCMI file: " + path.string());
   const auto version = read_pod<std::uint32_t>(is);
-  WCM_EXPECTS(version == kVersion, "unsupported WCMI version");
+  WCM_CHECK_IO(version == kVersionV1 || version == wcmi_version,
+               "unsupported WCMI version " + std::to_string(version) +
+                   ": " + path.string());
   const auto n = read_pod<std::uint64_t>(is);
-  std::vector<word> keys(n);
-  for (auto& k : keys) {
-    k = read_pod<std::int32_t>(is);
+
+  // Sanity-check the declared count against the cap and the actual file
+  // size *before* allocating, so a corrupt header cannot drive an OOM.
+  WCM_CHECK_IO(n <= max_wcmi_keys,
+               "WCMI element count " + std::to_string(n) +
+                   " exceeds the cap of " + std::to_string(max_wcmi_keys) +
+                   ": " + path.string());
+  const std::uint64_t payload_bytes = n * sizeof(std::int32_t);
+  const std::uint64_t expected =
+      kHeaderBytes + payload_bytes +
+      (version == wcmi_version ? sizeof(std::uint64_t) : 0);
+  if (version == wcmi_version) {
+    WCM_CHECK_IO(file_size == expected,
+                 "WCMI file size " + std::to_string(file_size) +
+                     " does not match header (expected " +
+                     std::to_string(expected) + "): " + path.string());
+  } else {
+    WCM_CHECK_IO(file_size >= expected,
+                 "truncated WCMI payload (" + std::to_string(file_size) +
+                     " of " + std::to_string(expected) +
+                     " bytes): " + path.string());
   }
-  return keys;
+
+  WCM_FAILPOINT("io.read.alloc", io_error, "injected allocation failure");
+  std::vector<std::int32_t> buf;
+  try {
+    buf.resize(n);
+  } catch (const std::bad_alloc&) {
+    throw io_error("cannot allocate " + std::to_string(payload_bytes) +
+                       " bytes for WCMI payload",
+                   path.string());
+  }
+  if (n > 0) {
+    is.read(reinterpret_cast<char*>(buf.data()),
+            static_cast<std::streamsize>(payload_bytes));
+  }
+  WCM_FAILPOINT("io.read.truncated", io_error, "injected short read");
+  WCM_CHECK_IO(static_cast<bool>(is),
+               "truncated WCMI payload: " + path.string());
+
+  if (version == wcmi_version) {
+    const auto stored = read_pod<std::uint64_t>(is);
+    std::uint64_t h = kFnvOffset;
+    h = fnv1a(h, kMagic, sizeof(kMagic));
+    h = fnv1a(h, &version, sizeof(version));
+    h = fnv1a(h, &n, sizeof(n));
+    h = fnv1a(h, buf.data(), buf.size() * sizeof(std::int32_t));
+    WCM_FAILPOINT("io.read.checksum", io_error,
+                  "injected checksum mismatch");
+    WCM_CHECK_IO(h == stored, "WCMI checksum mismatch: " + path.string());
+  }
+
+  return {buf.begin(), buf.end()};
 }
 
 void write_csv(const std::filesystem::path& path,
                const std::vector<word>& keys) {
   std::ofstream os(path);
-  WCM_EXPECTS(os.is_open(), "cannot open output file");
+  WCM_CHECK_IO(os.is_open(),
+               "cannot open output file: " + path.string());
   os << "key\n";
   for (const word k : keys) {
     os << k << '\n';
   }
-  WCM_ENSURES(static_cast<bool>(os), "write failed");
+  WCM_CHECK_IO(static_cast<bool>(os), "write failed: " + path.string());
 }
 
 }  // namespace wcm::workload

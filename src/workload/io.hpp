@@ -3,13 +3,21 @@
 // adversarial inputs can be exported and fed to a real GPU harness) and a
 // CSV form for inspection.
 //
-// Binary layout (little-endian):
-//   magic   "WCMI"            4 bytes
-//   version u32               currently 1
-//   n       u64
-//   keys    n x i32           (inputs are permutations of 0..n-1, which the
-//                              paper's 4-byte-integer experiments match)
+// Binary layout, version 2 (little-endian):
+//   magic    "WCMI"            4 bytes
+//   version  u32               currently 2
+//   n        u64
+//   keys     n x i32           (inputs are permutations of 0..n-1, which the
+//                               paper's 4-byte-integer experiments match)
+//   checksum u64               FNV-1a over every preceding byte
+//
+// Version 1 files (identical, minus the trailing checksum) remain readable
+// forever; the writer always emits version 2.  The reader cross-checks the
+// declared element count against the actual file size *before* allocating
+// anything, and rejects counts above max_wcmi_keys, so a corrupt header can
+// never drive an out-of-memory allocation.
 
+#include <cstdint>
 #include <filesystem>
 #include <vector>
 
@@ -19,12 +27,21 @@ namespace wcm::workload {
 
 using dmm::word;
 
-/// Write keys to `path` in the WCMI binary format.  Every key must fit in
-/// int32 (contract-checked).
+/// Hard cap on the element count of a WCMI file (2^33 keys = 32 GiB of
+/// payload); read_binary rejects anything larger as corrupt.
+inline constexpr std::uint64_t max_wcmi_keys = std::uint64_t{1} << 33;
+
+/// The WCMI version write_binary emits.
+inline constexpr std::uint32_t wcmi_version = 2;
+
+/// Write keys to `path` in the WCMI v2 binary format (with trailing FNV-1a
+/// checksum).  Every key must fit in int32 (contract-checked).  Throws
+/// wcm::io_error when the file cannot be written.
 void write_binary(const std::filesystem::path& path,
                   const std::vector<word>& keys);
 
-/// Read a WCMI file.  Throws wcm::contract_error on malformed content.
+/// Read a WCMI file (version 1 or 2).  Throws wcm::io_error on malformed,
+/// truncated, oversized, or checksum-failing content.
 [[nodiscard]] std::vector<word> read_binary(const std::filesystem::path& path);
 
 /// Write keys as a one-column CSV with header "key".

@@ -1,0 +1,294 @@
+// Fault-injection coverage: every registered failpoint fires at least once
+// and surfaces its *typed* error — never std::logic_error or a raw
+// std::runtime_error — so each error path is proven reachable and
+// correctly classified.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "gpusim/device.hpp"
+#include "gpusim/shared_memory.hpp"
+#include "gpusim/trace.hpp"
+#include "sort/multiway.hpp"
+#include "sort/pairwise_sort.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "workload/inputs.hpp"
+#include "workload/io.hpp"
+
+namespace wcm {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::disarm_all(); }
+  void TearDown() override { failpoint::disarm_all(); }
+
+  std::filesystem::path path_ =
+      std::filesystem::temp_directory_path() /
+      ("wcm_failpoint_" + std::to_string(::getpid()) + ".wcmi");
+
+  std::vector<dmm::word> valid_keys_ = workload::random_permutation(64, 3);
+
+  void write_valid_file() { workload::write_binary(path_, valid_keys_); }
+
+  /// Run a tiny pairwise sort (one global merge round).
+  void run_pairwise() {
+    const sort::SortConfig cfg{5, 64, 32};
+    const auto input = workload::make_input(workload::InputKind::random,
+                                            cfg.tile() * 2, cfg, 1);
+    (void)sort::pairwise_merge_sort(input, cfg, gpusim::quadro_m4000());
+  }
+
+  void run_multiway() {
+    const sort::SortConfig cfg{5, 64, 32};
+    const auto input = workload::make_input(workload::InputKind::random,
+                                            cfg.tile() * 2, cfg, 1);
+    (void)sort::multiway_merge_sort(input, cfg, gpusim::quadro_m4000(), 2);
+  }
+};
+
+TEST_F(FaultInjectionTest, IoReadOpen) {
+  write_valid_file();
+  failpoint::scoped_arm fp("io.read.open");
+  EXPECT_THROW((void)workload::read_binary(path_), io_error);
+  std::filesystem::remove(path_);
+}
+
+TEST_F(FaultInjectionTest, IoReadAlloc) {
+  write_valid_file();
+  failpoint::scoped_arm fp("io.read.alloc");
+  EXPECT_THROW((void)workload::read_binary(path_), io_error);
+  std::filesystem::remove(path_);
+}
+
+TEST_F(FaultInjectionTest, IoReadTruncated) {
+  write_valid_file();
+  failpoint::scoped_arm fp("io.read.truncated");
+  EXPECT_THROW((void)workload::read_binary(path_), io_error);
+  std::filesystem::remove(path_);
+}
+
+TEST_F(FaultInjectionTest, IoReadChecksum) {
+  write_valid_file();
+  failpoint::scoped_arm fp("io.read.checksum");
+  EXPECT_THROW((void)workload::read_binary(path_), io_error);
+  std::filesystem::remove(path_);
+}
+
+TEST_F(FaultInjectionTest, IoWriteFail) {
+  failpoint::scoped_arm fp("io.write.fail");
+  EXPECT_THROW(workload::write_binary(path_, valid_keys_), io_error);
+  std::filesystem::remove(path_);
+}
+
+TEST_F(FaultInjectionTest, TraceReadMalformed) {
+  failpoint::scoped_arm fp("trace.read.malformed");
+  std::istringstream is("WCMT 32 1\nR 0:1\n");
+  EXPECT_THROW((void)gpusim::read_trace(is), parse_error);
+}
+
+TEST_F(FaultInjectionTest, SimSmemAlloc) {
+  failpoint::scoped_arm fp("sim.smem.alloc");
+  EXPECT_THROW(gpusim::SharedMemory(32, 64), simulation_error);
+}
+
+TEST_F(FaultInjectionTest, SimSmemInvariant) {
+  gpusim::SharedMemory shm(32, 64);
+  failpoint::scoped_arm fp("sim.smem.invariant");
+  const std::vector<gpusim::LaneRead> reads{{0, 0}};
+  EXPECT_THROW((void)shm.warp_read(reads), simulation_error);
+}
+
+TEST_F(FaultInjectionTest, SortPairwiseRound) {
+  failpoint::scoped_arm fp("sort.pairwise.round");
+  EXPECT_THROW(run_pairwise(), simulation_error);
+}
+
+TEST_F(FaultInjectionTest, SortMultiwayRound) {
+  failpoint::scoped_arm fp("sort.multiway.round");
+  EXPECT_THROW(run_multiway(), simulation_error);
+}
+
+TEST_F(FaultInjectionTest, ErrorsCarryFailpointContext) {
+  write_valid_file();
+  failpoint::scoped_arm fp("io.read.checksum");
+  try {
+    (void)workload::read_binary(path_);
+    FAIL() << "failpoint did not fire";
+  } catch (const io_error& e) {
+    EXPECT_EQ(e.code(), errc::io_failure);
+    EXPECT_NE(e.context().find("io.read.checksum"), std::string::npos);
+  }
+  std::filesystem::remove(path_);
+}
+
+TEST_F(FaultInjectionTest, DisarmedFailpointsCountEvaluations) {
+  const auto before = failpoint::evaluations("io.read.open");
+  write_valid_file();
+  EXPECT_EQ(workload::read_binary(path_), valid_keys_);  // nothing armed
+  EXPECT_EQ(failpoint::evaluations("io.read.open"), before + 1);
+  std::filesystem::remove(path_);
+}
+
+TEST_F(FaultInjectionTest, SkipCountDelaysFiring) {
+  write_valid_file();
+  failpoint::scoped_arm fp("io.read.open", /*skip=*/2);
+  EXPECT_EQ(workload::read_binary(path_), valid_keys_);
+  EXPECT_EQ(workload::read_binary(path_), valid_keys_);
+  EXPECT_THROW((void)workload::read_binary(path_), io_error);
+  std::filesystem::remove(path_);
+}
+
+TEST_F(FaultInjectionTest, TimesLimitStopsFiring) {
+  write_valid_file();
+  failpoint::scoped_arm fp("io.read.open", /*skip=*/0, /*times=*/1);
+  EXPECT_THROW((void)workload::read_binary(path_), io_error);
+  EXPECT_EQ(workload::read_binary(path_), valid_keys_);  // budget spent
+  std::filesystem::remove(path_);
+}
+
+TEST_F(FaultInjectionTest, ScopedDisarmSuppressesAndRestores) {
+  write_valid_file();
+  failpoint::arm("io.read.open");
+  {
+    failpoint::scoped_disarm off("io.read.open");
+    EXPECT_EQ(workload::read_binary(path_), valid_keys_);
+  }
+  EXPECT_TRUE(failpoint::armed("io.read.open"));
+  EXPECT_THROW((void)workload::read_binary(path_), io_error);
+  failpoint::disarm("io.read.open");
+  std::filesystem::remove(path_);
+}
+
+TEST_F(FaultInjectionTest, ScopedDisarmAllSuppressesEverything) {
+  write_valid_file();
+  failpoint::arm("io.read.open");
+  failpoint::arm("io.read.checksum");
+  {
+    failpoint::scoped_disarm off;
+    EXPECT_EQ(workload::read_binary(path_), valid_keys_);
+  }
+  EXPECT_TRUE(failpoint::armed("io.read.open"));
+  EXPECT_TRUE(failpoint::armed("io.read.checksum"));
+  std::filesystem::remove(path_);
+}
+
+TEST_F(FaultInjectionTest, EnvVarArmsFailpoints) {
+  ASSERT_EQ(::setenv("WCM_FAILPOINTS", "io.read.open;io.read.checksum=1",
+                     /*overwrite=*/1),
+            0);
+  EXPECT_EQ(failpoint::configure_from_env(), 2u);
+  EXPECT_TRUE(failpoint::armed("io.read.open"));
+  EXPECT_TRUE(failpoint::armed("io.read.checksum"));
+
+  write_valid_file();
+  failpoint::disarm("io.read.open");
+  // skip=1: first read survives, second hits the checksum failpoint.
+  EXPECT_EQ(workload::read_binary(path_), valid_keys_);
+  EXPECT_THROW((void)workload::read_binary(path_), io_error);
+
+  ASSERT_EQ(::unsetenv("WCM_FAILPOINTS"), 0);
+  (void)failpoint::configure_from_env();  // re-sync cached env value
+  failpoint::disarm_all();
+  std::filesystem::remove(path_);
+}
+
+TEST_F(FaultInjectionTest, EnvVarRejectsGarbageSpec) {
+  ASSERT_EQ(::setenv("WCM_FAILPOINTS", "io.read.open=abc", 1), 0);
+  EXPECT_THROW((void)failpoint::configure_from_env(), parse_error);
+  ASSERT_EQ(::unsetenv("WCM_FAILPOINTS"), 0);
+  (void)failpoint::configure_from_env();
+  failpoint::disarm_all();
+}
+
+TEST_F(FaultInjectionTest, KnownListsAllBuiltins) {
+  const auto names = failpoint::known();
+  for (const char* expected :
+       {"io.read.open", "io.read.alloc", "io.read.truncated",
+        "io.read.checksum", "io.write.fail", "trace.read.malformed",
+        "sim.smem.alloc", "sim.smem.invariant", "sort.pairwise.round",
+        "sort.multiway.round"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+// Exhaustive coverage: arm every registered failpoint in turn, drive the
+// code path it instruments, and assert the matching typed error surfaces.
+// Self-contained (ctest runs each TEST in its own process), and fails if a
+// new failpoint is registered without a driver here.
+TEST_F(FaultInjectionTest, EveryRegisteredFailpointFired) {
+  struct Driver {
+    errc expected;
+    std::function<void()> run;
+  };
+  const std::map<std::string, Driver> drivers{
+      {"io.read.open",
+       {errc::io_failure, [&] { (void)workload::read_binary(path_); }}},
+      {"io.read.alloc",
+       {errc::io_failure, [&] { (void)workload::read_binary(path_); }}},
+      {"io.read.truncated",
+       {errc::io_failure, [&] { (void)workload::read_binary(path_); }}},
+      {"io.read.checksum",
+       {errc::io_failure, [&] { (void)workload::read_binary(path_); }}},
+      {"io.write.fail",
+       {errc::io_failure,
+        [&] { workload::write_binary(path_, valid_keys_); }}},
+      {"trace.read.malformed",
+       {errc::parse_failure,
+        [] {
+          std::istringstream is("WCMT 32 1\nR 0:1\n");
+          (void)gpusim::read_trace(is);
+        }}},
+      {"sim.smem.alloc",
+       {errc::simulation_invariant,
+        [] { gpusim::SharedMemory shm(32, 64); }}},
+      {"sim.smem.invariant",
+       {errc::simulation_invariant,
+        [] {
+          gpusim::SharedMemory shm(32, 64);
+          const std::vector<gpusim::LaneRead> reads{{0, 0}};
+          (void)shm.warp_read(reads);
+        }}},
+      {"sort.pairwise.round",
+       {errc::simulation_invariant, [&] { run_pairwise(); }}},
+      {"sort.multiway.round",
+       {errc::simulation_invariant, [&] { run_multiway(); }}},
+  };
+
+  for (const auto& name : failpoint::known()) {
+    const auto it = drivers.find(name);
+    ASSERT_NE(it, drivers.end())
+        << "failpoint '" << name << "' has no coverage driver";
+    write_valid_file();
+    const auto fired_before = failpoint::triggers(name);
+    {
+      failpoint::scoped_arm fp(name);
+      try {
+        it->second.run();
+        FAIL() << "failpoint '" << name << "' did not fire";
+      } catch (const wcm::error& e) {
+        EXPECT_EQ(e.code(), it->second.expected)
+            << name << " surfaced the wrong error class: " << e.what();
+        EXPECT_NE(e.context().find(name), std::string::npos)
+            << name << " error lacks failpoint context: " << e.what();
+      }
+    }
+    EXPECT_GE(failpoint::triggers(name), fired_before + 1) << name;
+    EXPECT_GE(failpoint::evaluations(name), failpoint::triggers(name));
+    std::filesystem::remove(path_);
+  }
+}
+
+}  // namespace
+}  // namespace wcm

@@ -92,13 +92,17 @@ TEST(Trace, SerializationRoundTrip) {
 
 TEST(Trace, ParserRejectsGarbage) {
   std::istringstream bad1("nope");
-  EXPECT_THROW((void)read_trace(bad1), contract_error);
+  EXPECT_THROW((void)read_trace(bad1), parse_error);
   std::istringstream bad2("WCMT 32 2\nR 0:1\n");  // truncated
-  EXPECT_THROW((void)read_trace(bad2), contract_error);
+  EXPECT_THROW((void)read_trace(bad2), parse_error);
   std::istringstream bad3("WCMT 32 1\nX 0:1\n");  // bad op
-  EXPECT_THROW((void)read_trace(bad3), contract_error);
+  EXPECT_THROW((void)read_trace(bad3), parse_error);
   std::istringstream bad4("WCMT 32 1\nR 0-1\n");  // bad access
-  EXPECT_THROW((void)read_trace(bad4), contract_error);
+  EXPECT_THROW((void)read_trace(bad4), parse_error);
+  std::istringstream bad5("WCMT 32 1\nR x:1\n");  // non-numeric lane
+  EXPECT_THROW((void)read_trace(bad5), parse_error);
+  std::istringstream bad6("WCMT 32 1\nR 0:1z\n");  // trailing garbage
+  EXPECT_THROW((void)read_trace(bad6), parse_error);
 }
 
 TEST(Trace, ReplayRequiresMatchingWidth) {

@@ -1,0 +1,179 @@
+// Table-driven corrupt-input corpus for the WCMI reader: every malformed
+// file must surface a typed wcm::io_error — never crash, hang, or drive a
+// pathological allocation — and v1 files must stay readable forever.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "workload/inputs.hpp"
+#include "workload/io.hpp"
+
+namespace wcm::workload {
+namespace {
+
+/// Byte-level WCMI builder so each corpus entry can corrupt one field.
+struct FileBuilder {
+  std::vector<char> bytes;
+
+  FileBuilder& raw(const void* data, std::size_t len) {
+    const char* p = static_cast<const char*>(data);
+    bytes.insert(bytes.end(), p, p + len);
+    return *this;
+  }
+  FileBuilder& magic(const char* m = "WCMI") { return raw(m, 4); }
+  FileBuilder& u32(std::uint32_t v) { return raw(&v, sizeof(v)); }
+  FileBuilder& u64(std::uint64_t v) { return raw(&v, sizeof(v)); }
+  FileBuilder& keys(const std::vector<std::int32_t>& ks) {
+    return ks.empty() ? *this : raw(ks.data(), ks.size() * sizeof(ks[0]));
+  }
+};
+
+class IoCorruptTest : public ::testing::Test {
+ protected:
+  std::filesystem::path path_ =
+      std::filesystem::temp_directory_path() /
+      ("wcm_io_corrupt_" + std::to_string(::getpid()) + ".wcmi");
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  void write_file(const std::vector<char>& bytes) {
+    std::ofstream os(path_, std::ios::binary);
+    ASSERT_TRUE(os.is_open());
+    if (!bytes.empty()) {
+      os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+  }
+
+  /// A byte-exact valid v2 file for 4 keys (via the real writer).
+  std::vector<char> valid_v2_bytes() {
+    write_binary(path_, {3, 1, 2, 0});
+    std::ifstream is(path_, std::ios::binary);
+    return {std::istreambuf_iterator<char>(is),
+            std::istreambuf_iterator<char>()};
+  }
+};
+
+TEST_F(IoCorruptTest, CorpusThrowsTypedIoError) {
+  struct Case {
+    const char* name;
+    std::vector<char> bytes;
+  };
+  const std::vector<Case> corpus = {
+      {"zero-length file", {}},
+      {"truncated header", FileBuilder{}.magic().u32(2).bytes},
+      {"bad magic",
+       FileBuilder{}.magic("XXXX").u32(2).u64(0).u64(0).bytes},
+      {"wrong version",
+       FileBuilder{}.magic().u32(99).u64(0).u64(0).bytes},
+      {"oversized count",
+       FileBuilder{}.magic().u32(2).u64(std::uint64_t{1} << 60).bytes},
+      {"count beyond cap with plausible size",
+       FileBuilder{}.magic().u32(2).u64(max_wcmi_keys + 1).bytes},
+      {"v2 payload shorter than count",
+       FileBuilder{}
+           .magic()
+           .u32(2)
+           .u64(100)
+           .keys({1, 2, 3})
+           .u64(0)
+           .bytes},
+      {"v2 payload longer than count",
+       FileBuilder{}
+           .magic()
+           .u32(2)
+           .u64(1)
+           .keys({1, 2, 3, 4})
+           .u64(0)
+           .bytes},
+      {"v1 truncated payload",
+       FileBuilder{}.magic().u32(1).u64(100).keys({1, 2, 3}).bytes},
+      {"v2 bad checksum",
+       FileBuilder{}
+           .magic()
+           .u32(2)
+           .u64(2)
+           .keys({0, 1})
+           .u64(0xdeadbeef)
+           .bytes},
+  };
+  for (const auto& c : corpus) {
+    SCOPED_TRACE(c.name);
+    write_file(c.bytes);
+    EXPECT_THROW((void)read_binary(path_), io_error);
+  }
+}
+
+TEST_F(IoCorruptTest, MissingFileIsIoError) {
+  EXPECT_THROW((void)read_binary(path_.string() + ".definitely-missing"),
+               io_error);
+}
+
+TEST_F(IoCorruptTest, FlippedChecksumByteIsDetected) {
+  auto bytes = valid_v2_bytes();
+  ASSERT_GE(bytes.size(), 8u);
+  bytes.back() = static_cast<char>(bytes.back() ^ 0x01);
+  write_file(bytes);
+  EXPECT_THROW((void)read_binary(path_), io_error);
+}
+
+TEST_F(IoCorruptTest, FlippedPayloadByteIsDetected) {
+  auto bytes = valid_v2_bytes();
+  ASSERT_GE(bytes.size(), 16u + 4u + 8u);
+  bytes[16] = static_cast<char>(bytes[16] ^ 0x40);  // first key byte
+  write_file(bytes);
+  EXPECT_THROW((void)read_binary(path_), io_error);
+}
+
+TEST_F(IoCorruptTest, TruncatedEverywhereNeverCrashes) {
+  const auto bytes = valid_v2_bytes();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    SCOPED_TRACE(len);
+    write_file({bytes.begin(),
+                bytes.begin() + static_cast<std::ptrdiff_t>(len)});
+    EXPECT_THROW((void)read_binary(path_), io_error);
+  }
+}
+
+TEST_F(IoCorruptTest, ErrorsCarryIoFailureCode) {
+  write_file({});
+  try {
+    (void)read_binary(path_);
+    FAIL() << "zero-length file was accepted";
+  } catch (const io_error& e) {
+    EXPECT_EQ(e.code(), errc::io_failure);
+  }
+}
+
+TEST_F(IoCorruptTest, V1FilesStillRoundTrip) {
+  const std::vector<std::int32_t> keys{4, 2, 0, 3, 1};
+  write_file(FileBuilder{}.magic().u32(1).u64(keys.size()).keys(keys).bytes);
+  const auto read = read_binary(path_);
+  ASSERT_EQ(read.size(), keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(read[i], keys[i]);
+  }
+}
+
+TEST_F(IoCorruptTest, V1EmptyFileReads) {
+  write_file(FileBuilder{}.magic().u32(1).u64(0).bytes);
+  EXPECT_TRUE(read_binary(path_).empty());
+}
+
+TEST_F(IoCorruptTest, WriterEmitsV2ReaderRoundTrips) {
+  const auto keys = random_permutation(777, 5);
+  write_binary(path_, keys);
+  EXPECT_EQ(read_binary(path_), keys);
+  // Layout check: header + 4n payload + trailing 8-byte checksum.
+  EXPECT_EQ(std::filesystem::file_size(path_), 16 + 4 * keys.size() + 8);
+}
+
+}  // namespace
+}  // namespace wcm::workload

@@ -8,7 +8,7 @@
 #include <filesystem>
 #include <fstream>
 
-#include "util/check.hpp"
+#include "util/error.hpp"
 #include "workload/inputs.hpp"
 #include "workload/io.hpp"
 
@@ -99,14 +99,14 @@ TEST_F(IoTest, RejectsGarbage) {
     std::ofstream os(path_, std::ios::binary);
     os << "not a wcmi file at all";
   }
-  EXPECT_THROW((void)read_binary(path_), contract_error);
+  EXPECT_THROW((void)read_binary(path_), io_error);
 }
 
 TEST_F(IoTest, RejectsTruncated) {
   const auto keys = random_permutation(100, 5);
   write_binary(path_, keys);
   std::filesystem::resize_file(path_, 30);
-  EXPECT_THROW((void)read_binary(path_), contract_error);
+  EXPECT_THROW((void)read_binary(path_), io_error);
 }
 
 TEST_F(IoTest, CsvHasHeaderAndRows) {

@@ -1,0 +1,63 @@
+# Exit-code contract for wcmgen (see docs/API.md "Error handling & exit
+# codes"): 0 ok, 2 usage, 3 bad input file, 4 bad configuration, 5 internal.
+#
+# Run as:  cmake -DWCMGEN=<binary> -DWORKDIR=<dir> -P wcmgen_exitcodes.cmake
+
+if(NOT DEFINED WCMGEN OR NOT DEFINED WORKDIR)
+  message(FATAL_ERROR "pass -DWCMGEN=<binary> -DWORKDIR=<dir>")
+endif()
+
+function(expect_exit code)
+  execute_process(COMMAND ${ARGN}
+                  RESULT_VARIABLE rv
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rv EQUAL ${code})
+    message(FATAL_ERROR
+      "expected exit ${code}, got '${rv}' for: ${ARGN}\n"
+      "stdout: ${out}\nstderr: ${err}")
+  endif()
+endfunction()
+
+# usage errors -> 2
+expect_exit(2 ${WCMGEN})
+expect_exit(2 ${WCMGEN} frobnicate)
+expect_exit(2 ${WCMGEN} generate --E 15x --b 64)
+expect_exit(2 ${WCMGEN} generate --E 5 --b 64 --no-such-flag)
+expect_exit(2 ${WCMGEN} generate --E 5 --b 64 --strategy nope)
+expect_exit(2 ${WCMGEN} sort --E 5 --b 64 --library nope)
+expect_exit(2 ${WCMGEN} sort --E 5 --b 64 --algorithm nope)
+expect_exit(2 ${WCMGEN} sort --E 5 --b 64 --input nope)
+expect_exit(2 ${WCMGEN} evaluate --E 5 --side Q)
+expect_exit(2 ${WCMGEN} inspect)
+
+# help -> 0
+expect_exit(0 ${WCMGEN} --help)
+expect_exit(0 ${WCMGEN} generate --help)
+
+# bad configuration -> 4
+expect_exit(4 ${WCMGEN} generate --E 0 --b 64)
+expect_exit(4 ${WCMGEN} sort --E 5 --b 32 --w 32)   # b < 2w
+expect_exit(4 ${WCMGEN} sort --E 5 --b 63)          # b not a power of two
+
+# bad input file -> 3
+expect_exit(3 ${WCMGEN} inspect --in ${WORKDIR}/definitely-missing.wcmi)
+file(WRITE ${WORKDIR}/exitcode_corrupt.wcmi "XXXX this is not a wcmi file")
+expect_exit(3 ${WCMGEN} inspect --in ${WORKDIR}/exitcode_corrupt.wcmi)
+
+# internal error (injected simulator invariant break) -> 5
+expect_exit(5 ${CMAKE_COMMAND} -E env WCM_FAILPOINTS=sort.pairwise.round
+            ${WCMGEN} sort --E 5 --b 64 --k 1)
+expect_exit(5 ${CMAKE_COMMAND} -E env WCM_FAILPOINTS=sim.smem.alloc
+            ${WCMGEN} sort --E 5 --b 64 --k 1)
+
+# happy path: generate, inspect round-trip -> 0
+expect_exit(0 ${WCMGEN} generate --E 5 --b 64 --k 1
+            --out ${WORKDIR}/exitcode_ok.wcmi)
+expect_exit(0 ${WCMGEN} inspect --in ${WORKDIR}/exitcode_ok.wcmi)
+
+# an injected I/O fault on a valid file still classifies as bad input -> 3
+expect_exit(3 ${CMAKE_COMMAND} -E env WCM_FAILPOINTS=io.read.checksum
+            ${WCMGEN} inspect --in ${WORKDIR}/exitcode_ok.wcmi)
+
+file(REMOVE ${WORKDIR}/exitcode_corrupt.wcmi ${WORKDIR}/exitcode_ok.wcmi)
