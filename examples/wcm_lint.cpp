@@ -1,0 +1,107 @@
+// wcm-lint — the kernel sanitizer's standalone front end: statically check
+// recorded shared-memory access traces (WCMT/WCMT2 streams, see
+// gpusim/trace.hpp) for races, CREW violations, out-of-bounds and
+// uninitialized accesses, and conflict-model divergence between the affine
+// stride predictor and the DMM-measured step costs.
+//
+//   wcm-lint [--json] [--pad n] [--no-cross-check] trace.wcmt [more...]
+//
+// Exit codes (documented in docs/LINT.md):
+//   0 every trace parsed and is diagnostic-free
+//   1 diagnostics were reported
+//   2 usage error (unknown flag, no input files, bad numeric value)
+//   3 a trace file was missing, unreadable, or corrupt
+//   5 internal error
+
+#include <charconv>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analyze/lint.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace wcm;
+
+constexpr const char* kUsage =
+    R"(wcm-lint — static race/bounds/stride analysis of shared-memory traces
+
+usage: wcm-lint [--json] [--pad n] [--no-cross-check] trace.wcmt [more...]
+
+flags:
+  --json            one JSON array of per-trace reports instead of text
+  --pad n           re-price the stride cross-check under a padded layout
+                    (n words after every w logical words; default 0)
+  --no-cross-check  skip the predicted-vs-measured stride comparison
+  --help            print this message
+
+Record traces with `wcmgen sort --trace-out file.wcmt` or through
+SortConfig::trace_sink; the rules and the trace grammar are documented in
+docs/LINT.md.
+
+exit codes: 0 clean, 1 diagnostics found, 2 usage, 3 bad trace file,
+            5 internal error
+)";
+
+u32 parse_pad(const std::string& text) {
+  u32 value = 0;
+  const auto [ptr, err] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (text.empty() || err != std::errc() ||
+      ptr != text.data() + text.size()) {
+    throw parse_error("invalid value '" + text +
+                      "' for --pad (expected an unsigned integer)");
+  }
+  return value;
+}
+
+int run(int argc, char** argv) {
+  analyze::LintOptions opts;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    }
+    if (arg == "--json") {
+      opts.json = true;
+    } else if (arg == "--no-cross-check") {
+      opts.analysis.cross_check = false;
+    } else if (arg == "--pad") {
+      if (i + 1 >= argc) {
+        throw parse_error("--pad requires a value");
+      }
+      opts.analysis.pad = parse_pad(argv[++i]);
+    } else if (arg.rfind("--", 0) == 0) {
+      throw parse_error("unknown flag '" + arg +
+                        "' (valid: --json, --pad, --no-cross-check, --help)");
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    throw parse_error("no trace files given");
+  }
+  return analyze::run_lint(files, opts, std::cout, std::cerr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const wcm::parse_error& e) {
+    std::cerr << "usage error: " << e.what() << "\n"
+              << "(run 'wcm-lint --help' for the full synopsis)\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "internal error: " << e.what() << "\n";
+    return 5;
+  } catch (...) {
+    std::cerr << "internal error: unknown exception\n";
+    return 5;
+  }
+}

@@ -7,7 +7,9 @@
 //   wcmgen sort      --E 15 --b 512 [--k 6] [--input kind] [--device name]
 //                    [--library thrust|mgpu] [--padding p] [--seed S]
 //                    [--algorithm pairwise|multiway|bitonic|radix] [--json]
+//                    [--trace-out file.wcmt]
 //   wcmgen inspect   --in file.wcmi
+//   wcmgen analyze   --in file.wcmt [--json] [--pad p] [--no-cross-check]
 //   wcmgen visualize --E 7 [--w 16] [--strategy name]
 //
 // Every subcommand prints to stdout; `generate --out` additionally writes
@@ -15,13 +17,15 @@
 //
 // Exit codes (documented in docs/API.md):
 //   0 success
+//   1 lint diagnostics found (analyze subcommand only)
 //   2 usage error (unknown subcommand/flag, unparseable or unknown value)
-//   3 bad input file (missing, truncated, corrupt WCMI)
+//   3 bad input file (missing, truncated, corrupt WCMI/WCMT)
 //   4 invalid configuration (E/b/w constraint violated)
 //   5 internal error (simulator invariant break or any other exception)
 
 #include <charconv>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <limits>
 #include <map>
@@ -29,6 +33,8 @@
 #include <vector>
 
 #include "analysis/json_export.hpp"
+#include "analyze/lint.hpp"
+#include "gpusim/trace.hpp"
 #include "analysis/series.hpp"
 #include "core/conflict_model.hpp"
 #include "core/generator.hpp"
@@ -63,14 +69,18 @@ subcommands:
              [--device m4000|2080ti] [--library thrust|mgpu]
              [--algorithm pairwise|multiway|bitonic|radix]
              [--ways n] [--digit-bits n] [--json]
+             [--trace-out file.wcmt]
   inspect    validate and summarize a WCMI file
              --in file.wcmi
+  analyze    lint a recorded shared-memory trace (races, bounds, strides;
+             see docs/LINT.md) -- also available as the wcm-lint binary
+             --in file.wcmt [--json] [--pad n] [--no-cross-check]
   visualize  render one worst-case warp assignment
              --E n [--w n] [--strategy name]
   help       print this message (also --help / -h)
 
-exit codes: 0 ok, 2 usage, 3 bad input file, 4 bad configuration,
-            5 internal error
+exit codes: 0 ok, 1 lint diagnostics (analyze), 2 usage, 3 bad input file,
+            4 bad configuration, 5 internal error
 )";
 
 /// Strict full-string parse of an unsigned decimal; rejects empty values,
@@ -275,8 +285,13 @@ int cmd_evaluate(const Args& a) {
 int cmd_sort(const Args& a) {
   a.require_known("sort", {"E", "b", "w", "padding", "k", "seed", "input",
                            "device", "library", "algorithm", "ways",
-                           "digit-bits", "json"});
-  const auto cfg = config_from(a);
+                           "digit-bits", "json", "trace-out"});
+  auto cfg = config_from(a);
+  const std::string trace_out = a.get("trace-out", "");
+  gpusim::TraceRecorder recorder;
+  if (!trace_out.empty()) {
+    cfg.trace_sink = &recorder;
+  }
   const auto dev = device_from(a);
   const u32 k = static_cast<u32>(a.get_u64("k", 6, 40));  // n = bE * 2^k
   const std::size_t n = cfg.tile() << k;
@@ -319,6 +334,15 @@ int cmd_sort(const Args& a) {
                       "' for --algorithm (valid: pairwise, multiway, "
                       "bitonic, radix)");
   }
+  if (!trace_out.empty()) {
+    std::ofstream os(trace_out);
+    if (!os) {
+      throw io_error("cannot open trace output file", trace_out);
+    }
+    gpusim::write_trace(os, recorder.trace());
+    std::cerr << "wrote " << recorder.trace().steps.size()
+              << " trace steps to " << trace_out << "\n";
+  }
   if (a.flag("json")) {
     analysis::write_report_json(std::cout, report);
     std::cout << "\n";
@@ -353,6 +377,19 @@ int cmd_inspect(const Args& a) {
     std::cout << "\n";
   }
   return 0;
+}
+
+int cmd_analyze(const Args& a) {
+  a.require_known("analyze", {"in", "json", "pad", "no-cross-check"});
+  const std::string in = a.get("in", "");
+  if (in.empty()) {
+    throw parse_error("analyze requires --in file.wcmt");
+  }
+  analyze::LintOptions opts;
+  opts.json = a.flag("json");
+  opts.analysis.pad = a.get_u32("pad", 0);
+  opts.analysis.cross_check = !a.flag("no-cross-check");
+  return analyze::run_lint({in}, opts, std::cout, std::cerr);
 }
 
 int cmd_visualize(const Args& a) {
@@ -392,11 +429,14 @@ int run(int argc, char** argv) {
   if (cmd == "inspect") {
     return cmd_inspect(args);
   }
+  if (cmd == "analyze") {
+    return cmd_analyze(args);
+  }
   if (cmd == "visualize") {
     return cmd_visualize(args);
   }
   throw parse_error("unknown subcommand '" + cmd +
-                    "' (valid: generate, evaluate, sort, inspect, "
+                    "' (valid: generate, evaluate, sort, inspect, analyze, "
                     "visualize, help)");
 }
 

@@ -1,0 +1,84 @@
+#include "analyze/memcheck.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace wcm::analyze {
+
+std::vector<Diagnostic> check_memory(const gpusim::Trace& trace) {
+  std::vector<Diagnostic> out;
+  const std::size_t words = trace.logical_words;
+
+  // Initialized-word bitmap, grown on demand so v1 traces (words == 0) and
+  // hand-built out-of-bounds fixtures still get read-before-write checking.
+  std::vector<bool> init(words, false);
+  const auto mark_init = [&init](std::size_t addr) {
+    if (addr >= init.size()) {
+      init.resize(addr + 1, false);
+    }
+    init[addr] = true;
+  };
+  const auto is_init = [&init](std::size_t addr) {
+    return addr < init.size() && init[addr];
+  };
+
+  for (std::size_t si = 0; si < trace.steps.size(); ++si) {
+    const gpusim::TraceStep& step = trace.steps[si];
+    if (step.kind == gpusim::StepKind::fill) {
+      if (words > 0 &&
+          (step.fill_base > words || step.fill_count > words - step.fill_base)) {
+        out.push_back({Severity::error, Rule::out_of_bounds, si,
+                       {},
+                       "fill of [" + std::to_string(step.fill_base) + ", " +
+                           std::to_string(step.fill_base + step.fill_count) +
+                           ") exceeds the " + std::to_string(words) +
+                           " logical words"});
+      }
+      for (std::size_t i = 0; i < step.fill_count; ++i) {
+        mark_init(step.fill_base + i);
+      }
+      continue;
+    }
+    if (!step.is_access()) {
+      continue;
+    }
+
+    u64 seen_lanes = 0;
+    for (const auto& [lane, addr] : step.accesses) {
+      if (lane >= trace.warp_size || lane >= 64) {
+        out.push_back({Severity::error, Rule::lane_out_of_range, si,
+                       {lane},
+                       "lane " + std::to_string(lane) + " outside warp of " +
+                           std::to_string(trace.warp_size)});
+      } else if ((seen_lanes & (u64{1} << lane)) != 0) {
+        out.push_back({Severity::error, Rule::duplicate_lane, si,
+                       {lane},
+                       "lane " + std::to_string(lane) +
+                           " issues more than one request in this step"});
+      } else {
+        seen_lanes |= u64{1} << lane;
+      }
+
+      if (words > 0 && addr >= words) {
+        out.push_back({Severity::error, Rule::out_of_bounds, si,
+                       {lane},
+                       "lane " + std::to_string(lane) + " accesses logical " +
+                           "address " + std::to_string(addr) + " beyond the " +
+                           std::to_string(words) + " logical words"});
+        continue;
+      }
+      if (step.is_write()) {
+        mark_init(addr);
+      } else if (!is_init(addr)) {
+        out.push_back({Severity::warning, Rule::uninitialized_read, si,
+                       {lane},
+                       "lane " + std::to_string(lane) + " loads logical " +
+                           "address " + std::to_string(addr) +
+                           " before any fill or store initialized it"});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wcm::analyze

@@ -1,0 +1,25 @@
+#pragma once
+// Memory hygiene checks over a recorded trace, independent of banking:
+//
+//   * out-of-bounds     — an access or fill beyond the trace's declared
+//                         logical word count (skipped for v1 traces, which
+//                         carry no word count);
+//   * uninitialized-read— a load of a word no fill marker or prior store
+//                         initialized (initialization persists across
+//                         barriers: it is data state, not ordering state);
+//   * duplicate-lane    — one lane issuing two requests in one step
+//                         (read_trace rejects these in files; hand-built
+//                         traces are validated here);
+//   * lane-out-of-range — a lane id >= the trace's warp size.
+
+#include <vector>
+
+#include "analyze/diagnostics.hpp"
+#include "gpusim/trace.hpp"
+
+namespace wcm::analyze {
+
+/// Run the memcheck pass; diagnostics are ordered by step index.
+[[nodiscard]] std::vector<Diagnostic> check_memory(const gpusim::Trace& trace);
+
+}  // namespace wcm::analyze

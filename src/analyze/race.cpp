@@ -1,0 +1,109 @@
+#include "analyze/race.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+namespace wcm::analyze {
+
+namespace {
+
+/// Pairing state of one logical address within the current epoch.
+struct AddrState {
+  /// Last write, if any: step index, lane, atomic tag.
+  bool written = false;
+  std::size_t write_step = 0;
+  u32 write_lane = 0;
+  bool write_atomic = false;
+  /// One recorded load of the address since the last write.
+  struct Reader {
+    u32 lane = 0;
+    bool atomic = false;
+    std::size_t step = 0;
+  };
+  std::vector<Reader> readers;
+};
+
+std::string addr_text(std::size_t addr) {
+  return "logical address " + std::to_string(addr);
+}
+
+}  // namespace
+
+std::vector<Diagnostic> check_races(const gpusim::Trace& trace) {
+  std::vector<Diagnostic> out;
+  std::unordered_map<std::size_t, AddrState> state;
+
+  for (std::size_t si = 0; si < trace.steps.size(); ++si) {
+    const gpusim::TraceStep& step = trace.steps[si];
+    if (step.kind == gpusim::StepKind::barrier) {
+      state.clear();
+      continue;
+    }
+    if (!step.is_access()) {
+      continue;
+    }
+
+    // Intra-step CREW: any address touched by >= 2 lanes of a write step
+    // has racing simultaneous stores (duplicate lanes are the memcheck
+    // pass's finding, not repeated here).
+    if (step.is_write()) {
+      std::unordered_map<std::size_t, std::vector<u32>> by_addr;
+      for (const auto& [lane, addr] : step.accesses) {
+        by_addr[addr].push_back(lane);
+      }
+      for (auto& [addr, lanes] : by_addr) {
+        std::sort(lanes.begin(), lanes.end());
+        if (lanes.size() >= 2 && lanes.front() != lanes.back()) {
+          out.push_back({Severity::error, Rule::intra_step_crew, si, lanes,
+                         "simultaneous stores to " + addr_text(addr)});
+        }
+      }
+    }
+
+    for (const auto& [lane, addr] : step.accesses) {
+      AddrState& st = state[addr];
+      const bool exempt_vs_write = st.write_atomic && step.atomic;
+      if (step.is_write()) {
+        // Same-step write pairs are the intra-step CREW finding above.
+        if (st.written && st.write_step != si && st.write_lane != lane &&
+            !exempt_vs_write) {
+          out.push_back(
+              {Severity::error, Rule::write_write_race, si,
+               {std::min(st.write_lane, lane), std::max(st.write_lane, lane)},
+               "store in step " + std::to_string(si) + " races store in step " +
+                   std::to_string(st.write_step) + " to " + addr_text(addr) +
+                   " (no barrier between)"});
+        }
+        for (const auto& r : st.readers) {
+          if (r.lane != lane && !(r.atomic && step.atomic)) {
+            out.push_back(
+                {Severity::error, Rule::read_write_race, si,
+                 {std::min(r.lane, lane), std::max(r.lane, lane)},
+                 "store in step " + std::to_string(si) +
+                     " races load in step " + std::to_string(r.step) + " of " +
+                     addr_text(addr) + " (no barrier between)"});
+          }
+        }
+        st.written = true;
+        st.write_step = si;
+        st.write_lane = lane;
+        st.write_atomic = step.atomic;
+        st.readers.clear();
+      } else {
+        if (st.written && st.write_lane != lane && !exempt_vs_write) {
+          out.push_back(
+              {Severity::error, Rule::write_read_race, si,
+               {std::min(st.write_lane, lane), std::max(st.write_lane, lane)},
+               "load in step " + std::to_string(si) + " races store in step " +
+                   std::to_string(st.write_step) + " to " + addr_text(addr) +
+                   " (no barrier between)"});
+        }
+        st.readers.push_back({lane, step.atomic, si});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wcm::analyze

@@ -1,0 +1,32 @@
+#pragma once
+// Static race detection over a recorded shared-memory access trace.
+//
+// The model: all lanes of a step execute simultaneously, and steps within
+// one *barrier interval* (the span between two `B` markers, a.k.a. an
+// epoch) have no ordering guarantee across lanes — exactly the CUDA
+// shared-memory contract.  Two accesses to the same logical address in the
+// same epoch race when they come from *different* lanes, at least one is a
+// write, and they are not both halves of modeled atomics:
+//
+//   * write in step i, read  in step j > i  -> write-read race
+//   * write in step i, write in step j > i  -> write-write race
+//   * read  in step i, write in step j > i  -> read-write race
+//
+// Same-lane pairs are program-ordered (a thread observes its own stores)
+// and exempt.  Atomic/atomic pairs (the `AR`/`AW` halves of histogram
+// updates) are exempt; atomic/non-atomic pairs still race.  A barrier
+// clears all pairing state.  Within one step, >= 2 lanes touching one
+// written address is the DMM's CREW violation, reported statically as
+// intra-step-crew.
+
+#include <vector>
+
+#include "analyze/diagnostics.hpp"
+#include "gpusim/trace.hpp"
+
+namespace wcm::analyze {
+
+/// Run the race pass; diagnostics are ordered by the (later) step index.
+[[nodiscard]] std::vector<Diagnostic> check_races(const gpusim::Trace& trace);
+
+}  // namespace wcm::analyze

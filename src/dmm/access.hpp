@@ -46,6 +46,9 @@ struct StepCost {
   std::size_t max_bank_degree = 0;  ///< distinct addresses in the worst bank
 
   StepCost& operator+=(const StepCost& o) noexcept;
+  /// Field-wise equality — the static stride analyzer asserts its
+  /// predicted costs equal the measured ones step by step.
+  bool operator==(const StepCost& o) const noexcept = default;
 };
 
 /// Analyze one synchronous step on a machine with `num_banks` modules.

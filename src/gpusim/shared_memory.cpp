@@ -16,12 +16,25 @@ SharedMemory::SharedMemory(u32 warp_size, std::size_t words, u32 pad)
                 "injected shared-memory allocation failure");
 }
 
+void SharedMemory::attach_trace(TraceRecorder* recorder) {
+  recorder_ = recorder;
+  if (recorder_ != nullptr) {
+    recorder_->on_attach(warp_size_, logical_words_);
+  }
+}
+
+void SharedMemory::barrier() {
+  if (recorder_ != nullptr) {
+    recorder_->on_barrier();
+  }
+}
+
 std::vector<word> SharedMemory::warp_read(std::span<const LaneRead> reads) {
   WCM_CHECK_SIM(reads.size() <= warp_size_, "more requests than lanes");
   WCM_FAILPOINT("sim.smem.invariant", simulation_error,
                 "injected mid-access invariant break");
   if (recorder_ != nullptr) {
-    recorder_->on_read(reads);
+    recorder_->on_read(reads, atomic_section_);
   }
   scratch_.clear();
   for (const LaneRead& r : reads) {
@@ -36,7 +49,7 @@ std::vector<word> SharedMemory::warp_read(std::span<const LaneRead> reads) {
 void SharedMemory::warp_write(std::span<const LaneWrite> writes) {
   WCM_CHECK_SIM(writes.size() <= warp_size_, "more requests than lanes");
   if (recorder_ != nullptr) {
-    recorder_->on_write(writes);
+    recorder_->on_write(writes, atomic_section_);
   }
   scratch_.clear();
   for (const LaneWrite& w : writes) {
@@ -50,6 +63,9 @@ void SharedMemory::warp_write(std::span<const LaneWrite> writes) {
 
 void SharedMemory::fill(std::span<const word> values, std::size_t base) {
   WCM_EXPECTS(base + values.size() <= logical_words_, "fill out of bounds");
+  if (recorder_ != nullptr && !values.empty()) {
+    recorder_->on_fill(base, values.size());
+  }
   for (std::size_t i = 0; i < values.size(); ++i) {
     machine_.poke(layout_.physical(base + i), values[i]);
   }

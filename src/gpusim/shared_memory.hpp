@@ -66,7 +66,20 @@ class SharedMemory {
   /// One warp-wide store.  Accounted as one DMM step.
   void warp_write(std::span<const LaneWrite> writes);
 
+  /// Execution barrier (__syncthreads): free at the machine level, but
+  /// recorded in an attached trace — the race detector only pairs accesses
+  /// within one barrier interval.  Kernels emit one at every sync point,
+  /// including block boundaries when one SharedMemory hosts several
+  /// simulated blocks in sequence.
+  void barrier();
+
+  /// Bracket a run of warp_read/warp_write steps that model atomic
+  /// read-modify-writes (shared histogram updates): recorded steps carry
+  /// the atomic tag, which exempts atomic/atomic pairs from race pairing.
+  void set_atomic_section(bool on) noexcept { atomic_section_ = on; }
+
   /// Host-side (unaccounted) access for kernel setup / result extraction.
+  /// Recorded as an initialization marker in an attached trace.
   void fill(std::span<const word> values, std::size_t base = 0);
   [[nodiscard]] std::vector<word> dump(std::size_t base,
                                        std::size_t count) const;
@@ -83,10 +96,9 @@ class SharedMemory {
   void reset_stats() noexcept { machine_.reset_stats(); }
 
   /// Attach an access-trace recorder (see gpusim/trace.hpp); nullptr
-  /// detaches.  The recorder must outlive its attachment.
-  void attach_trace(class TraceRecorder* recorder) noexcept {
-    recorder_ = recorder;
-  }
+  /// detaches.  The recorder adopts this memory's warp size and word count
+  /// and must outlive its attachment.
+  void attach_trace(class TraceRecorder* recorder);
 
  private:
   u32 warp_size_;
@@ -94,6 +106,7 @@ class SharedMemory {
   std::size_t logical_words_;
   dmm::Machine machine_;
   class TraceRecorder* recorder_ = nullptr;
+  bool atomic_section_ = false;
   std::vector<dmm::Request> scratch_;  // reused request buffer
   std::vector<word> scratch_reads_;
 };

@@ -56,6 +56,10 @@ void shared_tile_pass(
     u32 b, u32 w, gpusim::KernelStats& stats) {
   const std::size_t tile = tile_data.size();
 
+  // Block boundary: one SharedMemory hosts many simulated tiles in
+  // sequence, so the kernel launch boundary is a barrier in the trace.
+  shm.barrier();
+
   // Coalesced load, then warp-synchronous staging stores (thread t stores
   // elements t and t + b; conflict-free).
   stats.global_transactions += tile / w;
@@ -74,6 +78,8 @@ void shared_tile_pass(
       shm.warp_write(writes);
     }
   }
+  // __syncthreads: the comparators read other threads' staged elements.
+  shm.barrier();
 
   for (const auto& [size, stride] : substages) {
     // Thread t owns comparator t of the tile (tile/2 == b comparators).
@@ -109,6 +115,10 @@ void shared_tile_pass(
       shm.warp_write(writes_high);
     }
     stats.warp_merge_steps += b / w;
+    // __syncthreads between substages: the comparator partition changes,
+    // so the next substage (or the unstaging loads) reads other threads'
+    // writes.
+    shm.barrier();
   }
 
   // Warp-synchronous unstaging loads, then the coalesced store.
@@ -151,6 +161,7 @@ SortReport bitonic_sort(std::span<const word> input, const SortConfig& cfg,
 
   std::vector<word> data(input.begin(), input.end());
   gpusim::SharedMemory shm(cfg.w, tile, cfg.padding);
+  shm.attach_trace(cfg.trace_sink);
 
   const auto run_shared_tail =
       [&](std::size_t size, std::size_t first_stride,

@@ -194,8 +194,10 @@ std::vector<word> simulate_block_merge(gpusim::SharedMemory& shm,
   }
   stats.shared_merge_reads += delta(shm.stats(), before_merge);
 
-  // Barrier, then thread-contiguous write-back of the register file.
+  // Barrier, then thread-contiguous write-back of the register file, then
+  // another barrier before anyone reads the merged output.
   if (write_back) {
+    shm.barrier();
     std::vector<gpusim::LaneWrite> writes;
     writes.reserve(w);
     for (std::size_t warp_start = 0; warp_start < t; warp_start += w) {
@@ -209,6 +211,7 @@ std::vector<word> simulate_block_merge(gpusim::SharedMemory& shm,
         shm.warp_write(writes);
       }
     }
+    shm.barrier();
   }
 
   return regs;

@@ -20,6 +20,10 @@ void simulate_block_sort(gpusim::SharedMemory& shm, std::span<word> tile,
   const u32 b = cfg.b;
   const u32 w = cfg.w;
 
+  // Block entry: one SharedMemory hosts many simulated blocks in sequence,
+  // so the kernel launch boundary is a barrier in the recorded trace.
+  shm.barrier();
+
   // Coalesced global load of the tile into shared memory.
   shm.fill(tile);
   stats.global_transactions += ceil_div(tile.size(), w);
@@ -62,6 +66,8 @@ void simulate_block_sort(gpusim::SharedMemory& shm, std::span<word> tile,
       shm.warp_write(writes);
     }
   }
+  // __syncthreads: the merge rounds read other threads' sorted runs.
+  shm.barrier();
 
   // log2(b) intra-block pairwise merge rounds.  In round i, b / 2^i pairs of
   // runs of size 2^(i-1) E are merged by 2^i threads each; every thread

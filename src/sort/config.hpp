@@ -9,6 +9,10 @@
 #include "gpusim/device.hpp"
 #include "util/math.hpp"
 
+namespace wcm::gpusim {
+class TraceRecorder;
+}  // namespace wcm::gpusim
+
 namespace wcm::sort {
 
 struct SortConfig {
@@ -27,6 +31,12 @@ struct SortConfig {
   /// countings (an aligned column's refills collide one bank over); the
   /// ablation bench quantifies the difference.
   bool realistic_refills = false;
+  /// Optional shared-memory access-trace capture: when non-null, every
+  /// engine attaches this recorder to its block-local SharedMemory, so the
+  /// whole sort's access stream (with barrier and fill markers) lands in
+  /// one Trace for `wcm::analyze` / `wcm-lint` (see docs/LINT.md).  Not
+  /// part of the simulated machine; ignored by validate()/to_string().
+  gpusim::TraceRecorder* trace_sink = nullptr;
 
   /// Elements per thread-block tile (bE).
   [[nodiscard]] std::size_t tile() const noexcept {

@@ -233,7 +233,8 @@ std::vector<word> simulate_kway_merge(gpusim::SharedMemory& shm,
       after.conflicting_accesses - before.conflicting_accesses;
   stats.shared_merge_reads += delta.shared_merge_reads;
 
-  // Barrier, thread-contiguous write-back.
+  // Barrier, thread-contiguous write-back, barrier before unstaging reads.
+  shm.barrier();
   std::vector<gpusim::LaneWrite> writes;
   for (std::size_t warp_start = 0; warp_start < t; warp_start += w) {
     const std::size_t warp_end = std::min<std::size_t>(warp_start + w, t);
@@ -246,6 +247,7 @@ std::vector<word> simulate_kway_merge(gpusim::SharedMemory& shm,
       shm.warp_write(writes);
     }
   }
+  shm.barrier();
   return regs;
 }
 
@@ -281,6 +283,9 @@ void simulate_group_merge(const std::vector<std::span<const word>>& runs,
     const auto& lo = boundary[tidx];
     const auto& hi = boundary[tidx + 1];
 
+    // Block boundary between consecutive simulated tiles.
+    shm.barrier();
+
     // Stage the tile: segment k at the shared offset of the cumulative
     // segment sizes; remember the staged copy for the thread searches.
     std::vector<word> staged;
@@ -311,6 +316,8 @@ void simulate_group_merge(const std::vector<std::span<const word>>& runs,
         shm.warp_write(writes);
       }
     }
+    // __syncthreads: the quantile searches probe other threads' staging.
+    shm.barrier();
 
     // Per-thread quantiles within the staged tile.
     std::vector<std::span<const word>> segs(runs.size());
@@ -388,6 +395,7 @@ SortReport multiway_merge_sort(std::span<const word> input,
   std::vector<word> data(input.begin(), input.end());
   std::vector<word> buffer(n);
   gpusim::SharedMemory shm(cfg.w, tile, cfg.padding);
+  shm.attach_trace(cfg.trace_sink);
 
   // Base case: identical to the pairwise sort.
   {

@@ -77,6 +77,9 @@ void simulate_pair_merge(std::span<const word> data_a,
     const std::size_t na = a_hi - a_lo;
     const std::size_t nb = b_hi - b_lo;
 
+    // Block boundary between consecutive simulated tiles.
+    shm.barrier();
+
     // Stage the tile in shared memory: A segment at [0, na), B segment at
     // [na, na + nb).  Global side is coalesced; the shared-side stores go
     // through the banked memory (thread t stores elements t, t+b, ...).
@@ -99,6 +102,8 @@ void simulate_pair_merge(std::span<const word> data_a,
         shm.warp_write(writes);
       }
     }
+    // __syncthreads: the searches probe other threads' staged elements.
+    shm.barrier();
 
     // In-block merge-path searches: thread t owns output ranks
     // [tE, (t+1)E) of the tile.
@@ -192,6 +197,7 @@ SortReport pairwise_merge_sort(std::span<const word> input,
   std::vector<word> data(input.begin(), input.end());
   std::vector<word> buffer(n);
   gpusim::SharedMemory shm(cfg.w, tile, cfg.padding);
+  shm.attach_trace(cfg.trace_sink);
 
   // Base case: every block sorts its own tile.
   {

@@ -62,6 +62,7 @@ SortReport radix_sort(std::span<const word> input, const SortConfig& cfg,
   std::vector<word> data(input.begin(), input.end());
   std::vector<word> buffer(n);
   gpusim::SharedMemory shm(w, shared_words, cfg.padding);
+  shm.attach_trace(cfg.trace_sink);
   std::vector<gpusim::LaneRead> reads;
   std::vector<gpusim::LaneWrite> writes;
 
@@ -78,6 +79,8 @@ SortReport radix_sort(std::span<const word> input, const SortConfig& cfg,
     std::vector<std::size_t> global_count(bins, 0);
     for (std::size_t base = 0; base < n; base += tile) {
       shm.reset_stats();
+      // Block boundary between consecutive simulated tiles.
+      shm.barrier();
       shm.fill(std::span<const word>(data).subspan(base, tile));
       stats.global_transactions += tile / w;
       stats.global_requests += tile;
@@ -89,12 +92,18 @@ SortReport radix_sort(std::span<const word> input, const SortConfig& cfg,
         }
         shm.warp_write(writes);
       }
+      // __syncthreads: the histogram updates read bins other lanes zeroed.
+      shm.barrier();
       // Every key increments its bin: warp-wide read of the counters (keys
       // with equal digits broadcast the read but serialize the writes,
       // which the CREW model surfaces as conflicting distinct updates --
       // modeled as one read + one write per key with intra-warp collisions
       // resolved in log-style rounds: colliding lanes retry, exactly the
       // hardware's atomic behavior).
+      // The read-modify-write update rounds model shared-memory atomics:
+      // tag them so the race detector exempts atomic/atomic pairs on the
+      // same bin (see docs/LINT.md).
+      shm.set_atomic_section(true);
       for (std::size_t k0 = 0; k0 < tile; k0 += w) {
         // Group this warp's keys by bin; each distinct bin gets one update
         // round per colliding lane (serialized atomics).
@@ -125,6 +134,7 @@ SortReport radix_sort(std::span<const word> input, const SortConfig& cfg,
           stats.warp_merge_steps += 1;
         }
       }
+      shm.set_atomic_section(false);
       for (std::size_t i = 0; i < tile; ++i) {
         ++global_count[digit_of(data[base + i])];
       }

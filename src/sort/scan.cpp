@@ -38,12 +38,16 @@ SortReport block_scan(std::span<const word> input, const SortConfig& cfg,
 
   std::vector<word> data(input.begin(), input.end());
   gpusim::SharedMemory shm(w, shared_words, cfg.padding);
+  shm.attach_trace(cfg.trace_sink);
   gpusim::KernelStats stats;
   std::vector<gpusim::LaneRead> reads;
   std::vector<gpusim::LaneWrite> writes;
 
   word carry = 0;
   for (std::size_t base = 0; base < n; base += tile) {
+    // Block boundary: one SharedMemory hosts many simulated blocks in
+    // sequence, so each tile starts from a synchronized state.
+    shm.barrier();
     shm.reset_stats();
     shm.fill(std::span<const word>(data).subspan(base, tile));
     stats.global_transactions += tile / w;
@@ -82,6 +86,8 @@ SortReport block_scan(std::span<const word> input, const SortConfig& cfg,
       }
       shm.warp_write(writes);
     }
+    // __syncthreads: phase 2 reads totals other threads published.
+    shm.barrier();
 
     // Phase 2: Hillis–Steele scan over the b totals.
     for (u32 dist = 1; dist < b; dist <<= 1) {
@@ -94,6 +100,9 @@ SortReport block_scan(std::span<const word> input, const SortConfig& cfg,
         }
         shm.warp_read(reads);
       }
+      // __syncthreads: every gather must finish before any total is
+      // overwritten (the textbook double-buffer sync of Hillis-Steele).
+      shm.barrier();
       for (u32 t = 0; t < b; ++t) {
         updated[t] = shm.peek(tile + t) +
                      (t >= dist ? shm.peek(tile + t - dist) : 0);
@@ -106,6 +115,8 @@ SortReport block_scan(std::span<const word> input, const SortConfig& cfg,
         }
         shm.warp_write(writes);
       }
+      // __syncthreads: the next round's gathers read these stores.
+      shm.barrier();
     }
 
     // Phase 3: add the exclusive per-thread prefix back (same banked

@@ -1,11 +1,17 @@
 // Differential fuzzing: all four sorting substrates must agree with
 // std::sort (and hence each other) across randomized configurations,
 // sizes, and key distributions — duplicates, skew, near-sorted, adversarial.
+// Every run also records its shared-memory trace and feeds it to the
+// static analyzer: zero race/memcheck diagnostics, and the affine stride
+// predictor must match the DMM-measured StepCost on every step.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <sstream>
 
+#include "analyze/analyzer.hpp"
+#include "gpusim/trace.hpp"
 #include "sort/bitonic.hpp"
 #include "sort/cpu_reference.hpp"
 #include "sort/multiway.hpp"
@@ -16,6 +22,21 @@
 
 namespace wcm {
 namespace {
+
+/// Sanitize one recorded engine trace: no diagnostics of any severity, and
+/// the stride cross-check must actually have run.
+void expect_clean_trace(const gpusim::Trace& trace, u32 pad,
+                        const char* engine, int trial) {
+  analyze::AnalyzeOptions opts;
+  opts.pad = pad;
+  const auto report = analyze::analyze_trace(trace, opts);
+  ASSERT_TRUE(report.cross_checked) << engine << " trial " << trial;
+  if (!report.clean()) {
+    std::ostringstream os;
+    analyze::render_text(os, report, engine);
+    FAIL() << "trial " << trial << " diagnostics:\n" << os.str();
+  }
+}
 
 std::vector<dmm::word> fuzz_keys(std::size_t n, Xoshiro256& rng) {
   std::vector<dmm::word> v(n);
@@ -55,27 +76,32 @@ TEST(DifferentialFuzz, AllSortsAgreeWithStdSort) {
       {3, 64, 32}, {5, 64, 32}, {7, 128, 32}, {15, 128, 32}, {4, 64, 32}};
 
   for (int trial = 0; trial < 12; ++trial) {
-    const auto& cfg = configs[rng.below(5)];
+    sort::SortConfig cfg = configs[rng.below(5)];
     const std::size_t tiles = 1 + rng.below(6);
     const std::size_t n = cfg.tile() * tiles;
     const auto input = fuzz_keys(n, rng);
     const auto expected = sort::std_sort(input);
 
     std::vector<dmm::word> out;
+    gpusim::TraceRecorder rec;
+    cfg.trace_sink = &rec;
     (void)sort::pairwise_merge_sort(input, cfg, dev,
                                     sort::MergeSortLibrary::thrust, &out);
     ASSERT_EQ(out, expected) << "pairwise trial " << trial;
+    expect_clean_trace(rec.take(), 0, "pairwise", trial);
 
     (void)sort::multiway_merge_sort(input, cfg, dev,
                                     2 + static_cast<u32>(rng.below(4)),
                                     &out);
     ASSERT_EQ(out, expected) << "multiway trial " << trial;
+    expect_clean_trace(rec.take(), 0, "multiway", trial);
 
     // Radix needs non-negative keys (all fuzz classes are); bitonic needs a
     // power-of-two size — run it on a truncated power-of-two prefix.
     (void)sort::radix_sort(input, cfg, dev,
                            1 + static_cast<u32>(rng.below(8)), &out);
     ASSERT_EQ(out, expected) << "radix trial " << trial;
+    expect_clean_trace(rec.take(), 0, "radix", trial);
 
     std::size_t n2 = 1;
     while (n2 * 2 <= n) {
@@ -88,8 +114,10 @@ TEST(DifferentialFuzz, AllSortsAgreeWithStdSort) {
       sort::SortConfig bcfg;
       bcfg.E = 2;
       bcfg.b = cfg.b;
+      bcfg.trace_sink = &rec;
       (void)sort::bitonic_sort(prefix, bcfg, dev, &out);
       ASSERT_EQ(out, sort::std_sort(prefix)) << "bitonic trial " << trial;
+      expect_clean_trace(rec.take(), 0, "bitonic", trial);
     }
   }
 }

@@ -1,5 +1,5 @@
-// Tests for trace recording, replay (including cross-layout re-pricing),
-// and serialization.
+// Tests for trace recording, replay (including cross-layout re-pricing and
+// per-step costs), and the v1/v2 text formats with their hardened parser.
 
 #include <gtest/gtest.h>
 
@@ -26,11 +26,42 @@ TEST(Trace, RecordsReadsAndWrites) {
 
   const Trace& t = rec.trace();
   ASSERT_EQ(t.steps.size(), 2u);
-  EXPECT_FALSE(t.steps[0].is_write);
-  EXPECT_TRUE(t.steps[1].is_write);
+  EXPECT_FALSE(t.steps[0].is_write());
+  EXPECT_TRUE(t.steps[1].is_write());
   EXPECT_EQ(t.total_accesses(), 3u);
   EXPECT_EQ(t.steps[0].accesses[1],
             (std::pair<u32, std::size_t>{1u, 33u}));
+}
+
+TEST(Trace, AttachAdoptsGeometryAndRecordsMarkers) {
+  SharedMemory shm(32, 64);
+  TraceRecorder rec;
+  shm.attach_trace(&rec);
+  EXPECT_EQ(rec.trace().warp_size, 32u);
+  EXPECT_EQ(rec.trace().logical_words, 64u);
+
+  const std::vector<word> values{1, 2, 3, 4};
+  shm.fill(values, 8);
+  shm.barrier();
+  shm.set_atomic_section(true);
+  shm.warp_read(std::vector<LaneRead>{{0, 8}});
+  shm.warp_write(std::vector<LaneWrite>{{0, 8, 7}});
+  shm.set_atomic_section(false);
+  shm.warp_read(std::vector<LaneRead>{{1, 9}});
+
+  const Trace& t = rec.trace();
+  ASSERT_EQ(t.steps.size(), 5u);
+  EXPECT_EQ(t.steps[0].kind, StepKind::fill);
+  EXPECT_EQ(t.steps[0].fill_base, 8u);
+  EXPECT_EQ(t.steps[0].fill_count, 4u);
+  EXPECT_EQ(t.steps[1].kind, StepKind::barrier);
+  EXPECT_TRUE(t.steps[2].atomic);
+  EXPECT_TRUE(t.steps[3].atomic);
+  EXPECT_TRUE(t.steps[3].is_write());
+  EXPECT_FALSE(t.steps[4].atomic);
+  EXPECT_EQ(t.barrier_count(), 1u);
+  EXPECT_EQ(t.access_steps(), 3u);
+  EXPECT_EQ(t.steps[4].active_mask(), u64{1} << 1);
 }
 
 TEST(Trace, ReplayReproducesLiveStats) {
@@ -51,6 +82,20 @@ TEST(Trace, ReplayReproducesLiveStats) {
   EXPECT_EQ(replayed.replays, shm.stats().replays);
   EXPECT_EQ(replayed.conflicting_accesses,
             shm.stats().conflicting_accesses);
+
+  // The per-step costs are index-aligned with the steps (markers are free)
+  // and sum to the aggregate replay.
+  const auto costs = replay_step_costs(rec.trace(), shm.layout());
+  ASSERT_EQ(costs.size(), rec.trace().steps.size());
+  dmm::StepCost total;
+  for (std::size_t i = 0; i < costs.size(); ++i) {
+    if (!rec.trace().steps[i].is_access()) {
+      EXPECT_EQ(costs[i], dmm::StepCost{});
+    }
+    total += costs[i];
+  }
+  EXPECT_EQ(total.serialization, replayed.serialization_cycles);
+  EXPECT_EQ(total.requests, replayed.requests);
 }
 
 TEST(Trace, CrossLayoutRepricing) {
@@ -74,20 +119,40 @@ TEST(Trace, SerializationRoundTrip) {
   SharedMemory shm(32, 64);
   TraceRecorder rec(32);
   shm.attach_trace(&rec);
+  shm.fill(std::vector<word>{1, 2}, 0);
   shm.warp_read(std::vector<LaneRead>{{0, 7}, {5, 39}});
+  shm.barrier();
+  shm.set_atomic_section(true);
   shm.warp_write(std::vector<LaneWrite>{{1, 2, 9}});
+  shm.set_atomic_section(false);
 
   std::stringstream ss;
   write_trace(ss, rec.trace());
   const Trace parsed = read_trace(ss);
-  ASSERT_EQ(parsed.steps.size(), 2u);
+  ASSERT_EQ(parsed.steps.size(), 4u);
   EXPECT_EQ(parsed.warp_size, 32u);
-  EXPECT_EQ(parsed.steps[0].accesses, rec.trace().steps[0].accesses);
-  EXPECT_EQ(parsed.steps[1].is_write, true);
+  EXPECT_EQ(parsed.logical_words, 64u);
+  EXPECT_EQ(parsed.steps[0].kind, StepKind::fill);
+  EXPECT_EQ(parsed.steps[0].fill_count, 2u);
+  EXPECT_EQ(parsed.steps[1].accesses, rec.trace().steps[1].accesses);
+  EXPECT_EQ(parsed.steps[2].kind, StepKind::barrier);
+  EXPECT_TRUE(parsed.steps[3].is_write());
+  EXPECT_TRUE(parsed.steps[3].atomic);
 
   const auto a = replay_stats(rec.trace(), SharedLayout{32, 0});
   const auto b = replay_stats(parsed, SharedLayout{32, 0});
   EXPECT_EQ(a.serialization_cycles, b.serialization_cycles);
+}
+
+TEST(Trace, ParsesV1Streams) {
+  std::istringstream v1("WCMT 32 2\nR 0:1 1:2\nW 3:7\n");
+  const Trace t = read_trace(v1);
+  EXPECT_EQ(t.warp_size, 32u);
+  EXPECT_EQ(t.logical_words, 0u);  // unknown in v1
+  ASSERT_EQ(t.steps.size(), 2u);
+  EXPECT_FALSE(t.steps[0].is_write());
+  EXPECT_TRUE(t.steps[1].is_write());
+  EXPECT_FALSE(t.steps[1].atomic);
 }
 
 TEST(Trace, ParserRejectsGarbage) {
@@ -103,6 +168,38 @@ TEST(Trace, ParserRejectsGarbage) {
   EXPECT_THROW((void)read_trace(bad5), parse_error);
   std::istringstream bad6("WCMT 32 1\nR 0:1z\n");  // trailing garbage
   EXPECT_THROW((void)read_trace(bad6), parse_error);
+}
+
+TEST(Trace, ParserRejectsHardenedCases) {
+  // Duplicate lane within one step.
+  std::istringstream dup("WCMT2 32 64 1\nR 3:1 3:2\n");
+  EXPECT_THROW((void)read_trace(dup), parse_error);
+  // Lane id outside the declared warp.
+  std::istringstream lane("WCMT2 32 64 1\nR 32:1\n");
+  EXPECT_THROW((void)read_trace(lane), parse_error);
+  // Trailing garbage after the declared steps.
+  std::istringstream tail("WCMT2 32 64 1\nR 0:1\njunk\n");
+  EXPECT_THROW((void)read_trace(tail), parse_error);
+  // Trailing whitespace-only lines are fine.
+  std::istringstream pad("WCMT2 32 64 1\nR 0:1\n   \n");
+  EXPECT_NO_THROW((void)read_trace(pad));
+  // v1 streams cannot carry v2 step kinds.
+  std::istringstream atomic_v1("WCMT 32 1\nAR 0:1\n");
+  EXPECT_THROW((void)read_trace(atomic_v1), parse_error);
+  std::istringstream barrier_v1("WCMT 32 1\nB\n");
+  EXPECT_THROW((void)read_trace(barrier_v1), parse_error);
+  // Barrier lines take no operands; fills take exactly two.
+  std::istringstream btail("WCMT2 32 64 1\nB 3\n");
+  EXPECT_THROW((void)read_trace(btail), parse_error);
+  std::istringstream fshort("WCMT2 32 64 1\nF 3\n");
+  EXPECT_THROW((void)read_trace(fshort), parse_error);
+  std::istringstream flong("WCMT2 32 64 1\nF 3 4 5\n");
+  EXPECT_THROW((void)read_trace(flong), parse_error);
+  // Warp sizes outside 1..64 are rejected up front.
+  std::istringstream warp0("WCMT2 0 64 0\n");
+  EXPECT_THROW((void)read_trace(warp0), parse_error);
+  std::istringstream warp65("WCMT2 65 64 0\n");
+  EXPECT_THROW((void)read_trace(warp65), parse_error);
 }
 
 TEST(Trace, ReplayRequiresMatchingWidth) {

@@ -1,6 +1,7 @@
-// Table-driven corrupt-input corpus for the WCMI reader: every malformed
-// file must surface a typed wcm::io_error — never crash, hang, or drive a
-// pathological allocation — and v1 files must stay readable forever.
+// Table-driven corrupt-input corpus for the WCMI reader — every malformed
+// file must surface a typed wcm::io_error, never crash, hang, or drive a
+// pathological allocation, and v1 files must stay readable forever — plus
+// the matching corpus for the WCMT trace reader (wcm::parse_error).
 
 #include <gtest/gtest.h>
 
@@ -10,9 +11,11 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "gpusim/trace.hpp"
 #include "util/error.hpp"
 #include "workload/inputs.hpp"
 #include "workload/io.hpp"
@@ -173,6 +176,53 @@ TEST_F(IoCorruptTest, WriterEmitsV2ReaderRoundTrips) {
   EXPECT_EQ(read_binary(path_), keys);
   // Layout check: header + 4n payload + trailing 8-byte checksum.
   EXPECT_EQ(std::filesystem::file_size(path_), 16 + 4 * keys.size() + 8);
+}
+
+// The WCMT trace reader gets the same treatment: every malformed stream is
+// a typed wcm::parse_error.  (wcm-lint maps these to exit code 3; see
+// docs/LINT.md for the grammar.)
+TEST(TraceCorrupt, CorpusThrowsTypedParseError) {
+  struct Case {
+    const char* name;
+    const char* text;
+  };
+  const std::vector<Case> corpus = {
+      {"empty stream", ""},
+      {"bad magic", "WCMX 32 64 1\nR 0:0\n"},
+      {"v2 header missing word count", "WCMT2 32 1\nR 0:0\n"},
+      {"zero warp size", "WCMT2 0 64 1\nR 0:0\n"},
+      {"warp size beyond mask word", "WCMT2 65 64 1\nR 0:0\n"},
+      {"fewer steps than declared", "WCMT2 32 64 3\nR 0:0\nW 1:1\n"},
+      {"more steps than declared", "WCMT2 32 64 1\nR 0:0\nW 1:1\n"},
+      {"unknown step kind", "WCMT2 32 64 1\nQ 0:0\n"},
+      {"access without colon", "WCMT2 32 64 1\nR 00\n"},
+      {"non-numeric lane", "WCMT2 32 64 1\nR x:0\n"},
+      {"duplicate lane in one step", "WCMT2 32 64 1\nR 3:0 3:1\n"},
+      {"lane >= warp size", "WCMT2 32 64 1\nR 99:0\n"},
+      {"barrier with operands", "WCMT2 32 64 1\nB 1\n"},
+      {"fill missing count", "WCMT2 32 64 1\nF 0\n"},
+      {"fill with extra operand", "WCMT2 32 64 1\nF 0 4 9\n"},
+      {"trailing garbage after last step", "WCMT2 32 64 1\nR 0:0\njunk\n"},
+      {"v1 with atomic step", "WCMT 32 1\nAR 0:0\n"},
+      {"v1 with barrier", "WCMT 32 1\nB\n"},
+  };
+  for (const auto& c : corpus) {
+    SCOPED_TRACE(c.name);
+    std::istringstream is(c.text);
+    EXPECT_THROW((void)gpusim::read_trace(is), parse_error);
+  }
+}
+
+TEST(TraceCorrupt, ValidStreamsStillParse) {
+  std::istringstream v2("WCMT2 32 64 4\nF 0 64\nAW 0:1 1:2\nB\nR 5:3\n");
+  const auto t2 = gpusim::read_trace(v2);
+  EXPECT_EQ(t2.steps.size(), 4u);
+  EXPECT_EQ(t2.logical_words, 64u);
+
+  std::istringstream v1("WCMT 32 2\nW 0:0 1:1\nR 1:0 0:1\n");
+  const auto t1 = gpusim::read_trace(v1);
+  EXPECT_EQ(t1.steps.size(), 2u);
+  EXPECT_EQ(t1.logical_words, 0u);  // v1 carries no word count
 }
 
 }  // namespace

@@ -6,7 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <sstream>
 
+#include "analyze/analyzer.hpp"
+#include "gpusim/trace.hpp"
 #include "sort/scan.hpp"
 #include "util/check.hpp"
 #include "workload/inputs.hpp"
@@ -31,6 +34,32 @@ TEST(BlockScan, ComputesInclusivePrefixSum) {
     std::vector<word> out;
     (void)block_scan(input, cfg, gpusim::quadro_m4000(), &out);
     EXPECT_EQ(out, host_scan(input)) << "E=" << e;
+  }
+}
+
+TEST(BlockScan, RecordedTraceSanitizesClean) {
+  // The scan kernel's barrier placement (publish / gather / scatter) must
+  // satisfy the static race detector, and its strided phase-1 accesses are
+  // exactly the affine steps the stride predictor prices in closed form.
+  for (const u32 pad : {0u, 1u}) {
+    SortConfig cfg{6, 64, 32};
+    cfg.padding = pad;
+    gpusim::TraceRecorder rec;
+    cfg.trace_sink = &rec;
+    const auto input = workload::random_permutation(cfg.tile() * 2, 42);
+    std::vector<word> out;
+    (void)block_scan(input, cfg, gpusim::quadro_m4000(), &out);
+
+    analyze::AnalyzeOptions opts;
+    opts.pad = pad;
+    const auto report = analyze::analyze_trace(rec.take(), opts);
+    ASSERT_TRUE(report.cross_checked) << "pad " << pad;
+    if (!report.clean()) {
+      std::ostringstream os;
+      analyze::render_text(os, report, "block-scan");
+      FAIL() << os.str();
+    }
+    EXPECT_GT(report.barriers, 0u);
   }
 }
 

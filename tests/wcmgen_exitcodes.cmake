@@ -45,6 +45,26 @@ expect_exit(3 ${WCMGEN} inspect --in ${WORKDIR}/definitely-missing.wcmi)
 file(WRITE ${WORKDIR}/exitcode_corrupt.wcmi "XXXX this is not a wcmi file")
 expect_exit(3 ${WCMGEN} inspect --in ${WORKDIR}/exitcode_corrupt.wcmi)
 
+# analyze: usage -> 2, clean trace -> 0, diagnostics -> 1, corrupt -> 3
+expect_exit(2 ${WCMGEN} analyze)
+expect_exit(2 ${WCMGEN} analyze --in x.wcmt --no-such-flag)
+file(WRITE ${WORKDIR}/exitcode_clean.wcmt "WCMT2 32 64 3\nF 0 64\nR 0:0 1:1\nB\n")
+expect_exit(0 ${WCMGEN} analyze --in ${WORKDIR}/exitcode_clean.wcmt)
+expect_exit(0 ${WCMGEN} analyze --in ${WORKDIR}/exitcode_clean.wcmt --json)
+file(WRITE ${WORKDIR}/exitcode_racy.wcmt "WCMT2 32 64 3\nF 0 64\nW 0:5\nR 1:5\n")
+expect_exit(1 ${WCMGEN} analyze --in ${WORKDIR}/exitcode_racy.wcmt)
+file(WRITE ${WORKDIR}/exitcode_corrupt.wcmt "WCMT2 32 64 1\nR 99:0\n")
+expect_exit(3 ${WCMGEN} analyze --in ${WORKDIR}/exitcode_corrupt.wcmt)
+expect_exit(3 ${WCMGEN} analyze --in ${WORKDIR}/definitely-missing.wcmt)
+file(REMOVE ${WORKDIR}/exitcode_clean.wcmt ${WORKDIR}/exitcode_racy.wcmt
+     ${WORKDIR}/exitcode_corrupt.wcmt)
+
+# sort --trace-out produces a trace that analyze accepts cleanly
+expect_exit(0 ${WCMGEN} sort --E 5 --b 64 --k 1
+            --trace-out ${WORKDIR}/exitcode_sort.wcmt)
+expect_exit(0 ${WCMGEN} analyze --in ${WORKDIR}/exitcode_sort.wcmt)
+file(REMOVE ${WORKDIR}/exitcode_sort.wcmt)
+
 # internal error (injected simulator invariant break) -> 5
 expect_exit(5 ${CMAKE_COMMAND} -E env WCM_FAILPOINTS=sort.pairwise.round
             ${WCMGEN} sort --E 5 --b 64 --k 1)

@@ -1,0 +1,103 @@
+# Lint gate for every sort engine (ISSUE acceptance): record shared-memory
+# traces from blocksort, pairwise, multiway, bitonic, and radix on random
+# and adversarial inputs — small-E (5) and large-E (17) — and require
+# `wcm-lint` to report zero diagnostics (races, bounds, uninitialized
+# reads, and stride-prediction divergence are all errors).  A seeded-race
+# fixture must exit 1 and a corrupt stream must exit 3, proving the gate
+# can actually fail.
+#
+# Run as:  cmake -DWCMGEN=<bin> -DWCMLINT=<bin> -DTRACE_EXPLORER=<bin>
+#                -DWORKDIR=<dir> -P wcmlint_ci.cmake
+
+if(NOT DEFINED WCMGEN OR NOT DEFINED WCMLINT OR NOT DEFINED TRACE_EXPLORER
+   OR NOT DEFINED WORKDIR)
+  message(FATAL_ERROR
+    "pass -DWCMGEN=<bin> -DWCMLINT=<bin> -DTRACE_EXPLORER=<bin> -DWORKDIR=<dir>")
+endif()
+
+file(MAKE_DIRECTORY ${WORKDIR})
+
+function(expect_exit code)
+  execute_process(COMMAND ${ARGN}
+                  RESULT_VARIABLE rv
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rv EQUAL ${code})
+    message(FATAL_ERROR
+      "expected exit ${code}, got '${rv}' for: ${ARGN}\n"
+      "stdout: ${out}\nstderr: ${err}")
+  endif()
+endfunction()
+
+# Record one engine's trace and lint it clean (exit 0), unpadded and with
+# one word of padding (the cross-check must hold under both layouts).
+function(lint_clean name)
+  set(trace ${WORKDIR}/${name}.wcmt)
+  expect_exit(0 ${WCMGEN} sort ${ARGN} --trace-out ${trace})
+  expect_exit(0 ${WCMLINT} ${trace})
+  expect_exit(0 ${WCMLINT} --pad 1 ${trace})
+  file(REMOVE ${trace})
+endfunction()
+
+# Pairwise engine (includes the blocksort base case): adversarial and
+# random, small-E and large-E.
+lint_clean(pw_small_adv  --E 5 --b 64 --k 2 --input worst-case)
+lint_clean(pw_small_rand --E 5 --b 64 --k 2 --input random --seed 7)
+lint_clean(pw_large_adv  --E 17 --b 256 --k 1 --input worst-case)
+lint_clean(pw_large_rand --E 17 --b 256 --k 1 --input random --seed 7)
+
+# Multiway engine.
+lint_clean(mw_small_adv  --E 5 --b 128 --k 2 --algorithm multiway
+           --input worst-case)
+lint_clean(mw_small_rand --E 5 --b 128 --k 2 --algorithm multiway
+           --input random --seed 11)
+lint_clean(mw_large_adv  --E 17 --b 256 --k 1 --algorithm multiway
+           --input worst-case)
+
+# Bitonic engine.
+lint_clean(bt_small_rand --E 5 --b 64 --k 2 --algorithm bitonic
+           --input random --seed 3)
+lint_clean(bt_small_adv  --E 5 --b 64 --k 2 --algorithm bitonic
+           --input worst-case)
+
+# Radix engine (modeled shared-memory atomics must not be flagged; the
+# all-equal adversarial input maximizes atomic collisions).
+lint_clean(rx_small_rand --E 5 --b 64 --k 1 --algorithm radix
+           --input random --seed 5)
+lint_clean(rx_small_adv  --E 5 --b 64 --k 1 --algorithm radix
+           --input sorted)
+
+# Standalone blocksort capture via trace_explorer (adversarial tile).
+execute_process(COMMAND ${TRACE_EXPLORER} 5 64 ${WORKDIR}/blocksort.wcmt
+                RESULT_VARIABLE rv OUTPUT_QUIET ERROR_VARIABLE err)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "trace_explorer failed: ${err}")
+endif()
+expect_exit(0 ${WCMLINT} ${WORKDIR}/blocksort.wcmt)
+file(REMOVE ${WORKDIR}/blocksort.wcmt)
+
+# Seeded race: a store and a load of the same address by different lanes
+# with no intervening barrier must be flagged (exit 1).
+file(WRITE ${WORKDIR}/seeded_race.wcmt
+     "WCMT2 32 64 3\nF 0 64\nW 0:5\nR 1:5\n")
+expect_exit(1 ${WCMLINT} ${WORKDIR}/seeded_race.wcmt)
+expect_exit(1 ${WCMLINT} --json ${WORKDIR}/seeded_race.wcmt)
+
+# The same pair separated by a barrier is clean.
+file(WRITE ${WORKDIR}/barriered.wcmt
+     "WCMT2 32 64 4\nF 0 64\nW 0:5\nB\nR 1:5\n")
+expect_exit(0 ${WCMLINT} ${WORKDIR}/barriered.wcmt)
+
+# Corrupt / missing streams -> 3 (dominating the racy file's 1).
+file(WRITE ${WORKDIR}/corrupt.wcmt "WCMT2 32 64 2\nR 0:1\n")
+expect_exit(3 ${WCMLINT} ${WORKDIR}/corrupt.wcmt)
+expect_exit(3 ${WCMLINT} ${WORKDIR}/corrupt.wcmt ${WORKDIR}/seeded_race.wcmt)
+expect_exit(3 ${WCMLINT} ${WORKDIR}/definitely-missing.wcmt)
+
+# Usage errors -> 2.
+expect_exit(2 ${WCMLINT})
+expect_exit(2 ${WCMLINT} --frobnicate ${WORKDIR}/seeded_race.wcmt)
+expect_exit(2 ${WCMLINT} --pad nope ${WORKDIR}/seeded_race.wcmt)
+
+file(REMOVE ${WORKDIR}/seeded_race.wcmt ${WORKDIR}/barriered.wcmt
+     ${WORKDIR}/corrupt.wcmt)
