@@ -8,11 +8,15 @@
 //
 // Size range: WCM_MIN_K / WCM_MAX_K environment variables (default 1..8;
 // functional simulation of the paper's 6e7-element points takes hours on a
-// single host core, and the shape is stable from k ~ 5).
+// single host core, and the shape is stable from k ~ 5).  The four sweeps
+// run concurrently on the campaign runtime (WCM_THREADS overrides the
+// worker count); seeds match the serial analysis::run_sweep, so the
+// numbers are identical to the pre-runtime version of this bench.
 
 #include <iostream>
 
 #include "analysis/experiment.hpp"
+#include "runtime/campaign.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -45,12 +49,18 @@ int main() {
   base.max_k = 8;
   analysis::apply_env_overrides(base);
 
-  for (auto& c : curves) {
+  std::vector<SweepSpec> specs;
+  specs.reserve(curves.size());
+  for (const auto& c : curves) {
     SweepSpec spec = base;
     spec.config = c.config;
     spec.library = c.lib;
     spec.input = c.input;
-    c.series = analysis::run_sweep(spec);
+    specs.push_back(spec);
+  }
+  auto series = runtime::run_sweeps(specs);
+  for (std::size_t i = 0; i < curves.size(); ++i) {
+    curves[i].series = std::move(series[i]);
   }
 
   std::cout << "=== Figure 4: throughput on " << dev.name

@@ -9,9 +9,16 @@
 // 42.62% (MGPU); E=17,b=256 peak 22.94% / 20.34%.  Asserted shape:
 // E=15,b=512 faster on random but *larger* slowdown under attack.
 
+// Each (config, input, size) simulation is one independent job on the
+// campaign runtime's parallel_map (WCM_THREADS overrides the worker
+// count); seeds are unchanged, so the numbers match the serial version.
+
+#include <array>
 #include <iostream>
 
 #include "analysis/experiment.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/thread_pool.hpp"
 #include "sort/pairwise_sort.hpp"
 #include "util/table.hpp"
 #include "workload/inputs.hpp"
@@ -39,28 +46,51 @@ int main() {
   Curves sets[2] = {{sort::params_15_512(), {}},
                     {sort::params_17_256(), {}}};
 
-  for (auto& set : sets) {
+  // Flatten the (set, input, size) grid into independent jobs; each job
+  // returns the Thrust point plus its Modern GPU re-cost.
+  struct Cell {
+    int set;
+    int input;
+    u32 k;
+  };
+  std::vector<Cell> cells;
+  for (int set = 0; set < 2; ++set) {
     for (int input = 0; input < 2; ++input) {
-      const auto kind = input == 0 ? workload::InputKind::random
-                                   : workload::InputKind::worst_case;
       for (u32 k = min_k; k <= max_k; ++k) {
-        const std::size_t n = set.config.tile() << k;
-        const auto keys = workload::make_input(kind, n, set.config, 1 + k);
+        cells.push_back({set, input, k});
+      }
+    }
+  }
+  const u32 workers = runtime::recommended_workers(
+      runtime::threads_from_env(0), dev, sets[0].config.b,
+      sets[0].config.shared_bytes());
+  const auto points = runtime::parallel_map(
+      cells.size(), workers,
+      [&](std::size_t i) -> std::array<analysis::SeriesPoint, 2> {
+        const auto& cell = cells[i];
+        const auto& config = sets[cell.set].config;
+        const auto kind = cell.input == 0 ? workload::InputKind::random
+                                          : workload::InputKind::worst_case;
+        const std::size_t n = config.tile() << cell.k;
+        const auto keys = workload::make_input(kind, n, config, 1 + cell.k);
         const auto thrust_report = sort::pairwise_merge_sort(
-            keys, set.config, dev, sort::MergeSortLibrary::thrust);
+            keys, config, dev, sort::MergeSortLibrary::thrust);
         const auto mgpu_report =
             sort::recost(thrust_report, dev, sort::MergeSortLibrary::mgpu);
+        std::array<analysis::SeriesPoint, 2> out;
         for (int lib = 0; lib < 2; ++lib) {
           const auto& rep = lib == 0 ? thrust_report : mgpu_report;
-          analysis::SeriesPoint p;
-          p.n = n;
-          p.throughput = rep.throughput();
-          p.seconds = rep.seconds();
-          p.conflicts_per_elem = rep.conflicts_per_element();
-          p.beta2 = rep.beta2();
-          set.series[input][lib].push_back(p);
+          out[lib].n = n;
+          out[lib].throughput = rep.throughput();
+          out[lib].seconds = rep.seconds();
+          out[lib].conflicts_per_elem = rep.conflicts_per_element();
+          out[lib].beta2 = rep.beta2();
         }
-      }
+        return out;
+      });
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    for (int lib = 0; lib < 2; ++lib) {
+      sets[cells[i].set].series[cells[i].input][lib].push_back(points[i][lib]);
     }
   }
 

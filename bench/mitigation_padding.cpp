@@ -12,6 +12,7 @@
 
 #include <iostream>
 
+#include "gpusim/occupancy.hpp"
 #include "sort/pairwise_sort.hpp"
 #include "sort/scan.hpp"
 #include "util/table.hpp"

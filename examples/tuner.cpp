@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "core/numbers.hpp"
+#include "gpusim/occupancy.hpp"
 #include "sort/pairwise_sort.hpp"
 #include "util/table.hpp"
 #include "workload/inputs.hpp"

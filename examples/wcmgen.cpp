@@ -11,6 +11,8 @@
 //   wcmgen inspect   --in file.wcmi
 //   wcmgen analyze   --in file.wcmt [--json] [--pad p] [--no-cross-check]
 //   wcmgen visualize --E 7 [--w 16] [--strategy name]
+//   wcmgen campaign  spec.json [--threads n] [--no-cache] [--cache file]
+//                    [--out file.json] [--trace-dir dir] [--quiet]
 //
 // Every subcommand prints to stdout; `generate --out` additionally writes
 // the WCMI binary (plus .csv with --csv).
@@ -38,6 +40,7 @@
 #include "analysis/series.hpp"
 #include "core/conflict_model.hpp"
 #include "core/generator.hpp"
+#include "runtime/campaign.hpp"
 #include "sort/bitonic.hpp"
 #include "sort/multiway.hpp"
 #include "sort/pairwise_sort.hpp"
@@ -77,6 +80,10 @@ subcommands:
              --in file.wcmt [--json] [--pad n] [--no-cross-check]
   visualize  render one worst-case warp assignment
              --E n [--w n] [--strategy name]
+  campaign   expand a JSON grid spec into cells and run them on the
+             parallel runtime with result caching (docs/RUNTIME.md)
+             spec.json [--threads n] [--no-cache] [--cache file.wcmc]
+             [--out file.json] [--trace-dir dir] [--quiet]
   help       print this message (also --help / -h)
 
 exit codes: 0 ok, 1 lint diagnostics (analyze), 2 usage, 3 bad input file,
@@ -392,6 +399,48 @@ int cmd_analyze(const Args& a) {
   return analyze::run_lint({in}, opts, std::cout, std::cerr);
 }
 
+int cmd_campaign(const Args& a, const std::string& spec_path) {
+  a.require_known("campaign", {"spec", "threads", "no-cache", "cache", "out",
+                               "trace-dir", "quiet"});
+  std::string path = spec_path.empty() ? a.get("spec", "") : spec_path;
+  if (path.empty()) {
+    throw parse_error(
+        "campaign requires a spec file: wcmgen campaign spec.json");
+  }
+  const auto spec = runtime::load_campaign_spec(path);
+
+  runtime::CampaignOptions opts;
+  opts.threads = a.get_u32("threads", 0);
+  opts.use_cache = !a.flag("no-cache");
+  opts.cache_path = a.get("cache", "");
+  opts.trace_dir = a.get("trace-dir", "");
+  if (!a.flag("quiet")) {
+    opts.progress = &std::cerr;
+  }
+  const auto outcome = runtime::run_campaign(spec, opts);
+
+  const std::string out = a.get("out", "");
+  if (!out.empty()) {
+    std::ofstream os(out);
+    if (!os) {
+      throw io_error("cannot open campaign output file", out);
+    }
+    os << outcome.json << "\n";
+    if (!os) {
+      throw io_error("campaign output write failed", out);
+    }
+  } else {
+    std::cout << outcome.json << "\n";
+  }
+  // Fixed-format summary (campaign_ci greps these fields).
+  std::cerr << "campaign " << spec.name << ": cells=" << outcome.cells
+            << " computed=" << outcome.computed
+            << " cached=" << outcome.cache_hits
+            << " threads=" << outcome.threads << " wall=" << outcome.wall_seconds
+            << "s\n";
+  return 0;
+}
+
 int cmd_visualize(const Args& a) {
   a.require_known("visualize", {"E", "w", "strategy"});
   const u32 w = a.get_u32("w", 16);
@@ -411,6 +460,22 @@ int run(int argc, char** argv) {
   if (cmd == "help" || cmd == "--help" || cmd == "-h") {
     std::cout << kUsage;
     return 0;
+  }
+  if (cmd == "campaign") {
+    // The spec file is the one positional operand in the CLI; everything
+    // else stays flag-style.
+    int first = 2;
+    std::string spec_path;
+    if (argc > 2 && std::string(argv[2]).rfind("--", 0) != 0) {
+      spec_path = argv[2];
+      first = 3;
+    }
+    const Args cargs = parse(argc, argv, first);
+    if (cargs.flag("help")) {
+      std::cout << kUsage;
+      return 0;
+    }
+    return cmd_campaign(cargs, spec_path);
   }
   const Args args = parse(argc, argv, 2);
   if (args.flag("help")) {
@@ -437,7 +502,7 @@ int run(int argc, char** argv) {
   }
   throw parse_error("unknown subcommand '" + cmd +
                     "' (valid: generate, evaluate, sort, inspect, analyze, "
-                    "visualize, help)");
+                    "visualize, campaign, help)");
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "gpusim/occupancy.hpp"
 #include "util/check.hpp"
 
 namespace wcm::gpusim {

@@ -1,9 +1,9 @@
 #pragma once
-// Device descriptors for the two GPUs the paper evaluates on, plus the
-// occupancy rules the paper reasons with in Section IV-A.  All quantities
-// are the published specifications of the physical cards; the cost-model
-// calibration constants are separate (see cost_model.hpp) and documented as
-// calibration, not measurement.
+// Device descriptors for the two GPUs the paper evaluates on.  All
+// quantities are the published specifications of the physical cards; the
+// cost-model calibration constants are separate (see cost_model.hpp) and
+// documented as calibration, not measurement.  The Sec. IV-A occupancy
+// rules the paper reasons with live in occupancy.hpp.
 
 #include <cstddef>
 #include <string>
@@ -58,23 +58,5 @@ struct Device {
 /// beyond the 32 banks of real NVIDIA hardware).  Other parameters follow
 /// the M4000, scaled so aggregate width stays constant.
 [[nodiscard]] Device synthetic_device(u32 warp_size);
-
-/// Occupancy of a kernel launch on one SM.
-struct Occupancy {
-  u32 resident_blocks = 0;
-  u32 resident_threads = 0;
-  u32 resident_warps = 0;
-  double fraction = 0.0;  ///< resident_threads / max_threads_per_sm
-  enum class Limiter { threads, shared_memory, blocks, block_too_large };
-  Limiter limiter = Limiter::threads;
-};
-
-/// Compute resident blocks/threads per SM for a launch of
-/// `threads_per_block` threads using `shared_bytes_per_block` shared memory.
-/// Reproduces the paper's Sec. IV-A arithmetic (e.g. E=15,b=512 on the
-/// 2080 Ti -> 2 blocks, 1024 threads, 100%; E=17,b=256 -> 3 blocks, 768
-/// threads, 75%).
-[[nodiscard]] Occupancy occupancy(const Device& dev, u32 threads_per_block,
-                                  std::size_t shared_bytes_per_block);
 
 }  // namespace wcm::gpusim

@@ -1,6 +1,7 @@
+#include "gpusim/occupancy.hpp"
+
 #include <algorithm>
 
-#include "gpusim/device.hpp"
 #include "util/check.hpp"
 
 namespace wcm::gpusim {

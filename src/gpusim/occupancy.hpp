@@ -1,0 +1,35 @@
+#pragma once
+// Occupancy calculator: how many blocks/threads/warps of a kernel launch
+// are simultaneously resident on one SM, and which resource limits the
+// count.  Reproduces the paper's Sec. IV-A arithmetic (e.g. E=15,b=512 on
+// the 2080 Ti -> 2 blocks, 1024 threads, 100%; E=17,b=256 -> 3 blocks,
+// 768 threads, 75%).
+//
+// Beyond the cost model, this is also the host runtime's notion of how
+// much useful parallelism one simulated launch exposes: the campaign
+// scheduler sizes its worker pool from `occupancy()` (see
+// runtime/thread_pool.hpp).
+
+#include <cstddef>
+
+#include "gpusim/device.hpp"
+#include "util/math.hpp"
+
+namespace wcm::gpusim {
+
+/// Occupancy of a kernel launch on one SM.
+struct Occupancy {
+  u32 resident_blocks = 0;
+  u32 resident_threads = 0;
+  u32 resident_warps = 0;
+  double fraction = 0.0;  ///< resident_threads / max_threads_per_sm
+  enum class Limiter { threads, shared_memory, blocks, block_too_large };
+  Limiter limiter = Limiter::threads;
+};
+
+/// Compute resident blocks/threads per SM for a launch of
+/// `threads_per_block` threads using `shared_bytes_per_block` shared memory.
+[[nodiscard]] Occupancy occupancy(const Device& dev, u32 threads_per_block,
+                                  std::size_t shared_bytes_per_block);
+
+}  // namespace wcm::gpusim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "gpusim/occupancy.hpp"
 #include "util/check.hpp"
 
 namespace wcm::gpusim {

@@ -1,0 +1,165 @@
+#include "runtime/cache.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "util/check.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+
+namespace wcm::runtime {
+
+namespace {
+
+constexpr char kMagic[4] = {'W', 'C', 'M', 'C'};
+constexpr u64 kFnvPrime = 1099511628211ULL;
+
+/// Bump whenever the meaning of cached metrics changes (new cost model,
+/// new aggregation): every existing cache entry must miss afterwards.
+constexpr const char* kResultFormat = "wcmc-metrics-1";
+
+template <typename T>
+void write_pod(std::ostream& os, u64& h, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  h = fnv1a(h, &v, sizeof(v));
+}
+
+template <typename T>
+T read_pod(std::istream& is, u64& h, const char* what) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  WCM_CHECK_IO(static_cast<bool>(is), std::string("truncated WCMC file (") +
+                                          what + ")");
+  h = fnv1a(h, &v, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+u64 fnv1a(u64 h, const void* data, std::size_t len) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+u64 code_version_salt() {
+  u64 h = fnv1a(fnv_offset_basis, kResultFormat,
+                std::string(kResultFormat).size());
+  if (const char* env = std::getenv("WCM_CACHE_SALT");
+      env != nullptr && *env != '\0') {
+    h = fnv1a(h, env, std::string(env).size());
+  }
+  return h;
+}
+
+ResultCache::ResultCache() : salt_(code_version_salt()) {}
+
+u64 ResultCache::key_of(const std::string& canonical_config) const noexcept {
+  u64 h = fnv1a(fnv_offset_basis, &salt_, sizeof(salt_));
+  return fnv1a(h, canonical_config.data(), canonical_config.size());
+}
+
+std::optional<CellMetrics> ResultCache::lookup(u64 key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void ResultCache::insert(u64 key, const CellMetrics& metrics) {
+  entries_[key] = metrics;
+}
+
+ResultCache ResultCache::load(const std::filesystem::path& path, u64 salt) {
+  ResultCache cache(salt);
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) {
+    return cache;  // cold start
+  }
+  std::ifstream is(path, std::ios::binary);
+  WCM_FAILPOINT("runtime.cache.load", io_error,
+                "injected cache read failure");
+  WCM_CHECK_IO(is.is_open(), "cannot open cache file: " + path.string());
+
+  u64 h = fnv_offset_basis;
+  char magic[4] = {};
+  is.read(magic, sizeof(magic));
+  WCM_CHECK_IO(static_cast<bool>(is) && std::equal(magic, magic + 4, kMagic),
+               "not a WCMC file: " + path.string());
+  h = fnv1a(h, magic, sizeof(magic));
+
+  const auto version = read_pod<std::uint32_t>(is, h, "version");
+  WCM_CHECK_IO(version == wcmc_version,
+               "unsupported WCMC version " + std::to_string(version) + ": " +
+                   path.string());
+  const u64 file_salt = read_pod<u64>(is, h, "salt");
+  const u64 count = read_pod<u64>(is, h, "count");
+  WCM_CHECK_IO(count <= max_wcmc_records,
+               "WCMC record count " + std::to_string(count) +
+                   " exceeds the format cap (corrupt header?): " +
+                   path.string());
+
+  std::map<u64, CellMetrics> entries;
+  for (u64 i = 0; i < count; ++i) {
+    const u64 key = read_pod<u64>(is, h, "record key");
+    CellMetrics m;
+    m.n = read_pod<u64>(is, h, "record n");
+    m.seconds = read_pod<double>(is, h, "record seconds");
+    m.throughput = read_pod<double>(is, h, "record throughput");
+    m.conflicts_per_element = read_pod<double>(is, h, "record conflicts");
+    m.beta1 = read_pod<double>(is, h, "record beta1");
+    m.beta2 = read_pod<double>(is, h, "record beta2");
+    entries[key] = m;
+  }
+
+  const u64 expected = h;  // checksum covers everything before itself
+  u64 ignored = fnv_offset_basis;
+  const u64 stored = read_pod<u64>(is, ignored, "checksum");
+  WCM_CHECK_IO(stored == expected,
+               "WCMC checksum mismatch (corrupt file): " + path.string());
+  char extra = 0;
+  is.read(&extra, 1);
+  WCM_CHECK_IO(is.eof(), "trailing bytes after WCMC checksum: " +
+                             path.string());
+
+  if (file_salt != salt) {
+    return cache;  // salt changed -> every entry is stale; start cold
+  }
+  cache.entries_ = std::move(entries);
+  return cache;
+}
+
+void ResultCache::store(const std::filesystem::path& path) const {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  WCM_FAILPOINT("runtime.cache.store", io_error,
+                "injected cache write failure");
+  WCM_CHECK_IO(os.is_open(), "cannot open cache file for writing: " +
+                                 path.string());
+  u64 h = fnv_offset_basis;
+  os.write(kMagic, sizeof(kMagic));
+  h = fnv1a(h, kMagic, sizeof(kMagic));
+  write_pod(os, h, wcmc_version);
+  write_pod(os, h, salt_);
+  const u64 count = entries_.size();
+  write_pod(os, h, count);
+  for (const auto& [key, m] : entries_) {
+    write_pod(os, h, key);
+    write_pod(os, h, m.n);
+    write_pod(os, h, m.seconds);
+    write_pod(os, h, m.throughput);
+    write_pod(os, h, m.conflicts_per_element);
+    write_pod(os, h, m.beta1);
+    write_pod(os, h, m.beta2);
+  }
+  const u64 checksum = h;
+  os.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  WCM_CHECK_IO(static_cast<bool>(os), "cache write failed: " + path.string());
+}
+
+}  // namespace wcm::runtime

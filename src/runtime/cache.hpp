@@ -1,0 +1,102 @@
+#pragma once
+// Content-addressed result cache for campaign cells.
+//
+// A cell's key is the FNV-1a hash of its canonical configuration string
+// (engine, library, E/b/w/pad, input kind, k/n, derived seed, device, ...)
+// salted with the code-version salt, so a cache survives re-runs of the
+// same grid but a change to either the cell or the code addresses a
+// different slot.  Values are the flat per-cell metrics the campaign
+// aggregates (runtime does not cache full SortReports: the metrics are
+// what the figures plot, and they keep the file a few dozen bytes per
+// cell).
+//
+// On-disk WCMC format, version 1 (little-endian), mirroring WCMI v2:
+//   magic    "WCMC"          4 bytes
+//   version  u32             currently 1
+//   salt     u64             code-version salt the entries were computed at
+//   count    u64             number of records
+//   records  count x { key u64, n u64, seconds f64, throughput f64,
+//                      conflicts_per_element f64, beta1 f64, beta2 f64 }
+//   checksum u64             FNV-1a over every preceding byte
+//
+// load() discards a file whose salt differs from the current salt (that is
+// the invalidation mechanism: bump the salt, every entry misses) and
+// throws wcm::io_error on a corrupt file, exactly like WCMI.
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "util/math.hpp"
+
+namespace wcm::runtime {
+
+/// FNV-1a over a byte string, seeded with `h` (chain calls to mix several
+/// fields).  Exposed for tests and for campaign key construction.
+[[nodiscard]] u64 fnv1a(u64 h, const void* data, std::size_t len) noexcept;
+
+/// Offset basis for a fresh FNV-1a chain.
+inline constexpr u64 fnv_offset_basis = 14695981039346656037ULL;
+
+/// The salt folded into every cache key: a hash of the runtime's result
+/// format version (bump kResultFormat in cache.cpp whenever cached metrics
+/// change meaning) plus the WCM_CACHE_SALT environment variable, which
+/// tests and operators use to force a cold cache without deleting files.
+[[nodiscard]] u64 code_version_salt();
+
+/// Flat metrics of one computed campaign cell.
+struct CellMetrics {
+  u64 n = 0;
+  double seconds = 0.0;
+  double throughput = 0.0;
+  double conflicts_per_element = 0.0;
+  double beta1 = 0.0;
+  double beta2 = 0.0;
+
+  bool operator==(const CellMetrics&) const = default;
+};
+
+/// Hard cap on records in a WCMC file; load() rejects larger counts as
+/// corrupt before allocating (same defense as WCMI's max_wcmi_keys).
+inline constexpr u64 max_wcmc_records = u64{1} << 24;
+
+/// The WCMC version store() emits.
+inline constexpr std::uint32_t wcmc_version = 1;
+
+/// In-memory cache; thread-safety is the caller's concern (the campaign
+/// serializes lookups at expansion time and inserts under its own mutex).
+class ResultCache {
+ public:
+  /// Empty cache keyed at the current code_version_salt().
+  ResultCache();
+  /// Empty cache with an explicit salt (tests).
+  explicit ResultCache(u64 salt) : salt_(salt) {}
+
+  /// Hash a canonical cell-configuration string into this cache's address
+  /// space (folds the salt first, then the string).
+  [[nodiscard]] u64 key_of(const std::string& canonical_config) const noexcept;
+
+  [[nodiscard]] std::optional<CellMetrics> lookup(u64 key) const;
+  void insert(u64 key, const CellMetrics& metrics);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] u64 salt() const noexcept { return salt_; }
+
+  /// Parse a WCMC file.  A missing file yields an empty cache; a salt
+  /// mismatch yields an empty cache (invalidation); a malformed file
+  /// throws wcm::io_error.  The returned cache is keyed at `salt`.
+  [[nodiscard]] static ResultCache load(const std::filesystem::path& path,
+                                        u64 salt);
+
+  /// Write every entry to `path` (atomic enough for a cache: whole-file
+  /// rewrite).  Throws wcm::io_error on failure.
+  void store(const std::filesystem::path& path) const;
+
+ private:
+  u64 salt_;
+  std::map<u64, CellMetrics> entries_;  // ordered -> deterministic files
+};
+
+}  // namespace wcm::runtime

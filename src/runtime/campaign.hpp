@@ -1,0 +1,126 @@
+#pragma once
+// Campaign layer: expand a JSON grid spec (engine x E x b x padding x
+// input x size) into jobs, execute them on the runtime scheduler, reuse
+// prior results through the WCMC cache, and aggregate everything into one
+// deterministic JSON document via the existing analysis series machinery.
+//
+// Determinism contract (asserted by tests/test_runtime_campaign.cpp and
+// the campaign_ci gate): the aggregated JSON is a pure function of the
+// spec — cells are keyed and ordered by their expansion index, every
+// stochastic input is seeded by fork_seed(spec.seed, hash(cell config)),
+// and cached results are bit-identical to recomputed ones — so 1-thread
+// and N-thread runs, and cold and warm caches, produce byte-identical
+// output.
+//
+// The campaign JSON grammar and the WCMC cache format are documented in
+// docs/RUNTIME.md.
+
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "runtime/cache.hpp"
+#include "sort/pairwise_sort.hpp"
+#include "workload/inputs.hpp"
+
+namespace wcm::runtime {
+
+enum class Engine { pairwise, multiway, bitonic, radix };
+
+[[nodiscard]] const char* to_string(Engine engine) noexcept;
+
+/// One rectangle of the grid: the cartesian product of its list-valued
+/// fields, sharing the scalar-valued ones.
+struct GridEntry {
+  Engine engine = Engine::pairwise;
+  sort::MergeSortLibrary library = sort::MergeSortLibrary::thrust;
+  std::vector<u32> E{15};
+  std::vector<u32> b{512};
+  u32 w = 32;
+  std::vector<u32> padding{0};
+  std::vector<workload::InputKind> inputs{workload::InputKind::random};
+  std::vector<u32> k{1};  ///< n = bE * 2^k
+  u32 ways = 4;           ///< multiway fan-in
+  u32 digit_bits = 4;     ///< radix digit width
+};
+
+struct CampaignSpec {
+  std::string name = "campaign";
+  std::string device_name = "m4000";
+  gpusim::Device device;  ///< resolved from device_name
+  u64 seed = 1;
+  u32 threads = 0;        ///< 0 = device-aware auto (see thread_pool.hpp)
+  std::string trace_dir;  ///< record one WCMT per cell when non-empty
+  std::vector<GridEntry> grid;
+  /// Where the spec was loaded from; empty for in-memory specs.  The
+  /// default cache file is `<source_path>.wcmc`.
+  std::filesystem::path source_path;
+};
+
+/// Parse a campaign spec document.  Throws wcm::parse_error on JSON syntax
+/// errors, unknown keys, or invalid field values.
+[[nodiscard]] CampaignSpec parse_campaign_spec(const std::string& json_text);
+
+/// Read and parse a spec file.  Throws wcm::io_error for unreadable or
+/// syntactically invalid files (a corrupt spec is a bad input *file*, exit
+/// code 3 in wcmgen) and wcm::parse_error only for semantically invalid
+/// values inside valid JSON.
+[[nodiscard]] CampaignSpec load_campaign_spec(
+    const std::filesystem::path& path);
+
+/// One expanded grid cell, in deterministic expansion order.
+struct CampaignCell {
+  Engine engine = Engine::pairwise;
+  sort::MergeSortLibrary library = sort::MergeSortLibrary::thrust;
+  sort::SortConfig config;
+  workload::InputKind input = workload::InputKind::random;
+  u32 k = 1;
+  std::size_t n = 0;  ///< requested size (bE * 2^k)
+  u64 seed = 0;       ///< fork_seed(spec.seed, hash(cell)); input seed
+  u32 ways = 0;       ///< non-zero for multiway only
+  u32 digit_bits = 0; ///< non-zero for radix only
+  std::string label;      ///< human-readable, used in progress lines
+  std::string canonical;  ///< cache-key string (includes seed and device)
+};
+
+/// Expand the grid (validating every cell's SortConfig and its fit on the
+/// device — throws wcm::config_error otherwise).  Deterministic order:
+/// grid entries in spec order, then E, b, padding, input, k in list order.
+[[nodiscard]] std::vector<CampaignCell> expand(const CampaignSpec& spec);
+
+struct CampaignOptions {
+  u32 threads = 0;   ///< overrides spec.threads when non-zero
+  bool use_cache = true;
+  /// Cache file; empty = `<spec.source_path>.wcmc`, or no cache at all for
+  /// in-memory specs.
+  std::filesystem::path cache_path;
+  std::ostream* progress = nullptr;  ///< per-cell progress lines; may be null
+  std::string trace_dir;             ///< overrides spec.trace_dir when set
+};
+
+struct CampaignOutcome {
+  std::string json;        ///< aggregated document (see docs/RUNTIME.md)
+  std::size_t cells = 0;
+  std::size_t cache_hits = 0;
+  std::size_t computed = 0;
+  u32 threads = 1;         ///< workers actually used
+  double wall_seconds = 0.0;
+};
+
+/// Run the campaign: cache lookups, parallel execution of the misses
+/// (fail-fast: the first failing cell, by expansion index, is rethrown
+/// after the queue drains), cache write-back, aggregation.
+[[nodiscard]] CampaignOutcome run_campaign(const CampaignSpec& spec,
+                                           const CampaignOptions& options);
+
+/// Run several figure sweeps concurrently (one job per (sweep, size) cell)
+/// and return each sweep's series in input order.  Seeds match
+/// analysis::run_sweep exactly, so a ported bench prints the same numbers
+/// as its serial ancestor.  `threads` 0 = WCM_THREADS env, else
+/// device-aware auto.
+[[nodiscard]] std::vector<std::vector<analysis::SeriesPoint>> run_sweeps(
+    const std::vector<analysis::SweepSpec>& specs, u32 threads = 0);
+
+}  // namespace wcm::runtime

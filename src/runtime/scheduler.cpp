@@ -1,0 +1,240 @@
+#include "runtime/scheduler.hpp"
+
+#include <condition_variable>
+#include <mutex>
+
+#include "runtime/thread_pool.hpp"
+#include "util/check.hpp"
+#include "util/failpoint.hpp"
+
+namespace wcm::runtime {
+
+const char* to_string(JobState state) noexcept {
+  switch (state) {
+    case JobState::done:
+      return "done";
+    case JobState::failed:
+      return "failed";
+    case JobState::skipped_cancelled:
+      return "skipped-cancelled";
+    case JobState::skipped_dep_failed:
+      return "skipped-dep-failed";
+  }
+  return "?";
+}
+
+void JobContext::check_cancelled() const {
+  if (cancelled()) {
+    throw simulation_error("job cancelled",
+                           "job " + std::to_string(id_));
+  }
+}
+
+void JobContext::check_deadline() const {
+  if (deadline_exceeded()) {
+    throw simulation_error("job exceeded its deadline",
+                           "job " + std::to_string(id_));
+  }
+}
+
+JobId JobGraph::add(std::function<void(JobContext&)> fn, JobOptions opts) {
+  WCM_EXPECTS(fn != nullptr, "cannot add an empty job");
+  const JobId id = jobs_.size();
+  for (const JobId dep : opts.deps) {
+    WCM_EXPECTS(dep < id, "job dependencies must reference earlier jobs");
+  }
+  jobs_.push_back(Job{std::move(fn), std::move(opts)});
+  return id;
+}
+
+bool RunReport::ok() const noexcept {
+  for (const auto& o : outcomes) {
+    if (o.state != JobState::done) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t RunReport::count(JobState state) const noexcept {
+  std::size_t n = 0;
+  for (const auto& o : outcomes) {
+    n += o.state == state ? 1 : 0;
+  }
+  return n;
+}
+
+void RunReport::rethrow_first_error() const {
+  for (const auto& o : outcomes) {
+    if (o.state != JobState::failed) {
+      continue;
+    }
+    if (o.error) {
+      std::rethrow_exception(o.error);
+    }
+    throw simulation_error(o.message);
+  }
+}
+
+/// Shared state of one run(); jobs touch it only under `mu` (the outcome
+/// slots are written by exactly one worker each, but the dependency
+/// counters and completion bookkeeping need the lock anyway).
+struct RunState {
+  explicit RunState(const JobGraph& g) : graph(g) {}
+
+  const JobGraph& graph;
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::vector<JobOutcome> outcomes;
+  std::vector<std::size_t> pending_deps;
+  std::vector<std::vector<JobId>> dependents;
+  std::size_t terminal = 0;
+  bool fail_fast_tripped = false;
+  CancelSource* external_cancel = nullptr;
+  bool fail_fast = false;
+  std::chrono::steady_clock::time_point start;
+  ThreadPool* pool = nullptr;
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return fail_fast_tripped ||
+           (external_cancel != nullptr && external_cancel->cancelled());
+  }
+
+  /// Record `id` reaching a terminal state and hand newly-ready dependents
+  /// to the pool.  Called with `mu` held by the finishing worker (or the
+  /// submitter, for roots).
+  void finish_locked(JobId id, JobOutcome outcome) {
+    outcomes[id] = std::move(outcome);
+    if (fail_fast && outcomes[id].state == JobState::failed) {
+      fail_fast_tripped = true;
+    }
+    ++terminal;
+    if (terminal == graph.jobs_.size()) {
+      done_cv.notify_all();
+    }
+    for (const JobId next : dependents[id]) {
+      if (--pending_deps[next] == 0) {
+        pool->submit([this, next] { execute(next); });
+      }
+    }
+  }
+
+  void execute(JobId id) {
+    const auto& job = graph.jobs_[id];
+    JobOutcome outcome;
+
+    // Terminal-dependency and cancellation checks: a job only runs when
+    // every dependency finished `done` and the run is still live.
+    bool runnable = true;
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      for (const JobId dep : job.opts.deps) {
+        if (outcomes[dep].state != JobState::done) {
+          outcome.state = JobState::skipped_dep_failed;
+          outcome.message = "dependency " + std::to_string(dep) + " " +
+                            std::string(to_string(outcomes[dep].state));
+          runnable = false;
+          break;
+        }
+      }
+      if (runnable && cancelled()) {
+        outcome.state = JobState::skipped_cancelled;
+        runnable = false;
+      }
+    }
+
+    if (runnable) {
+      const bool has_deadline =
+          job.opts.timeout != std::chrono::steady_clock::duration{0};
+      const auto deadline = start + job.opts.timeout;
+      JobContext ctx(id, external_cancel, deadline, has_deadline);
+      const auto job_start = std::chrono::steady_clock::now();
+      try {
+        WCM_FAILPOINT("runtime.worker.job", simulation_error,
+                      "injected worker fault in job " + std::to_string(id) +
+                          (job.opts.label.empty() ? ""
+                                                  : " (" + job.opts.label +
+                                                        ")"));
+        if (has_deadline && job_start > deadline) {
+          throw simulation_error("job deadline expired while queued",
+                                 "job " + std::to_string(id));
+        }
+        job.fn(ctx);
+        if (has_deadline && std::chrono::steady_clock::now() > deadline) {
+          throw simulation_error("job exceeded its deadline",
+                                 "job " + std::to_string(id));
+        }
+        outcome.state = JobState::done;
+      } catch (const wcm::error& e) {
+        outcome.state = JobState::failed;
+        outcome.code = e.code();
+        outcome.message = e.what();
+        outcome.error = std::current_exception();
+      } catch (const std::exception& e) {
+        outcome.state = JobState::failed;
+        outcome.code = errc::simulation_invariant;
+        outcome.message = e.what();
+        outcome.error = std::current_exception();
+      } catch (...) {
+        outcome.state = JobState::failed;
+        outcome.code = errc::simulation_invariant;
+        outcome.message = "unknown exception";
+        outcome.error = std::current_exception();
+      }
+      outcome.seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        job_start)
+              .count();
+    }
+
+    const std::lock_guard<std::mutex> lock(mu);
+    finish_locked(id, std::move(outcome));
+  }
+};
+
+RunReport run(const JobGraph& graph, const RunOptions& opts) {
+  WCM_EXPECTS(opts.threads >= 1, "run() needs at least one worker");
+  RunReport report;
+  const std::size_t n = graph.size();
+  report.outcomes.resize(n);
+  if (n == 0) {
+    return report;
+  }
+
+  RunState state(graph);
+  state.outcomes.resize(n);
+  state.pending_deps.resize(n);
+  state.dependents.resize(n);
+  state.external_cancel = opts.cancel;
+  state.fail_fast = opts.fail_fast;
+  state.start = std::chrono::steady_clock::now();
+  for (JobId id = 0; id < n; ++id) {
+    const auto& deps = state.graph.jobs_[id].opts.deps;
+    state.pending_deps[id] = deps.size();
+    for (const JobId dep : deps) {
+      state.dependents[dep].push_back(id);
+    }
+  }
+
+  {
+    ThreadPool pool(opts.threads);
+    state.pool = &pool;
+    {
+      // Seed the roots in id order; FIFO dequeue then gives the 1-thread
+      // run an exact topological-by-id execution order.
+      const std::lock_guard<std::mutex> lock(state.mu);
+      for (JobId id = 0; id < n; ++id) {
+        if (state.pending_deps[id] == 0) {
+          pool.submit([&state, id] { state.execute(id); });
+        }
+      }
+    }
+    std::unique_lock<std::mutex> lock(state.mu);
+    state.done_cv.wait(lock, [&state, n] { return state.terminal == n; });
+  }
+
+  report.outcomes = std::move(state.outcomes);
+  return report;
+}
+
+}  // namespace wcm::runtime

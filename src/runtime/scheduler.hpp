@@ -1,0 +1,173 @@
+#pragma once
+// Job-graph scheduler on top of runtime/thread_pool.hpp.
+//
+// A JobGraph is a DAG of type-erased jobs: each job may depend on
+// earlier-added jobs (dependencies are ids < the job's own id, which makes
+// the graph acyclic by construction), may carry a deadline, and runs at
+// most once.  run() executes the graph on a fixed-size worker pool and
+// returns one JobOutcome per job, indexed by JobId — the result layout is
+// a pure function of the graph, never of worker scheduling, which is what
+// lets campaign output stay byte-identical between 1-thread and N-thread
+// runs.
+//
+// Error model (wcm::error taxonomy, PR 1):
+//   * a job that throws is recorded `failed` with the thrown error's code
+//     (non-wcm exceptions are classified simulation_invariant);
+//   * a job whose deadline passes — before it starts, inside the job via
+//     JobContext::check_deadline(), or by the time it returns — fails with
+//     wcm::simulation_error;
+//   * jobs behind a failed dependency are `skipped_dep_failed`;
+//   * after CancelSource::cancel() (or any failure under
+//     RunOptions::fail_fast) still-queued jobs finish as
+//     `skipped_cancelled`; running jobs can poll JobContext::cancelled().
+//
+// The worker wrapper evaluates the "runtime.worker.job" failpoint before
+// invoking each job, so WCM_FAILPOINTS can prove the whole
+// fail/skip/report pipeline end to end (docs/RUNTIME.md).
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace wcm::runtime {
+
+using JobId = std::size_t;
+
+class JobContext;
+
+struct JobOptions {
+  std::vector<JobId> deps;  ///< must all be ids of earlier-added jobs
+  /// Wall-clock budget measured from run() start; zero = unlimited.
+  std::chrono::steady_clock::duration timeout{0};
+  std::string label;  ///< for error messages and progress lines
+};
+
+enum class JobState {
+  done,
+  failed,
+  skipped_cancelled,
+  skipped_dep_failed,
+};
+
+[[nodiscard]] const char* to_string(JobState state) noexcept;
+
+struct JobOutcome {
+  JobState state = JobState::skipped_cancelled;
+  errc code = errc::simulation_invariant;  ///< valid when state == failed
+  std::string message;                     ///< error text when failed
+  std::exception_ptr error;                ///< original exception when failed
+  double seconds = 0.0;                    ///< job body wall clock
+};
+
+/// Cooperative cancellation shared between the caller and running jobs.
+class CancelSource {
+ public:
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Handed to every job body; all methods are safe to call from the job's
+/// worker thread.
+class JobContext {
+ public:
+  JobContext(JobId id, const CancelSource* cancel,
+             std::chrono::steady_clock::time_point deadline, bool has_deadline)
+      : id_(id),
+        cancel_(cancel),
+        deadline_(deadline),
+        has_deadline_(has_deadline) {}
+
+  [[nodiscard]] JobId id() const noexcept { return id_; }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancel_ != nullptr && cancel_->cancelled();
+  }
+  /// Throws wcm::simulation_error when the run has been cancelled.
+  void check_cancelled() const;
+  [[nodiscard]] bool deadline_exceeded() const noexcept {
+    return has_deadline_ && std::chrono::steady_clock::now() > deadline_;
+  }
+  /// Throws wcm::simulation_error when past this job's deadline.
+  void check_deadline() const;
+
+ private:
+  JobId id_;
+  const CancelSource* cancel_;
+  std::chrono::steady_clock::time_point deadline_;
+  bool has_deadline_;
+};
+
+struct RunOptions;
+struct RunReport;
+
+class JobGraph {
+ public:
+  /// Add a job; `opts.deps` must reference earlier-added jobs
+  /// (contract-checked).  Returns the job's id (= insertion index).
+  JobId add(std::function<void(JobContext&)> fn, JobOptions opts = {});
+
+  [[nodiscard]] std::size_t size() const noexcept { return jobs_.size(); }
+
+ private:
+  friend struct RunState;
+  friend RunReport run(const JobGraph& graph, const RunOptions& opts);
+  struct Job {
+    std::function<void(JobContext&)> fn;
+    JobOptions opts;
+  };
+  std::vector<Job> jobs_;
+};
+
+struct RunOptions {
+  u32 threads = 1;
+  /// Cancel everything still queued as soon as one job fails.
+  bool fail_fast = false;
+  /// Optional external cancellation handle (not owned; may be null).
+  CancelSource* cancel = nullptr;
+};
+
+struct RunReport {
+  std::vector<JobOutcome> outcomes;  ///< indexed by JobId
+
+  [[nodiscard]] bool ok() const noexcept;
+  [[nodiscard]] std::size_t count(JobState state) const noexcept;
+  /// Rethrow the failure of the lowest-id failed job (deterministic across
+  /// thread counts); no-op when every job succeeded.
+  void rethrow_first_error() const;
+};
+
+/// Execute the graph to completion on `opts.threads` workers and report
+/// every job's outcome.  Never throws for job failures — inspect the
+/// report (or use rethrow_first_error()).
+[[nodiscard]] RunReport run(const JobGraph& graph, const RunOptions& opts);
+
+/// Deterministic parallel map: results[i] = fn(i), computed on `threads`
+/// workers, returned in index order.  The first failure (by index) is
+/// rethrown after the queue drains (fail-fast cancels the remainder).
+template <typename Fn>
+auto parallel_map(std::size_t count, u32 threads, Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{}))> {
+  using Result = decltype(fn(std::size_t{}));
+  std::vector<Result> results(count);
+  JobGraph graph;
+  for (std::size_t i = 0; i < count; ++i) {
+    graph.add([&results, &fn, i](JobContext&) { results[i] = fn(i); });
+  }
+  RunOptions opts;
+  opts.threads = threads;
+  opts.fail_fast = true;
+  run(graph, opts).rethrow_first_error();
+  return results;
+}
+
+}  // namespace wcm::runtime

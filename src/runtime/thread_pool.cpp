@@ -1,0 +1,88 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdlib>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace wcm::runtime {
+
+ThreadPool::ThreadPool(u32 threads) {
+  WCM_EXPECTS(threads >= 1, "a thread pool needs at least one worker");
+  workers_.reserve(threads);
+  for (u32 i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  WCM_EXPECTS(task != nullptr, "cannot submit an empty task");
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping_ and drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+u32 recommended_workers(u32 requested, const gpusim::Device& dev,
+                        u32 threads_per_block,
+                        std::size_t shared_bytes_per_block) {
+  if (requested > 0) {
+    return requested;
+  }
+  const u32 host = std::max(1u, std::thread::hardware_concurrency());
+  const gpusim::Occupancy occ =
+      gpusim::occupancy(dev, threads_per_block, shared_bytes_per_block);
+  if (occ.resident_blocks == 0) {
+    return 1;  // launch does not fit; let validation report it
+  }
+  const u32 device_parallelism = occ.resident_blocks * dev.sm_count;
+  return std::max(1u, std::min(host, device_parallelism));
+}
+
+u32 threads_from_env(u32 fallback) {
+  const char* env = std::getenv("WCM_THREADS");
+  if (env == nullptr || *env == '\0') {
+    return fallback;
+  }
+  u32 value = 0;
+  const std::string text(env);
+  const auto [ptr, err] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (err != std::errc() || ptr != text.data() + text.size() || value > 4096) {
+    throw parse_error("invalid WCM_THREADS value '" + text +
+                      "' (expected an integer 0..4096)");
+  }
+  return value == 0 ? fallback : value;
+}
+
+}  // namespace wcm::runtime

@@ -23,6 +23,9 @@ constexpr const char* kBuiltin[] = {
     "sim.smem.invariant",     // SharedMemory::warp_read: mid-access break
     "sort.pairwise.round",    // pairwise_merge_sort: mid-round break
     "sort.multiway.round",    // multiway_merge_sort: mid-round break
+    "runtime.worker.job",     // scheduler worker: break before a job body
+    "runtime.cache.load",     // ResultCache::load: read failure
+    "runtime.cache.store",    // ResultCache::store: write failure
 };
 
 struct State {

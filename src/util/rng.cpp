@@ -34,6 +34,24 @@ Xoshiro256::result_type Xoshiro256::operator()() noexcept {
   return result;
 }
 
+u64 fork_seed(u64 root_seed, u64 stream) noexcept {
+  // Feed both words through the splitmix64 finalizer so adjacent streams
+  // land in unrelated regions of the seed space.
+  u64 state = root_seed;
+  const u64 a = splitmix64(state);
+  state ^= stream * 0x9e3779b97f4a7c15ULL;
+  const u64 b = splitmix64(state);
+  return a ^ (b + 0x2545f4914f6cdd1dULL);
+}
+
+Xoshiro256 Xoshiro256::fork(u64 stream) const noexcept {
+  u64 digest = s_[0];
+  for (const u64 word : {s_[1], s_[2], s_[3]}) {
+    digest = fork_seed(digest, word);
+  }
+  return Xoshiro256(fork_seed(digest, stream));
+}
+
 u64 Xoshiro256::below(u64 bound) {
   WCM_EXPECTS(bound > 0, "below(0) is ill-defined");
   // Lemire's nearly-divisionless method.

@@ -14,6 +14,13 @@ namespace wcm {
 /// splitmix64: used to seed xoshiro and as a standalone mixer.
 [[nodiscard]] u64 splitmix64(u64& state) noexcept;
 
+/// Derive the seed of logical stream `stream` from a root seed.  Parallel
+/// jobs that each seed their own generator with `fork_seed(root, index)`
+/// draw statistically independent sequences that depend only on (root,
+/// index) — never on which worker ran the job or in what order — which is
+/// what makes campaign results byte-identical across thread counts.
+[[nodiscard]] u64 fork_seed(u64 root_seed, u64 stream) noexcept;
+
 /// xoshiro256** 1.0 (Blackman & Vigna).  Satisfies UniformRandomBitGenerator.
 class Xoshiro256 {
  public:
@@ -30,6 +37,14 @@ class Xoshiro256 {
 
   /// Uniform draw from [0, bound) without modulo bias (Lemire's method).
   [[nodiscard]] u64 below(u64 bound);
+
+  /// Split off an independent child generator for logical stream `stream`
+  /// without perturbing this generator (const: forking is not a draw).
+  /// Children forked from the same state with distinct streams are
+  /// pairwise independent; fork(i) is a pure function of (state, i), so a
+  /// set of parallel jobs seeded by fork(job_index) is reproducible
+  /// regardless of worker scheduling.
+  [[nodiscard]] Xoshiro256 fork(u64 stream) const noexcept;
 
  private:
   u64 s_[4];

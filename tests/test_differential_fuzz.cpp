@@ -4,6 +4,10 @@
 // Every run also records its shared-memory trace and feeds it to the
 // static analyzer: zero race/memcheck diagnostics, and the affine stride
 // predictor must match the DMM-measured StepCost on every step.
+//
+// Trials run concurrently on the campaign runtime (parallel_map), each
+// with its own rng fork — GTest assertions are not thread-safe, so jobs
+// return failure strings and the main thread asserts them empty.
 
 #include <gtest/gtest.h>
 
@@ -12,6 +16,8 @@
 
 #include "analyze/analyzer.hpp"
 #include "gpusim/trace.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/thread_pool.hpp"
 #include "sort/bitonic.hpp"
 #include "sort/cpu_reference.hpp"
 #include "sort/multiway.hpp"
@@ -24,18 +30,24 @@ namespace wcm {
 namespace {
 
 /// Sanitize one recorded engine trace: no diagnostics of any severity, and
-/// the stride cross-check must actually have run.
-void expect_clean_trace(const gpusim::Trace& trace, u32 pad,
-                        const char* engine, int trial) {
+/// the stride cross-check must actually have run.  Returns "" when clean
+/// (callable from worker threads; the caller asserts).
+std::string check_clean_trace(const gpusim::Trace& trace, u32 pad,
+                              const char* engine, std::size_t trial) {
   analyze::AnalyzeOptions opts;
   opts.pad = pad;
   const auto report = analyze::analyze_trace(trace, opts);
-  ASSERT_TRUE(report.cross_checked) << engine << " trial " << trial;
-  if (!report.clean()) {
-    std::ostringstream os;
-    analyze::render_text(os, report, engine);
-    FAIL() << "trial " << trial << " diagnostics:\n" << os.str();
+  std::ostringstream os;
+  if (!report.cross_checked) {
+    os << engine << " trial " << trial << ": stride cross-check did not run";
+    return os.str();
   }
+  if (!report.clean()) {
+    os << engine << " trial " << trial << " diagnostics:\n";
+    analyze::render_text(os, report, engine);
+    return os.str();
+  }
+  return "";
 }
 
 std::vector<dmm::word> fuzz_keys(std::size_t n, Xoshiro256& rng) {
@@ -70,55 +82,88 @@ std::vector<dmm::word> fuzz_keys(std::size_t n, Xoshiro256& rng) {
 }
 
 TEST(DifferentialFuzz, AllSortsAgreeWithStdSort) {
-  Xoshiro256 rng(20260706);
   const auto dev = gpusim::quadro_m4000();
   const sort::SortConfig configs[] = {
       {3, 64, 32}, {5, 64, 32}, {7, 128, 32}, {15, 128, 32}, {4, 64, 32}};
+  const Xoshiro256 root(20260706);
 
-  for (int trial = 0; trial < 12; ++trial) {
-    sort::SortConfig cfg = configs[rng.below(5)];
-    const std::size_t tiles = 1 + rng.below(6);
-    const std::size_t n = cfg.tile() * tiles;
-    const auto input = fuzz_keys(n, rng);
-    const auto expected = sort::std_sort(input);
+  constexpr std::size_t kTrials = 12;
+  const u32 workers = runtime::recommended_workers(
+      runtime::threads_from_env(0), dev, 128, 0);
+  const auto failures = runtime::parallel_map(
+      kTrials, workers, [&](std::size_t trial) -> std::string {
+        auto rng = root.fork(static_cast<u64>(trial));
+        sort::SortConfig cfg = configs[rng.below(5)];
+        const std::size_t tiles = 1 + rng.below(6);
+        const std::size_t n = cfg.tile() * tiles;
+        const auto input = fuzz_keys(n, rng);
+        const auto expected = sort::std_sort(input);
 
-    std::vector<dmm::word> out;
-    gpusim::TraceRecorder rec;
-    cfg.trace_sink = &rec;
-    (void)sort::pairwise_merge_sort(input, cfg, dev,
-                                    sort::MergeSortLibrary::thrust, &out);
-    ASSERT_EQ(out, expected) << "pairwise trial " << trial;
-    expect_clean_trace(rec.take(), 0, "pairwise", trial);
+        std::vector<dmm::word> out;
+        gpusim::TraceRecorder rec;
+        cfg.trace_sink = &rec;
+        (void)sort::pairwise_merge_sort(input, cfg, dev,
+                                        sort::MergeSortLibrary::thrust, &out);
+        if (out != expected) {
+          return "pairwise disagrees with std::sort in trial " +
+                 std::to_string(trial);
+        }
+        if (auto msg = check_clean_trace(rec.take(), 0, "pairwise", trial);
+            !msg.empty()) {
+          return msg;
+        }
 
-    (void)sort::multiway_merge_sort(input, cfg, dev,
-                                    2 + static_cast<u32>(rng.below(4)),
-                                    &out);
-    ASSERT_EQ(out, expected) << "multiway trial " << trial;
-    expect_clean_trace(rec.take(), 0, "multiway", trial);
+        (void)sort::multiway_merge_sort(input, cfg, dev,
+                                        2 + static_cast<u32>(rng.below(4)),
+                                        &out);
+        if (out != expected) {
+          return "multiway disagrees with std::sort in trial " +
+                 std::to_string(trial);
+        }
+        if (auto msg = check_clean_trace(rec.take(), 0, "multiway", trial);
+            !msg.empty()) {
+          return msg;
+        }
 
-    // Radix needs non-negative keys (all fuzz classes are); bitonic needs a
-    // power-of-two size — run it on a truncated power-of-two prefix.
-    (void)sort::radix_sort(input, cfg, dev,
-                           1 + static_cast<u32>(rng.below(8)), &out);
-    ASSERT_EQ(out, expected) << "radix trial " << trial;
-    expect_clean_trace(rec.take(), 0, "radix", trial);
+        // Radix needs non-negative keys (all fuzz classes are); bitonic
+        // needs a power-of-two size — run it on a truncated prefix.
+        (void)sort::radix_sort(input, cfg, dev,
+                               1 + static_cast<u32>(rng.below(8)), &out);
+        if (out != expected) {
+          return "radix disagrees with std::sort in trial " +
+                 std::to_string(trial);
+        }
+        if (auto msg = check_clean_trace(rec.take(), 0, "radix", trial);
+            !msg.empty()) {
+          return msg;
+        }
 
-    std::size_t n2 = 1;
-    while (n2 * 2 <= n) {
-      n2 *= 2;
-    }
-    if (n2 >= 2 * cfg.b) {
-      std::vector<dmm::word> prefix(input.begin(),
-                                    input.begin() +
-                                        static_cast<std::ptrdiff_t>(n2));
-      sort::SortConfig bcfg;
-      bcfg.E = 2;
-      bcfg.b = cfg.b;
-      bcfg.trace_sink = &rec;
-      (void)sort::bitonic_sort(prefix, bcfg, dev, &out);
-      ASSERT_EQ(out, sort::std_sort(prefix)) << "bitonic trial " << trial;
-      expect_clean_trace(rec.take(), 0, "bitonic", trial);
-    }
+        std::size_t n2 = 1;
+        while (n2 * 2 <= n) {
+          n2 *= 2;
+        }
+        if (n2 >= 2 * cfg.b) {
+          std::vector<dmm::word> prefix(input.begin(),
+                                        input.begin() +
+                                            static_cast<std::ptrdiff_t>(n2));
+          sort::SortConfig bcfg;
+          bcfg.E = 2;
+          bcfg.b = cfg.b;
+          bcfg.trace_sink = &rec;
+          (void)sort::bitonic_sort(prefix, bcfg, dev, &out);
+          if (out != sort::std_sort(prefix)) {
+            return "bitonic disagrees with std::sort in trial " +
+                   std::to_string(trial);
+          }
+          if (auto msg = check_clean_trace(rec.take(), 0, "bitonic", trial);
+              !msg.empty()) {
+            return msg;
+          }
+        }
+        return "";
+      });
+  for (std::size_t trial = 0; trial < failures.size(); ++trial) {
+    EXPECT_TRUE(failures[trial].empty()) << failures[trial];
   }
 }
 

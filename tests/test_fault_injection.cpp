@@ -18,6 +18,8 @@
 #include "gpusim/device.hpp"
 #include "gpusim/shared_memory.hpp"
 #include "gpusim/trace.hpp"
+#include "runtime/cache.hpp"
+#include "runtime/scheduler.hpp"
 #include "sort/multiway.hpp"
 #include "sort/pairwise_sort.hpp"
 #include "util/error.hpp"
@@ -217,7 +219,8 @@ TEST_F(FaultInjectionTest, KnownListsAllBuiltins) {
        {"io.read.open", "io.read.alloc", "io.read.truncated",
         "io.read.checksum", "io.write.fail", "trace.read.malformed",
         "sim.smem.alloc", "sim.smem.invariant", "sort.pairwise.round",
-        "sort.multiway.round"}) {
+        "sort.multiway.round", "runtime.worker.job", "runtime.cache.load",
+        "runtime.cache.store"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
   }
@@ -264,6 +267,37 @@ TEST_F(FaultInjectionTest, EveryRegisteredFailpointFired) {
        {errc::simulation_invariant, [&] { run_pairwise(); }}},
       {"sort.multiway.round",
        {errc::simulation_invariant, [&] { run_multiway(); }}},
+      {"runtime.worker.job",
+       {errc::simulation_invariant,
+        [] {
+          runtime::JobGraph graph;
+          graph.add([](runtime::JobContext&) {});
+          runtime::RunOptions opts;
+          opts.threads = 1;
+          runtime::run(graph, opts).rethrow_first_error();
+        }}},
+      {"runtime.cache.load",
+       {errc::io_failure,
+        [&] {
+          const auto cache_path = path_.string() + ".wcmc";
+          {
+            failpoint::scoped_disarm off("runtime.cache.store");
+            runtime::ResultCache(u64{1}).store(cache_path);
+          }
+          const auto guard = std::filesystem::path(cache_path);
+          try {
+            (void)runtime::ResultCache::load(guard, 1);
+          } catch (...) {
+            std::filesystem::remove(guard);
+            throw;
+          }
+          std::filesystem::remove(guard);
+        }}},
+      {"runtime.cache.store",
+       {errc::io_failure,
+        [&] {
+          runtime::ResultCache(u64{1}).store(path_.string() + ".wcmc");
+        }}},
   };
 
   for (const auto& name : failpoint::known()) {

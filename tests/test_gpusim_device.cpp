@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "gpusim/device.hpp"
+#include "gpusim/occupancy.hpp"
 #include "sort/pairwise_sort.hpp"
 #include "util/check.hpp"
 #include "workload/inputs.hpp"

@@ -1,0 +1,252 @@
+// Campaign-layer tests: spec parsing and validation, deterministic
+// expansion with position-independent seeds, byte-identical output across
+// thread counts and cache states, WCMC integration (hit/miss/invalidate),
+// and the run_sweeps equivalence with the serial analysis::run_sweep.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "analysis/experiment.hpp"
+#include "runtime/campaign.hpp"
+#include "util/error.hpp"
+
+namespace wcm::runtime {
+namespace {
+
+constexpr const char* kSmallSpec = R"({
+  "name": "unit",
+  "device": "m4000",
+  "seed": 11,
+  "grid": [
+    {"engine": "pairwise", "E": 5, "b": 64,
+     "input": ["random", "worst-case"], "k": [1, 2]}
+  ]
+})";
+
+TEST(CampaignSpecParse, AcceptsTheFullGrammar) {
+  const auto spec = parse_campaign_spec(R"({
+    "name": "full",
+    "device": "2080ti",
+    "seed": 99,
+    "threads": 2,
+    "trace_dir": "traces",
+    "grid": [
+      {"engine": "multiway", "E": [3, 5], "b": 64, "w": 32, "padding": [0, 1],
+       "input": "sorted", "k": [1], "ways": 8},
+      {"engine": "radix", "digit_bits": 6},
+      {"engine": "bitonic", "b": 128}
+    ]
+  })");
+  EXPECT_EQ(spec.name, "full");
+  EXPECT_EQ(spec.device.name, gpusim::rtx_2080ti().name);
+  EXPECT_EQ(spec.seed, 99u);
+  EXPECT_EQ(spec.threads, 2u);
+  EXPECT_EQ(spec.trace_dir, "traces");
+  ASSERT_EQ(spec.grid.size(), 3u);
+  EXPECT_EQ(spec.grid[0].engine, Engine::multiway);
+  EXPECT_EQ(spec.grid[0].E, (std::vector<u32>{3, 5}));
+  EXPECT_EQ(spec.grid[0].padding, (std::vector<u32>{0, 1}));
+  EXPECT_EQ(spec.grid[0].ways, 8u);
+  EXPECT_EQ(spec.grid[1].digit_bits, 6u);
+  EXPECT_EQ(spec.grid[2].engine, Engine::bitonic);
+}
+
+TEST(CampaignSpecParse, RejectsUnknownKeysAndValues) {
+  EXPECT_THROW((void)parse_campaign_spec(R"({"grid": [{}], "spline": 1})"),
+               parse_error);
+  EXPECT_THROW(
+      (void)parse_campaign_spec(R"({"grid": [{"engine": "quantum"}]})"),
+      parse_error);
+  EXPECT_THROW(
+      (void)parse_campaign_spec(R"({"grid": [{"input": "adversarial"}]})"),
+      parse_error);
+  EXPECT_THROW((void)parse_campaign_spec(R"({"device": "voodoo2",
+                                             "grid": [{}]})"),
+               parse_error);
+  EXPECT_THROW((void)parse_campaign_spec(R"({"grid": []})"), parse_error);
+  EXPECT_THROW((void)parse_campaign_spec(R"({"name": "x"})"), parse_error);
+  EXPECT_THROW((void)parse_campaign_spec("not json at all"), parse_error);
+  EXPECT_THROW((void)parse_campaign_spec(R"({"grid": [{"k": [50]}]})"),
+               parse_error);
+}
+
+TEST(CampaignSpecParse, LoadMapsProblemsToIoError) {
+  const auto dir = std::filesystem::temp_directory_path();
+  EXPECT_THROW((void)load_campaign_spec(dir / "wcm_missing_spec.json"),
+               io_error);
+  const auto bad = dir / "wcm_bad_spec.json";
+  std::ofstream(bad) << "{ definitely not json";
+  EXPECT_THROW((void)load_campaign_spec(bad), io_error);
+  std::ofstream(bad) << R"({"grid": [{"engine": "quantum"}]})";
+  EXPECT_THROW((void)load_campaign_spec(bad), io_error);
+  std::filesystem::remove(bad);
+}
+
+TEST(CampaignExpand, DeterministicOrderAndPositionIndependentSeeds) {
+  const auto spec = parse_campaign_spec(kSmallSpec);
+  const auto cells = expand(spec);
+  ASSERT_EQ(cells.size(), 4u);
+  // input varies before k (declaration order of the nesting).
+  EXPECT_EQ(cells[0].input, workload::InputKind::random);
+  EXPECT_EQ(cells[0].k, 1u);
+  EXPECT_EQ(cells[1].k, 2u);
+  EXPECT_EQ(cells[2].input, workload::InputKind::worst_case);
+  EXPECT_EQ(cells[0].n, cells[0].config.tile() << 1);
+
+  // Seeds are a function of (spec seed, cell config), not of grid
+  // position: the same cell in a reordered/extended grid keeps its seed.
+  const auto reordered = parse_campaign_spec(R"({
+    "name": "unit", "device": "m4000", "seed": 11,
+    "grid": [
+      {"engine": "pairwise", "E": 7, "b": 64, "input": "sorted", "k": [3]},
+      {"engine": "pairwise", "E": 5, "b": 64,
+       "input": ["worst-case", "random"], "k": [2, 1]}
+    ]
+  })");
+  const auto moved = expand(reordered);
+  ASSERT_EQ(moved.size(), 5u);
+  EXPECT_EQ(cells[0].seed, moved[4].seed);  // random k=1
+  EXPECT_EQ(cells[3].seed, moved[1].seed);  // worst-case k=2
+  EXPECT_NE(cells[0].seed, cells[1].seed);
+  EXPECT_NE(cells[0].seed, cells[2].seed);
+}
+
+TEST(CampaignExpand, ValidatesCellsAgainstConfigAndDevice) {
+  // b < 2w violates the SortConfig contract.
+  auto bad_cfg = parse_campaign_spec(
+      R"({"grid": [{"engine": "pairwise", "E": 5, "b": 32}]})");
+  EXPECT_THROW((void)expand(bad_cfg), wcm::error);
+  // A tile too large for shared memory must not fit the device.
+  auto too_big = parse_campaign_spec(
+      R"({"grid": [{"engine": "pairwise", "E": 1000, "b": 512}]})");
+  EXPECT_THROW((void)expand(too_big), wcm::error);
+}
+
+TEST(CampaignRun, ByteIdenticalAcrossThreadCountsAndCacheStates) {
+  const auto spec = parse_campaign_spec(kSmallSpec);
+  CampaignOptions serial;
+  serial.threads = 1;
+  serial.use_cache = false;
+  const auto ref = run_campaign(spec, serial);
+  EXPECT_EQ(ref.cells, 4u);
+  EXPECT_EQ(ref.computed, 4u);
+  EXPECT_EQ(ref.cache_hits, 0u);
+
+  CampaignOptions parallel;
+  parallel.threads = 4;
+  parallel.use_cache = false;
+  const auto wide = run_campaign(spec, parallel);
+  EXPECT_EQ(wide.threads, 4u);
+  EXPECT_EQ(ref.json, wide.json);  // the headline determinism guarantee
+
+  // With a cache file: cold run computes, warm run hits 100%, output is
+  // still byte-identical.
+  const auto cache_path = std::filesystem::temp_directory_path() /
+                          "wcm_campaign_unit.wcmc";
+  std::filesystem::remove(cache_path);
+  CampaignOptions cached;
+  cached.threads = 4;
+  cached.cache_path = cache_path;
+  const auto cold = run_campaign(spec, cached);
+  EXPECT_EQ(cold.computed, 4u);
+  const auto warm = run_campaign(spec, cached);
+  EXPECT_EQ(warm.computed, 0u);
+  EXPECT_EQ(warm.cache_hits, 4u);
+  EXPECT_EQ(ref.json, cold.json);
+  EXPECT_EQ(ref.json, warm.json);
+
+  // A code-version salt change invalidates every entry.
+  setenv("WCM_CACHE_SALT", "unit-test-bump", 1);
+  const auto invalidated = run_campaign(spec, cached);
+  unsetenv("WCM_CACHE_SALT");
+  EXPECT_EQ(invalidated.computed, 4u);
+  EXPECT_EQ(invalidated.cache_hits, 0u);
+  EXPECT_EQ(ref.json, invalidated.json);
+  std::filesystem::remove(cache_path);
+}
+
+TEST(CampaignRun, AggregateJsonCarriesSeriesAndSlowdowns) {
+  const auto spec = parse_campaign_spec(kSmallSpec);
+  CampaignOptions opts;
+  opts.threads = 1;
+  opts.use_cache = false;
+  const auto outcome = run_campaign(spec, opts);
+  EXPECT_NE(outcome.json.find("\"campaign\":\"unit\""), std::string::npos);
+  EXPECT_NE(outcome.json.find("\"cells\":["), std::string::npos);
+  EXPECT_NE(outcome.json.find("\"series\":["), std::string::npos);
+  // random + worst-case at identical sizes -> one slowdown entry.
+  EXPECT_NE(outcome.json.find("\"slowdowns\":[{"), std::string::npos);
+  EXPECT_NE(outcome.json.find("\"peak_percent\":"), std::string::npos);
+}
+
+TEST(CampaignRun, TraceDirRecordsOneTracePerCell) {
+  const auto spec = parse_campaign_spec(kSmallSpec);
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "wcm_campaign_traces_unit";
+  std::filesystem::remove_all(dir);
+  CampaignOptions opts;
+  opts.threads = 2;
+  opts.use_cache = false;
+  opts.trace_dir = dir.string();
+  const auto outcome = run_campaign(spec, opts);
+  EXPECT_EQ(outcome.computed, 4u);
+  std::size_t traces = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    traces += entry.path().extension() == ".wcmt" ? 1u : 0u;
+  }
+  EXPECT_EQ(traces, 4u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CampaignRun, AllEnginesExecute) {
+  const auto spec = parse_campaign_spec(R"({
+    "name": "engines", "device": "m4000", "seed": 5,
+    "grid": [
+      {"engine": "pairwise", "E": 5, "b": 64, "k": [1]},
+      {"engine": "multiway", "E": 5, "b": 64, "k": [1], "ways": 2},
+      {"engine": "bitonic", "E": 5, "b": 64, "k": [1]},
+      {"engine": "radix", "E": 5, "b": 64, "k": [1], "digit_bits": 8}
+    ]
+  })");
+  CampaignOptions opts;
+  opts.threads = 2;
+  opts.use_cache = false;
+  const auto outcome = run_campaign(spec, opts);
+  EXPECT_EQ(outcome.cells, 4u);
+  for (const char* engine : {"pairwise", "multiway", "bitonic", "radix"}) {
+    EXPECT_NE(outcome.json.find(std::string("\"engine\":\"") + engine + "\""),
+              std::string::npos)
+        << engine;
+  }
+}
+
+TEST(RunSweeps, MatchesTheSerialSweepExactly) {
+  analysis::SweepSpec spec;
+  spec.device = gpusim::quadro_m4000();
+  spec.config = sort::SortConfig{5, 64, 32};
+  spec.input = workload::InputKind::worst_case;
+  spec.min_k = 1;
+  spec.max_k = 3;
+  spec.seed = 21;
+
+  const auto serial = analysis::run_sweep(spec);
+  const auto parallel = run_sweeps({spec, spec}, 4);
+  ASSERT_EQ(parallel.size(), 2u);
+  for (const auto& series : parallel) {
+    ASSERT_EQ(series.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(series[i].n, serial[i].n);
+      EXPECT_EQ(series[i].throughput, serial[i].throughput);
+      EXPECT_EQ(series[i].seconds, serial[i].seconds);
+      EXPECT_EQ(series[i].conflicts_per_elem, serial[i].conflicts_per_elem);
+      EXPECT_EQ(series[i].beta2, serial[i].beta2);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wcm::runtime

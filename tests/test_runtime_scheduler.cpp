@@ -1,0 +1,315 @@
+// Scheduler contract tests: dependency ordering, deterministic outcome
+// layout across thread counts, cancellation mid-queue, deadline timeouts
+// surfacing as wcm::simulation_error, fail-fast, and failpoint-injected
+// worker faults.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/scheduler.hpp"
+#include "runtime/thread_pool.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+
+namespace wcm::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+JobOptions deps(std::vector<JobId> ids) {
+  JobOptions opts;
+  opts.deps = std::move(ids);
+  return opts;
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.thread_count(), 4u);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+  }  // destructor drains the queue
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SingleThreadPreservesFifoOrder) {
+  std::vector<int> order;
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 16; ++i) {
+      pool.submit([&order, i] { order.push_back(i); });
+    }
+  }
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(ThreadPool, RejectsZeroWorkersAndEmptyTasks) {
+  EXPECT_THROW(ThreadPool pool(0), contract_error);
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), contract_error);
+}
+
+TEST(Scheduler, DependenciesRunBeforeDependents) {
+  JobGraph graph;
+  std::mutex mu;
+  std::vector<JobId> order;
+  const auto record = [&](JobId id) {
+    const std::lock_guard<std::mutex> lock(mu);
+    order.push_back(id);
+  };
+  const JobId a = graph.add([&](JobContext&) { record(0); });
+  const JobId b = graph.add([&](JobContext&) { record(1); }, deps({a}));
+  const JobId c = graph.add([&](JobContext&) { record(2); }, deps({a}));
+  const JobId d = graph.add([&](JobContext&) { record(3); }, deps({b, c}));
+
+  RunOptions opts;
+  opts.threads = 4;
+  const auto report = run(graph, opts);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(order.size(), 4u);
+  const auto pos = [&](JobId id) {
+    return std::find(order.begin(), order.end(), id) - order.begin();
+  };
+  EXPECT_LT(pos(a), pos(b));
+  EXPECT_LT(pos(a), pos(c));
+  EXPECT_LT(pos(b), pos(d));
+  EXPECT_LT(pos(c), pos(d));
+}
+
+TEST(Scheduler, ForwardDependenciesAreRejected) {
+  JobGraph graph;
+  const JobId a = graph.add([](JobContext&) {});
+  EXPECT_THROW(graph.add([](JobContext&) {}, deps({a + 1})), contract_error);
+  EXPECT_THROW(graph.add(nullptr), contract_error);
+}
+
+TEST(Scheduler, OutcomeLayoutIsIndependentOfThreadCount) {
+  const auto build = [] {
+    JobGraph graph;
+    for (int i = 0; i < 12; ++i) {
+      if (i == 5) {
+        graph.add([](JobContext&) {
+          throw config_error("job five always fails");
+        });
+      } else {
+        graph.add([](JobContext&) {});
+      }
+    }
+    return graph;
+  };
+  for (const u32 threads : {1u, 4u}) {
+    const auto graph = build();
+    RunOptions opts;
+    opts.threads = threads;
+    const auto report = run(graph, opts);
+    ASSERT_EQ(report.outcomes.size(), 12u) << threads << " threads";
+    for (std::size_t i = 0; i < 12; ++i) {
+      const auto expected =
+          i == 5 ? JobState::failed : JobState::done;
+      EXPECT_EQ(report.outcomes[i].state, expected)
+          << "job " << i << " with " << threads << " threads";
+    }
+    EXPECT_EQ(report.outcomes[5].code, errc::invalid_config);
+    EXPECT_THROW(report.rethrow_first_error(), config_error);
+  }
+}
+
+TEST(Scheduler, CancellationSkipsQueuedJobs) {
+  JobGraph graph;
+  CancelSource cancel;
+  std::atomic<int> ran{0};
+  graph.add([&](JobContext&) {
+    ran.fetch_add(1);
+    cancel.cancel();
+  });
+  for (int i = 0; i < 8; ++i) {
+    graph.add([&](JobContext&) { ran.fetch_add(1); });
+  }
+
+  RunOptions opts;
+  opts.threads = 1;  // deterministic: job 0 runs first, cancels the rest
+  opts.cancel = &cancel;
+  const auto report = run(graph, opts);
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_EQ(report.count(JobState::done), 1u);
+  EXPECT_EQ(report.count(JobState::skipped_cancelled), 8u);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Scheduler, RunningJobsObserveCancellation) {
+  JobGraph graph;
+  CancelSource cancel;
+  graph.add([&](JobContext& ctx) {
+    cancel.cancel();
+    EXPECT_TRUE(ctx.cancelled());
+    ctx.check_cancelled();  // throws simulation_error -> the job fails
+  });
+  RunOptions opts;
+  opts.threads = 1;
+  opts.cancel = &cancel;
+  const auto report = run(graph, opts);
+  // The job observed cancellation and threw from check_cancelled().
+  EXPECT_EQ(report.outcomes[0].state, JobState::failed);
+  EXPECT_EQ(report.outcomes[0].code, errc::simulation_invariant);
+}
+
+TEST(Scheduler, DeadlineOverrunFailsAsSimulationError) {
+  JobGraph graph;
+  JobOptions opts_slow;
+  opts_slow.timeout = 1ms;
+  graph.add([](JobContext&) { std::this_thread::sleep_for(20ms); },
+            opts_slow);
+  JobOptions opts_fast;
+  opts_fast.timeout = 10s;
+  graph.add([](JobContext&) {}, opts_fast);
+
+  RunOptions opts;
+  opts.threads = 2;
+  const auto report = run(graph, opts);
+  EXPECT_EQ(report.outcomes[0].state, JobState::failed);
+  EXPECT_EQ(report.outcomes[0].code, errc::simulation_invariant);
+  EXPECT_THROW(report.rethrow_first_error(), simulation_error);
+  EXPECT_EQ(report.outcomes[1].state, JobState::done);
+}
+
+TEST(Scheduler, MidJobDeadlineCheckThrows) {
+  JobGraph graph;
+  JobOptions jopts;
+  jopts.timeout = 1ms;
+  graph.add(
+      [](JobContext& ctx) {
+        std::this_thread::sleep_for(20ms);
+        EXPECT_TRUE(ctx.deadline_exceeded());
+        ctx.check_deadline();  // throws simulation_error
+        FAIL() << "check_deadline did not throw";
+      },
+      jopts);
+  RunOptions opts;
+  opts.threads = 1;
+  const auto report = run(graph, opts);
+  EXPECT_EQ(report.outcomes[0].state, JobState::failed);
+}
+
+TEST(Scheduler, DependentsOfFailuresAreSkipped) {
+  JobGraph graph;
+  const JobId a = graph.add([](JobContext&) {
+    throw simulation_error("dependency fails");
+  });
+  const JobId b = graph.add([](JobContext&) {}, deps({a}));
+  const JobId c = graph.add([](JobContext&) {}, deps({b}));
+  RunOptions opts;
+  opts.threads = 2;
+  const auto report = run(graph, opts);
+  EXPECT_EQ(report.outcomes[a].state, JobState::failed);
+  EXPECT_EQ(report.outcomes[b].state, JobState::skipped_dep_failed);
+  EXPECT_EQ(report.outcomes[c].state, JobState::skipped_dep_failed);
+}
+
+TEST(Scheduler, FailFastCancelsTheRemainingQueue) {
+  JobGraph graph;
+  std::atomic<int> ran{0};
+  graph.add([](JobContext&) { throw io_error("first job fails"); });
+  for (int i = 0; i < 8; ++i) {
+    graph.add([&](JobContext&) { ran.fetch_add(1); });
+  }
+  RunOptions opts;
+  opts.threads = 1;
+  opts.fail_fast = true;
+  const auto report = run(graph, opts);
+  EXPECT_EQ(ran.load(), 0);
+  EXPECT_EQ(report.count(JobState::failed), 1u);
+  EXPECT_EQ(report.count(JobState::skipped_cancelled), 8u);
+  EXPECT_THROW(report.rethrow_first_error(), io_error);
+}
+
+TEST(Scheduler, FailpointInjectsWorkerFault) {
+  failpoint::scoped_arm fp("runtime.worker.job", /*skip=*/1, /*times=*/1);
+  JobGraph graph;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 3; ++i) {
+    graph.add([&](JobContext&) { ran.fetch_add(1); });
+  }
+  RunOptions opts;
+  opts.threads = 1;
+  const auto report = run(graph, opts);
+  EXPECT_EQ(report.outcomes[0].state, JobState::done);
+  EXPECT_EQ(report.outcomes[1].state, JobState::failed);
+  EXPECT_EQ(report.outcomes[1].code, errc::simulation_invariant);
+  EXPECT_NE(report.outcomes[1].message.find("injected worker fault"),
+            std::string::npos);
+  EXPECT_EQ(report.outcomes[2].state, JobState::done);
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(Scheduler, EmptyGraphRunsToEmptyReport) {
+  const JobGraph graph;
+  RunOptions opts;
+  opts.threads = 2;
+  const auto report = run(graph, opts);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.outcomes.empty());
+  report.rethrow_first_error();  // no-op
+}
+
+TEST(ParallelMap, ReturnsResultsInIndexOrder) {
+  const auto results = parallel_map(64, 4, [](std::size_t i) {
+    return i * i;
+  });
+  ASSERT_EQ(results.size(), 64u);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(results[i], i * i);
+  }
+}
+
+TEST(ParallelMap, RethrowsTheLowestIndexFailure) {
+  try {
+    (void)parallel_map(10, 1, [](std::size_t i) -> int {
+      if (i >= 4) {
+        throw config_error("boom at " + std::to_string(i));
+      }
+      return 0;
+    });
+    FAIL() << "parallel_map did not throw";
+  } catch (const config_error& e) {
+    EXPECT_NE(std::string(e.what()).find("boom at 4"), std::string::npos);
+  }
+}
+
+TEST(RecommendedWorkers, HonorsRequestAndDeviceCeiling) {
+  const auto dev = gpusim::quadro_m4000();
+  EXPECT_EQ(recommended_workers(3, dev, 512, 0), 3u);
+  const u32 auto_sized = recommended_workers(0, dev, 512, 0);
+  EXPECT_GE(auto_sized, 1u);
+  const u32 host = std::max(1u, std::thread::hardware_concurrency());
+  EXPECT_LE(auto_sized, host);
+  // A launch that cannot fit the device at all falls back to one worker.
+  EXPECT_EQ(recommended_workers(0, dev, 512, ~std::size_t{0} / 2), 1u);
+}
+
+TEST(ThreadsFromEnv, ParsesStrictly) {
+  unsetenv("WCM_THREADS");
+  EXPECT_EQ(threads_from_env(7), 7u);
+  setenv("WCM_THREADS", "3", 1);
+  EXPECT_EQ(threads_from_env(7), 3u);
+  setenv("WCM_THREADS", "0", 1);
+  EXPECT_EQ(threads_from_env(7), 7u);  // 0 = auto
+  setenv("WCM_THREADS", "nope", 1);
+  EXPECT_THROW((void)threads_from_env(7), parse_error);
+  setenv("WCM_THREADS", "5000", 1);
+  EXPECT_THROW((void)threads_from_env(7), parse_error);
+  unsetenv("WCM_THREADS");
+}
+
+}  // namespace
+}  // namespace wcm::runtime

@@ -1,0 +1,86 @@
+// Strict JSON reader tests: accepted grammar, typed accessors, and the
+// deliberate rejections (duplicate keys, deep nesting, trailing garbage,
+// \uXXXX escapes) with line:column positions in the error text.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace wcm::json {
+namespace {
+
+TEST(Json, ParsesScalarsAndContainers) {
+  const auto doc = parse(R"({
+    "s": "text with \"escapes\" and \\ and \n",
+    "i": 42,
+    "f": -1.5e2,
+    "t": true,
+    "nul": null,
+    "arr": [1, 2, 3],
+    "obj": {"nested": []}
+  })");
+  const auto& obj = doc.as_object();
+  EXPECT_EQ(obj.at("s").as_string(), "text with \"escapes\" and \\ and \n");
+  EXPECT_EQ(obj.at("i").as_u64(), 42u);
+  EXPECT_EQ(obj.at("f").as_double(), -150.0);
+  EXPECT_TRUE(obj.at("t").as_bool());
+  EXPECT_TRUE(obj.at("nul").is_null());
+  ASSERT_EQ(obj.at("arr").as_array().size(), 3u);
+  EXPECT_EQ(obj.at("arr").as_array()[2].as_u64(), 3u);
+  EXPECT_TRUE(obj.at("obj").as_object().at("nested").as_array().empty());
+}
+
+TEST(Json, AccessorsNameTheActualKind) {
+  const auto doc = parse(R"([1])");
+  try {
+    (void)doc.as_object();
+    FAIL() << "as_object on an array did not throw";
+  } catch (const parse_error& e) {
+    EXPECT_NE(std::string(e.what()).find("array"), std::string::npos);
+  }
+}
+
+TEST(Json, U64RangeChecks) {
+  EXPECT_EQ(parse("7").as_u64(7), 7u);
+  EXPECT_THROW((void)parse("8").as_u64(7), parse_error);
+  EXPECT_THROW((void)parse("-3").as_u64(), parse_error);
+  EXPECT_THROW((void)parse("2.5").as_u64(), parse_error);
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_THROW((void)parse(""), parse_error);
+  EXPECT_THROW((void)parse("{"), parse_error);
+  EXPECT_THROW((void)parse("[1,]"), parse_error);
+  EXPECT_THROW((void)parse(R"({"a" 1})"), parse_error);
+  EXPECT_THROW((void)parse("tru"), parse_error);
+  EXPECT_THROW((void)parse("\"unterminated"), parse_error);
+  EXPECT_THROW((void)parse("{} trailing"), parse_error);
+  EXPECT_THROW((void)parse(R"({"a": 1, "a": 2})"), parse_error);
+  EXPECT_THROW((void)parse("1.e5"), parse_error);
+  EXPECT_THROW((void)parse("\"\\u0041\""), parse_error);  // \uXXXX by design
+  EXPECT_THROW((void)parse("\"bad \x01 control\""), parse_error);
+}
+
+TEST(Json, RejectsDeepNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) {
+    deep += '[';
+  }
+  EXPECT_THROW((void)parse(deep), parse_error);
+}
+
+TEST(Json, ErrorsCarryLineAndColumn) {
+  try {
+    (void)parse("{\n  \"a\": nope\n}");
+    FAIL() << "parse did not throw";
+  } catch (const parse_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace wcm::json
