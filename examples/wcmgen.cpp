@@ -10,6 +10,9 @@
 //                    [--trace-out file.wcmt]
 //   wcmgen inspect   --in file.wcmi
 //   wcmgen analyze   --in file.wcmt [--json] [--pad p] [--no-cross-check]
+//   wcmgen prove     [--engine name|all] [--w n] [--b n] [--pad p]
+//                    [--E-min n] [--E-max n] [--any-E] [--ways k]
+//                    [--digit-bits n] [--json]
 //   wcmgen visualize --E 7 [--w 16] [--strategy name]
 //   wcmgen campaign  spec.json [--threads n] [--no-cache] [--cache file]
 //                    [--out file.json] [--trace-dir dir] [--quiet]
@@ -19,7 +22,7 @@
 //
 // Exit codes (documented in docs/API.md):
 //   0 success
-//   1 lint diagnostics found (analyze subcommand only)
+//   1 findings reported (analyze and prove subcommands only)
 //   2 usage error (unknown subcommand/flag, unparseable or unknown value)
 //   3 bad input file (missing, truncated, corrupt WCMI/WCMT)
 //   4 invalid configuration (E/b/w constraint violated)
@@ -36,6 +39,7 @@
 
 #include "analysis/json_export.hpp"
 #include "analyze/lint.hpp"
+#include "analyze/symbolic/prove.hpp"
 #include "gpusim/trace.hpp"
 #include "analysis/series.hpp"
 #include "core/conflict_model.hpp"
@@ -78,6 +82,12 @@ subcommands:
   analyze    lint a recorded shared-memory trace (races, bounds, strides;
              see docs/LINT.md) -- also available as the wcm-lint binary
              --in file.wcmt [--json] [--pad n] [--no-cross-check]
+  prove      derive symbolic bank-conflict bounds for the sort engines,
+             valid for every E in the declared range, without executing
+             any trace; cross-checks Theorems 3 and 9 (docs/LINT.md)
+             [--engine blocksort|block-merge|pairwise|multiway|bitonic|
+              radix|scan|all] [--w n] [--b n] [--pad n] [--E-min n]
+             [--E-max n] [--any-E] [--ways k] [--digit-bits n] [--json]
   visualize  render one worst-case warp assignment
              --E n [--w n] [--strategy name]
   campaign   expand a JSON grid spec into cells and run them on the
@@ -86,7 +96,7 @@ subcommands:
              [--out file.json] [--trace-dir dir] [--quiet]
   help       print this message (also --help / -h)
 
-exit codes: 0 ok, 1 lint diagnostics (analyze), 2 usage, 3 bad input file,
+exit codes: 0 ok, 1 findings (analyze/prove), 2 usage, 3 bad input file,
             4 bad configuration, 5 internal error
 )";
 
@@ -399,6 +409,32 @@ int cmd_analyze(const Args& a) {
   return analyze::run_lint({in}, opts, std::cout, std::cerr);
 }
 
+int cmd_prove(const Args& a) {
+  a.require_known("prove", {"engine", "w", "b", "pad", "E-min", "E-max",
+                            "any-E", "ways", "digit-bits", "json"});
+  analyze::symbolic::ProveOptions opts;
+  opts.w = a.get_u32("w", 32);
+  opts.b = a.get_u32("b", 64);
+  opts.pad = a.get_u32("pad", 0);
+  opts.e_min = a.get_u32("E-min", 3);
+  opts.e_max = a.get_u32("E-max", 0);
+  opts.ways = a.get_u32("ways", 4);
+  opts.digit_bits = a.get_u32("digit-bits", 4);
+  opts.any_e = a.flag("any-E");
+  opts.json = a.flag("json");
+  const std::string engine = a.get("engine", "all");
+  const std::vector<std::string> engines =
+      engine == "all" ? analyze::symbolic::all_engines()
+                      : std::vector<std::string>{engine};
+  const auto report = analyze::symbolic::prove(engines, opts);
+  if (opts.json) {
+    analyze::symbolic::render_json(std::cout, report);
+  } else {
+    analyze::symbolic::render_text(std::cout, report);
+  }
+  return report.findings.empty() ? 0 : 1;
+}
+
 int cmd_campaign(const Args& a, const std::string& spec_path) {
   a.require_known("campaign", {"spec", "threads", "no-cache", "cache", "out",
                                "trace-dir", "quiet"});
@@ -497,12 +533,15 @@ int run(int argc, char** argv) {
   if (cmd == "analyze") {
     return cmd_analyze(args);
   }
+  if (cmd == "prove") {
+    return cmd_prove(args);
+  }
   if (cmd == "visualize") {
     return cmd_visualize(args);
   }
   throw parse_error("unknown subcommand '" + cmd +
                     "' (valid: generate, evaluate, sort, inspect, analyze, "
-                    "visualize, campaign, help)");
+                    "prove, visualize, campaign, help)");
 }
 
 }  // namespace

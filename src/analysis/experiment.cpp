@@ -9,6 +9,8 @@ namespace wcm::analysis {
 
 namespace {
 bool env_u32(const char* name, u32& out) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env probe; nothing
+  // in the process calls setenv.
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') {
     return false;

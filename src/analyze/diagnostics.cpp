@@ -36,6 +36,12 @@ const char* to_string(Rule r) noexcept {
       return "lane-out-of-range";
     case Rule::stride_divergence:
       return "stride-divergence";
+    case Rule::unproved_access:
+      return "unproved-access";
+    case Rule::symbolic_divergence:
+      return "symbolic-divergence";
+    case Rule::theorem_divergence:
+      return "theorem-divergence";
   }
   return "?";
 }

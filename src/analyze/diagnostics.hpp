@@ -28,6 +28,9 @@ enum class Rule : unsigned char {
   duplicate_lane,     ///< one lane issues two requests in one step
   lane_out_of_range,  ///< lane id >= the trace's warp size
   stride_divergence,  ///< predicted serialization != measured StepCost
+  unproved_access,    ///< symbolic prover could not bound a step group
+  symbolic_divergence, ///< symbolic bound vs gcd/replay model disagreement
+  theorem_divergence, ///< Theorem 3/9 instance failed its cross-check
 };
 
 [[nodiscard]] const char* to_string(Severity s) noexcept;

@@ -1,0 +1,467 @@
+#include "analyze/symbolic/domain.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+#include "analyze/stride.hpp"
+#include "util/check.hpp"
+
+namespace wcm::analyze::symbolic {
+
+namespace ir = gpusim::ir;
+
+namespace {
+
+/// Enumeration budget: the product of parameter range sizes the prover is
+/// willing to sweep per group.  Generous — the kernel descriptions have at
+/// most two nested parameters (E and an inner step).
+constexpr u64 kEnumLimit = 1u << 21;
+
+i64 floordiv(i64 a, i64 b) {
+  i64 q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) {
+    --q;
+  }
+  return q;
+}
+
+}  // namespace
+
+AbsVal abs_constant(i64 v) {
+  AbsVal a;
+  a.lo = v;
+  a.hi = v;
+  a.mod = 1;
+  a.rem = 0;
+  return a;
+}
+
+AbsVal abs_add(const AbsVal& a, const AbsVal& b) {
+  AbsVal r;
+  r.lo = a.lo + b.lo;
+  r.hi = a.hi + b.hi;
+  if (a.exact()) {
+    r.mod = b.mod;
+    r.rem = mod_floor(b.rem + a.lo, static_cast<i64>(b.mod));
+  } else if (b.exact()) {
+    r.mod = a.mod;
+    r.rem = mod_floor(a.rem + b.lo, static_cast<i64>(a.mod));
+  } else {
+    r.mod = std::gcd(a.mod, b.mod);
+    if (r.mod == 0) {
+      r.mod = 1;
+    }
+    r.rem = mod_floor(a.rem + b.rem, static_cast<i64>(r.mod));
+  }
+  return r;
+}
+
+AbsVal abs_scale(const AbsVal& a, i64 k) {
+  if (k == 0) {
+    return abs_constant(0);
+  }
+  AbsVal r;
+  r.lo = k > 0 ? a.lo * k : a.hi * k;
+  r.hi = k > 0 ? a.hi * k : a.lo * k;
+  const u64 mag = static_cast<u64>(k > 0 ? k : -k);
+  r.mod = a.mod * mag;
+  r.rem = mod_floor(a.rem * k, static_cast<i64>(r.mod));
+  return r;
+}
+
+bool proves_nonzero_mod(const AbsVal& v, u64 m) {
+  WCM_EXPECTS(m >= 1, "modulus must be positive");
+  const i64 mi = static_cast<i64>(m);
+  if (v.exact()) {
+    return mod_floor(v.lo, mi) != 0;
+  }
+  // Congruence refutation: v ≡ rem (mod g) with g = gcd(mod, m) dividing m;
+  // a nonzero residue mod g rules out every multiple of m.
+  const u64 g = std::gcd(v.mod, m);
+  if (g > 1 && mod_floor(v.rem, static_cast<i64>(g)) != 0) {
+    return true;
+  }
+  // Interval refutation: the range contains no multiple of m.
+  if (v.lo > 0 && v.hi < mi) {
+    return true;
+  }
+  if (v.hi < 0 && v.lo > -mi) {
+    return true;
+  }
+  return false;
+}
+
+bool proves_zero_mod(const AbsVal& v, u64 m) {
+  WCM_EXPECTS(m >= 1, "modulus must be positive");
+  const i64 mi = static_cast<i64>(m);
+  if (v.exact()) {
+    return mod_floor(v.lo, mi) == 0;
+  }
+  return v.mod % m == 0 && mod_floor(v.rem, mi) == 0;
+}
+
+AbsVal eval(const ir::LinForm& lf, const ir::KernelDesc& desc) {
+  AbsVal acc = abs_constant(lf.c);
+  for (const auto& [idx, coeff] : lf.terms) {
+    const ir::Symbol& s = desc.symbols[static_cast<std::size_t>(idx)];
+    AbsVal sv;
+    sv.lo = s.lo;
+    sv.hi = s.hi;
+    sv.mod = s.mod;
+    sv.rem = s.mod > 1 ? mod_floor(s.rem, static_cast<i64>(s.mod)) : 0;
+    if (s.mod <= 1) {
+      sv.mod = 1;
+      sv.rem = 0;
+    }
+    acc = abs_add(acc, abs_scale(sv, coeff));
+  }
+  return acc;
+}
+
+u64 exact_degree(u32 w, u32 pad, const std::vector<i64>& addrs) {
+  WCM_EXPECTS(w > 0, "need at least one bank");
+  std::map<i64, std::set<i64>> per_bank;  // bank -> distinct addresses
+  for (const i64 a : addrs) {
+    const i64 phys =
+        a + static_cast<i64>(pad) * floordiv(a, static_cast<i64>(w));
+    per_bank[mod_floor(phys, static_cast<i64>(w))].insert(a);
+  }
+  u64 degree = 0;
+  for (const auto& [bank, set] : per_bank) {
+    degree = std::max<u64>(degree, set.size());
+  }
+  return degree;
+}
+
+namespace {
+
+/// Per-lane symbolic addresses of a pieces pattern.
+std::vector<std::pair<u32, ir::LinForm>> lane_addresses(
+    const ir::StepGroup& group) {
+  std::vector<std::pair<u32, ir::LinForm>> lanes;
+  for (const ir::LanePiece& p : group.pattern.pieces) {
+    for (u32 lane = p.lane_lo; lane <= p.lane_hi; ++lane) {
+      ir::LinForm addr = p.base;
+      addr.add(p.stride, static_cast<i64>(lane - p.lane_lo));
+      lanes.emplace_back(lane, std::move(addr));
+    }
+  }
+  return lanes;
+}
+
+enum class PairRel : unsigned char {
+  distinct_bank,
+  same_bank,
+  same_addr,
+  unknown
+};
+
+PairRel classify_pair(const ir::LinForm& a, const ir::LinForm& b,
+                      const ir::KernelDesc& desc) {
+  const AbsVal d = eval(b - a, desc);
+  if (d.exact() && d.lo == 0) {
+    return PairRel::same_addr;
+  }
+  if (proves_nonzero_mod(d, desc.w)) {
+    return PairRel::distinct_bank;
+  }
+  // ≡ 0 (mod w): colliding for every valuation (or broadcasting when the
+  // difference can be zero — counting it as a collision is the safe side).
+  if (proves_zero_mod(d, desc.w)) {
+    return PairRel::same_bank;
+  }
+  return PairRel::unknown;
+}
+
+/// Under padding, the congruence argument stays valid iff the whole step
+/// provably lives inside one w-aligned block: split every address into a
+/// lane-invariant part H ≡ 0 (mod w) plus a residue part L, and require
+/// L in [0, w) for every lane.  Then physical differences equal logical
+/// differences and bank relations are pad-invariant.
+bool same_block_under_padding(
+    const std::vector<std::pair<u32, ir::LinForm>>& lanes,
+    const ir::KernelDesc& desc) {
+  for (const auto& [lane, addr] : lanes) {
+    ir::LinForm residue = ir::LinForm::constant(addr.c);
+    for (const auto& [idx, coeff] : addr.terms) {
+      const ir::Symbol& s = desc.symbols[static_cast<std::size_t>(idx)];
+      AbsVal sv;
+      sv.lo = s.lo;
+      sv.hi = s.hi;
+      sv.mod = s.mod <= 1 ? 1 : s.mod;
+      sv.rem = s.mod > 1 ? mod_floor(s.rem, static_cast<i64>(s.mod)) : 0;
+      if (proves_zero_mod(abs_scale(sv, coeff), desc.w)) {
+        continue;  // lands in H
+      }
+      residue.add(ir::LinForm::sym(idx, coeff));
+    }
+    const AbsVal l = eval(residue, desc);
+    if (l.lo < 0 || l.hi >= static_cast<i64>(desc.w)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct CongruenceResult {
+  bool decided = false;
+  u64 degree = 0;
+};
+
+CongruenceResult congruence_degree(
+    const std::vector<std::pair<u32, ir::LinForm>>& lanes,
+    const ir::KernelDesc& desc) {
+  const std::size_t n = lanes.size();
+  // Union-find over broadcast (same-address) lanes.
+  std::vector<std::size_t> parent(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    parent[i] = i;
+  }
+  const auto find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  std::vector<std::vector<PairRel>> rel(n, std::vector<PairRel>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const PairRel r = classify_pair(lanes[i].second, lanes[j].second, desc);
+      if (r == PairRel::unknown) {
+        return {};
+      }
+      rel[i][j] = rel[j][i] = r;
+      if (r == PairRel::same_addr) {
+        parent[find(i)] = find(j);
+      }
+    }
+  }
+  // Distinct addresses sharing a bank form cliques (bank equality is an
+  // equivalence on concrete addresses), so 1 + neighbour count is the
+  // degree.  Broadcast supernodes count once.
+  u64 degree = n > 0 ? 1 : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (find(i) != i) {
+      continue;
+    }
+    std::set<std::size_t> neighbours;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (find(j) != j || j == i) {
+        continue;
+      }
+      if (rel[i][j] == PairRel::same_bank) {
+        neighbours.insert(j);
+      }
+    }
+    degree = std::max<u64>(degree, 1 + neighbours.size());
+  }
+  return {true, degree};
+}
+
+struct EnumPlan {
+  bool feasible = false;
+  std::vector<int> order;  // parameter symbol indices, declaration order
+};
+
+EnumPlan enumeration_plan(const ir::KernelDesc& desc) {
+  EnumPlan plan;
+  u64 combos = 1;
+  for (std::size_t i = 0; i < desc.symbols.size(); ++i) {
+    const ir::Symbol& s = desc.symbols[i];
+    if (s.role == ir::SymRole::warp_shift) {
+      continue;
+    }
+    if (s.hi < s.lo) {
+      return {};
+    }
+    const u64 width = static_cast<u64>(s.hi - s.lo + 1);
+    if (combos > kEnumLimit / std::max<u64>(width, 1)) {
+      return {};
+    }
+    combos *= std::max<u64>(width, 1);
+    plan.order.push_back(static_cast<int>(i));
+  }
+  plan.feasible = true;
+  return plan;
+}
+
+i64 eval_concrete(const ir::LinForm& lf, const Valuation& valuation) {
+  i64 v = lf.c;
+  for (const auto& [idx, coeff] : lf.terms) {
+    v += coeff * valuation[static_cast<std::size_t>(idx)];
+  }
+  return v;
+}
+
+/// Recursive sweep over parameter valuations; calls visit(valuation).
+template <typename Visit>
+void for_each_valuation(const ir::KernelDesc& desc,
+                        const std::vector<int>& order, std::size_t pos,
+                        Valuation& valuation, const Visit& visit) {
+  if (pos == order.size()) {
+    visit(valuation);
+    return;
+  }
+  const auto idx = static_cast<std::size_t>(order[pos]);
+  const ir::Symbol& s = desc.symbols[idx];
+  i64 hi = s.hi;
+  if (s.upper_sym >= 0) {
+    hi = std::min<i64>(hi,
+                       valuation[static_cast<std::size_t>(s.upper_sym)] - 1);
+  }
+  for (i64 v = s.lo; v <= hi; ++v) {
+    if (s.mod > 1 &&
+        mod_floor(v, static_cast<i64>(s.mod)) !=
+            mod_floor(s.rem, static_cast<i64>(s.mod))) {
+      continue;
+    }
+    valuation[idx] = v;
+    for_each_valuation(desc, order, pos + 1, valuation, visit);
+  }
+}
+
+}  // namespace
+
+std::vector<i64> instantiate_addresses(const ir::KernelDesc& desc,
+                                       const ir::StepGroup& group,
+                                       const Valuation& valuation) {
+  WCM_EXPECTS(group.pattern.kind == ir::PatternKind::pieces,
+              "only pieces patterns instantiate to addresses");
+  WCM_EXPECTS(valuation.size() == desc.symbols.size(),
+              "valuation must cover every symbol");
+  std::vector<i64> addrs;
+  for (const ir::LanePiece& p : group.pattern.pieces) {
+    const i64 base = eval_concrete(p.base, valuation);
+    const i64 stride = eval_concrete(p.stride, valuation);
+    for (u32 lane = p.lane_lo; lane <= p.lane_hi; ++lane) {
+      addrs.push_back(base + stride * static_cast<i64>(lane - p.lane_lo));
+    }
+  }
+  return addrs;
+}
+
+u64 window_bound_at(const ir::KernelDesc& desc, const ir::StepGroup& group,
+                    const Valuation& valuation) {
+  WCM_EXPECTS(group.pattern.kind == ir::PatternKind::window,
+              "not a window pattern");
+  const i64 span = eval_concrete(group.pattern.span, valuation);
+  const i64 nranges = eval_concrete(group.pattern.nranges, valuation);
+  WCM_EXPECTS(span >= 0 && nranges >= 1, "malformed window instantiation");
+  const u64 per_range_straddle = desc.pad > 0 ? 2 : 1;
+  const u64 cap = ceil_div(static_cast<u64>(span), desc.w) +
+                  per_range_straddle * static_cast<u64>(nranges) - 1;
+  return std::min<u64>(group.pattern.active, cap);
+}
+
+StepBound bound_group(const ir::KernelDesc& desc,
+                      const ir::StepGroup& group) {
+  StepBound bound;
+  if (group.kind == ir::GroupKind::barrier ||
+      group.kind == ir::GroupKind::fill) {
+    bound.free = true;
+    bound.method = "none";
+    bound.detail = "no banked access";
+    return bound;
+  }
+
+  if (group.pattern.kind == ir::PatternKind::window) {
+    for (const auto& lf : {group.pattern.span, group.pattern.nranges}) {
+      for (const auto& [idx, coeff] : lf.terms) {
+        WCM_EXPECTS(desc.symbols[static_cast<std::size_t>(idx)].role !=
+                        ir::SymRole::warp_shift,
+                    "warp-shift symbols have no interval; not usable in "
+                    "window spans");
+      }
+    }
+    const AbsVal span = eval(group.pattern.span, desc);
+    const AbsVal nranges = eval(group.pattern.nranges, desc);
+    WCM_EXPECTS(span.lo >= 0 && nranges.lo >= 1, "malformed window pattern");
+    const u64 per_range_straddle = desc.pad > 0 ? 2 : 1;
+    const u64 cap = ceil_div(static_cast<u64>(span.hi), desc.w) +
+                    per_range_straddle * static_cast<u64>(nranges.hi) - 1;
+    bound.degree = std::min<u64>(group.pattern.active, cap);
+    bound.free = bound.degree <= 1;
+    bound.method = "window";
+    std::ostringstream os;
+    os << "ceil(span/w) + " << (desc.pad > 0 ? "2*" : "")
+       << "ranges - 1 capacity bound";
+    bound.detail = os.str();
+    return bound;
+  }
+
+  const auto lanes = lane_addresses(group);
+  WCM_EXPECTS(!lanes.empty(), "pieces pattern with no lanes");
+  WCM_EXPECTS(lanes.size() <= desc.w, "more lanes than the warp width");
+
+  // 1. Congruence: decide every lane pair abstractly.  Valid under padding
+  //    only when the step provably stays inside one w-aligned block.
+  if (desc.pad == 0 || same_block_under_padding(lanes, desc)) {
+    const CongruenceResult cr = congruence_degree(lanes, desc);
+    if (cr.decided) {
+      bound.degree = cr.degree;
+      bound.free = bound.degree <= 1;
+      // Every pair decided means the relation graph — hence the per-bank
+      // count — is the same for every valuation: the bound is attained.
+      bound.exact = true;
+      bound.method = "congruence";
+      bound.detail = desc.pad == 0
+                         ? "all lane-pair residues decided mod w"
+                         : "single w-block step: pad-invariant residues";
+      return bound;
+    }
+  }
+
+  // 2. Enumeration over the declared (finite) parameter ranges, warp-shift
+  //    symbols pinned to zero.
+  const EnumPlan plan = enumeration_plan(desc);
+  if (plan.feasible) {
+    u64 worst = 0;
+    std::string divergence;
+    Valuation valuation(desc.symbols.size(), 0);
+    for_each_valuation(
+        desc, plan.order, 0, valuation, [&](const Valuation& val) {
+          const auto addrs = instantiate_addresses(desc, group, val);
+          const u64 degree = exact_degree(desc.w, desc.pad, addrs);
+          worst = std::max(worst, degree);
+          // Cross-check the gcd closed form from stride.cpp on full-warp
+          // affine instantiations: any disagreement is a model bug.
+          if (desc.pad == 0 && group.pattern.pieces.size() == 1 &&
+              addrs.size() == desc.w && divergence.empty()) {
+            const i64 stride =
+                eval_concrete(group.pattern.pieces[0].stride, val);
+            std::vector<u32> lane_ids(desc.w);
+            for (u32 l = 0; l < desc.w; ++l) {
+              lane_ids[l] = l;
+            }
+            const u64 predicted =
+                predict_affine_serialization(desc.w, stride, lane_ids);
+            if (predicted != degree) {
+              std::ostringstream os;
+              os << "stride " << stride << ": gcd closed form predicts "
+                 << predicted << ", exact counting finds " << degree;
+              divergence = os.str();
+            }
+          }
+        });
+    bound.degree = worst;
+    bound.free = worst <= 1;
+    bound.exact = true;
+    bound.method = "enumeration";
+    bound.detail = "exhaustive over declared parameter ranges";
+    bound.divergence = divergence;
+    return bound;
+  }
+
+  // 3. Give up: trivially sound.
+  bound.degree = std::min<u64>(lanes.size(), desc.w);
+  bound.method = "trivial";
+  bound.detail = "pattern not decidable; range too large to enumerate";
+  return bound;
+}
+
+}  // namespace wcm::analyze::symbolic

@@ -1,0 +1,100 @@
+#pragma once
+// Congruence/interval product domain and the per-group bound engine of the
+// symbolic bank-conflict prover.
+//
+// An abstract value is (interval [lo, hi]) x (congruence v ≡ rem mod m);
+// linear forms over a KernelDesc's symbol table evaluate into the domain,
+// and pairwise lane address *differences* — where per-warp shift symbols
+// cancel exactly — decide bank relations the way analyze/stride.cpp's gcd
+// closed form does, generalized to symbolic strides: lanes collide on a
+// w-bank layout iff their address difference ≡ 0 (mod w), which a declared
+// congruence can refute (E odd → stride-E differences are never ≡ 0 mod w
+// unless the lane distance is) or confirm for every valuation at once.
+//
+// Three proof methods, tried in order per step group:
+//   congruence  — all lane pairs decided abstractly; bound valid for every
+//                 valuation in the declared ranges.
+//   enumeration — exhaustive instantiation over the (finite) declared
+//                 parameter ranges with warp-shift symbols pinned to zero
+//                 (sound: a uniform shift by a multiple of w rotates banks
+//                 bijectively under plain and padded layouts); exact, and
+//                 cross-checked against stride.cpp's gcd prediction.
+//   window      — closed-form capacity bound for data-dependent patterns:
+//                 a contiguous range of L words holds at most ceil(L/w)
+//                 addresses per bank (one more per range straddle when
+//                 padded).
+// A group none of them can bound reports method "trivial" with the
+// min(active, w) fallback — the prover turns that into an
+// unproved-access finding.
+
+#include <string>
+#include <vector>
+
+#include "gpusim/access_ir.hpp"
+#include "util/math.hpp"
+
+namespace wcm::analyze::symbolic {
+
+/// Interval x congruence abstract value.  Invariants: lo <= hi,
+/// mod >= 1, rem in [0, mod); lo == hi means exactly known.
+struct AbsVal {
+  i64 lo = 0;
+  i64 hi = 0;
+  u64 mod = 1;
+  i64 rem = 0;
+
+  [[nodiscard]] bool exact() const noexcept { return lo == hi; }
+};
+
+[[nodiscard]] AbsVal abs_constant(i64 v);
+[[nodiscard]] AbsVal abs_add(const AbsVal& a, const AbsVal& b);
+[[nodiscard]] AbsVal abs_scale(const AbsVal& a, i64 k);
+
+/// Can the value be proven ≢ 0 (mod m) for every valuation?
+[[nodiscard]] bool proves_nonzero_mod(const AbsVal& v, u64 m);
+/// Can the value be proven ≡ 0 (mod m) for every valuation?
+[[nodiscard]] bool proves_zero_mod(const AbsVal& v, u64 m);
+
+/// Evaluate a linear form over the declared symbol ranges/congruences.
+[[nodiscard]] AbsVal eval(const gpusim::ir::LinForm& lf,
+                          const gpusim::ir::KernelDesc& desc);
+
+/// A derived per-step conflict-degree bound for one step group.
+struct StepBound {
+  u64 degree = 0;     ///< bound on max per-bank distinct addresses per step
+  bool free = false;  ///< degree <= 1 proven for all valuations in range
+  bool exact = false; ///< attained by some valuation (congruence/enumeration)
+  std::string method; ///< "congruence" | "enumeration" | "window" |
+                      ///< "trivial" | "none" (barrier/fill)
+  std::string detail;
+  /// Non-empty when the enumeration cross-check against stride.cpp's gcd
+  /// closed form disagreed — a conflict-model bug.
+  std::string divergence;
+};
+
+/// Derive the conflict-degree bound of one step group, valid for every
+/// parameter valuation in the KernelDesc's declared ranges.
+[[nodiscard]] StepBound bound_group(const gpusim::ir::KernelDesc& desc,
+                                    const gpusim::ir::StepGroup& group);
+
+/// One concrete valuation of a KernelDesc's symbols (by symbol index).
+using Valuation = std::vector<i64>;
+
+/// Exact max per-bank distinct-address count of concrete lane addresses
+/// under a (w, pad) layout — the enumeration inner loop, exposed for the
+/// property tests.
+[[nodiscard]] u64 exact_degree(u32 w, u32 pad, const std::vector<i64>& addrs);
+
+/// Instantiate a pieces-pattern group at one valuation (warp-shift symbols
+/// honored from the valuation vector) and return the per-lane addresses.
+[[nodiscard]] std::vector<i64> instantiate_addresses(
+    const gpusim::ir::KernelDesc& desc, const gpusim::ir::StepGroup& group,
+    const Valuation& valuation);
+
+/// Instantiate a window-pattern group's closed-form bound at one concrete
+/// valuation: min(active, ceil(span/w) + nranges - 1), padding-adjusted.
+[[nodiscard]] u64 window_bound_at(const gpusim::ir::KernelDesc& desc,
+                                  const gpusim::ir::StepGroup& group,
+                                  const Valuation& valuation);
+
+}  // namespace wcm::analyze::symbolic

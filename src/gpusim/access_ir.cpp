@@ -1,0 +1,253 @@
+#include "gpusim/access_ir.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace wcm::gpusim::ir {
+
+LinForm LinForm::constant(i64 v) {
+  LinForm lf;
+  lf.c = v;
+  return lf;
+}
+
+LinForm LinForm::sym(int index, i64 coeff) {
+  LinForm lf;
+  if (coeff != 0) {
+    lf.terms.emplace_back(index, coeff);
+  }
+  return lf;
+}
+
+LinForm& LinForm::add(const LinForm& o, i64 scale) {
+  c += o.c * scale;
+  std::map<int, i64> merged;
+  for (const auto& [idx, coeff] : terms) {
+    merged[idx] += coeff;
+  }
+  for (const auto& [idx, coeff] : o.terms) {
+    merged[idx] += coeff * scale;
+  }
+  terms.clear();
+  for (const auto& [idx, coeff] : merged) {
+    if (coeff != 0) {
+      terms.emplace_back(idx, coeff);
+    }
+  }
+  return *this;
+}
+
+LinForm operator+(LinForm a, const LinForm& b) {
+  a.add(b);
+  return a;
+}
+
+LinForm operator-(LinForm a, const LinForm& b) {
+  a.add(b, -1);
+  return a;
+}
+
+LinForm scaled(LinForm a, i64 k) {
+  if (k == 0) {
+    return LinForm::constant(0);
+  }
+  a.c *= k;
+  for (auto& [idx, coeff] : a.terms) {
+    coeff *= k;
+  }
+  return a;
+}
+
+int KernelDesc::add_symbol(std::string name, SymRole role, i64 lo, i64 hi,
+                           u64 mod, i64 rem, int upper_sym) {
+  WCM_EXPECTS(find_symbol(name) < 0, "duplicate symbol: " + name);
+  WCM_EXPECTS(upper_sym < static_cast<int>(symbols.size()),
+              "upper_sym must reference an earlier symbol");
+  Symbol s;
+  s.name = std::move(name);
+  s.role = role;
+  s.lo = lo;
+  s.hi = hi;
+  s.mod = mod;
+  s.rem = rem;
+  s.upper_sym = upper_sym;
+  symbols.push_back(std::move(s));
+  return static_cast<int>(symbols.size()) - 1;
+}
+
+int KernelDesc::find_symbol(std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    if (symbols[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+namespace {
+
+void remap_linform(LinForm& lf, const std::vector<int>& map) {
+  for (auto& [idx, coeff] : lf.terms) {
+    idx = map[static_cast<std::size_t>(idx)];
+  }
+  std::sort(lf.terms.begin(), lf.terms.end());
+}
+
+}  // namespace
+
+void KernelDesc::append(const KernelDesc& other) {
+  WCM_EXPECTS(w == other.w && b == other.b && pad == other.pad,
+              "appending a kernel description with different machine shape");
+  std::vector<int> map(other.symbols.size(), -1);
+  for (std::size_t i = 0; i < other.symbols.size(); ++i) {
+    const Symbol& s = other.symbols[i];
+    const int existing = find_symbol(s.name);
+    if (existing >= 0) {
+      const Symbol& mine = symbols[static_cast<std::size_t>(existing)];
+      WCM_EXPECTS(mine.role == s.role && mine.lo == s.lo && mine.hi == s.hi &&
+                      mine.mod == s.mod && mine.rem == s.rem,
+                  "symbol '" + s.name + "' declared differently");
+      map[i] = existing;
+    } else {
+      Symbol copy = s;
+      if (copy.upper_sym >= 0) {
+        copy.upper_sym = map[static_cast<std::size_t>(copy.upper_sym)];
+        WCM_EXPECTS(copy.upper_sym >= 0, "upper_sym remap failed");
+      }
+      symbols.push_back(std::move(copy));
+      map[i] = static_cast<int>(symbols.size()) - 1;
+    }
+  }
+  for (StepGroup g : other.groups) {
+    for (LanePiece& p : g.pattern.pieces) {
+      remap_linform(p.base, map);
+      remap_linform(p.stride, map);
+    }
+    remap_linform(g.pattern.span, map);
+    remap_linform(g.pattern.nranges, map);
+    groups.push_back(std::move(g));
+  }
+}
+
+StepGroup barrier_group(std::string name) {
+  StepGroup g;
+  g.name = std::move(name);
+  g.kind = GroupKind::barrier;
+  return g;
+}
+
+StepGroup fill_group(std::string name, std::string repeat) {
+  StepGroup g;
+  g.name = std::move(name);
+  g.kind = GroupKind::fill;
+  g.repeat = std::move(repeat);
+  return g;
+}
+
+StepGroup affine_group(std::string name, GroupKind kind, u32 lanes,
+                       LinForm base, LinForm stride, std::string repeat) {
+  WCM_EXPECTS(lanes > 0, "affine group needs at least one lane");
+  StepGroup g;
+  g.name = std::move(name);
+  g.kind = kind;
+  g.repeat = std::move(repeat);
+  LanePiece piece;
+  piece.lane_lo = 0;
+  piece.lane_hi = lanes - 1;
+  piece.base = std::move(base);
+  piece.stride = std::move(stride);
+  g.pattern.kind = PatternKind::pieces;
+  g.pattern.pieces.push_back(std::move(piece));
+  return g;
+}
+
+StepGroup window_group(std::string name, GroupKind kind, u32 active,
+                       LinForm span, LinForm nranges, std::string repeat,
+                       bool atomic, bool theorem_site) {
+  StepGroup g;
+  g.name = std::move(name);
+  g.kind = kind;
+  g.atomic = atomic;
+  g.theorem_site = theorem_site;
+  g.repeat = std::move(repeat);
+  g.pattern.kind = PatternKind::window;
+  g.pattern.active = active;
+  g.pattern.span = std::move(span);
+  g.pattern.nranges = std::move(nranges);
+  return g;
+}
+
+std::string to_string(const LinForm& lf, const KernelDesc& desc) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [idx, coeff] : lf.terms) {
+    const std::string& name = desc.symbols[static_cast<std::size_t>(idx)].name;
+    if (first) {
+      if (coeff == 1) {
+        os << name;
+      } else if (coeff == -1) {
+        os << "-" << name;
+      } else {
+        os << coeff << "*" << name;
+      }
+      first = false;
+      continue;
+    }
+    const i64 mag = coeff < 0 ? -coeff : coeff;
+    os << (coeff < 0 ? " - " : " + ");
+    if (mag != 1) {
+      os << mag << "*";
+    }
+    os << name;
+  }
+  if (lf.c != 0 || first) {
+    if (first) {
+      os << lf.c;
+    } else {
+      os << (lf.c < 0 ? " - " : " + ") << (lf.c < 0 ? -lf.c : lf.c);
+    }
+  }
+  return os.str();
+}
+
+std::string to_string(const AccessPattern& p, const KernelDesc& desc) {
+  std::ostringstream os;
+  if (p.kind == PatternKind::window) {
+    os << "window(span=" << to_string(p.span, desc)
+       << ", ranges=" << to_string(p.nranges, desc) << ", active=" << p.active
+       << ")";
+    return os.str();
+  }
+  for (std::size_t i = 0; i < p.pieces.size(); ++i) {
+    const LanePiece& piece = p.pieces[i];
+    if (i > 0) {
+      os << "; ";
+    }
+    os << "lanes " << piece.lane_lo << ".." << piece.lane_hi << ": "
+       << to_string(piece.base, desc);
+    const std::string stride = to_string(piece.stride, desc);
+    if (piece.lane_hi > piece.lane_lo && stride != "0") {
+      os << " + (" << stride << ")*dlane";
+    }
+  }
+  return os.str();
+}
+
+const char* to_string(GroupKind k) noexcept {
+  switch (k) {
+    case GroupKind::read:
+      return "read";
+    case GroupKind::write:
+      return "write";
+    case GroupKind::barrier:
+      return "barrier";
+    case GroupKind::fill:
+      return "fill";
+  }
+  return "?";
+}
+
+}  // namespace wcm::gpusim::ir

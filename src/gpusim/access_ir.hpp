@@ -1,0 +1,151 @@
+#pragma once
+// Parametric access-pattern IR: the language in which each simulated
+// kernel *declares* its shared-memory addressing once, symbolically,
+// instead of only exhibiting it through recorded WCMT2 traces.
+//
+// A KernelDesc lists step *groups* — families of warp-synchronous trace
+// steps that share one addressing shape — in program order, mirroring the
+// WCMT2 event kinds (read/write steps, barriers, fills, atomic sections).
+// Addresses are linear forms over a per-kernel symbol table:
+//
+//   linform  ::= c0 + c1*sym1 + c2*sym2 + ...          (integer ci)
+//   sym      ::= parameter | warp-shift
+//
+// Parameters (E, the inner step s, ...) carry a declared inclusive range
+// and an optional congruence (E odd, say); the symbolic prover
+// (analyze/symbolic) derives bounds valid for *every* valuation in range.
+// Warp-shift symbols stand for per-warp base offsets (warp_start,
+// warp_start*E, ...) that are provably ≡ 0 (mod w) and shift every lane of
+// the step equally; shifting a whole warp step by a multiple of w rotates
+// banks uniformly under both plain and padded layouts, so conflict degree
+// is invariant and the prover may pin them to zero when enumerating.
+//
+// Two pattern shapes cover every kernel in src/sort plus the block scan:
+//
+//  * pieces — piecewise-affine, data-independent: lane ranges with
+//    addr(lane) = base + stride*(lane - lane_lo).  A full-warp affine step
+//    is one piece; the bitonic bit-interleave and the Hillis–Steele gather
+//    are a few pieces.
+//  * window — data-dependent (merge reads, search probes, histogram
+//    updates): each lane reads somewhere inside a region made of
+//    `nranges` contiguous address ranges of total length `span`.  A
+//    contiguous range of L logical words holds at most ceil(L/w) addresses
+//    per bank (plus one straddled block per range under padding), which is
+//    exactly how Theorem 3's per-step degree E arises from a w*E merge
+//    window.
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/math.hpp"
+
+namespace wcm::gpusim::ir {
+
+enum class SymRole : unsigned char {
+  parameter,   ///< enumerable range parameter (E, s, dist, ...)
+  warp_shift,  ///< per-warp base offset, ≡ 0 (mod w), uniform across lanes
+};
+
+struct Symbol {
+  std::string name;
+  SymRole role = SymRole::parameter;
+  i64 lo = 0;  ///< declared inclusive range
+  i64 hi = 0;
+  u64 mod = 1;  ///< declared congruence: value ≡ rem (mod mod); 1 = none
+  i64 rem = 0;
+  /// If >= 0: the effective upper bound is value(symbols[upper_sym]) - 1
+  /// (inner loops like s in [0, E)).  Must reference an earlier symbol.
+  int upper_sym = -1;
+};
+
+/// c + sum(coeff * symbol); terms sorted by symbol index, no zero coeffs.
+struct LinForm {
+  i64 c = 0;
+  std::vector<std::pair<int, i64>> terms;
+
+  [[nodiscard]] static LinForm constant(i64 v);
+  [[nodiscard]] static LinForm sym(int index, i64 coeff = 1);
+  [[nodiscard]] bool is_constant() const noexcept { return terms.empty(); }
+
+  LinForm& add(const LinForm& o, i64 scale = 1);
+};
+
+[[nodiscard]] LinForm operator+(LinForm a, const LinForm& b);
+[[nodiscard]] LinForm operator-(LinForm a, const LinForm& b);
+[[nodiscard]] LinForm scaled(LinForm a, i64 k);
+
+/// One affine lane range: addr(lane) = base + stride * (lane - lane_lo)
+/// for lane in [lane_lo, lane_hi].
+struct LanePiece {
+  u32 lane_lo = 0;
+  u32 lane_hi = 0;  ///< inclusive
+  LinForm base;
+  LinForm stride;
+};
+
+enum class PatternKind : unsigned char { pieces, window };
+
+struct AccessPattern {
+  PatternKind kind = PatternKind::pieces;
+  std::vector<LanePiece> pieces;  // kind == pieces
+  // kind == window:
+  u32 active = 0;   ///< max lanes that may issue in one step
+  LinForm span;     ///< total length of the address region(s)
+  LinForm nranges;  ///< contiguous ranges the region splits into
+};
+
+enum class GroupKind : unsigned char { read, write, barrier, fill };
+
+/// A family of warp steps sharing one addressing shape.
+struct StepGroup {
+  std::string name;
+  GroupKind kind = GroupKind::read;
+  bool atomic = false;
+  /// Lock-step pairwise merge read: the site Theorems 3/9 bound.
+  bool theorem_site = false;
+  AccessPattern pattern;
+  std::string repeat;  ///< documentation: how often the step recurs
+};
+
+struct KernelDesc {
+  std::string kernel;
+  u32 w = 32;
+  u32 b = 64;
+  u32 pad = 0;
+  std::vector<Symbol> symbols;
+  std::vector<StepGroup> groups;
+
+  int add_symbol(std::string name, SymRole role, i64 lo, i64 hi, u64 mod = 1,
+                 i64 rem = 0, int upper_sym = -1);
+  [[nodiscard]] int find_symbol(std::string_view name) const noexcept;
+
+  /// Append another kernel's groups, unifying symbols by name (matching
+  /// names must agree on role/range/congruence) and remapping term
+  /// indices.  Lets composite kernels (blocksort = register sort + merge
+  /// rounds) reuse sub-kernel describers.
+  void append(const KernelDesc& other);
+};
+
+// -- convenience constructors for the lifters ------------------------------
+
+[[nodiscard]] StepGroup barrier_group(std::string name);
+[[nodiscard]] StepGroup fill_group(std::string name, std::string repeat);
+/// Single full-range affine piece over lanes [0, lanes-1].
+[[nodiscard]] StepGroup affine_group(std::string name, GroupKind kind,
+                                     u32 lanes, LinForm base, LinForm stride,
+                                     std::string repeat);
+[[nodiscard]] StepGroup window_group(std::string name, GroupKind kind,
+                                     u32 active, LinForm span, LinForm nranges,
+                                     std::string repeat, bool atomic = false,
+                                     bool theorem_site = false);
+
+// -- rendering (the grammar documented in docs/LINT.md) --------------------
+
+[[nodiscard]] std::string to_string(const LinForm& lf, const KernelDesc& desc);
+[[nodiscard]] std::string to_string(const AccessPattern& p,
+                                    const KernelDesc& desc);
+[[nodiscard]] const char* to_string(GroupKind k) noexcept;
+
+}  // namespace wcm::gpusim::ir

@@ -14,7 +14,6 @@ namespace wcm::runtime {
 namespace {
 
 constexpr char kMagic[4] = {'W', 'C', 'M', 'C'};
-constexpr u64 kFnvPrime = 1099511628211ULL;
 
 /// Bump whenever the meaning of cached metrics changes (new cost model,
 /// new aggregation): every existing cache entry must miss afterwards.
@@ -38,21 +37,13 @@ T read_pod(std::istream& is, u64& h, const char* what) {
 
 }  // namespace
 
-u64 fnv1a(u64 h, const void* data, std::size_t len) noexcept {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < len; ++i) {
-    h ^= p[i];
-    h *= kFnvPrime;
-  }
-  return h;
-}
-
 u64 code_version_salt() {
-  u64 h = fnv1a(fnv_offset_basis, kResultFormat,
-                std::string(kResultFormat).size());
+  u64 h = fnv1a(fnv_offset_basis, std::string_view(kResultFormat));
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env probe; nothing
+  // in the process calls setenv.
   if (const char* env = std::getenv("WCM_CACHE_SALT");
       env != nullptr && *env != '\0') {
-    h = fnv1a(h, env, std::string(env).size());
+    h = fnv1a(h, std::string_view(env));
   }
   return h;
 }

@@ -29,16 +29,13 @@
 #include <optional>
 #include <string>
 
+#include "util/hash.hpp"
 #include "util/math.hpp"
 
 namespace wcm::runtime {
-
-/// FNV-1a over a byte string, seeded with `h` (chain calls to mix several
-/// fields).  Exposed for tests and for campaign key construction.
-[[nodiscard]] u64 fnv1a(u64 h, const void* data, std::size_t len) noexcept;
-
-/// Offset basis for a fresh FNV-1a chain.
-inline constexpr u64 fnv_offset_basis = 14695981039346656037ULL;
+// Cache keys chain wcm::fnv1a (util/hash.hpp) — the same hash the WCMI
+// checksum and the prover's report digest use; unqualified fnv1a /
+// fnv_offset_basis below resolve to it through the enclosing namespace.
 
 /// The salt folded into every cache key: a hash of the runtime's result
 /// format version (bump kResultFormat in cache.cpp whenever cached metrics

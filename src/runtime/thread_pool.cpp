@@ -70,6 +70,8 @@ u32 recommended_workers(u32 requested, const gpusim::Device& dev,
 }
 
 u32 threads_from_env(u32 fallback) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env probe; nothing
+  // in the process calls setenv.
   const char* env = std::getenv("WCM_THREADS");
   if (env == nullptr || *env == '\0') {
     return fallback;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "gpusim/shared_memory.hpp"
+#include "sort/describe.hpp"
 #include "sort/pairwise_sort.hpp"
 #include "util/check.hpp"
 
@@ -234,6 +235,75 @@ SortReport bitonic_sort(std::span<const word> input, const SortConfig& cfg,
     *output = std::move(data);
   }
   return report;
+}
+
+gpusim::ir::KernelDesc describe_bitonic(u32 w, u32 b, u32 pad) {
+  namespace ir = gpusim::ir;
+  WCM_EXPECTS(w > 0 && is_pow2(w) && b >= w && b % w == 0 && is_pow2(b),
+              "block shape must be power-of-two multiples of the warp");
+  ir::KernelDesc d;
+  d.kernel = "bitonic";
+  d.w = w;
+  d.b = b;
+  d.pad = pad;
+  // Bitonic runs at E = 2 over a tile of 2b words; every warp-uniform base
+  // offset (warp_start, comparator-block bases) is a multiple of w, so one
+  // warp-shift symbol absorbs them all.
+  const int ws = d.add_symbol("ws", ir::SymRole::warp_shift, 0, 0, w, 0);
+
+  d.groups.push_back(ir::barrier_group("block entry"));
+  d.groups.push_back(ir::affine_group(
+      "stage store", ir::GroupKind::write, w, ir::LinForm::sym(ws),
+      ir::LinForm::constant(1), "2 steps x b/w warps"));
+  d.groups.push_back(ir::barrier_group("after staging"));
+
+  // Comparator substages, largest stride first.  Thread c handles the pair
+  // (low, low + sigma) with low = (c/sigma)*2*sigma + c%sigma.  For
+  // sigma >= w a warp's lows are consecutive and the +sigma offset is a
+  // multiple of w (absorbed); below w the warp splits into w/sigma lane
+  // blocks 2*sigma apart — the classic power-of-two conflict the padded
+  // layout is there to fix.
+  for (u32 sigma = b; sigma >= 1; sigma /= 2) {
+    const std::string tag = " (stride " + std::to_string(sigma) + ")";
+    if (sigma >= w) {
+      for (const auto kind : {ir::GroupKind::read, ir::GroupKind::write}) {
+        d.groups.push_back(ir::affine_group(
+            (kind == ir::GroupKind::read ? "comparator load" + tag
+                                         : "comparator store" + tag),
+            kind, w, ir::LinForm::sym(ws), ir::LinForm::constant(1),
+            "low then high, per substage pass"));
+      }
+    } else {
+      for (const auto kind : {ir::GroupKind::read, ir::GroupKind::write}) {
+        for (const i64 off : {i64{0}, static_cast<i64>(sigma)}) {
+          ir::StepGroup g;
+          g.name = std::string(kind == ir::GroupKind::read ? "comparator load"
+                                                           : "comparator store") +
+                   (off == 0 ? " low" : " high") + tag;
+          g.kind = kind;
+          g.repeat = "per substage pass";
+          g.pattern.kind = ir::PatternKind::pieces;
+          for (u32 m = 0; m < w / sigma; ++m) {
+            ir::LanePiece piece;
+            piece.lane_lo = m * sigma;
+            piece.lane_hi = (m + 1) * sigma - 1;
+            piece.base = ir::LinForm::sym(ws) +
+                         ir::LinForm::constant(
+                             static_cast<i64>(2 * sigma * m) + off);
+            piece.stride = ir::LinForm::constant(1);
+            g.pattern.pieces.push_back(piece);
+          }
+          d.groups.push_back(g);
+        }
+      }
+    }
+    d.groups.push_back(ir::barrier_group("substage barrier" + tag));
+  }
+
+  d.groups.push_back(ir::affine_group(
+      "unstage load", ir::GroupKind::read, w, ir::LinForm::sym(ws),
+      ir::LinForm::constant(1), "2 steps x b/w warps"));
+  return d;
 }
 
 }  // namespace wcm::sort

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "sort/block_merge.hpp"
+#include "sort/describe.hpp"
 #include "sort/registers.hpp"
 #include "util/check.hpp"
 
@@ -121,6 +122,40 @@ void simulate_block_sort(gpusim::SharedMemory& shm, std::span<word> tile,
 
   WCM_ENSURES(std::is_sorted(tile.begin(), tile.end()),
               "block sort must produce a sorted tile");
+}
+
+gpusim::ir::KernelDesc describe_blocksort(u32 w, u32 b, u32 pad) {
+  namespace ir = gpusim::ir;
+  // The merge-round describer owns the shape contract-checks and declares
+  // the shared E/s/wsE symbols; append() unifies them by name.
+  ir::KernelDesc merge = describe_block_merge(w, b, pad);
+  ir::KernelDesc d;
+  d.kernel = "blocksort";
+  d.w = w;
+  d.b = b;
+  d.pad = pad;
+  const int e = d.add_symbol("E", ir::SymRole::parameter, 3,
+                             static_cast<i64>(w) - 1, 2, 1);
+  const int s = d.add_symbol("s", ir::SymRole::parameter, 0,
+                             static_cast<i64>(w) - 2, 1, 0, e);
+  const int wse = d.add_symbol("wsE", ir::SymRole::warp_shift, 0, 0, w, 0);
+
+  d.groups.push_back(ir::barrier_group("block entry"));
+  d.groups.push_back(ir::fill_group("tile load", "1 per tile"));
+  // Thread t reads/writes its E consecutive keys: lane address
+  // wsE + s + E*lane — the Dotsenko stride-E pattern the congruence
+  // domain proves conflict-free for every odd E (unpadded).
+  d.groups.push_back(ir::affine_group(
+      "register-sort load", ir::GroupKind::read, w,
+      ir::LinForm::sym(wse) + ir::LinForm::sym(s), ir::LinForm::sym(e),
+      "E steps x b/w warps"));
+  d.groups.push_back(ir::affine_group(
+      "register-sort store", ir::GroupKind::write, w,
+      ir::LinForm::sym(wse) + ir::LinForm::sym(s), ir::LinForm::sym(e),
+      "E steps x b/w warps"));
+  d.groups.push_back(ir::barrier_group("before merge rounds"));
+  d.append(merge);
+  return d;
 }
 
 }  // namespace wcm::sort

@@ -1,0 +1,56 @@
+#pragma once
+// Symbolic access-pattern lifters: each simulated kernel describes its
+// shared-memory addressing once, as a gpusim::ir::KernelDesc, instead of
+// only exhibiting it through recorded traces.  The describers live next to
+// the kernels they mirror (blocksort.cpp, block_merge.cpp, ...), so a
+// change to a kernel's addressing and to its declared pattern is one
+// review; the symbolic prover (analyze/symbolic) and the wcm_prove_ci gate
+// hold the two accountable to each other.
+//
+// Conventions shared by every describer:
+//  * w, b, pad are concrete (the machine/block shape); E is the symbolic
+//    parameter "E" with a default declared range [3, w-1], odd — callers
+//    (the prover CLI) re-range it before analysis.
+//  * "s" is the inner lock-step iteration, range [0, E) via upper_sym.
+//  * warp-shift symbols ("ws", "wsE", ...) stand for per-warp base offsets
+//    that are ≡ 0 (mod w) and uniform across the warp's lanes.
+//  * b must be a positive multiple of w (every simulated launch satisfies
+//    this; the describers contract-check it).
+
+#include "gpusim/access_ir.hpp"
+#include "util/math.hpp"
+
+namespace wcm::sort {
+
+/// Register-sort phase plus the log2(b) intra-block merge rounds.
+[[nodiscard]] gpusim::ir::KernelDesc describe_blocksort(u32 w, u32 b,
+                                                        u32 pad);
+
+/// The intra-block pairwise merge rounds alone (search probes, lock-step
+/// merge reads — the Theorem 3/9 site — and rank-order write-back).
+[[nodiscard]] gpusim::ir::KernelDesc describe_block_merge(u32 w, u32 b,
+                                                          u32 pad);
+
+/// Full pairwise engine: blocksort base case plus one global merge round
+/// over a staged tile (the rounds repeat the same access shapes).
+[[nodiscard]] gpusim::ir::KernelDesc describe_pairwise(u32 w, u32 b, u32 pad);
+
+/// K-way engine: staging, per-run quantile probes, lock-step K-way merge
+/// reads, rank-order write-back, unstaging.
+[[nodiscard]] gpusim::ir::KernelDesc describe_multiway(u32 w, u32 b, u32 pad,
+                                                       u32 ways);
+
+/// Bitonic engine (E = 2, tile = 2b): staging plus every comparator
+/// stride's low/high loads and stores.
+[[nodiscard]] gpusim::ir::KernelDesc describe_bitonic(u32 w, u32 b, u32 pad);
+
+/// Radix engine: histogram zeroing and the atomic bin-update rounds.
+[[nodiscard]] gpusim::ir::KernelDesc describe_radix(u32 w, u32 b, u32 pad,
+                                                    u32 digit_bits);
+
+/// Block-wide prefix scan: Dotsenko serial phases plus the Hillis-Steele
+/// rounds over the per-thread totals.
+[[nodiscard]] gpusim::ir::KernelDesc describe_block_scan(u32 w, u32 b,
+                                                         u32 pad);
+
+}  // namespace wcm::sort

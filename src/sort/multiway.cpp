@@ -5,6 +5,7 @@
 
 #include "gpusim/shared_memory.hpp"
 #include "sort/blocksort.hpp"
+#include "sort/describe.hpp"
 #include "sort/pairwise_sort.hpp"
 #include "util/check.hpp"
 #include "util/failpoint.hpp"
@@ -470,6 +471,52 @@ SortReport multiway_merge_sort(std::span<const word> input,
     *output = std::move(data);
   }
   return report;
+}
+
+gpusim::ir::KernelDesc describe_multiway(u32 w, u32 b, u32 pad, u32 ways) {
+  namespace ir = gpusim::ir;
+  WCM_EXPECTS(ways >= 2, "multiway merge needs at least two runs");
+  // The simulated engine block-sorts its tiles first, so the description
+  // composes the blocksort groups the same way describe_pairwise does.
+  ir::KernelDesc d = describe_blocksort(w, b, pad);
+  d.kernel = "multiway";
+  const int e = d.find_symbol("E");
+  const int s = d.find_symbol("s");
+  const int wse = d.find_symbol("wsE");
+  const int ws = d.add_symbol("ws", ir::SymRole::warp_shift, 0, 0, w, 0);
+
+  d.groups.push_back(ir::barrier_group("round entry"));
+  d.groups.push_back(ir::affine_group(
+      "stage store", ir::GroupKind::write, w,
+      ir::LinForm::sym(ws) + ir::LinForm::sym(s, static_cast<i64>(b)),
+      ir::LinForm::constant(1), "E steps x b/w warps x rounds"));
+  d.groups.push_back(ir::barrier_group("after staging"));
+  // Each thread bisects for its quantile in every one of the K staged
+  // runs in turn; one warp step probes within a single run's segment,
+  // conservatively widened to the whole tile.
+  d.groups.push_back(ir::window_group(
+      "quantile probes", ir::GroupKind::read, w,
+      ir::LinForm::sym(e, static_cast<i64>(b)), ir::LinForm::constant(1),
+      "<= ceil(log2(bE/K+1)) bisection iterations x K runs"));
+  // Lock-step K-way merge: a warp's E outputs per thread come from K
+  // cursor ranges, one per source run.
+  d.groups.push_back(ir::window_group(
+      "k-way merge reads", ir::GroupKind::read, w,
+      ir::LinForm::sym(e, static_cast<i64>(w)),
+      ir::LinForm::constant(static_cast<i64>(ways)),
+      "E lock-step iterations, K-head selection"));
+  d.groups.push_back(ir::barrier_group("pre/post write-back barrier"));
+  d.groups.back().repeat = "2 per round";
+  d.groups.push_back(ir::affine_group(
+      "merge write-back", ir::GroupKind::write, w,
+      ir::LinForm::sym(wse) + ir::LinForm::sym(s), ir::LinForm::sym(e),
+      "E steps x b/w warps x rounds"));
+  d.groups.push_back(ir::affine_group(
+      "unstage load", ir::GroupKind::read, w,
+      ir::LinForm::sym(ws) + ir::LinForm::sym(s, static_cast<i64>(b)),
+      ir::LinForm::constant(1), "E steps x b/w warps x rounds"));
+  d.groups.push_back(ir::barrier_group("round exit"));
+  return d;
 }
 
 }  // namespace wcm::sort

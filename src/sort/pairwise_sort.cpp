@@ -7,6 +7,7 @@
 #include "mergepath/partition.hpp"
 #include "sort/block_merge.hpp"
 #include "sort/blocksort.hpp"
+#include "sort/describe.hpp"
 #include "util/check.hpp"
 #include "util/failpoint.hpp"
 
@@ -294,6 +295,47 @@ SortReport pairwise_merge_sort_any(std::span<const word> input,
     *output = std::move(sorted);
   }
   return report;
+}
+
+gpusim::ir::KernelDesc describe_pairwise(u32 w, u32 b, u32 pad) {
+  namespace ir = gpusim::ir;
+  ir::KernelDesc d = describe_blocksort(w, b, pad);
+  d.kernel = "pairwise";
+  const int e = d.find_symbol("E");
+  const int s = d.find_symbol("s");
+  const int wse = d.find_symbol("wsE");
+  const int ws = d.add_symbol("ws", ir::SymRole::warp_shift, 0, 0, w, 0);
+
+  // One global merge round (every round repeats the same shapes): two
+  // sorted runs are staged into the b*E tile coalesced, merge-path
+  // searched, lock-step merged, written back in rank order, unstaged.
+  d.groups.push_back(ir::barrier_group("global round entry"));
+  d.groups.push_back(ir::fill_group("stage source runs", "1 per round"));
+  d.groups.push_back(ir::affine_group(
+      "stage store", ir::GroupKind::write, w,
+      ir::LinForm::sym(ws) + ir::LinForm::sym(s, static_cast<i64>(b)),
+      ir::LinForm::constant(1), "E steps x b/w warps x rounds"));
+  d.groups.push_back(ir::barrier_group("after staging"));
+  d.groups.push_back(ir::window_group(
+      "global search probes", ir::GroupKind::read, w,
+      ir::LinForm::sym(e, static_cast<i64>(b)), ir::LinForm::constant(1),
+      "<= ceil(log2(bE/2+1)) bisection iterations, A then B probes"));
+  d.groups.push_back(ir::window_group(
+      "global merge reads", ir::GroupKind::read, w,
+      ir::LinForm::sym(e, static_cast<i64>(w)), ir::LinForm::constant(2),
+      "E lock-step iterations x b/w warps x rounds", /*atomic=*/false,
+      /*theorem_site=*/true));
+  d.groups.push_back(ir::barrier_group("pre/post write-back barrier"));
+  d.groups.back().repeat = "2 per round";
+  d.groups.push_back(ir::affine_group(
+      "global merge write-back", ir::GroupKind::write, w,
+      ir::LinForm::sym(wse) + ir::LinForm::sym(s), ir::LinForm::sym(e),
+      "E steps x b/w warps x rounds"));
+  d.groups.push_back(ir::affine_group(
+      "unstage load", ir::GroupKind::read, w,
+      ir::LinForm::sym(ws) + ir::LinForm::sym(s, static_cast<i64>(b)),
+      ir::LinForm::constant(1), "E steps x b/w warps x rounds"));
+  return d;
 }
 
 }  // namespace wcm::sort

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "gpusim/shared_memory.hpp"
+#include "sort/describe.hpp"
 #include "sort/pairwise_sort.hpp"
 #include "util/check.hpp"
 
@@ -179,6 +180,53 @@ SortReport radix_sort(std::span<const word> input, const SortConfig& cfg,
     *output = std::move(data);
   }
   return report;
+}
+
+gpusim::ir::KernelDesc describe_radix(u32 w, u32 b, u32 pad, u32 digit_bits) {
+  namespace ir = gpusim::ir;
+  WCM_EXPECTS(digit_bits >= 1 && digit_bits <= 16, "digit width 1..16");
+  WCM_EXPECTS(w > 0 && is_pow2(w) && b >= w && b % w == 0 && is_pow2(b),
+              "block shape must be power-of-two multiples of the warp");
+  ir::KernelDesc d;
+  d.kernel = "radix";
+  d.w = w;
+  d.b = b;
+  d.pad = pad;
+  const u32 bins = u32{1} << digit_bits;
+  // The tile's b*E keys occupy [0, bE); the histogram lives at
+  // [bE, bE + bins).
+  const int e = d.add_symbol("E", ir::SymRole::parameter, 3,
+                             static_cast<i64>(w) - 1, 2, 1);
+
+  d.groups.push_back(ir::barrier_group("pass entry"));
+  d.groups.push_back(ir::fill_group("tile keys", "1 per pass"));
+  if (bins >= w) {
+    // Zeroing sweeps the histogram in w-wide chunks; the chunk base bin0
+    // steps by w, so it is itself ≡ 0 (mod w) and uniform across lanes.
+    const int bin0 = d.add_symbol("bin0", ir::SymRole::parameter, 0,
+                                  static_cast<i64>(bins) - w, w, 0);
+    d.groups.push_back(ir::affine_group(
+        "histogram zero", ir::GroupKind::write, w,
+        ir::LinForm::sym(e, static_cast<i64>(b)) + ir::LinForm::sym(bin0),
+        ir::LinForm::constant(1), "bins/w chunks x passes"));
+  } else {
+    d.groups.push_back(ir::affine_group(
+        "histogram zero", ir::GroupKind::write, bins,
+        ir::LinForm::sym(e, static_cast<i64>(b)), ir::LinForm::constant(1),
+        "1 step x passes"));
+  }
+  d.groups.push_back(ir::barrier_group("after zeroing"));
+  // Atomic bin updates: each conflict-resolution round serves lanes with
+  // pairwise-distinct bins, all inside the bins-wide histogram region.
+  d.groups.push_back(ir::window_group(
+      "histogram update load", ir::GroupKind::read, std::min(w, bins),
+      ir::LinForm::constant(static_cast<i64>(bins)), ir::LinForm::constant(1),
+      "<= w rounds x tile/w chunks x passes", /*atomic=*/true));
+  d.groups.push_back(ir::window_group(
+      "histogram update store", ir::GroupKind::write, std::min(w, bins),
+      ir::LinForm::constant(static_cast<i64>(bins)), ir::LinForm::constant(1),
+      "<= w rounds x tile/w chunks x passes", /*atomic=*/true));
+  return d;
 }
 
 }  // namespace wcm::sort

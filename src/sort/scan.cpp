@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "gpusim/shared_memory.hpp"
+#include "sort/describe.hpp"
 #include "sort/pairwise_sort.hpp"
 #include "util/check.hpp"
 
@@ -164,6 +165,102 @@ SortReport block_scan(std::span<const word> input, const SortConfig& cfg,
     *output = std::move(data);
   }
   return report;
+}
+
+gpusim::ir::KernelDesc describe_block_scan(u32 w, u32 b, u32 pad) {
+  namespace ir = gpusim::ir;
+  WCM_EXPECTS(w > 0 && is_pow2(w) && b >= w && b % w == 0 && is_pow2(b),
+              "block shape must be power-of-two multiples of the warp");
+  ir::KernelDesc d;
+  d.kernel = "scan";
+  d.w = w;
+  d.b = b;
+  d.pad = pad;
+  const int e = d.add_symbol("E", ir::SymRole::parameter, 3,
+                             static_cast<i64>(w) - 1, 2, 1);
+  const int s = d.add_symbol("s", ir::SymRole::parameter, 0,
+                             static_cast<i64>(w) - 2, 1, 0, e);
+  const int ws = d.add_symbol("ws", ir::SymRole::warp_shift, 0, 0, w, 0);
+  const int wse = d.add_symbol("wsE", ir::SymRole::warp_shift, 0, 0, w, 0);
+  const ir::LinForm tile = ir::LinForm::sym(e, static_cast<i64>(b));
+
+  d.groups.push_back(ir::barrier_group("block entry"));
+  d.groups.push_back(ir::fill_group("tile load", "1 per tile"));
+  // Phase 1: thread t serially accumulates its E consecutive elements —
+  // the Dotsenko stride-E read-modify-write pattern.
+  d.groups.push_back(ir::affine_group(
+      "phase1 serial-scan load", ir::GroupKind::read, w,
+      ir::LinForm::sym(wse) + ir::LinForm::sym(s), ir::LinForm::sym(e),
+      "E steps x b/w warps"));
+  d.groups.push_back(ir::affine_group(
+      "phase1 serial-scan store", ir::GroupKind::write, w,
+      ir::LinForm::sym(wse) + ir::LinForm::sym(s), ir::LinForm::sym(e),
+      "E steps x b/w warps"));
+  d.groups.push_back(ir::affine_group(
+      "totals publish", ir::GroupKind::write, w,
+      tile + ir::LinForm::sym(ws), ir::LinForm::constant(1), "b/w warps"));
+  d.groups.push_back(ir::barrier_group("before Hillis-Steele rounds"));
+
+  // Phase 2: Hillis-Steele over the b per-thread totals at [bE, bE + b):
+  // thread t gathers totals[t - dist] (or its own when t < dist), then
+  // scatters after a barrier.
+  for (u32 dist = 1; dist < b; dist *= 2) {
+    const std::string tag = " (dist " + std::to_string(dist) + ")";
+    if (dist < w) {
+      // First warp: lanes below dist keep their own total, the rest reach
+      // back dist slots — two stride-1 pieces of one block-aligned region.
+      ir::StepGroup g;
+      g.name = "totals gather" + tag + " (first warp)";
+      g.kind = ir::GroupKind::read;
+      g.repeat = "1 per round";
+      g.pattern.kind = ir::PatternKind::pieces;
+      ir::LanePiece keep;
+      keep.lane_lo = 0;
+      keep.lane_hi = dist - 1;
+      keep.base = tile;
+      keep.stride = ir::LinForm::constant(1);
+      g.pattern.pieces.push_back(keep);
+      ir::LanePiece reach;
+      reach.lane_lo = dist;
+      reach.lane_hi = w - 1;
+      reach.base = tile;  // addr(lane) = bE + (lane - dist)
+      reach.stride = ir::LinForm::constant(1);
+      g.pattern.pieces.push_back(reach);
+      d.groups.push_back(g);
+      if (b > w) {
+        d.groups.push_back(ir::affine_group(
+            "totals gather" + tag + " (later warps)", ir::GroupKind::read, w,
+            tile + ir::LinForm::sym(ws) +
+                ir::LinForm::constant(-static_cast<i64>(dist)),
+            ir::LinForm::constant(1), "b/w - 1 warps per round"));
+      }
+    } else {
+      // dist is a multiple of w: the -dist reach-back (or none, below
+      // dist) shifts whole warps uniformly and is absorbed by ws.
+      d.groups.push_back(ir::affine_group(
+          "totals gather" + tag, ir::GroupKind::read, w,
+          tile + ir::LinForm::sym(ws), ir::LinForm::constant(1),
+          "b/w warps per round"));
+    }
+    d.groups.push_back(ir::barrier_group("gather/scatter barrier" + tag));
+    d.groups.push_back(ir::affine_group(
+        "totals scatter" + tag, ir::GroupKind::write, w,
+        tile + ir::LinForm::sym(ws), ir::LinForm::constant(1),
+        "b/w warps per round"));
+    d.groups.push_back(ir::barrier_group("round barrier" + tag));
+  }
+
+  // Phase 3: each thread adds its exclusive offset back into its E
+  // elements — the phase-1 pattern again.
+  d.groups.push_back(ir::affine_group(
+      "phase3 offset load", ir::GroupKind::read, w,
+      ir::LinForm::sym(wse) + ir::LinForm::sym(s), ir::LinForm::sym(e),
+      "E steps x b/w warps"));
+  d.groups.push_back(ir::affine_group(
+      "phase3 offset store", ir::GroupKind::write, w,
+      ir::LinForm::sym(wse) + ir::LinForm::sym(s), ir::LinForm::sym(e),
+      "E steps x b/w warps"));
+  return d;
 }
 
 }  // namespace wcm::sort

@@ -91,6 +91,8 @@ void arm_from_entry(Registry& r, const std::string& entry,
 /// Caller holds the registry mutex.
 std::size_t apply_env_locked(Registry& r) {
   r.env_checked = true;
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env probe; nothing
+  // in the process calls setenv.
   const char* env = std::getenv("WCM_FAILPOINTS");
   const std::string value = env == nullptr ? "" : env;
   if (value == r.parsed_env) {

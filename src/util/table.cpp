@@ -95,6 +95,8 @@ void Table::write_csv(std::ostream& os) const {
 }
 
 bool maybe_export_csv(const Table& table, const std::string& name) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env probe; nothing
+  // in the process calls setenv.
   const char* dir = std::getenv("WCM_CSV_DIR");
   if (dir == nullptr || *dir == '\0') {
     return false;

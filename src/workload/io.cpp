@@ -8,6 +8,7 @@
 
 #include "util/check.hpp"
 #include "util/failpoint.hpp"
+#include "util/hash.hpp"
 
 namespace wcm::workload {
 
@@ -15,17 +16,9 @@ namespace {
 constexpr char kMagic[4] = {'W', 'C', 'M', 'I'};
 constexpr std::uint32_t kVersionV1 = 1;
 constexpr std::uint64_t kHeaderBytes = 16;  // magic + version + n
-constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
-constexpr std::uint64_t kFnvPrime = 1099511628211ull;
-
-std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t len) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < len; ++i) {
-    h ^= p[i];
-    h *= kFnvPrime;
-  }
-  return h;
-}
+// WCMI checksums chain wcm::fnv1a (util/hash.hpp); the digest-pinning test
+// in tests/test_util_hash.cpp guards the constants.
+constexpr std::uint64_t kFnvOffset = fnv_offset_basis;
 
 template <typename T>
 void write_pod(std::ostream& os, const T& v) {

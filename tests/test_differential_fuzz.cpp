@@ -15,6 +15,7 @@
 #include <sstream>
 
 #include "analyze/analyzer.hpp"
+#include "analyze/symbolic/prove.hpp"
 #include "gpusim/trace.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/thread_pool.hpp"
@@ -48,6 +49,35 @@ std::string check_clean_trace(const gpusim::Trace& trace, u32 pad,
     return os.str();
   }
   return "";
+}
+
+/// The static/dynamic cross-check of the symbolic prover: derive the
+/// engine's per-step conflict-degree bounds for the trial's exact
+/// configuration and certify that no replayed step of the recorded trace
+/// exceeds them.  Returns "" when every step is within bounds.
+std::string certify_trace_bounds(const gpusim::Trace& trace,
+                                 const char* engine,
+                                 const sort::SortConfig& cfg, u32 ways,
+                                 u32 digit_bits, std::size_t trial) {
+  analyze::symbolic::ProveOptions popts;
+  popts.w = cfg.w;
+  popts.b = cfg.b;
+  popts.pad = cfg.padding;
+  popts.e_min = cfg.E;
+  popts.e_max = cfg.E;
+  popts.ways = ways;
+  popts.digit_bits = digit_bits;
+  const auto bounds = analyze::symbolic::prove_engine(engine, popts);
+  const auto findings = analyze::symbolic::certify_trace(trace, bounds);
+  if (findings.empty()) {
+    return "";
+  }
+  std::ostringstream os;
+  os << engine << " trial " << trial << " exceeds its symbolic bound:\n";
+  for (const auto& d : findings) {
+    analyze::render_text(os, d);
+  }
+  return os.str();
 }
 
 std::vector<dmm::word> fuzz_keys(std::size_t n, Xoshiro256& rng) {
@@ -108,34 +138,57 @@ TEST(DifferentialFuzz, AllSortsAgreeWithStdSort) {
           return "pairwise disagrees with std::sort in trial " +
                  std::to_string(trial);
         }
-        if (auto msg = check_clean_trace(rec.take(), 0, "pairwise", trial);
-            !msg.empty()) {
-          return msg;
+        {
+          const auto trace = rec.take();
+          if (auto msg = check_clean_trace(trace, 0, "pairwise", trial);
+              !msg.empty()) {
+            return msg;
+          }
+          if (auto msg =
+                  certify_trace_bounds(trace, "pairwise", cfg, 4, 4, trial);
+              !msg.empty()) {
+            return msg;
+          }
         }
 
-        (void)sort::multiway_merge_sort(input, cfg, dev,
-                                        2 + static_cast<u32>(rng.below(4)),
-                                        &out);
+        const u32 ways = 2 + static_cast<u32>(rng.below(4));
+        (void)sort::multiway_merge_sort(input, cfg, dev, ways, &out);
         if (out != expected) {
           return "multiway disagrees with std::sort in trial " +
                  std::to_string(trial);
         }
-        if (auto msg = check_clean_trace(rec.take(), 0, "multiway", trial);
-            !msg.empty()) {
-          return msg;
+        {
+          const auto trace = rec.take();
+          if (auto msg = check_clean_trace(trace, 0, "multiway", trial);
+              !msg.empty()) {
+            return msg;
+          }
+          if (auto msg =
+                  certify_trace_bounds(trace, "multiway", cfg, ways, 4, trial);
+              !msg.empty()) {
+            return msg;
+          }
         }
 
         // Radix needs non-negative keys (all fuzz classes are); bitonic
         // needs a power-of-two size — run it on a truncated prefix.
-        (void)sort::radix_sort(input, cfg, dev,
-                               1 + static_cast<u32>(rng.below(8)), &out);
+        const u32 digit_bits = 1 + static_cast<u32>(rng.below(8));
+        (void)sort::radix_sort(input, cfg, dev, digit_bits, &out);
         if (out != expected) {
           return "radix disagrees with std::sort in trial " +
                  std::to_string(trial);
         }
-        if (auto msg = check_clean_trace(rec.take(), 0, "radix", trial);
-            !msg.empty()) {
-          return msg;
+        {
+          const auto trace = rec.take();
+          if (auto msg = check_clean_trace(trace, 0, "radix", trial);
+              !msg.empty()) {
+            return msg;
+          }
+          if (auto msg = certify_trace_bounds(trace, "radix", cfg, 4,
+                                              digit_bits, trial);
+              !msg.empty()) {
+            return msg;
+          }
         }
 
         std::size_t n2 = 1;
@@ -155,7 +208,13 @@ TEST(DifferentialFuzz, AllSortsAgreeWithStdSort) {
             return "bitonic disagrees with std::sort in trial " +
                    std::to_string(trial);
           }
-          if (auto msg = check_clean_trace(rec.take(), 0, "bitonic", trial);
+          const auto trace = rec.take();
+          if (auto msg = check_clean_trace(trace, 0, "bitonic", trial);
+              !msg.empty()) {
+            return msg;
+          }
+          if (auto msg =
+                  certify_trace_bounds(trace, "bitonic", bcfg, 4, 4, trial);
               !msg.empty()) {
             return msg;
           }

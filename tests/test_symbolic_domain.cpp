@@ -1,0 +1,285 @@
+// Property tests for the congruence/interval domain and the per-group
+// bound engine (analyze/symbolic/domain).  The load-bearing sweep is the
+// satellite contract: for w in {16, 32, 64} and every stride s, the
+// symbolic bound of a full-warp affine step must equal both the exact
+// per-bank address count and analyze/stride.cpp's gcd closed form — three
+// independent derivations of the same number.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "analyze/stride.hpp"
+#include "analyze/symbolic/domain.hpp"
+#include "gpusim/access_ir.hpp"
+
+namespace wcm::analyze::symbolic {
+namespace {
+
+using gpusim::ir::GroupKind;
+using gpusim::ir::KernelDesc;
+using gpusim::ir::LinForm;
+using gpusim::ir::SymRole;
+
+KernelDesc make_desc(u32 w, u32 pad) {
+  KernelDesc d;
+  d.kernel = "test";
+  d.w = w;
+  d.b = w;
+  d.pad = pad;
+  return d;
+}
+
+TEST(AbsVal, ConstantsAreExact) {
+  const AbsVal v = abs_constant(7);
+  EXPECT_TRUE(v.exact());
+  EXPECT_EQ(v.lo, 7);
+  EXPECT_EQ(v.hi, 7);
+  EXPECT_EQ(v.rem, 7 % static_cast<i64>(v.mod));
+}
+
+TEST(AbsVal, AddMeetsCongruences) {
+  // (≡1 mod 4) + (≡5 mod 6) stays ≡ 0 (mod gcd(4,6) = 2).
+  AbsVal a;
+  a.lo = 1;
+  a.hi = 9;
+  a.mod = 4;
+  a.rem = 1;
+  AbsVal b;
+  b.lo = 5;
+  b.hi = 11;
+  b.mod = 6;
+  b.rem = 5;
+  const AbsVal sum = abs_add(a, b);
+  EXPECT_EQ(sum.lo, 6);
+  EXPECT_EQ(sum.hi, 20);
+  EXPECT_EQ(sum.mod, 2u);
+  EXPECT_EQ(sum.rem, 0);
+}
+
+TEST(AbsVal, ScaleMultipliesModulus) {
+  AbsVal a;
+  a.lo = 1;
+  a.hi = 31;
+  a.mod = 2;
+  a.rem = 1;
+  const AbsVal s = abs_scale(a, 3);
+  EXPECT_EQ(s.lo, 3);
+  EXPECT_EQ(s.hi, 93);
+  EXPECT_EQ(s.mod, 6u);
+  EXPECT_EQ(s.rem, 3);
+}
+
+TEST(AbsVal, OddValuesAreNonzeroModPowerOfTwo) {
+  // The flagship congruence fact: an odd value is never ≡ 0 (mod 2^k).
+  AbsVal odd;
+  odd.lo = 3;
+  odd.hi = 1000;
+  odd.mod = 2;
+  odd.rem = 1;
+  EXPECT_TRUE(proves_nonzero_mod(odd, 32));
+  EXPECT_TRUE(proves_nonzero_mod(odd, 16));
+  EXPECT_FALSE(proves_zero_mod(odd, 32));
+}
+
+TEST(AbsVal, MultiplesOfWAreZeroModW) {
+  AbsVal v;
+  v.lo = 32;
+  v.hi = 320;
+  v.mod = 32;
+  v.rem = 0;
+  EXPECT_TRUE(proves_zero_mod(v, 32));
+  EXPECT_FALSE(proves_nonzero_mod(v, 32));
+}
+
+TEST(AbsVal, IntervalAloneCanRefuteZeroMod) {
+  // 1 <= v <= 31 excludes every multiple of 32 even without a congruence.
+  AbsVal v;
+  v.lo = 1;
+  v.hi = 31;
+  EXPECT_TRUE(proves_nonzero_mod(v, 32));
+}
+
+// The satellite sweep: symbolic bound == exact per-bank counting ==
+// gcd(w, s), the closed form test_analyze_stride pins.
+TEST(BoundGroup, FullWarpStrideMatchesGcdTableAndExactCount) {
+  for (const u32 w : {16u, 32u, 64u}) {
+    std::vector<u32> lane_ids(w);
+    std::iota(lane_ids.begin(), lane_ids.end(), 0u);
+    for (u32 s = 1; s <= 2 * w; ++s) {
+      const KernelDesc desc = make_desc(w, 0);
+      const auto group = gpusim::ir::affine_group(
+          "sweep", GroupKind::read, w, LinForm::constant(0),
+          LinForm::constant(static_cast<i64>(s)), "once");
+      const StepBound bound = bound_group(desc, group);
+      const u64 expected = std::gcd<u64, u64>(w, s);
+
+      std::vector<i64> addrs(w);
+      for (u32 lane = 0; lane < w; ++lane) {
+        addrs[lane] = static_cast<i64>(lane) * static_cast<i64>(s);
+      }
+      ASSERT_EQ(bound.degree, expected)
+          << "w=" << w << " s=" << s << " method=" << bound.method;
+      EXPECT_EQ(exact_degree(w, 0, addrs), expected) << "w=" << w << " s=" << s;
+      EXPECT_EQ(predict_affine_serialization(w, static_cast<i64>(s), lane_ids),
+                expected)
+          << "w=" << w << " s=" << s;
+      EXPECT_TRUE(bound.divergence.empty()) << bound.divergence;
+      EXPECT_EQ(bound.free, expected == 1);
+    }
+  }
+}
+
+TEST(BoundGroup, BroadcastIsFree) {
+  const KernelDesc desc = make_desc(32, 0);
+  const auto group =
+      gpusim::ir::affine_group("broadcast", GroupKind::read, 32,
+                               LinForm::constant(5), LinForm::constant(0),
+                               "once");
+  const StepBound bound = bound_group(desc, group);
+  EXPECT_TRUE(bound.free);
+  EXPECT_EQ(bound.degree, 1u);
+}
+
+// A symbolic odd stride is proven conflict-free for EVERY odd E in range
+// at once — the congruence method, no enumeration.
+TEST(BoundGroup, SymbolicOddStrideIsProvenFreeForAllValuations) {
+  for (const u32 w : {16u, 32u, 64u}) {
+    KernelDesc desc = make_desc(w, 0);
+    const int e = desc.add_symbol("E", SymRole::parameter, 3,
+                                  static_cast<i64>(w) - 1, 2, 1);
+    const auto group = gpusim::ir::affine_group(
+        "serial scan", GroupKind::read, w, LinForm::constant(0),
+        LinForm::sym(e), "per round");
+    const StepBound bound = bound_group(desc, group);
+    EXPECT_TRUE(bound.free) << "w=" << w << " method=" << bound.method;
+    EXPECT_EQ(bound.degree, 1u);
+    EXPECT_EQ(bound.method, "congruence");
+  }
+}
+
+// Warp-shift symbols shift every lane equally by a multiple of w and must
+// not disturb the proof.
+TEST(BoundGroup, WarpShiftDoesNotDisturbCongruenceProof) {
+  KernelDesc desc = make_desc(32, 0);
+  const int e = desc.add_symbol("E", SymRole::parameter, 3, 31, 2, 1);
+  const int ws = desc.add_symbol("wsE", SymRole::warp_shift, 0, 0, 32, 0);
+  const auto group = gpusim::ir::affine_group(
+      "shifted scan", GroupKind::write, 32, LinForm::sym(ws), LinForm::sym(e),
+      "per warp");
+  const StepBound bound = bound_group(desc, group);
+  EXPECT_TRUE(bound.free);
+  EXPECT_EQ(bound.degree, 1u);
+}
+
+// Stride w is the classic worst case (all lanes in one bank) and one word
+// of padding is the classic fix; enumeration must find both exactly.
+TEST(BoundGroup, PaddingRepairsStrideW) {
+  for (const u32 w : {16u, 32u}) {
+    const auto group = gpusim::ir::affine_group(
+        "column", GroupKind::read, w, LinForm::constant(0),
+        LinForm::constant(static_cast<i64>(w)), "once");
+    const StepBound plain = bound_group(make_desc(w, 0), group);
+    EXPECT_EQ(plain.degree, w);
+    EXPECT_TRUE(plain.exact);
+    const StepBound padded = bound_group(make_desc(w, 1), group);
+    EXPECT_EQ(padded.degree, 1u) << "w=" << w << " method=" << padded.method;
+    EXPECT_TRUE(padded.free);
+  }
+}
+
+TEST(BoundGroup, EnumerationSweepsSymbolRangesExactly) {
+  // E in [1, 8] with no congruence: the bound must be max over the range
+  // of gcd(32, E) = 8 (attained at E = 8), and exact.
+  KernelDesc desc = make_desc(32, 0);
+  const int e = desc.add_symbol("E", SymRole::parameter, 1, 8);
+  const auto group =
+      gpusim::ir::affine_group("range sweep", GroupKind::read, 32,
+                               LinForm::constant(0), LinForm::sym(e), "once");
+  const StepBound bound = bound_group(desc, group);
+  EXPECT_EQ(bound.degree, 8u);
+  EXPECT_TRUE(bound.exact);
+  EXPECT_EQ(bound.method, "enumeration");
+  EXPECT_TRUE(bound.divergence.empty()) << bound.divergence;
+}
+
+TEST(BoundGroup, WindowCapacityPlainAndPadded) {
+  // A 64-word contiguous window on 32 banks: at most ceil(64/32) = 2
+  // addresses per bank; one straddled block more when padded.
+  {
+    KernelDesc desc = make_desc(32, 0);
+    const auto group = gpusim::ir::window_group(
+        "merge reads", GroupKind::read, 32, LinForm::constant(64),
+        LinForm::constant(1), "per step");
+    const StepBound bound = bound_group(desc, group);
+    EXPECT_EQ(bound.degree, 2u);
+    EXPECT_EQ(bound.method, "window");
+  }
+  {
+    KernelDesc desc = make_desc(32, 1);
+    const auto group = gpusim::ir::window_group(
+        "merge reads", GroupKind::read, 32, LinForm::constant(64),
+        LinForm::constant(1), "per step");
+    const StepBound bound = bound_group(desc, group);
+    EXPECT_EQ(bound.degree, 3u);
+  }
+}
+
+TEST(BoundGroup, WindowBoundIsCappedByActiveLanes) {
+  KernelDesc desc = make_desc(32, 0);
+  const auto group = gpusim::ir::window_group(
+      "search probes", GroupKind::read, 32, LinForm::constant(4096),
+      LinForm::constant(1), "per round");
+  const StepBound bound = bound_group(desc, group);
+  EXPECT_EQ(bound.degree, 32u);  // ceil(4096/32) = 128, capped at w lanes
+}
+
+TEST(WindowBoundAt, InstantiatesTheoremSiteDegree) {
+  // The Theorem 3 site: a w*E merge window split in two ranges gives a
+  // per-step bound of E + 1; a single range gives exactly E.
+  KernelDesc desc = make_desc(32, 0);
+  const int e = desc.add_symbol("E", SymRole::parameter, 3, 31, 2, 1);
+  const auto one = gpusim::ir::window_group(
+      "merge reads", GroupKind::read, 32, LinForm::sym(e, 32),
+      LinForm::constant(1), "per step", false, true);
+  const auto two = gpusim::ir::window_group(
+      "merge reads", GroupKind::read, 32, LinForm::sym(e, 32),
+      LinForm::constant(2), "per step", false, true);
+  for (i64 ev = 3; ev <= 13; ev += 2) {
+    Valuation val(desc.symbols.size(), 0);
+    val[static_cast<std::size_t>(e)] = ev;
+    EXPECT_EQ(window_bound_at(desc, one, val), static_cast<u64>(ev));
+    EXPECT_EQ(window_bound_at(desc, two, val), static_cast<u64>(ev) + 1);
+  }
+}
+
+TEST(InstantiateAddresses, MatchesManualAffineExpansion) {
+  KernelDesc desc = make_desc(32, 0);
+  const int e = desc.add_symbol("E", SymRole::parameter, 3, 31, 2, 1);
+  const int s = desc.add_symbol("s", SymRole::parameter, 0, 30, 1, 0, e);
+  const auto group = gpusim::ir::affine_group(
+      "store", GroupKind::write, 32, LinForm::sym(s), LinForm::sym(e),
+      "per iteration");
+  Valuation val(desc.symbols.size(), 0);
+  val[static_cast<std::size_t>(e)] = 5;
+  val[static_cast<std::size_t>(s)] = 2;
+  const auto addrs = instantiate_addresses(desc, group, val);
+  ASSERT_EQ(addrs.size(), 32u);
+  for (u32 lane = 0; lane < 32; ++lane) {
+    EXPECT_EQ(addrs[lane], 2 + 5 * static_cast<i64>(lane));
+  }
+}
+
+TEST(ExactDegree, CountsDistinctAddressesPerBank) {
+  // Two lanes on the same address are a broadcast (degree 1); two lanes on
+  // distinct addresses in one bank are a conflict (degree 2).
+  EXPECT_EQ(exact_degree(32, 0, {5, 5, 5}), 1u);
+  EXPECT_EQ(exact_degree(32, 0, {5, 37, 69}), 3u);
+  EXPECT_EQ(exact_degree(32, 0, {5, 37, 6}), 2u);
+  // Padding remaps bank(64) from 0 to 2 under pad=1 (physical 66).
+  EXPECT_EQ(exact_degree(32, 1, {0, 64}), 1u);
+}
+
+}  // namespace
+}  // namespace wcm::analyze::symbolic
