@@ -17,11 +17,18 @@
 
 #include "analysis/experiment.hpp"
 #include "runtime/campaign.hpp"
+#include "telemetry/span.hpp"
+#include "telemetry/stopwatch.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace wcm;
   using analysis::SweepSpec;
+
+  // WCM_TRACE_OUT=<path> records the bench as a Chrome trace; the wall
+  // clock below shares the tracer's time source (telemetry/stopwatch.hpp).
+  telemetry::configure_from_env();
+  const telemetry::Stopwatch wall;
 
   const auto dev = gpusim::quadro_m4000();
 
@@ -58,9 +65,12 @@ int main() {
     spec.input = c.input;
     specs.push_back(spec);
   }
-  auto series = runtime::run_sweeps(specs);
-  for (std::size_t i = 0; i < curves.size(); ++i) {
-    curves[i].series = std::move(series[i]);
+  {
+    WCM_SPAN("bench.fig4.sweeps");
+    auto series = runtime::run_sweeps(specs);
+    for (std::size_t i = 0; i < curves.size(); ++i) {
+      curves[i].series = std::move(series[i]);
+    }
   }
 
   std::cout << "=== Figure 4: throughput on " << dev.name
@@ -117,5 +127,8 @@ int main() {
             << (thrust.peak_n == curves[0].series.back().n ? "ok"
                                                            : "check table")
             << '\n';
+  std::cout << "wall time: " << format_fixed(wall.elapsed_seconds(), 2)
+            << " s\n";
+  telemetry::flush_trace(&std::cerr);
   return 0;
 }

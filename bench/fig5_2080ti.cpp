@@ -20,11 +20,18 @@
 #include "runtime/scheduler.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sort/pairwise_sort.hpp"
+#include "telemetry/span.hpp"
+#include "telemetry/stopwatch.hpp"
 #include "util/table.hpp"
 #include "workload/inputs.hpp"
 
 int main() {
   using namespace wcm;
+
+  // WCM_TRACE_OUT=<path> records the bench as a Chrome trace; the wall
+  // clock below shares the tracer's time source (telemetry/stopwatch.hpp).
+  telemetry::configure_from_env();
+  const telemetry::Stopwatch wall;
 
   const auto dev = gpusim::rtx_2080ti();
   u32 min_k = 1, max_k = 8;
@@ -67,6 +74,7 @@ int main() {
   const auto points = runtime::parallel_map(
       cells.size(), workers,
       [&](std::size_t i) -> std::array<analysis::SeriesPoint, 2> {
+        WCM_SPAN("bench.fig5.cell");
         const auto& cell = cells[i];
         const auto& config = sets[cell.set].config;
         const auto kind = cell.input == 0 ? workload::InputKind::random
@@ -142,5 +150,8 @@ int main() {
             << (random_order ? "ok" : "MISMATCH") << '\n'
             << "  ...but suffers the larger slowdown on constructed inputs: "
             << (slowdown_order ? "ok" : "MISMATCH") << '\n';
+  std::cout << "wall time: " << format_fixed(wall.elapsed_seconds(), 2)
+            << " s\n";
+  telemetry::flush_trace(&std::cerr);
   return 0;
 }

@@ -12,6 +12,8 @@
 #include "mergepath/partition.hpp"
 #include "sort/cpu_reference.hpp"
 #include "sort/pairwise_sort.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
 #include "workload/inputs.hpp"
 
 namespace {
@@ -82,6 +84,85 @@ void BM_SimulatedSort(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_SimulatedSort)->Arg(1)->Arg(3);
+
+// Telemetry overhead pins (ISSUE acceptance: disabled telemetry must cost
+// <2% on the simulator microbenches).  BM_SimulatedSort above runs with
+// every instrumented site compiled in but telemetry off — compare it
+// against the pre-telemetry baseline for the <2% budget — and
+// BM_SimulatedSortTelemetryOn quantifies the opt-in cost of metrics +
+// tracing on the same workload.
+
+void BM_TelemetrySpanDisabled(benchmark::State& state) {
+  // The off-path of WCM_SPAN: one relaxed atomic load, no buffer touch.
+  telemetry::set_tracing(false);
+  for (auto _ : state) {
+    WCM_SPAN("bm.span.off");
+  }
+}
+BENCHMARK(BM_TelemetrySpanDisabled);
+
+void BM_TelemetrySpanEnabled(benchmark::State& state) {
+  telemetry::set_tracing(true);
+  std::size_t since_drain = 0;
+  for (auto _ : state) {
+    {
+      WCM_SPAN("bm.span.on");
+    }
+    if (++since_drain == 65536) {  // bound the buffer, off the clock
+      since_drain = 0;
+      state.PauseTiming();
+      telemetry::reset_trace();
+      state.ResumeTiming();
+    }
+  }
+  telemetry::set_tracing(false);
+  telemetry::reset_trace();
+}
+BENCHMARK(BM_TelemetrySpanEnabled);
+
+void BM_TelemetryCounterAdd(benchmark::State& state) {
+  // Hot path of an instrumented site that caches its handle.
+  telemetry::set_enabled(true);
+  auto& counter = telemetry::registry().counter("bm.counter");
+  for (auto _ : state) {
+    counter.add(1);
+  }
+  telemetry::set_enabled(false);
+  telemetry::registry().reset();
+}
+BENCHMARK(BM_TelemetryCounterAdd);
+
+void BM_TelemetryRegistryLookup(benchmark::State& state) {
+  // Hot path of a site that re-looks-up by (name, labels) every time, the
+  // pattern record_round_telemetry uses.
+  telemetry::set_enabled(true);
+  const telemetry::Labels labels = {{"engine", "pairwise"}, {"round", "r1"}};
+  for (auto _ : state) {
+    telemetry::registry().counter("bm.lookup", labels).add(1);
+  }
+  telemetry::set_enabled(false);
+  telemetry::registry().reset();
+}
+BENCHMARK(BM_TelemetryRegistryLookup);
+
+void BM_SimulatedSortTelemetryOn(benchmark::State& state) {
+  telemetry::set_enabled(true);
+  telemetry::set_tracing(true);
+  const sort::SortConfig cfg{5, 64, 32};
+  const std::size_t n = cfg.tile() << 1;
+  const auto input = workload::random_permutation(n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sort::pairwise_merge_sort(input, cfg, gpusim::quadro_m4000()));
+  }
+  telemetry::set_tracing(false);
+  telemetry::set_enabled(false);
+  telemetry::reset_trace();
+  telemetry::registry().reset();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimulatedSortTelemetryOn);
 
 void BM_CpuReferenceSort(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));

@@ -16,6 +16,9 @@
 //   wcmgen visualize --E 7 [--w 16] [--strategy name]
 //   wcmgen campaign  spec.json [--threads n] [--no-cache] [--cache file]
 //                    [--out file.json] [--trace-dir dir] [--quiet]
+//   wcmgen profile   [--telemetry trace.json] [--metrics metrics.json]
+//                    (<any subcommand + its flags> |
+//                     --engine name --adversarial small-E|large-E [--k n])
 //
 // Every subcommand prints to stdout; `generate --out` additionally writes
 // the WCMI binary (plus .csv with --csv).
@@ -46,6 +49,8 @@
 #include "core/generator.hpp"
 #include "runtime/campaign.hpp"
 #include "sort/bitonic.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
 #include "sort/multiway.hpp"
 #include "sort/pairwise_sort.hpp"
 #include "sort/radix.hpp"
@@ -94,6 +99,14 @@ subcommands:
              parallel runtime with result caching (docs/RUNTIME.md)
              spec.json [--threads n] [--no-cache] [--cache file.wcmc]
              [--out file.json] [--trace-dir dir] [--quiet]
+  profile    run any invocation under telemetry: span tracing to a
+             Chrome/Perfetto trace plus a metrics summary table
+             (docs/TELEMETRY.md); exit code is the wrapped command's
+             profile [--telemetry trace.json] [--metrics metrics.json]
+               <subcommand + its flags>            wrap an invocation, or
+               --engine pairwise|multiway|bitonic|radix
+               --adversarial small-E|large-E [--k n] [--seed n]
+               [--device name] [--json]            canned adversarial sort
   help       print this message (also --help / -h)
 
 exit codes: 0 ok, 1 findings (analyze/prove), 2 usage, 3 bad input file,
@@ -487,16 +500,18 @@ int cmd_visualize(const Args& a) {
   return 0;
 }
 
-int run(int argc, char** argv) {
-  if (argc < 2) {
-    std::cerr << kUsage;
-    return 2;
-  }
-  const std::string cmd = argv[1];
-  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
-    std::cout << kUsage;
-    return 0;
-  }
+/// True iff `cmd` names a wrappable subcommand (everything but help and
+/// profile itself).
+bool is_subcommand(const std::string& cmd) {
+  return cmd == "generate" || cmd == "evaluate" || cmd == "sort" ||
+         cmd == "inspect" || cmd == "analyze" || cmd == "prove" ||
+         cmd == "visualize" || cmd == "campaign";
+}
+
+/// Route one subcommand invocation; `argv[1]` must be `cmd`.  Shared by
+/// run() and the profile wrapper, so `wcmgen profile <anything>` executes
+/// the exact same code path as the bare invocation.
+int dispatch(const std::string& cmd, int argc, char** argv) {
   if (cmd == "campaign") {
     // The spec file is the one positional operand in the CLI; everything
     // else stays flag-style.
@@ -541,33 +556,156 @@ int run(int argc, char** argv) {
   }
   throw parse_error("unknown subcommand '" + cmd +
                     "' (valid: generate, evaluate, sort, inspect, analyze, "
-                    "prove, visualize, campaign, help)");
+                    "prove, visualize, campaign, profile, help)");
+}
+
+int cmd_profile(int argc, char** argv) {
+  // Peel off the profile-only flags; everything else is either a wrapped
+  // subcommand invocation or the canned-adversarial flag set.
+  std::string trace_out;
+  std::string metrics_out;
+  std::vector<std::string> rest;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--telemetry" || arg == "--metrics") {
+      if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0) {
+        throw parse_error("flag " + arg + " requires a file path");
+      }
+      (arg == "--telemetry" ? trace_out : metrics_out) = argv[++i];
+    } else {
+      rest.push_back(arg);
+    }
+  }
+
+  telemetry::set_enabled(true);
+  telemetry::set_tracing(true);
+  if (!trace_out.empty()) {
+    telemetry::set_trace_path(trace_out);
+  }
+
+  int code = 0;
+  if (!rest.empty() && is_subcommand(rest[0])) {
+    // Wrapped mode: re-dispatch the inner invocation untouched.
+    std::vector<char*> inner;
+    inner.push_back(argv[0]);
+    for (const std::string& r : rest) {
+      inner.push_back(const_cast<char*>(r.c_str()));
+    }
+    code = dispatch(rest[0], static_cast<int>(inner.size()), inner.data());
+  } else {
+    // Canned mode: a worst-case sort in the requested E regime.
+    std::vector<char*> flat;
+    flat.push_back(argv[0]);
+    flat.push_back(const_cast<char*>("profile"));
+    for (const std::string& r : rest) {
+      flat.push_back(const_cast<char*>(r.c_str()));
+    }
+    const Args a = parse(static_cast<int>(flat.size()), flat.data(), 2);
+    a.require_known("profile",
+                    {"engine", "adversarial", "k", "seed", "device", "json"});
+    const std::string engine = a.get("engine", "");
+    if (engine.empty()) {
+      throw parse_error(
+          "profile needs a subcommand to wrap, or --engine with "
+          "--adversarial small-E|large-E (see wcmgen --help)");
+    }
+    parse_choice<int>("--engine", engine,
+                      {{"pairwise", 0}, {"multiway", 1}, {"bitonic", 2},
+                       {"radix", 3}});
+    const bool small_e = parse_choice<bool>(
+        "--adversarial", a.get("adversarial", "large-E"),
+        {{"small-E", true}, {"large-E", false}});
+
+    Args sorta;
+    // small-E (E < w/2, Theorem 3) vs large-E (w/2 < E < w, Theorem 9 —
+    // the regime the paper's headline slowdown comes from).
+    sorta.named["--E"] = small_e ? "5" : "31";
+    sorta.named["--b"] = "64";
+    sorta.named["--w"] = "32";
+    sorta.named["--k"] = std::to_string(a.get_u64("k", 4, 40));
+    sorta.named["--seed"] = std::to_string(a.get_u64("seed", 1));
+    sorta.named["--input"] = "worst-case";
+    sorta.named["--algorithm"] = engine;
+    sorta.named["--device"] = a.get("device", "m4000");
+    if (a.flag("json")) {
+      sorta.named["--json"] = "";
+    }
+    code = cmd_sort(sorta);
+  }
+
+  // Observability must never change the observed run's outcome: metric
+  // and trace export failures warn and leave `code` alone.
+  try {
+    const telemetry::Snapshot snap = telemetry::registry().snapshot();
+    std::cout << "--- telemetry metrics ---\n";
+    snap.write_text(std::cout);
+    if (!metrics_out.empty()) {
+      std::ofstream os(metrics_out);
+      if (!os) {
+        throw io_error("cannot open metrics output file", metrics_out);
+      }
+      snap.write_json(os);
+      if (!os) {
+        throw io_error("metrics write failed", metrics_out);
+      }
+      std::cerr << "wrote metrics to " << metrics_out << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "warning: telemetry: metrics export failed: " << e.what()
+              << " (run continues)\n";
+  }
+  telemetry::flush_trace(&std::cerr);
+  return code;
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << kUsage;
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    std::cout << kUsage;
+    return 0;
+  }
+  if (cmd == "profile") {
+    return cmd_profile(argc, argv);
+  }
+  return dispatch(cmd, argc, argv);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // WCM_TRACE_OUT / WCM_TELEMETRY work for every subcommand, not just
+  // profile (docs/TELEMETRY.md).
+  telemetry::configure_from_env();
+  int code = 0;
   try {
-    return run(argc, argv);
+    code = run(argc, argv);
   } catch (const parse_error& e) {
     std::cerr << "usage error: " << e.what() << "\n"
               << "(run 'wcmgen --help' for the full synopsis)\n";
-    return 2;
+    code = 2;
   } catch (const io_error& e) {
     std::cerr << "input error: " << e.what() << "\n";
-    return 3;
+    code = 3;
   } catch (const config_error& e) {
     std::cerr << "config error: " << e.what() << "\n";
-    return 4;
+    code = 4;
   } catch (const wcm::error& e) {
     std::cerr << "internal error [" << to_string(e.code())
               << "]: " << e.what() << "\n";
-    return 5;
+    code = 5;
   } catch (const std::exception& e) {
     std::cerr << "internal error: " << e.what() << "\n";
-    return 5;
+    code = 5;
   } catch (...) {
     std::cerr << "internal error: unknown exception\n";
-    return 5;
+    code = 5;
   }
+  // A failed trace export never changes the exit code (it only warns):
+  // observability must not fail the run it observed.
+  wcm::telemetry::flush_trace(&std::cerr);
+  return code;
 }

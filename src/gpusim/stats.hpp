@@ -65,4 +65,14 @@ struct RoundStats {
 /// metric NVIDIA's profiler reports) divided by elements processed.
 [[nodiscard]] double conflicts_per_element(const KernelStats& s) noexcept;
 
+/// Feed one finished round's counters into the telemetry registry as
+/// `sim.round.*{E=..,engine=..,pad=..,round=..}` counters plus the
+/// per-engine `sim.replays_per_round` histogram (docs/TELEMETRY.md).
+/// Because every round is exported with its exact KernelStats, summing
+/// the `sim.round.replays` rows of a snapshot reproduces
+/// `SortReport::totals.shared.replays` bit-for-bit — the cross-check the
+/// telemetry tests enforce.  No-op unless telemetry::enabled().
+void record_round_telemetry(const char* engine, const std::string& round,
+                            u32 e, u32 pad, const KernelStats& stats);
+
 }  // namespace wcm::gpusim

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
 #include "util/check.hpp"
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
@@ -57,6 +59,14 @@ u64 ResultCache::key_of(const std::string& canonical_config) const noexcept {
 
 std::optional<CellMetrics> ResultCache::lookup(u64 key) const {
   const auto it = entries_.find(key);
+  if (telemetry::enabled()) {
+    // Register both counters up front so a snapshot always carries a hit
+    // AND a miss row (even at zero) — CI greps rely on both lines.
+    telemetry::Registry& reg = telemetry::registry();
+    telemetry::Counter& hits = reg.counter("runtime.cache.hit");
+    telemetry::Counter& misses = reg.counter("runtime.cache.miss");
+    (it == entries_.end() ? misses : hits).add(1);
+  }
   if (it == entries_.end()) {
     return std::nullopt;
   }
@@ -68,6 +78,7 @@ void ResultCache::insert(u64 key, const CellMetrics& metrics) {
 }
 
 ResultCache ResultCache::load(const std::filesystem::path& path, u64 salt) {
+  WCM_SPAN("cache.load");
   ResultCache cache(salt);
   std::error_code ec;
   if (!std::filesystem::exists(path, ec) || ec) {
@@ -76,6 +87,16 @@ ResultCache ResultCache::load(const std::filesystem::path& path, u64 salt) {
   std::ifstream is(path, std::ios::binary);
   WCM_FAILPOINT("runtime.cache.load", io_error,
                 "injected cache read failure");
+  // Any WCM_CHECK_IO below this point is a corrupt-file rejection; count
+  // them so operators can spot a rotting cache without scraping logs.
+  struct CorruptCounter {
+    bool disarm = false;
+    ~CorruptCounter() {
+      if (!disarm && telemetry::enabled()) {
+        telemetry::registry().counter("runtime.cache.corrupt").add(1);
+      }
+    }
+  } corrupt_counter;
   WCM_CHECK_IO(is.is_open(), "cannot open cache file: " + path.string());
 
   u64 h = fnv_offset_basis;
@@ -119,14 +140,24 @@ ResultCache ResultCache::load(const std::filesystem::path& path, u64 salt) {
   WCM_CHECK_IO(is.eof(), "trailing bytes after WCMC checksum: " +
                              path.string());
 
+  corrupt_counter.disarm = true;
   if (file_salt != salt) {
+    if (telemetry::enabled()) {
+      telemetry::registry().counter("runtime.cache.salt_mismatch").add(1);
+    }
     return cache;  // salt changed -> every entry is stale; start cold
   }
   cache.entries_ = std::move(entries);
+  if (telemetry::enabled()) {
+    telemetry::registry()
+        .gauge("runtime.cache.store.entries")
+        .set(static_cast<double>(cache.entries_.size()));
+  }
   return cache;
 }
 
 void ResultCache::store(const std::filesystem::path& path) const {
+  WCM_SPAN("cache.store");
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
   WCM_FAILPOINT("runtime.cache.store", io_error,
                 "injected cache write failure");

@@ -12,6 +12,8 @@
 #include "gpusim/trace.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/thread_pool.hpp"
+#include "telemetry/span.hpp"
+#include "telemetry/stopwatch.hpp"
 #include "sort/bitonic.hpp"
 #include "sort/multiway.hpp"
 #include "sort/radix.hpp"
@@ -443,6 +445,7 @@ CampaignSpec load_campaign_spec(const std::filesystem::path& path) {
 }
 
 std::vector<CampaignCell> expand(const CampaignSpec& spec) {
+  WCM_SPAN("campaign.expand");
   std::vector<CampaignCell> cells;
   for (const auto& entry : spec.grid) {
     for (const u32 e : entry.E) {
@@ -510,7 +513,8 @@ std::vector<CampaignCell> expand(const CampaignSpec& spec) {
 
 CampaignOutcome run_campaign(const CampaignSpec& spec,
                              const CampaignOptions& options) {
-  const auto wall_start = std::chrono::steady_clock::now();
+  WCM_SPAN("campaign.run");
+  const telemetry::Stopwatch wall;
   const auto cells = expand(spec);
 
   CampaignOutcome outcome;
@@ -590,6 +594,7 @@ CampaignOutcome run_campaign(const CampaignSpec& spec,
   for (const std::size_t idx : misses) {
     graph.add(
         [&, idx](JobContext&) {
+          WCM_SPAN("campaign.cell");
           gpusim::TraceRecorder recorder;
           gpusim::TraceRecorder* sink =
               trace_dir.empty() ? nullptr : &recorder;
@@ -636,18 +641,19 @@ CampaignOutcome run_campaign(const CampaignSpec& spec,
   }
   report.rethrow_first_error();
 
-  std::ostringstream json;
-  write_aggregate_json(json, spec, runs);
-  outcome.json = json.str();
-  outcome.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    wall_start)
-          .count();
+  {
+    WCM_SPAN("campaign.aggregate");
+    std::ostringstream json;
+    write_aggregate_json(json, spec, runs);
+    outcome.json = json.str();
+  }
+  outcome.wall_seconds = wall.elapsed_seconds();
   return outcome;
 }
 
 std::vector<std::vector<analysis::SeriesPoint>> run_sweeps(
     const std::vector<analysis::SweepSpec>& specs, u32 threads) {
+  WCM_SPAN("campaign.sweeps");
   if (specs.empty()) {
     return {};
   }

@@ -4,6 +4,8 @@
 #include <mutex>
 
 #include "runtime/thread_pool.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
 #include "util/check.hpp"
 #include "util/failpoint.hpp"
 
@@ -109,6 +111,11 @@ struct RunState {
       fail_fast_tripped = true;
     }
     ++terminal;
+    if (telemetry::enabled()) {
+      telemetry::registry()
+          .gauge("runtime.scheduler.queue.depth")
+          .set(static_cast<double>(graph.jobs_.size() - terminal));
+    }
     if (terminal == graph.jobs_.size()) {
       done_cv.notify_all();
     }
@@ -120,6 +127,7 @@ struct RunState {
   }
 
   void execute(JobId id) {
+    WCM_SPAN("scheduler.job");
     const auto& job = graph.jobs_[id];
     JobOutcome outcome;
 
@@ -187,12 +195,32 @@ struct RunState {
               .count();
     }
 
+    if (telemetry::enabled()) {
+      telemetry::Registry& reg = telemetry::registry();
+      switch (outcome.state) {
+        case JobState::done:
+          reg.counter("runtime.scheduler.jobs.completed").add(1);
+          reg.histogram("runtime.scheduler.job.seconds", {},
+                        {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0})
+              .observe(outcome.seconds);
+          break;
+        case JobState::failed:
+          reg.counter("runtime.scheduler.jobs.failed").add(1);
+          break;
+        case JobState::skipped_cancelled:
+        case JobState::skipped_dep_failed:
+          reg.counter("runtime.scheduler.jobs.skipped").add(1);
+          break;
+      }
+    }
+
     const std::lock_guard<std::mutex> lock(mu);
     finish_locked(id, std::move(outcome));
   }
 };
 
 RunReport run(const JobGraph& graph, const RunOptions& opts) {
+  WCM_SPAN("scheduler.run");
   WCM_EXPECTS(opts.threads >= 1, "run() needs at least one worker");
   RunReport report;
   const std::size_t n = graph.size();

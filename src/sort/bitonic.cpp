@@ -5,6 +5,7 @@
 #include "gpusim/shared_memory.hpp"
 #include "sort/describe.hpp"
 #include "sort/pairwise_sort.hpp"
+#include "telemetry/span.hpp"
 #include "util/check.hpp"
 
 namespace wcm::sort {
@@ -181,8 +182,11 @@ SortReport bitonic_sort(std::span<const word> input, const SortConfig& cfg,
         stats.elements_processed += n;
       };
 
+  WCM_SPAN("bitonic.sort");
+
   // Fused opening pass: every stage with size <= tile runs in shared.
   {
+    WCM_SPAN("bitonic.opening_pass");
     gpusim::KernelStats stats;
     std::vector<std::pair<std::size_t, std::size_t>> substages;
     for (std::size_t size = 2; size <= tile; size <<= 1) {
@@ -204,6 +208,8 @@ SortReport bitonic_sort(std::span<const word> input, const SortConfig& cfg,
     round.kernel = stats;
     round.modeled_seconds =
         gpusim::estimate_kernel_time(dev, launch, stats, cal).seconds;
+    gpusim::record_round_telemetry("bitonic", round.name, cfg.E, cfg.padding,
+                                   stats);
     report.totals += stats;
     report.total_time += gpusim::estimate_kernel_time(dev, launch, stats, cal);
     report.rounds.push_back(std::move(round));
@@ -212,6 +218,7 @@ SortReport bitonic_sort(std::span<const word> input, const SortConfig& cfg,
   // Remaining stages: global passes down to the tile boundary, then one
   // fused shared tail per stage.
   for (std::size_t size = 2 * tile; size <= n; size <<= 1) {
+    WCM_SPAN("bitonic.stage");
     gpusim::KernelStats stats;
     for (std::size_t stride = size / 2; stride >= tile; stride >>= 1) {
       global_pass(data, size, stride, cfg.w, stats);
@@ -224,6 +231,8 @@ SortReport bitonic_sort(std::span<const word> input, const SortConfig& cfg,
     round.kernel = stats;
     round.modeled_seconds =
         gpusim::estimate_kernel_time(dev, launch, stats, cal).seconds;
+    gpusim::record_round_telemetry("bitonic", round.name, cfg.E, cfg.padding,
+                                   stats);
     report.totals += stats;
     report.total_time += gpusim::estimate_kernel_time(dev, launch, stats, cal);
     report.rounds.push_back(std::move(round));

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sort/describe.hpp"
+#include "telemetry/span.hpp"
 #include "util/check.hpp"
 
 namespace wcm::sort {
@@ -29,6 +30,7 @@ dmm::MachineStats delta(const dmm::MachineStats& after,
 std::vector<mergepath::CoRank> simulate_block_search(
     gpusim::SharedMemory& shm, std::span<const ThreadSearchCtx> ctxs,
     gpusim::KernelStats& stats) {
+  WCM_SPAN("block_merge.search");
   const u32 w = shm.warp_size();
   const std::size_t t = ctxs.size();
   std::vector<mergepath::CoRank> result(t);
@@ -118,6 +120,7 @@ std::vector<word> simulate_block_merge(gpusim::SharedMemory& shm,
                                        u32 E, bool write_back,
                                        gpusim::KernelStats& stats,
                                        bool realistic_refills) {
+  WCM_SPAN("block_merge.merge");
   for (const ThreadMergeCtx& c : ctxs) {
     WCM_EXPECTS(c.elements() == E, "every thread must merge exactly E keys");
     WCM_EXPECTS(c.a_end <= shm.words() && c.b_end <= shm.words(),

@@ -6,6 +6,7 @@
 #include "sort/block_merge.hpp"
 #include "sort/describe.hpp"
 #include "sort/registers.hpp"
+#include "telemetry/span.hpp"
 #include "util/check.hpp"
 
 namespace wcm::sort {
@@ -16,6 +17,7 @@ void simulate_block_sort(gpusim::SharedMemory& shm, std::span<word> tile,
   WCM_EXPECTS(tile.size() == cfg.tile(), "tile size mismatch");
   WCM_EXPECTS(shm.words() >= cfg.tile(), "shared memory too small");
   WCM_EXPECTS(shm.warp_size() == cfg.w, "warp size mismatch");
+  WCM_SPAN("blocksort.tile");
 
   const u32 E = cfg.E;
   const u32 b = cfg.b;

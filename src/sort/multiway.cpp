@@ -7,6 +7,7 @@
 #include "sort/blocksort.hpp"
 #include "sort/describe.hpp"
 #include "sort/pairwise_sort.hpp"
+#include "telemetry/span.hpp"
 #include "util/check.hpp"
 #include "util/failpoint.hpp"
 
@@ -398,8 +399,11 @@ SortReport multiway_merge_sort(std::span<const word> input,
   gpusim::SharedMemory shm(cfg.w, tile, cfg.padding);
   shm.attach_trace(cfg.trace_sink);
 
+  WCM_SPAN("multiway.sort");
+
   // Base case: identical to the pairwise sort.
   {
+    WCM_SPAN("multiway.block_sort");
     gpusim::KernelStats stats;
     for (std::size_t base = 0; base < n; base += tile) {
       shm.reset_stats();
@@ -414,6 +418,8 @@ SortReport multiway_merge_sort(std::span<const word> input,
     round.kernel = stats;
     round.modeled_seconds =
         gpusim::estimate_kernel_time(dev, launch, stats, cal).seconds;
+    gpusim::record_round_telemetry("multiway", round.name, cfg.E, cfg.padding,
+                                   stats);
     report.totals += stats;
     report.total_time += gpusim::estimate_kernel_time(dev, launch, stats, cal);
     report.rounds.push_back(std::move(round));
@@ -423,6 +429,7 @@ SortReport multiway_merge_sort(std::span<const word> input,
   u32 round_idx = 0;
   while (run < n) {
     ++round_idx;
+    WCM_SPAN("multiway.merge_round");
     WCM_FAILPOINT("sort.multiway.round", simulation_error,
                   "injected mid-round invariant break");
     gpusim::KernelStats stats;
@@ -459,6 +466,8 @@ SortReport multiway_merge_sort(std::span<const word> input,
     round.kernel = stats;
     round.modeled_seconds =
         gpusim::estimate_kernel_time(dev, launch, stats, cal).seconds;
+    gpusim::record_round_telemetry("multiway", round.name, cfg.E, cfg.padding,
+                                   stats);
     report.totals += stats;
     report.total_time += gpusim::estimate_kernel_time(dev, launch, stats, cal);
     report.rounds.push_back(std::move(round));

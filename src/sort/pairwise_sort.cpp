@@ -8,6 +8,7 @@
 #include "sort/block_merge.hpp"
 #include "sort/blocksort.hpp"
 #include "sort/describe.hpp"
+#include "telemetry/span.hpp"
 #include "util/check.hpp"
 #include "util/failpoint.hpp"
 
@@ -200,8 +201,11 @@ SortReport pairwise_merge_sort(std::span<const word> input,
   gpusim::SharedMemory shm(cfg.w, tile, cfg.padding);
   shm.attach_trace(cfg.trace_sink);
 
+  WCM_SPAN("pairwise.sort");
+
   // Base case: every block sorts its own tile.
   {
+    WCM_SPAN("pairwise.block_sort");
     gpusim::KernelStats stats;
     for (std::size_t base = 0; base < n; base += tile) {
       shm.reset_stats();
@@ -216,6 +220,8 @@ SortReport pairwise_merge_sort(std::span<const word> input,
     round.kernel = stats;
     round.modeled_seconds =
         gpusim::estimate_kernel_time(dev, launch, stats, cal).seconds;
+    gpusim::record_round_telemetry("pairwise", round.name, cfg.E, cfg.padding,
+                                   stats);
     report.totals += stats;
     report.total_time +=
         gpusim::estimate_kernel_time(dev, launch, stats, cal);
@@ -227,6 +233,7 @@ SortReport pairwise_merge_sort(std::span<const word> input,
   u32 round_idx = 0;
   while (run < n) {
     ++round_idx;
+    WCM_SPAN("pairwise.merge_round");
     WCM_FAILPOINT("sort.pairwise.round", simulation_error,
                   "injected mid-round invariant break");
     gpusim::KernelStats stats;
@@ -261,6 +268,8 @@ SortReport pairwise_merge_sort(std::span<const word> input,
     round.kernel = stats;
     round.modeled_seconds =
         gpusim::estimate_kernel_time(dev, launch, stats, cal).seconds;
+    gpusim::record_round_telemetry("pairwise", round.name, cfg.E, cfg.padding,
+                                   stats);
     report.totals += stats;
     report.total_time += gpusim::estimate_kernel_time(dev, launch, stats, cal);
     report.rounds.push_back(std::move(round));

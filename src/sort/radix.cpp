@@ -6,6 +6,7 @@
 #include "gpusim/shared_memory.hpp"
 #include "sort/describe.hpp"
 #include "sort/pairwise_sort.hpp"
+#include "telemetry/span.hpp"
 #include "util/check.hpp"
 
 namespace wcm::sort {
@@ -67,7 +68,10 @@ SortReport radix_sort(std::span<const word> input, const SortConfig& cfg,
   std::vector<gpusim::LaneRead> reads;
   std::vector<gpusim::LaneWrite> writes;
 
+  WCM_SPAN("radix.sort");
+
   for (u32 pass = 0; pass < passes; ++pass) {
+    WCM_SPAN("radix.pass");
     gpusim::KernelStats stats;
     const word shift = static_cast<word>(pass) * digit_bits;
     const word mask = static_cast<word>(bins - 1);
@@ -169,6 +173,8 @@ SortReport radix_sort(std::span<const word> input, const SortConfig& cfg,
     round.kernel = stats;
     round.modeled_seconds =
         gpusim::estimate_kernel_time(dev, launch, stats, cal).seconds;
+    gpusim::record_round_telemetry("radix", round.name, cfg.E, cfg.padding,
+                                   stats);
     report.totals += stats;
     report.total_time += gpusim::estimate_kernel_time(dev, launch, stats, cal);
     report.rounds.push_back(std::move(round));

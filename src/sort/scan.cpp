@@ -6,6 +6,7 @@
 #include "gpusim/shared_memory.hpp"
 #include "sort/describe.hpp"
 #include "sort/pairwise_sort.hpp"
+#include "telemetry/span.hpp"
 #include "util/check.hpp"
 
 namespace wcm::sort {
@@ -44,8 +45,11 @@ SortReport block_scan(std::span<const word> input, const SortConfig& cfg,
   std::vector<gpusim::LaneRead> reads;
   std::vector<gpusim::LaneWrite> writes;
 
+  WCM_SPAN("scan.block_scan");
+
   word carry = 0;
   for (std::size_t base = 0; base < n; base += tile) {
+    WCM_SPAN("scan.tile");
     // Block boundary: one SharedMemory hosts many simulated blocks in
     // sequence, so each tile starts from a synchronized state.
     shm.barrier();
@@ -156,6 +160,8 @@ SortReport block_scan(std::span<const word> input, const SortConfig& cfg,
   round.kernel = stats;
   round.modeled_seconds =
       gpusim::estimate_kernel_time(dev, launch, stats, cal).seconds;
+  gpusim::record_round_telemetry("scan", round.name, cfg.E, cfg.padding,
+                                 stats);
   report.totals = stats;
   report.total_time = gpusim::estimate_kernel_time(dev, launch, stats, cal);
   report.rounds.push_back(std::move(round));

@@ -1,0 +1,175 @@
+#pragma once
+// Metrics registry: named counters, gauges, and fixed-bucket histograms
+// with labels, shared by the simulator kernels, the campaign runtime, and
+// the workload I/O layer (docs/TELEMETRY.md catalogues every metric).
+//
+// Design constraints, in order:
+//   1. Zero measurable cost when telemetry is off (the default).  Every
+//      instrumented site guards on telemetry::enabled() — one relaxed
+//      atomic load — before touching the registry, and the acceptance
+//      microbenchmarks (bench/microbench.cpp BM_Telemetry*) pin the
+//      disabled overhead.
+//   2. Lock-free-enough updates when on: instrument handles are stable
+//      references whose hot-path mutation is a relaxed atomic add;
+//      the registry mutex is taken only to *create* an instrument.
+//   3. Deterministic output: snapshots order rows by (name, sorted label
+//      string), so byte comparisons of metric dumps do not depend on
+//      registration order or on WCM_THREADS (tests/test_telemetry_metrics
+//      asserts this; satellite "deterministic under WCM_THREADS>1").
+//
+// Snapshots render as a greppable text table (`name{k=v,...} value`) and
+// as strict JSON that round-trips through util/json's parser.
+
+#include <atomic>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/math.hpp"
+
+namespace wcm::telemetry {
+
+/// Master switch for metric collection.  Off by default; every
+/// instrumentation site checks this before doing any work.
+[[nodiscard]] bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// Label set of one instrument instance, e.g. {{"engine","pairwise"},
+/// {"round","merge round 1"}}.  Keys are sorted on registration, so the
+/// same set in any order addresses the same instrument.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(u64 delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] u64 value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<u64> value_{0};
+};
+
+/// Last-written (or accumulated) instantaneous value, e.g. a queue depth.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bounds, plus an
+/// implicit +inf overflow bucket.  Observation is two relaxed adds and a
+/// CAS-accumulated sum.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] u64 count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// Per-bucket counts; index bounds().size() is the overflow bucket.
+  [[nodiscard]] std::vector<u64> bucket_counts() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<u64>[]> buckets_;
+  std::atomic<u64> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+enum class MetricKind { counter, gauge, histogram };
+
+[[nodiscard]] const char* to_string(MetricKind kind) noexcept;
+
+/// One rendered metric in a snapshot.
+struct MetricRow {
+  std::string name;
+  Labels labels;  ///< sorted by key
+  MetricKind kind = MetricKind::counter;
+  u64 counter_value = 0;      ///< counter only
+  double gauge_value = 0.0;   ///< gauge only
+  u64 hist_count = 0;         ///< histogram only
+  double hist_sum = 0.0;      ///< histogram only
+  std::vector<double> hist_bounds;
+  std::vector<u64> hist_buckets;  ///< bounds.size()+1 entries
+};
+
+/// Deterministic point-in-time view of a registry: rows sorted by
+/// (name, serialized labels), independent of registration order and of
+/// which worker thread bumped what.
+struct Snapshot {
+  std::vector<MetricRow> rows;
+
+  /// `name{k=v,...} value` per line (histograms add count/sum/buckets).
+  void write_text(std::ostream& os) const;
+  /// Strict JSON: {"metrics":[{"name":...,"labels":{...},"kind":...}]},
+  /// parseable by util/json (tests round-trip it).
+  void write_json(std::ostream& os) const;
+
+  /// Sum of every counter row named `name`, over all label sets (the
+  /// cross-check tests reconcile these sums against KernelStats totals).
+  [[nodiscard]] u64 counter_total(const std::string& name) const noexcept;
+};
+
+/// Instrument store.  counter()/gauge()/histogram() return stable
+/// references that remain valid until reset(); looking up an existing name
+/// with a different kind (or a histogram with different bounds) throws
+/// wcm::contract_error.
+class Registry {
+ public:
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  [[nodiscard]] Counter& counter(const std::string& name, Labels labels = {});
+  [[nodiscard]] Gauge& gauge(const std::string& name, Labels labels = {});
+  [[nodiscard]] Histogram& histogram(const std::string& name, Labels labels,
+                                     std::vector<double> bounds);
+
+  /// Drop every instrument (outstanding references dangle; callers must
+  /// not cache handles across reset — instrumented sites re-look-up).
+  void reset();
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Render every instrument, plus one synthetic
+  /// `failpoint.triggers{name=...}` counter row per fired failpoint (the
+  /// workload-I/O "failpoint trips" metric).  Evaluates the
+  /// "telemetry.registry.snapshot" failpoint.
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// The process-wide registry every instrumented site feeds.
+[[nodiscard]] Registry& registry();
+
+}  // namespace wcm::telemetry

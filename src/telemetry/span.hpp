@@ -1,0 +1,122 @@
+#pragma once
+// Span tracer: RAII `WCM_SPAN("phase")` scopes with nesting and
+// thread-ids, buffered per-thread and exported as Chrome trace-event JSON
+// (loadable in chrome://tracing or https://ui.perfetto.dev) or as a
+// compact text flamegraph.  docs/TELEMETRY.md documents the span-naming
+// conventions and the Perfetto workflow.
+//
+// Tracing is off by default; a Span constructed while tracing is off does
+// nothing but read one relaxed atomic, which is what keeps the
+// instrumentation sweep free (bench/microbench.cpp BM_TelemetrySpan*
+// pins the disabled cost).  Enable with set_tracing(true), the
+// `--telemetry <path>` wcmgen flag, or `WCM_TRACE_OUT=<path>` in the
+// environment (configure_from_env()).
+//
+// Determinism: exported thread-ids are NOT OS thread ids — threads are
+// renumbered densely (0, 1, ...) ordered by (first event start time,
+// registration order), and events within a thread are ordered by a
+// per-thread sequence number, so two runs that do the same work in the
+// same per-thread order export byte-identical traces modulo timestamps
+// (and golden tests can compare structure without flaking under
+// WCM_THREADS>1).
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "util/math.hpp"
+
+namespace wcm::telemetry {
+
+/// Master switch for span recording (independent of metrics `enabled()`).
+[[nodiscard]] bool tracing() noexcept;
+void set_tracing(bool on) noexcept;
+
+namespace detail {
+
+struct ThreadBuf;
+
+/// The calling thread's span buffer, creating and registering it on first
+/// use.  Exposed for Span; not part of the public API.
+[[nodiscard]] ThreadBuf* thread_buf();
+
+void span_begin(ThreadBuf* buf, const char* name, u32& depth_out,
+                u64& seq_out, u64& start_ns_out) noexcept;
+void span_end(ThreadBuf* buf, const char* name, u32 depth, u64 seq,
+              u64 start_ns) noexcept;
+
+}  // namespace detail
+
+/// One traced scope.  Constructed cheaply when tracing is off; when on,
+/// records {name, thread, depth, start, duration} at destruction.
+/// `name` must outlive the span (string literals only — WCM_SPAN enforces
+/// this by construction).
+class Span {
+ public:
+  explicit Span(const char* name) noexcept : name_(name) {
+    if (tracing()) {
+      buf_ = detail::thread_buf();
+      detail::span_begin(buf_, name_, depth_, seq_, start_ns_);
+    }
+  }
+  ~Span() {
+    if (buf_ != nullptr) {
+      detail::span_end(buf_, name_, depth_, seq_, start_ns_);
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  detail::ThreadBuf* buf_ = nullptr;  // non-null iff recording
+  u32 depth_ = 0;
+  u64 seq_ = 0;
+  u64 start_ns_ = 0;
+};
+
+/// Number of completed span events buffered across all threads.
+[[nodiscard]] std::size_t trace_event_count();
+
+/// Drop every buffered event and forget dead threads' buffers.
+void reset_trace();
+
+/// Export the buffered spans as Chrome trace-event JSON
+/// (`{"traceEvents":[...]}`, strict JSON, microsecond timestamps relative
+/// to the earliest event).  Evaluates the "telemetry.export.write"
+/// failpoint.
+void write_chrome_trace(std::ostream& os);
+
+/// Export the buffered spans as a text flamegraph: one line per distinct
+/// call path (`a;b;c  count=N  total_us=T`), sorted by path.
+void write_flamegraph(std::ostream& os);
+
+/// Destination for flush_trace(); set by `--telemetry <path>` or
+/// WCM_TRACE_OUT.  Empty = no export.
+void set_trace_path(std::string path);
+[[nodiscard]] std::string trace_path();
+
+/// Apply WCM_TRACE_OUT (enables tracing, sets the path) and WCM_TELEMETRY
+/// (any non-empty value enables the metrics registry).  Called once from
+/// CLI main()s; idempotent.
+void configure_from_env();
+
+/// Write the Chrome trace to trace_path() if tracing produced events.
+/// Never throws: on export failure, prints a warning to `*warn` (if
+/// non-null) and returns false — a failed trace export must not fail the
+/// run it observed (satellite: degrade gracefully, exit 0).  Clears the
+/// path afterwards so a second flush is a no-op.
+bool flush_trace(std::ostream* warn) noexcept;
+
+}  // namespace wcm::telemetry
+
+#define WCM_TELEMETRY_CONCAT_IMPL(a, b) a##b
+#define WCM_TELEMETRY_CONCAT(a, b) WCM_TELEMETRY_CONCAT_IMPL(a, b)
+
+/// Trace the enclosing scope as a span named `name` (string literal).
+#define WCM_SPAN(name)                                      \
+  const ::wcm::telemetry::Span WCM_TELEMETRY_CONCAT(        \
+      wcm_span_, __COUNTER__) {                             \
+    name                                                    \
+  }

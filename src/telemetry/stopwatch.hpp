@@ -1,0 +1,42 @@
+#pragma once
+// The library's one wall-clock source.  Everything that reports elapsed
+// time — the campaign runtime's wall_seconds, the bench harnesses'
+// sweep timings, the span tracer's export — derives from the same
+// steady_clock read so numbers from different layers are comparable.
+// (Satellite: bench/fig4/fig5 previously each rolled their own timing.)
+
+#include <chrono>
+#include <cstdint>
+
+namespace wcm::telemetry {
+
+/// Monotonic nanoseconds since an arbitrary epoch.
+[[nodiscard]] inline std::uint64_t monotonic_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Elapsed-time reader started at construction.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_ns_(monotonic_ns()) {}
+
+  void restart() noexcept { start_ns_ = monotonic_ns(); }
+
+  [[nodiscard]] std::uint64_t elapsed_ns() const noexcept {
+    return monotonic_ns() - start_ns_;
+  }
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+  [[nodiscard]] double elapsed_ms() const noexcept {
+    return static_cast<double>(elapsed_ns()) * 1e-6;
+  }
+
+ private:
+  std::uint64_t start_ns_;
+};
+
+}  // namespace wcm::telemetry

@@ -26,6 +26,8 @@ constexpr const char* kBuiltin[] = {
     "runtime.worker.job",     // scheduler worker: break before a job body
     "runtime.cache.load",     // ResultCache::load: read failure
     "runtime.cache.store",    // ResultCache::store: write failure
+    "telemetry.export.write",      // write_chrome_trace: export failure
+    "telemetry.registry.snapshot",  // Registry::snapshot: render failure
 };
 
 struct State {

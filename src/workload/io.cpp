@@ -6,6 +6,8 @@
 #include <limits>
 #include <new>
 
+#include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
 #include "util/check.hpp"
 #include "util/failpoint.hpp"
 #include "util/hash.hpp"
@@ -36,6 +38,7 @@ T read_pod(std::istream& is) {
 
 void write_binary(const std::filesystem::path& path,
                   const std::vector<word>& keys) {
+  WCM_SPAN("io.write_binary");
   std::ofstream os(path, std::ios::binary);
   WCM_FAILPOINT("io.write.fail", io_error, "injected write failure");
   WCM_CHECK_IO(os.is_open(),
@@ -65,9 +68,16 @@ void write_binary(const std::filesystem::path& path,
   }
   write_pod(os, h);
   WCM_CHECK_IO(static_cast<bool>(os), "write failed: " + path.string());
+  if (telemetry::enabled()) {
+    telemetry::registry()
+        .counter("workload.io.write.bytes")
+        .add(kHeaderBytes + buf.size() * sizeof(std::int32_t) +
+             sizeof(std::uint64_t));
+  }
 }
 
 std::vector<word> read_binary(const std::filesystem::path& path) {
+  WCM_SPAN("io.read_binary");
   std::error_code ec;
   const std::uint64_t file_size = std::filesystem::file_size(path, ec);
   std::ifstream is(path, std::ios::binary);
@@ -137,14 +147,21 @@ std::vector<word> read_binary(const std::filesystem::path& path) {
     h = fnv1a(h, buf.data(), buf.size() * sizeof(std::int32_t));
     WCM_FAILPOINT("io.read.checksum", io_error,
                   "injected checksum mismatch");
+    if (h != stored && telemetry::enabled()) {
+      telemetry::registry().counter("workload.io.checksum.failures").add(1);
+    }
     WCM_CHECK_IO(h == stored, "WCMI checksum mismatch: " + path.string());
   }
 
+  if (telemetry::enabled()) {
+    telemetry::registry().counter("workload.io.read.bytes").add(file_size);
+  }
   return {buf.begin(), buf.end()};
 }
 
 void write_csv(const std::filesystem::path& path,
                const std::vector<word>& keys) {
+  WCM_SPAN("io.write_csv");
   std::ofstream os(path);
   WCM_CHECK_IO(os.is_open(),
                "cannot open output file: " + path.string());

@@ -22,6 +22,8 @@
 #include "runtime/scheduler.hpp"
 #include "sort/multiway.hpp"
 #include "sort/pairwise_sort.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
 #include "workload/inputs.hpp"
@@ -119,6 +121,38 @@ TEST_F(FaultInjectionTest, SortPairwiseRound) {
 TEST_F(FaultInjectionTest, SortMultiwayRound) {
   failpoint::scoped_arm fp("sort.multiway.round");
   EXPECT_THROW(run_multiway(), simulation_error);
+}
+
+TEST_F(FaultInjectionTest, TelemetryExportWrite) {
+  failpoint::scoped_arm fp("telemetry.export.write");
+  std::ostringstream os;
+  EXPECT_THROW(telemetry::write_chrome_trace(os), io_error);
+}
+
+TEST_F(FaultInjectionTest, TelemetryRegistrySnapshot) {
+  failpoint::scoped_arm fp("telemetry.registry.snapshot");
+  EXPECT_THROW((void)telemetry::registry().snapshot(), simulation_error);
+}
+
+// Satellite contract: a failing trace export must degrade gracefully —
+// flush_trace() swallows the injected io_error, warns, and reports false
+// so CLI callers can keep their exit code.
+TEST_F(FaultInjectionTest, TraceExportFailureDegradesGracefully) {
+  telemetry::set_tracing(true);
+  { WCM_SPAN("doomed"); }
+  telemetry::set_tracing(false);
+  telemetry::set_trace_path(
+      (std::filesystem::temp_directory_path() /
+       ("wcm_flush_fail_" + std::to_string(::getpid()) + ".json"))
+          .string());
+  failpoint::scoped_arm fp("telemetry.export.write");
+  std::ostringstream warn;
+  EXPECT_FALSE(telemetry::flush_trace(&warn));
+  EXPECT_NE(warn.str().find("trace export failed"), std::string::npos)
+      << warn.str();
+  EXPECT_NE(warn.str().find("run continues"), std::string::npos);
+  EXPECT_TRUE(telemetry::trace_path().empty());
+  telemetry::reset_trace();
 }
 
 TEST_F(FaultInjectionTest, ErrorsCarryFailpointContext) {
@@ -220,7 +254,8 @@ TEST_F(FaultInjectionTest, KnownListsAllBuiltins) {
         "io.read.checksum", "io.write.fail", "trace.read.malformed",
         "sim.smem.alloc", "sim.smem.invariant", "sort.pairwise.round",
         "sort.multiway.round", "runtime.worker.job", "runtime.cache.load",
-        "runtime.cache.store"}) {
+        "runtime.cache.store", "telemetry.export.write",
+        "telemetry.registry.snapshot"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
   }
@@ -298,6 +333,15 @@ TEST_F(FaultInjectionTest, EveryRegisteredFailpointFired) {
         [&] {
           runtime::ResultCache(u64{1}).store(path_.string() + ".wcmc");
         }}},
+      {"telemetry.export.write",
+       {errc::io_failure,
+        [] {
+          std::ostringstream os;
+          telemetry::write_chrome_trace(os);
+        }}},
+      {"telemetry.registry.snapshot",
+       {errc::simulation_invariant,
+        [] { (void)telemetry::registry().snapshot(); }}},
   };
 
   for (const auto& name : failpoint::known()) {

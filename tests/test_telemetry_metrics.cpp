@@ -1,0 +1,262 @@
+// Metrics-registry coverage: instrument semantics, canonical label
+// ordering, deterministic snapshots, strict-JSON round-trips through
+// util/json, and the ISSUE acceptance cross-check — summing the
+// per-round `sim.round.*` counters of an instrumented sort reproduces
+// the report's KernelStats totals bit-for-bit.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "runtime/scheduler.hpp"
+#include "sort/multiway.hpp"
+#include "sort/pairwise_sort.hpp"
+#include "telemetry/registry.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "workload/inputs.hpp"
+
+namespace wcm {
+namespace {
+
+class TelemetryMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    telemetry::set_enabled(true);
+    telemetry::registry().reset();
+  }
+  void TearDown() override {
+    telemetry::registry().reset();
+    telemetry::set_enabled(false);
+  }
+};
+
+TEST_F(TelemetryMetricsTest, CounterAccumulates) {
+  auto& c = telemetry::registry().counter("t.count");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name -> same instrument.
+  EXPECT_EQ(&telemetry::registry().counter("t.count"), &c);
+}
+
+TEST_F(TelemetryMetricsTest, GaugeSetAndAdd) {
+  auto& g = telemetry::registry().gauge("t.gauge");
+  g.set(3.5);
+  g.add(-1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+}
+
+TEST_F(TelemetryMetricsTest, HistogramBucketsAndSum) {
+  auto& h = telemetry::registry().histogram("t.hist", {}, {1.0, 10.0});
+  h.observe(0.5);   // le1
+  h.observe(1.0);   // le1 (inclusive upper bound)
+  h.observe(5.0);   // le10
+  h.observe(99.0);  // +inf overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 105.5);
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+}
+
+TEST_F(TelemetryMetricsTest, LabelOrderIsCanonical) {
+  // The same label set in any order addresses the same instrument.
+  auto& a = telemetry::registry().counter(
+      "t.labeled", {{"engine", "pairwise"}, {"round", "r1"}});
+  auto& b = telemetry::registry().counter(
+      "t.labeled", {{"round", "r1"}, {"engine", "pairwise"}});
+  EXPECT_EQ(&a, &b);
+  a.add(7);
+
+  std::ostringstream os;
+  telemetry::registry().snapshot().write_text(os);
+  EXPECT_NE(os.str().find("t.labeled{engine=pairwise,round=r1} 7"),
+            std::string::npos)
+      << os.str();
+}
+
+TEST_F(TelemetryMetricsTest, KindMismatchThrowsContractError) {
+  (void)telemetry::registry().counter("t.kind");
+  EXPECT_THROW((void)telemetry::registry().gauge("t.kind"), contract_error);
+  EXPECT_THROW(
+      (void)telemetry::registry().histogram("t.kind", {}, {1.0}),
+      contract_error);
+  // A histogram re-registered with different bounds is a contract bug too.
+  (void)telemetry::registry().histogram("t.bounds", {}, {1.0, 2.0});
+  EXPECT_THROW(
+      (void)telemetry::registry().histogram("t.bounds", {}, {1.0, 3.0}),
+      contract_error);
+}
+
+TEST_F(TelemetryMetricsTest, SnapshotRowsAreSorted) {
+  telemetry::registry().counter("z.last").add(1);
+  telemetry::registry().counter("a.first").add(1);
+  telemetry::registry().counter("m.mid", {{"k", "b"}}).add(1);
+  telemetry::registry().counter("m.mid", {{"k", "a"}}).add(1);
+  const auto snap = telemetry::registry().snapshot();
+  ASSERT_EQ(snap.rows.size(), 4u);
+  EXPECT_EQ(snap.rows[0].name, "a.first");
+  EXPECT_EQ(snap.rows[1].name, "m.mid");
+  EXPECT_EQ(snap.rows[1].labels[0].second, "a");
+  EXPECT_EQ(snap.rows[2].labels[0].second, "b");
+  EXPECT_EQ(snap.rows[3].name, "z.last");
+}
+
+TEST_F(TelemetryMetricsTest, CounterTotalSumsAcrossLabelSets) {
+  telemetry::registry().counter("t.total", {{"round", "r1"}}).add(10);
+  telemetry::registry().counter("t.total", {{"round", "r2"}}).add(32);
+  telemetry::registry().counter("t.other").add(5);
+  const auto snap = telemetry::registry().snapshot();
+  EXPECT_EQ(snap.counter_total("t.total"), 42u);
+  EXPECT_EQ(snap.counter_total("t.other"), 5u);
+  EXPECT_EQ(snap.counter_total("t.missing"), 0u);
+}
+
+TEST_F(TelemetryMetricsTest, JsonSnapshotRoundTripsStrictParser) {
+  telemetry::registry()
+      .counter("json.counter", {{"engine", "pairwise"}, {"E", "5"}})
+      .add(3);
+  telemetry::registry().gauge("json.gauge").set(1.25);
+  telemetry::registry().histogram("json.hist", {}, {1.0, 10.0}).observe(4.0);
+
+  std::ostringstream os;
+  telemetry::registry().snapshot().write_json(os);
+  const json::Value doc = json::parse(os.str());  // throws on non-strict JSON
+
+  const auto& metrics = doc.as_object().at("metrics").as_array();
+  ASSERT_EQ(metrics.size(), 3u);
+  // Rows are sorted by instrument key: counter < gauge < hist here.
+  const auto& counter = metrics[0].as_object();
+  EXPECT_EQ(counter.at("name").as_string(), "json.counter");
+  EXPECT_EQ(counter.at("kind").as_string(), "counter");
+  EXPECT_EQ(counter.at("value").as_u64(), 3u);
+  EXPECT_EQ(counter.at("labels").as_object().at("E").as_string(), "5");
+
+  const auto& gauge = metrics[1].as_object();
+  EXPECT_EQ(gauge.at("kind").as_string(), "gauge");
+  EXPECT_DOUBLE_EQ(gauge.at("value").as_double(), 1.25);
+
+  const auto& hist = metrics[2].as_object();
+  EXPECT_EQ(hist.at("kind").as_string(), "histogram");
+  EXPECT_EQ(hist.at("count").as_u64(), 1u);
+  const auto& buckets = hist.at("buckets").as_array();
+  ASSERT_EQ(buckets.size(), 3u);
+  // The overflow bucket's bound is JSON null (no +inf in strict JSON).
+  EXPECT_TRUE(buckets[2].as_object().at("le").is_null());
+}
+
+TEST_F(TelemetryMetricsTest, ResetDropsEverything) {
+  telemetry::registry().counter("t.reset").add(1);
+  EXPECT_GE(telemetry::registry().size(), 1u);
+  telemetry::registry().reset();
+  EXPECT_EQ(telemetry::registry().size(), 0u);
+  EXPECT_TRUE(telemetry::registry().snapshot().rows.empty());
+}
+
+TEST_F(TelemetryMetricsTest, DisabledRegistryStillWorksButSitesSkipIt) {
+  // The master switch gates *instrumented sites*, not the registry API:
+  // record_round_telemetry must be a no-op when disabled.
+  telemetry::set_enabled(false);
+  const sort::SortConfig cfg{5, 64, 32};
+  const auto input = workload::make_input(workload::InputKind::random,
+                                          cfg.tile() * 2, cfg, 1);
+  (void)sort::pairwise_merge_sort(input, cfg, gpusim::quadro_m4000());
+  EXPECT_EQ(telemetry::registry().snapshot().counter_total("sim.round.replays"),
+            0u);
+}
+
+// ISSUE acceptance: the per-round counters must sum EXACTLY (integer
+// equality, not approximately) to the totals the simulator itself reports,
+// because both are fed from the same KernelStats at the same site.
+TEST_F(TelemetryMetricsTest, PairwiseRoundCountersSumToKernelStatsTotals) {
+  const sort::SortConfig cfg{5, 64, 32};
+  const auto input = workload::make_input(workload::InputKind::worst_case,
+                                          cfg.tile() * 4, cfg, 1);
+  const auto report =
+      sort::pairwise_merge_sort(input, cfg, gpusim::quadro_m4000());
+  const auto snap = telemetry::registry().snapshot();
+
+  EXPECT_EQ(snap.counter_total("sim.round.replays"),
+            static_cast<u64>(report.totals.shared.replays));
+  EXPECT_EQ(snap.counter_total("sim.round.serialization_cycles"),
+            static_cast<u64>(report.totals.shared.serialization_cycles));
+  EXPECT_EQ(snap.counter_total("sim.round.conflicting_accesses"),
+            static_cast<u64>(report.totals.shared.conflicting_accesses));
+  EXPECT_EQ(snap.counter_total("sim.round.requests"),
+            static_cast<u64>(report.totals.shared.requests));
+  EXPECT_EQ(snap.counter_total("sim.round.merge_read.replays"),
+            static_cast<u64>(report.totals.shared_merge_reads.replays));
+  EXPECT_EQ(snap.counter_total("sim.round.search.replays"),
+            static_cast<u64>(report.totals.shared_search.replays));
+  EXPECT_EQ(snap.counter_total("sim.round.global_transactions"),
+            static_cast<u64>(report.totals.global_transactions));
+  EXPECT_EQ(snap.counter_total("sim.round.elements"),
+            static_cast<u64>(report.totals.elements_processed));
+  // One sim.rounds increment and one histogram observation per round.
+  EXPECT_EQ(snap.counter_total("sim.rounds"), report.rounds.size());
+  for (const auto& row : snap.rows) {
+    if (row.name == "sim.replays_per_round") {
+      EXPECT_EQ(row.hist_count, report.rounds.size());
+    }
+  }
+}
+
+TEST_F(TelemetryMetricsTest, MultiwayRoundCountersSumToKernelStatsTotals) {
+  const sort::SortConfig cfg{5, 64, 32};
+  const auto input = workload::make_input(workload::InputKind::worst_case,
+                                          cfg.tile() * 4, cfg, 1);
+  const auto report =
+      sort::multiway_merge_sort(input, cfg, gpusim::quadro_m4000(), 2);
+  const auto snap = telemetry::registry().snapshot();
+  EXPECT_EQ(snap.counter_total("sim.round.replays"),
+            static_cast<u64>(report.totals.shared.replays));
+  EXPECT_EQ(snap.counter_total("sim.round.serialization_cycles"),
+            static_cast<u64>(report.totals.shared.serialization_cycles));
+  EXPECT_EQ(snap.counter_total("sim.round.elements"),
+            static_cast<u64>(report.totals.elements_processed));
+}
+
+// Satellite: deterministic metrics under WCM_THREADS>1.  Two identical
+// 4-worker runs must render byte-identical counter rows (gauges and
+// timing histograms carry wall-clock values and are excluded by design).
+TEST_F(TelemetryMetricsTest, ParallelRunsRenderIdenticalCounterRows) {
+  const auto run_once = [] {
+    telemetry::registry().reset();
+    const sort::SortConfig cfg{5, 64, 32};
+    (void)runtime::parallel_map(
+        4, 4, [&](std::size_t i) -> std::size_t {
+          const auto input = workload::make_input(
+              i % 2 == 0 ? workload::InputKind::random
+                         : workload::InputKind::worst_case,
+              cfg.tile() * 2, cfg, static_cast<u64>(1 + i));
+          return sort::pairwise_merge_sort(input, cfg, gpusim::quadro_m4000())
+              .totals.shared.replays;
+        });
+    std::ostringstream os;
+    for (const auto& row : telemetry::registry().snapshot().rows) {
+      if (row.kind == telemetry::MetricKind::counter) {
+        os << row.name << '{';
+        for (const auto& [k, v] : row.labels) {
+          os << k << '=' << v << ',';
+        }
+        os << "} " << row.counter_value << '\n';
+      }
+    }
+    return os.str();
+  };
+  const std::string first = run_once();
+  const std::string second = run_once();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace wcm

@@ -1,0 +1,207 @@
+// Span-tracer coverage: the golden two-thread nested trace from the ISSUE
+// satellite — three nested spans on the main thread plus a two-span worker
+// — must export strict Chrome-trace JSON (round-tripped through
+// util/json) with monotonic timestamps, child spans contained in their
+// parents, dense deterministic thread-ids {0, 1}, and a stable text
+// flamegraph.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/span.hpp"
+#include "util/json.hpp"
+
+namespace wcm {
+namespace {
+
+struct ParsedEvent {
+  std::string name;
+  u64 tid = 0;
+  double ts = 0.0;
+  double dur = 0.0;
+};
+
+/// Export the current trace buffers and parse them back through the strict
+/// JSON reader, grouped by exported thread-id (JSON array order is
+/// per-thread seq order, which the assertions rely on).
+std::map<u64, std::vector<ParsedEvent>> export_and_parse() {
+  std::ostringstream os;
+  telemetry::write_chrome_trace(os);
+  const json::Value doc = json::parse(os.str());
+  std::map<u64, std::vector<ParsedEvent>> by_tid;
+  for (const auto& v : doc.as_object().at("traceEvents").as_array()) {
+    const auto& obj = v.as_object();
+    EXPECT_EQ(obj.at("cat").as_string(), "wcm");
+    EXPECT_EQ(obj.at("ph").as_string(), "X");
+    EXPECT_EQ(obj.at("pid").as_u64(), 0u);
+    ParsedEvent e;
+    e.name = obj.at("name").as_string();
+    e.tid = obj.at("tid").as_u64();
+    e.ts = obj.at("ts").as_double();
+    e.dur = obj.at("dur").as_double();
+    by_tid[e.tid].push_back(e);
+  }
+  return by_tid;
+}
+
+class TelemetryTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    telemetry::reset_trace();
+    telemetry::set_tracing(true);
+  }
+  void TearDown() override {
+    telemetry::set_tracing(false);
+    telemetry::reset_trace();
+    telemetry::set_trace_path("");
+  }
+};
+
+TEST_F(TelemetryTraceTest, SpanWhileTracingOffRecordsNothing) {
+  telemetry::set_tracing(false);
+  {
+    WCM_SPAN("dark");
+  }
+  EXPECT_EQ(telemetry::trace_event_count(), 0u);
+}
+
+TEST_F(TelemetryTraceTest, ResetDropsBufferedEvents) {
+  {
+    WCM_SPAN("ephemeral");
+  }
+  EXPECT_EQ(telemetry::trace_event_count(), 1u);
+  telemetry::reset_trace();
+  EXPECT_EQ(telemetry::trace_event_count(), 0u);
+}
+
+TEST_F(TelemetryTraceTest, TwoSpansInOneScopeCompile) {
+  WCM_SPAN("first");
+  WCM_SPAN("second");  // __COUNTER__ keeps the identifiers distinct
+}
+
+TEST_F(TelemetryTraceTest, GoldenNestedTwoThreadTrace) {
+  {
+    WCM_SPAN("outer");
+    {
+      WCM_SPAN("mid");
+      {
+        WCM_SPAN("inner");
+      }
+    }
+    // The worker starts strictly after "outer" begins, so the main thread
+    // deterministically owns the earliest event and dense tid 0.
+    std::thread worker([] {
+      WCM_SPAN("w.outer");
+      {
+        WCM_SPAN("w.inner");
+      }
+    });
+    worker.join();
+  }
+  EXPECT_EQ(telemetry::trace_event_count(), 5u);
+
+  const auto by_tid = export_and_parse();
+  ASSERT_EQ(by_tid.size(), 2u);
+  ASSERT_TRUE(by_tid.count(0));  // dense ids, not OS thread ids
+  ASSERT_TRUE(by_tid.count(1));
+
+  const auto& main_events = by_tid.at(0);
+  ASSERT_EQ(main_events.size(), 3u);
+  EXPECT_EQ(main_events[0].name, "outer");
+  EXPECT_EQ(main_events[1].name, "mid");
+  EXPECT_EQ(main_events[2].name, "inner");
+
+  const auto& worker_events = by_tid.at(1);
+  ASSERT_EQ(worker_events.size(), 2u);
+  EXPECT_EQ(worker_events[0].name, "w.outer");
+  EXPECT_EQ(worker_events[1].name, "w.inner");
+
+  // Timestamps are relative to the earliest event and monotonic in entry
+  // order within each thread; durations are never negative.
+  EXPECT_DOUBLE_EQ(main_events[0].ts, 0.0);
+  for (const auto& [tid, events] : by_tid) {
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      EXPECT_GE(events[i].dur, 0.0) << "tid " << tid << " event " << i;
+      if (i > 0) {
+        EXPECT_GE(events[i].ts, events[i - 1].ts)
+            << "tid " << tid << " event " << i;
+      }
+    }
+  }
+
+  // Containment: each child lies within [ts, ts + dur] of its parent
+  // (slack for the 1ns -> 0.001us decimal rendering).
+  const auto contained = [](const ParsedEvent& child,
+                            const ParsedEvent& parent) {
+    EXPECT_GE(child.ts + 1e-6, parent.ts) << child.name;
+    EXPECT_LE(child.ts + child.dur, parent.ts + parent.dur + 1e-6)
+        << child.name;
+  };
+  contained(main_events[1], main_events[0]);
+  contained(main_events[2], main_events[1]);
+  contained(worker_events[1], worker_events[0]);
+  // The worker ran entirely inside the main thread's "outer" span.
+  contained(worker_events[0], main_events[0]);
+}
+
+TEST_F(TelemetryTraceTest, FlamegraphAggregatesCallPaths) {
+  for (int i = 0; i < 2; ++i) {
+    WCM_SPAN("root");
+    {
+      WCM_SPAN("leaf");
+    }
+  }
+  std::ostringstream os;
+  telemetry::write_flamegraph(os);
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream is(os.str());
+  while (std::getline(is, line)) {
+    lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].rfind("root  count=2  total_us=", 0), 0u) << lines[0];
+  EXPECT_EQ(lines[1].rfind("root;leaf  count=2  total_us=", 0), 0u)
+      << lines[1];
+}
+
+TEST_F(TelemetryTraceTest, FlushTraceWritesFileAndClearsPath) {
+  {
+    WCM_SPAN("flushed");
+  }
+  const std::string path =
+      ::testing::TempDir() + "wcm_telemetry_trace_test.json";
+  telemetry::set_trace_path(path);
+  EXPECT_TRUE(telemetry::flush_trace(nullptr));
+  EXPECT_TRUE(telemetry::trace_path().empty());  // one flush per config
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream content;
+  content << in.rdbuf();
+  const json::Value doc = json::parse(content.str());
+  EXPECT_EQ(doc.as_object()
+                .at("traceEvents")
+                .as_array()
+                .front()
+                .as_object()
+                .at("name")
+                .as_string(),
+            "flushed");
+  std::remove(path.c_str());
+}
+
+TEST_F(TelemetryTraceTest, FlushTraceWithNoPathIsNoOp) {
+  telemetry::set_trace_path("");
+  EXPECT_TRUE(telemetry::flush_trace(nullptr));
+}
+
+}  // namespace
+}  // namespace wcm
