@@ -16,6 +16,8 @@
 //   wcmgen visualize --E 7 [--w 16] [--strategy name]
 //   wcmgen campaign  spec.json [--threads n] [--no-cache] [--cache file]
 //                    [--out file.json] [--trace-dir dir] [--quiet]
+//                    [--journal file.wcmj] [--resume] [--retries n]
+//                    [--fail-fast]
 //   wcmgen profile   [--telemetry trace.json] [--metrics metrics.json]
 //                    (<any subcommand + its flags> |
 //                     --engine name --adversarial small-E|large-E [--k n])
@@ -30,8 +32,11 @@
 //   3 bad input file (missing, truncated, corrupt WCMI/WCMT)
 //   4 invalid configuration (E/b/w constraint violated)
 //   5 internal error (simulator invariant break or any other exception)
+//   6 degraded campaign (cells quarantined; aggregate still written)
+//   7 interrupted campaign (SIGINT/SIGTERM drain; resume with --resume)
 
 #include <charconv>
+#include <csignal>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -48,7 +53,9 @@
 #include "core/conflict_model.hpp"
 #include "core/generator.hpp"
 #include "runtime/campaign.hpp"
+#include "runtime/scheduler.hpp"
 #include "sort/bitonic.hpp"
+#include "util/failpoint.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/span.hpp"
 #include "sort/multiway.hpp"
@@ -96,9 +103,12 @@ subcommands:
   visualize  render one worst-case warp assignment
              --E n [--w n] [--strategy name]
   campaign   expand a JSON grid spec into cells and run them on the
-             parallel runtime with result caching (docs/RUNTIME.md)
+             parallel runtime with result caching, a crash-safe journal,
+             retry/quarantine fault tolerance, and graceful SIGINT/SIGTERM
+             drain (docs/RUNTIME.md)
              spec.json [--threads n] [--no-cache] [--cache file.wcmc]
              [--out file.json] [--trace-dir dir] [--quiet]
+             [--journal file.wcmj] [--resume] [--retries n] [--fail-fast]
   profile    run any invocation under telemetry: span tracing to a
              Chrome/Perfetto trace plus a metrics summary table
              (docs/TELEMETRY.md); exit code is the wrapped command's
@@ -110,7 +120,8 @@ subcommands:
   help       print this message (also --help / -h)
 
 exit codes: 0 ok, 1 findings (analyze/prove), 2 usage, 3 bad input file,
-            4 bad configuration, 5 internal error
+            4 bad configuration, 5 internal error, 6 degraded campaign
+            (quarantined cells), 7 interrupted campaign (resumable)
 )";
 
 /// Strict full-string parse of an unsigned decimal; rejects empty values,
@@ -448,9 +459,18 @@ int cmd_prove(const Args& a) {
   return report.findings.empty() ? 0 : 1;
 }
 
+/// Shared by the SIGINT/SIGTERM handlers and the campaign: cancel() is a
+/// lock-free atomic store, so it is async-signal-safe.
+runtime::CancelSource g_campaign_cancel;
+
+extern "C" void wcmgen_on_signal(int /*signum*/) {
+  g_campaign_cancel.cancel();
+}
+
 int cmd_campaign(const Args& a, const std::string& spec_path) {
   a.require_known("campaign", {"spec", "threads", "no-cache", "cache", "out",
-                               "trace-dir", "quiet"});
+                               "trace-dir", "quiet", "journal", "resume",
+                               "retries", "fail-fast"});
   std::string path = spec_path.empty() ? a.get("spec", "") : spec_path;
   if (path.empty()) {
     throw parse_error(
@@ -466,7 +486,29 @@ int cmd_campaign(const Args& a, const std::string& spec_path) {
   if (!a.flag("quiet")) {
     opts.progress = &std::cerr;
   }
+  // Journal next to the spec by default (like the cache), overridable.
+  opts.journal_path = a.get("journal", path + ".wcmj");
+  opts.resume = a.flag("resume");
+  opts.fail_fast = a.flag("fail-fast");
+  // --retries n = n re-runs after the first failure.
+  opts.retry.max_attempts =
+      static_cast<u32>(a.get_u64("retries", 2, 100)) + 1;
+
+  // Graceful drain: a signal stops admission; in-flight cells finish and
+  // are journaled; the process exits 7 with a --resume-able journal.
+  opts.cancel = &g_campaign_cancel;
+  std::signal(SIGINT, wcmgen_on_signal);
+  std::signal(SIGTERM, wcmgen_on_signal);
   const auto outcome = runtime::run_campaign(spec, opts);
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  if (outcome.interrupted()) {
+    std::cerr << "campaign " << spec.name << ": interrupted — "
+              << outcome.cancelled
+              << " cells pending; rerun with --resume to continue\n";
+    return 7;
+  }
 
   const std::string out = a.get("out", "");
   if (!out.empty()) {
@@ -485,9 +527,16 @@ int cmd_campaign(const Args& a, const std::string& spec_path) {
   std::cerr << "campaign " << spec.name << ": cells=" << outcome.cells
             << " computed=" << outcome.computed
             << " cached=" << outcome.cache_hits
+            << " replayed=" << outcome.replayed
+            << " quarantined=" << outcome.quarantined.size()
             << " threads=" << outcome.threads << " wall=" << outcome.wall_seconds
             << "s\n";
-  return 0;
+  for (const auto& q : outcome.quarantined) {
+    std::cerr << "quarantined cell " << q.index << " (" << q.label
+              << ") after " << q.attempts << " attempts: " << q.message
+              << "\n";
+  }
+  return outcome.degraded() ? 6 : 0;
 }
 
 int cmd_visualize(const Args& a) {
@@ -659,6 +708,10 @@ int cmd_profile(int argc, char** argv) {
 }
 
 int run(int argc, char** argv) {
+  // Surface a malformed WCM_FAILPOINTS value up front as a usage error
+  // (exit 2) rather than letting the lazy parse throw mid-run inside a
+  // worker (which would report exit 5).
+  failpoint::configure_from_env();
   if (argc < 2) {
     std::cerr << kUsage;
     return 2;

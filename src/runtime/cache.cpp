@@ -1,6 +1,7 @@
 #include "runtime/cache.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -50,11 +51,52 @@ u64 code_version_salt() {
   return h;
 }
 
-ResultCache::ResultCache() : salt_(code_version_salt()) {}
+u64 cache_max_from_env() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env probe; nothing
+  // in the process calls setenv.
+  const char* env = std::getenv("WCM_CACHE_MAX");
+  if (env == nullptr || *env == '\0') {
+    return 0;
+  }
+  u64 value = 0;
+  const char* end = env + std::strlen(env);
+  const auto [ptr, err] = std::from_chars(env, end, value);
+  WCM_CHECK_CONFIG(err == std::errc() && ptr == end,
+                   std::string("invalid WCM_CACHE_MAX value '") + env +
+                       "' (expected an unsigned integer; 0 = unbounded)");
+  return value;
+}
+
+ResultCache::ResultCache() : ResultCache(code_version_salt()) {}
+
+ResultCache::ResultCache(u64 salt)
+    : salt_(salt), max_entries_(cache_max_from_env()) {}
 
 u64 ResultCache::key_of(const std::string& canonical_config) const noexcept {
   u64 h = fnv1a(fnv_offset_basis, &salt_, sizeof(salt_));
   return fnv1a(h, canonical_config.data(), canonical_config.size());
+}
+
+void ResultCache::touch(u64 key) const {
+  const auto it = recency_.find(key);
+  if (it != recency_.end()) {
+    lru_.splice(lru_.end(), lru_, it->second);  // iterator stays valid
+  }
+}
+
+void ResultCache::evict_over_cap() {
+  if (max_entries_ == 0) {
+    return;
+  }
+  while (entries_.size() > max_entries_ && !lru_.empty()) {
+    const u64 victim = lru_.front();
+    lru_.pop_front();
+    recency_.erase(victim);
+    entries_.erase(victim);
+    if (telemetry::enabled()) {
+      telemetry::registry().counter("runtime.cache.evict").add(1);
+    }
+  }
 }
 
 std::optional<CellMetrics> ResultCache::lookup(u64 key) const {
@@ -70,11 +112,21 @@ std::optional<CellMetrics> ResultCache::lookup(u64 key) const {
   if (it == entries_.end()) {
     return std::nullopt;
   }
+  touch(key);
   return it->second;
 }
 
 void ResultCache::insert(u64 key, const CellMetrics& metrics) {
-  entries_[key] = metrics;
+  const auto [it, admitted] = entries_.insert_or_assign(key, metrics);
+  if (!admitted) {
+    touch(key);  // overwrite of a live entry refreshes it
+    return;
+  }
+  recency_[key] = lru_.insert(lru_.end(), key);
+  if (telemetry::enabled()) {
+    telemetry::registry().counter("runtime.cache.admit").add(1);
+  }
+  evict_over_cap();
 }
 
 ResultCache ResultCache::load(const std::filesystem::path& path, u64 salt) {
@@ -148,6 +200,13 @@ ResultCache ResultCache::load(const std::filesystem::path& path, u64 salt) {
     return cache;  // salt changed -> every entry is stale; start cold
   }
   cache.entries_ = std::move(entries);
+  // Recency for loaded entries is unknowable; seed it in key order (the
+  // file's order) and let the bound trim deterministically from the low
+  // keys.
+  for (const auto& [key, m] : cache.entries_) {
+    cache.recency_[key] = cache.lru_.insert(cache.lru_.end(), key);
+  }
+  cache.evict_over_cap();
   if (telemetry::enabled()) {
     telemetry::registry()
         .gauge("runtime.cache.store.entries")

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <list>
 #include <map>
 #include <optional>
 #include <string>
@@ -42,6 +43,10 @@ namespace wcm::runtime {
 /// change meaning) plus the WCM_CACHE_SALT environment variable, which
 /// tests and operators use to force a cold cache without deleting files.
 [[nodiscard]] u64 code_version_salt();
+
+/// Entry bound from the WCM_CACHE_MAX environment variable (0 or unset =
+/// unbounded).  Throws wcm::config_error on a malformed value.
+[[nodiscard]] u64 cache_max_from_env();
 
 /// Flat metrics of one computed campaign cell.
 struct CellMetrics {
@@ -64,12 +69,26 @@ inline constexpr std::uint32_t wcmc_version = 1;
 
 /// In-memory cache; thread-safety is the caller's concern (the campaign
 /// serializes lookups at expansion time and inserts under its own mutex).
+///
+/// The entry count is LRU-bounded by WCM_CACHE_MAX (0/unset = unbounded):
+/// a crashed-and-resumed or long chaos run cannot grow the cache without
+/// bound.  lookup() refreshes recency; insert() admits (counter
+/// runtime.cache.admit) then evicts the coldest entries over the cap
+/// (counter runtime.cache.evict).  Stored files stay deterministic in
+/// *key* order for a given surviving entry set, but under a cap the
+/// surviving set itself depends on completion order, so bounded cache
+/// files are not byte-identical across thread counts (the aggregate JSON
+/// still is — eviction only forces recomputation).
 class ResultCache {
  public:
   /// Empty cache keyed at the current code_version_salt().
   ResultCache();
-  /// Empty cache with an explicit salt (tests).
-  explicit ResultCache(u64 salt) : salt_(salt) {}
+  /// Empty cache with an explicit salt, bounded per WCM_CACHE_MAX.
+  explicit ResultCache(u64 salt);
+  /// Empty cache with an explicit salt and entry bound (tests; 0 =
+  /// unbounded).
+  ResultCache(u64 salt, u64 max_entries)
+      : salt_(salt), max_entries_(max_entries) {}
 
   /// Hash a canonical cell-configuration string into this cache's address
   /// space (folds the salt first, then the string).
@@ -80,6 +99,7 @@ class ResultCache {
 
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
   [[nodiscard]] u64 salt() const noexcept { return salt_; }
+  [[nodiscard]] u64 max_entries() const noexcept { return max_entries_; }
 
   /// Parse a WCMC file.  A missing file yields an empty cache; a salt
   /// mismatch yields an empty cache (invalidation); a malformed file
@@ -92,8 +112,16 @@ class ResultCache {
   void store(const std::filesystem::path& path) const;
 
  private:
+  void touch(u64 key) const;
+  void evict_over_cap();
+
   u64 salt_;
+  u64 max_entries_ = 0;  // 0 = unbounded
   std::map<u64, CellMetrics> entries_;  // ordered -> deterministic files
+  // Recency bookkeeping (front = coldest); mutable so a const lookup()
+  // can refresh the entry it just served.
+  mutable std::list<u64> lru_;
+  mutable std::map<u64, std::list<u64>::iterator> recency_;
 };
 
 }  // namespace wcm::runtime

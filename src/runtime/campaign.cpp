@@ -8,8 +8,11 @@
 #include <mutex>
 #include <sstream>
 
+#include <optional>
+
 #include "gpusim/occupancy.hpp"
 #include "gpusim/trace.hpp"
+#include "runtime/journal.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/thread_pool.hpp"
 #include "telemetry/span.hpp"
@@ -18,6 +21,7 @@
 #include "sort/multiway.hpp"
 #include "sort/radix.hpp"
 #include "util/check.hpp"
+#include "util/failpoint.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
 
@@ -270,18 +274,25 @@ struct CellRun {
   u64 key = 0;
   CellMetrics metrics;
   bool cached = false;
+  bool replayed = false;  ///< restored from the journal
+  bool have = false;      ///< metrics are valid (cached/replayed/computed)
 };
 
 void write_aggregate_json(std::ostream& os, const CampaignSpec& spec,
-                          const std::vector<CellRun>& runs) {
+                          const std::vector<CellRun>& runs,
+                          const std::vector<QuarantinedCell>& quarantined) {
   os << "{\"campaign\":\"" << escape(spec.name) << "\""
      << ",\"device\":\"" << escape(spec.device.name) << "\""
      << ",\"seed\":" << spec.seed << ",\"cells\":[";
-  for (std::size_t i = 0; i < runs.size(); ++i) {
-    const auto& r = runs[i];
-    if (i) {
+  bool first_cell = true;
+  for (const auto& r : runs) {
+    if (!r.have) {
+      continue;  // quarantined: reported in the quarantined section instead
+    }
+    if (!first_cell) {
       os << ',';
     }
+    first_cell = false;
     os << "{\"engine\":\"" << to_string(r.cell.engine) << "\""
        << ",\"library\":\""
        << (r.cell.library == sort::MergeSortLibrary::thrust ? "thrust"
@@ -306,6 +317,9 @@ void write_aggregate_json(std::ostream& os, const CampaignSpec& spec,
   std::map<std::string, std::map<std::string, std::vector<analysis::SeriesPoint>>>
       curves;
   for (const auto& r : runs) {
+    if (!r.have) {
+      continue;
+    }
     analysis::SeriesPoint p;
     p.n = static_cast<std::size_t>(r.metrics.n);
     p.throughput = r.metrics.throughput;
@@ -370,6 +384,22 @@ void write_aggregate_json(std::ostream& os, const CampaignSpec& spec,
        << "\",\"peak_percent\":" << stats.peak_percent
        << ",\"peak_n\":" << stats.peak_n
        << ",\"average_percent\":" << stats.average_percent << "}";
+  }
+  os << "]";
+
+  // Quarantined cells, in expansion order.  Always present (empty on a
+  // clean run) so a resumed clean run stays byte-identical to an
+  // uninterrupted one.
+  os << ",\"quarantined\":[";
+  for (std::size_t i = 0; i < quarantined.size(); ++i) {
+    const auto& q = quarantined[i];
+    if (i) {
+      os << ',';
+    }
+    os << "{\"index\":" << q.index << ",\"label\":\"" << escape(q.label)
+       << "\",\"code\":\"" << wcm::to_string(q.code) << "\""
+       << ",\"message\":\"" << escape(q.message)
+       << "\",\"attempts\":" << q.attempts << "}";
   }
   os << "]}";
 }
@@ -537,12 +567,36 @@ CampaignOutcome run_campaign(const CampaignSpec& spec,
     std::filesystem::create_directories(trace_dir);
   }
 
-  // Cache lookups are serial and deterministic; only misses become jobs.
+  // Journal replay (resume): cells already sealed in the journal are not
+  // recomputed.  Traces disable journaling — a replayed cell cannot
+  // reproduce its trace side effect.
+  const bool journaling = !options.journal_path.empty() && trace_dir.empty();
+  const u64 fingerprint = campaign_fingerprint(cells);
+  JournalReplay replay;
+  if (journaling && options.resume) {
+    replay = replay_journal(options.journal_path, salt, fingerprint);
+  }
+  std::map<u64, CellMetrics> journaled;
+  if (replay.compatible) {
+    for (const auto& rec : replay.records) {
+      journaled[rec.key] = rec.metrics;
+    }
+  }
+
+  // Cell resolution is serial and deterministic: journal first, then
+  // cache; only the remainder becomes jobs.
   std::vector<CellRun> runs(cells.size());
   std::vector<std::size_t> misses;
   for (std::size_t i = 0; i < cells.size(); ++i) {
     runs[i].cell = cells[i];
     runs[i].key = cache.key_of(cells[i].canonical);
+    if (const auto it = journaled.find(runs[i].key); it != journaled.end()) {
+      runs[i].metrics = it->second;
+      runs[i].replayed = true;
+      runs[i].have = true;
+      cache.insert(runs[i].key, it->second);  // replay feeds the cache too
+      continue;
+    }
     // A cache hit still recomputes when traces were requested: the trace
     // is a side effect the cache does not store.
     const auto hit = trace_dir.empty() ? cache.lookup(runs[i].key)
@@ -550,12 +604,27 @@ CampaignOutcome run_campaign(const CampaignSpec& spec,
     if (hit.has_value()) {
       runs[i].metrics = *hit;
       runs[i].cached = true;
+      runs[i].have = true;
     } else {
       misses.push_back(i);
     }
   }
-  outcome.cache_hits = cells.size() - misses.size();
-  outcome.computed = misses.size();
+  for (const auto& r : runs) {
+    outcome.cache_hits += r.cached ? 1 : 0;
+    outcome.replayed += r.replayed ? 1 : 0;
+  }
+
+  // Open the journal for append and seal every already-known cell up
+  // front, so a crash from here on resumes with all of them.
+  std::optional<JournalWriter> journal;
+  if (journaling) {
+    journal.emplace(options.journal_path, salt, fingerprint, replay);
+    for (const auto& r : runs) {
+      if (r.cached) {
+        journal->append(r.key, r.metrics);
+      }
+    }
+  }
 
   // Device-aware worker sizing from the heaviest cell's launch shape.
   u32 requested = options.threads != 0 ? options.threads : spec.threads;
@@ -579,13 +648,21 @@ CampaignOutcome run_campaign(const CampaignSpec& spec,
   threads = std::max(1u, threads);
   outcome.threads = threads;
 
-  std::mutex mu;  // guards cache inserts and progress lines
-  std::size_t finished = outcome.cache_hits;
+  // Interrupt handling: an external cancel (wcmgen's signal handler) or
+  // the "runtime.campaign.interrupt" failpoint drains the run — in-flight
+  // cells finish and are journaled; queued cells are skipped.
+  CancelSource local_cancel;
+  CancelSource* cancel =
+      options.cancel != nullptr ? options.cancel : &local_cancel;
+
+  std::mutex mu;  // guards cache/journal writes and progress lines
+  std::size_t finished = outcome.cache_hits + outcome.replayed;
   if (options.progress != nullptr) {
     const std::lock_guard<std::mutex> lock(mu);
     for (const auto& r : runs) {
-      if (r.cached) {
-        *options.progress << "[" << "cached" << "] " << r.cell.label << "\n";
+      if (r.cached || r.replayed) {
+        *options.progress << "[" << (r.replayed ? "replayed" : "cached")
+                          << "] " << r.cell.label << "\n";
       }
     }
   }
@@ -616,14 +693,25 @@ CampaignOutcome run_campaign(const CampaignSpec& spec,
             WCM_CHECK_IO(static_cast<bool>(os), "trace write failed: " +
                                                     path.string());
           }
-          const std::lock_guard<std::mutex> lock(mu);
-          runs[idx].metrics = metrics;
-          cache.insert(runs[idx].key, metrics);
-          ++finished;
-          if (options.progress != nullptr) {
-            *options.progress << "[" << finished << "/" << runs.size()
-                              << "] " << runs[idx].cell.label << ": "
-                              << metrics.seconds << " s modeled\n";
+          {
+            const std::lock_guard<std::mutex> lock(mu);
+            cache.insert(runs[idx].key, metrics);
+            // A journal-append failure fails the cell (retry recomputes
+            // it); `have` stays false until the record is sealed.
+            if (journal.has_value()) {
+              journal->append(runs[idx].key, metrics);
+            }
+            runs[idx].metrics = metrics;
+            runs[idx].have = true;
+            ++finished;
+            if (options.progress != nullptr) {
+              *options.progress << "[" << finished << "/" << runs.size()
+                                << "] " << runs[idx].cell.label << ": "
+                                << metrics.seconds << " s modeled\n";
+            }
+          }
+          if (failpoint::should_fail("runtime.campaign.interrupt")) {
+            cancel->cancel();  // chaos: drain as if a signal arrived
           }
         },
         JobOptions{{}, {}, runs[idx].cell.label});
@@ -631,7 +719,13 @@ CampaignOutcome run_campaign(const CampaignSpec& spec,
 
   RunOptions run_opts;
   run_opts.threads = threads;
-  run_opts.fail_fast = true;
+  run_opts.fail_fast = options.fail_fast;
+  run_opts.quarantine = !options.fail_fast;
+  run_opts.retry = options.retry;
+  if (run_opts.retry.seed == 0) {
+    run_opts.retry.seed = spec.seed;
+  }
+  run_opts.cancel = cancel;
   const RunReport report = run(graph, run_opts);
 
   // Persist whatever was computed before surfacing any failure: a partial
@@ -639,12 +733,40 @@ CampaignOutcome run_campaign(const CampaignSpec& spec,
   if (caching && !misses.empty()) {
     cache.store(cache_path);
   }
-  report.rethrow_first_error();
+  if (options.fail_fast) {
+    report.rethrow_first_error();
+  }
+
+  for (std::size_t j = 0; j < misses.size(); ++j) {
+    const JobOutcome& o = report.outcomes[j];
+    switch (o.state) {
+      case JobState::done:
+        ++outcome.computed;
+        break;
+      case JobState::failed:
+      case JobState::quarantined:
+      case JobState::skipped_quarantined:
+        outcome.quarantined.push_back(
+            {misses[j], runs[misses[j]].cell.label, o.code, o.message,
+             o.attempts});
+        break;
+      case JobState::skipped_cancelled:
+      case JobState::skipped_dep_failed:
+        ++outcome.cancelled;
+        break;
+    }
+  }
+
+  if (outcome.interrupted()) {
+    // Drained: no aggregate — the journal holds the resumable prefix.
+    outcome.wall_seconds = wall.elapsed_seconds();
+    return outcome;
+  }
 
   {
     WCM_SPAN("campaign.aggregate");
     std::ostringstream json;
-    write_aggregate_json(json, spec, runs);
+    write_aggregate_json(json, spec, runs, outcome.quarantined);
     outcome.json = json.str();
   }
   outcome.wall_seconds = wall.elapsed_seconds();

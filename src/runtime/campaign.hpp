@@ -22,10 +22,13 @@
 
 #include "analysis/experiment.hpp"
 #include "runtime/cache.hpp"
+#include "runtime/retry.hpp"
 #include "sort/pairwise_sort.hpp"
 #include "workload/inputs.hpp"
 
 namespace wcm::runtime {
+
+class CancelSource;  // runtime/scheduler.hpp
 
 enum class Engine { pairwise, multiway, bitonic, radix };
 
@@ -98,20 +101,61 @@ struct CampaignOptions {
   std::filesystem::path cache_path;
   std::ostream* progress = nullptr;  ///< per-cell progress lines; may be null
   std::string trace_dir;             ///< overrides spec.trace_dir when set
+  /// Write-ahead journal of completed cells (WCMJ, runtime/journal.hpp);
+  /// empty = no journal.  Ignored while traces are recorded (a replayed
+  /// cell cannot reproduce its trace side effect).
+  std::filesystem::path journal_path;
+  /// Replay `journal_path` before scheduling: cells already journaled are
+  /// not recomputed.  A journal from a different spec or code version is
+  /// ignored (and rewritten).
+  bool resume = false;
+  /// Per-cell retry policy for transient failures; seed 0 = spec.seed.
+  /// The default re-runs a failing cell twice before giving up.
+  RetryPolicy retry{3};
+  /// Restore the pre-quarantine behavior: first failing cell (by
+  /// expansion index) cancels the rest and is rethrown.
+  bool fail_fast = false;
+  /// External cancellation (SIGINT/SIGTERM drain); may be null.  After
+  /// cancel() the campaign finishes in-flight cells, flushes journal and
+  /// cache, and returns with interrupted() true and an empty json.
+  CancelSource* cancel = nullptr;
+};
+
+/// A cell that exhausted its retries (or failed permanently) while the
+/// rest of the campaign completed.
+struct QuarantinedCell {
+  std::size_t index = 0;   ///< expansion index
+  std::string label;       ///< CampaignCell::label
+  errc code = errc::simulation_invariant;
+  std::string message;     ///< final attempt's error text
+  u32 attempts = 0;        ///< times the cell body ran
 };
 
 struct CampaignOutcome {
   std::string json;        ///< aggregated document (see docs/RUNTIME.md)
   std::size_t cells = 0;
   std::size_t cache_hits = 0;
-  std::size_t computed = 0;
-  u32 threads = 1;         ///< workers actually used
+  std::size_t replayed = 0;   ///< cells restored from the journal
+  std::size_t computed = 0;   ///< cells actually (re)computed to completion
+  /// Cells isolated after exhausting retries, in expansion order; the
+  /// campaign is *degraded* when non-empty (wcmgen exits 6).
+  std::vector<QuarantinedCell> quarantined;
+  std::size_t cancelled = 0;  ///< cells skipped by an interrupt drain
+  u32 threads = 1;            ///< workers actually used
   double wall_seconds = 0.0;
+
+  [[nodiscard]] bool degraded() const noexcept { return !quarantined.empty(); }
+  /// True when a cancel drained the run before every cell finished: json
+  /// is empty and the journal (if any) holds the resumable prefix
+  /// (wcmgen exits 7).
+  [[nodiscard]] bool interrupted() const noexcept { return cancelled > 0; }
 };
 
-/// Run the campaign: cache lookups, parallel execution of the misses
-/// (fail-fast: the first failing cell, by expansion index, is rethrown
-/// after the queue drains), cache write-back, aggregation.
+/// Run the campaign: journal replay (resume) and cache lookups, parallel
+/// execution of the misses with retry/backoff, quarantine of cells that
+/// exhaust their attempts (fail_fast instead rethrows the first failure by
+/// expansion index), journal/cache write-back, aggregation.  The aggregate
+/// of a resumed run is byte-identical to an uninterrupted one.
 [[nodiscard]] CampaignOutcome run_campaign(const CampaignSpec& spec,
                                            const CampaignOptions& options);
 

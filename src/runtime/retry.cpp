@@ -1,0 +1,41 @@
+#include "runtime/retry.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace wcm::runtime {
+
+bool is_transient(errc code) noexcept {
+  switch (code) {
+    case errc::io_failure:
+    case errc::simulation_invariant:
+      return true;
+    case errc::contract_violation:
+    case errc::invalid_config:
+    case errc::parse_failure:
+      return false;
+  }
+  return false;
+}
+
+double backoff_delay_seconds(const RetryPolicy& policy, u64 stream,
+                             u32 failed_attempts) noexcept {
+  if (failed_attempts == 0 || policy.base_delay_seconds <= 0.0) {
+    return 0.0;
+  }
+  // 2^(attempt-1), saturating well before the double exponent range so a
+  // pathological attempt count cannot overflow to inf.
+  const u32 exponent = std::min(failed_attempts - 1, 60u);
+  const double scaled =
+      policy.base_delay_seconds * static_cast<double>(u64{1} << exponent);
+  // Jitter in [0, 1): a pure function of (seed, stream, attempt).
+  const u64 draw =
+      fork_seed(fork_seed(policy.seed, stream), failed_attempts);
+  const double jitter =
+      static_cast<double>(draw >> 11) * 0x1.0p-53;  // 53 mantissa bits
+  const double delay = scaled * (0.5 + 0.5 * jitter);
+  return std::min(delay, policy.max_delay_seconds);
+}
+
+}  // namespace wcm::runtime

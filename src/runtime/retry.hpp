@@ -1,0 +1,52 @@
+#pragma once
+// Retry policy for the fault-tolerant campaign runtime.
+//
+// A failing job is worth retrying only when its error class is
+// *transient* — an injected or real I/O hiccup, a simulator invariant
+// tripped by a fault — never when it is *permanent* (invalid
+// configuration, parse failure, contract violation: running the same body
+// again cannot change the outcome).  is_transient() encodes that split of
+// the wcm::error taxonomy (util/error.hpp, PR 1).
+//
+// Backoff is deterministic by construction: the delay before retrying a
+// job depends only on (policy seed, job stream, attempt number), jittered
+// through fork_seed (util/rng.hpp) exactly like every other stochastic
+// quantity in the repository.  Delays therefore never depend on worker
+// scheduling, which keeps campaign aggregates byte-identical across
+// thread counts even when retries fire (docs/RUNTIME.md).
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace wcm::runtime {
+
+struct RetryPolicy {
+  /// Total times a job body may run (1 = never retry).
+  u32 max_attempts = 1;
+  /// Delay before the first retry; doubles per attempt.
+  double base_delay_seconds = 0.01;
+  /// Ceiling on any single backoff delay.
+  double max_delay_seconds = 0.25;
+  /// Root of the jitter stream (commonly the campaign seed).
+  u64 seed = 0;
+};
+
+/// True iff `code` names a transient failure class worth retrying:
+/// io_failure (reads/writes can succeed on a second try) and
+/// simulation_invariant (the class every injected worker fault and
+/// cancellation surfaces as).  invalid_config, parse_failure, and
+/// contract_violation are permanent — deterministic re-execution of the
+/// same body cannot fix them.
+[[nodiscard]] bool is_transient(errc code) noexcept;
+
+/// Deterministic jittered exponential backoff: the delay (seconds) to
+/// sleep after `failed_attempts` consecutive failures of the job on
+/// logical stream `stream` (1-based: pass 1 after the first failure).
+/// delay = min(max, base * 2^(failed_attempts-1) * (0.5 + jitter/2)) with
+/// jitter in [0, 1) drawn from fork_seed(policy.seed, stream, attempt) —
+/// a pure function of its arguments, never of wall clock or threads.
+[[nodiscard]] double backoff_delay_seconds(const RetryPolicy& policy,
+                                           u64 stream,
+                                           u32 failed_attempts) noexcept;
+
+}  // namespace wcm::runtime

@@ -2,6 +2,7 @@
 
 #include <condition_variable>
 #include <mutex>
+#include <thread>
 
 #include "runtime/thread_pool.hpp"
 #include "telemetry/registry.hpp"
@@ -17,10 +18,14 @@ const char* to_string(JobState state) noexcept {
       return "done";
     case JobState::failed:
       return "failed";
+    case JobState::quarantined:
+      return "quarantined";
     case JobState::skipped_cancelled:
       return "skipped-cancelled";
     case JobState::skipped_dep_failed:
       return "skipped-dep-failed";
+    case JobState::skipped_quarantined:
+      return "skipped-quarantined";
   }
   return "?";
 }
@@ -68,7 +73,7 @@ std::size_t RunReport::count(JobState state) const noexcept {
 
 void RunReport::rethrow_first_error() const {
   for (const auto& o : outcomes) {
-    if (o.state != JobState::failed) {
+    if (o.state != JobState::failed && o.state != JobState::quarantined) {
       continue;
     }
     if (o.error) {
@@ -90,10 +95,15 @@ struct RunState {
   std::vector<JobOutcome> outcomes;
   std::vector<std::size_t> pending_deps;
   std::vector<std::vector<JobId>> dependents;
+  /// Body executions per job; only the single worker currently running the
+  /// job touches its slot (retry resubmission orders through the pool).
+  std::vector<u32> attempts;
   std::size_t terminal = 0;
   bool fail_fast_tripped = false;
   CancelSource* external_cancel = nullptr;
   bool fail_fast = false;
+  bool quarantine = false;
+  RetryPolicy retry;
   std::chrono::steady_clock::time_point start;
   ThreadPool* pool = nullptr;
 
@@ -137,10 +147,14 @@ struct RunState {
     {
       const std::lock_guard<std::mutex> lock(mu);
       for (const JobId dep : job.opts.deps) {
-        if (outcomes[dep].state != JobState::done) {
-          outcome.state = JobState::skipped_dep_failed;
+        const JobState dep_state = outcomes[dep].state;
+        if (dep_state != JobState::done) {
+          outcome.state = (dep_state == JobState::quarantined ||
+                           dep_state == JobState::skipped_quarantined)
+                              ? JobState::skipped_quarantined
+                              : JobState::skipped_dep_failed;
           outcome.message = "dependency " + std::to_string(dep) + " " +
-                            std::string(to_string(outcomes[dep].state));
+                            std::string(to_string(dep_state));
           runnable = false;
           break;
         }
@@ -156,6 +170,7 @@ struct RunState {
           job.opts.timeout != std::chrono::steady_clock::duration{0};
       const auto deadline = start + job.opts.timeout;
       JobContext ctx(id, external_cancel, deadline, has_deadline);
+      outcome.attempts = ++attempts[id];
       const auto job_start = std::chrono::steady_clock::now();
       try {
         WCM_FAILPOINT("runtime.worker.job", simulation_error,
@@ -193,6 +208,41 @@ struct RunState {
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         job_start)
               .count();
+
+      if (outcome.state == JobState::failed) {
+        const bool transient = is_transient(outcome.code);
+        bool live = true;
+        {
+          const std::lock_guard<std::mutex> lock(mu);
+          live = !cancelled();
+        }
+        if (transient && live && outcome.attempts < retry.max_attempts) {
+          // Back off deterministically, then re-run the same job.  The
+          // failed attempt is *not* terminal: run() keeps waiting.
+          if (telemetry::enabled()) {
+            telemetry::registry().counter("runtime.retry.attempts").add(1);
+          }
+          const double delay =
+              backoff_delay_seconds(retry, id, outcome.attempts);
+          if (delay > 0.0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(delay));
+          }
+          pool->submit([this, id] { execute(id); });
+          return;
+        }
+        if (transient && retry.max_attempts > 1 &&
+            outcome.attempts >= retry.max_attempts &&
+            telemetry::enabled()) {
+          telemetry::registry().counter("runtime.retry.exhausted").add(1);
+        }
+        if (quarantine) {
+          outcome.state = JobState::quarantined;
+        }
+      } else if (outcome.state == JobState::done && outcome.attempts > 1 &&
+                 telemetry::enabled()) {
+        telemetry::registry().counter("runtime.retry.success").add(1);
+      }
     }
 
     if (telemetry::enabled()) {
@@ -206,6 +256,13 @@ struct RunState {
           break;
         case JobState::failed:
           reg.counter("runtime.scheduler.jobs.failed").add(1);
+          break;
+        case JobState::quarantined:
+          reg.counter("runtime.quarantine.jobs").add(1);
+          break;
+        case JobState::skipped_quarantined:
+          reg.counter("runtime.quarantine.deps_skipped").add(1);
+          reg.counter("runtime.scheduler.jobs.skipped").add(1);
           break;
         case JobState::skipped_cancelled:
         case JobState::skipped_dep_failed:
@@ -233,8 +290,11 @@ RunReport run(const JobGraph& graph, const RunOptions& opts) {
   state.outcomes.resize(n);
   state.pending_deps.resize(n);
   state.dependents.resize(n);
+  state.attempts.resize(n, 0);
   state.external_cancel = opts.cancel;
   state.fail_fast = opts.fail_fast;
+  state.quarantine = opts.quarantine;
+  state.retry = opts.retry;
   state.start = std::chrono::steady_clock::now();
   for (JobId id = 0; id < n; ++id) {
     const auto& deps = state.graph.jobs_[id].opts.deps;

@@ -21,6 +21,15 @@
 //     RunOptions::fail_fast) still-queued jobs finish as
 //     `skipped_cancelled`; running jobs can poll JobContext::cancelled().
 //
+// Fault tolerance (PR 6): RunOptions::retry re-runs a job whose failure
+// is transient (runtime/retry.hpp) up to max_attempts times, sleeping a
+// deterministic fork_seed'ed backoff between attempts.  Under
+// RunOptions::quarantine, a job that exhausts its attempts (or fails
+// permanently) is recorded `quarantined` instead of tripping fail-fast,
+// its dependents finish `skipped_quarantined`, and every unrelated job
+// still runs to completion — the degraded-but-complete mode the campaign
+// runtime builds on (docs/RUNTIME.md).
+//
 // The worker wrapper evaluates the "runtime.worker.job" failpoint before
 // invoking each job, so WCM_FAILPOINTS can prove the whole
 // fail/skip/report pipeline end to end (docs/RUNTIME.md).
@@ -32,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/retry.hpp"
 #include "util/error.hpp"
 #include "util/math.hpp"
 
@@ -51,18 +61,25 @@ struct JobOptions {
 enum class JobState {
   done,
   failed,
+  /// Exhausted its retry budget (or failed permanently) under
+  /// RunOptions::quarantine: isolated instead of tripping fail-fast.
+  quarantined,
   skipped_cancelled,
   skipped_dep_failed,
+  /// Skipped because a dependency was quarantined (distinct from
+  /// skipped_dep_failed so callers can report degraded completion).
+  skipped_quarantined,
 };
 
 [[nodiscard]] const char* to_string(JobState state) noexcept;
 
 struct JobOutcome {
   JobState state = JobState::skipped_cancelled;
-  errc code = errc::simulation_invariant;  ///< valid when state == failed
+  errc code = errc::simulation_invariant;  ///< valid when failed/quarantined
   std::string message;                     ///< error text when failed
   std::exception_ptr error;                ///< original exception when failed
-  double seconds = 0.0;                    ///< job body wall clock
+  double seconds = 0.0;                    ///< job body wall clock (last try)
+  u32 attempts = 0;                        ///< times the body actually ran
 };
 
 /// Cooperative cancellation shared between the caller and running jobs.
@@ -132,6 +149,13 @@ struct RunOptions {
   u32 threads = 1;
   /// Cancel everything still queued as soon as one job fails.
   bool fail_fast = false;
+  /// Isolate exhausted jobs as `quarantined` (dependents finish
+  /// `skipped_quarantined`) instead of failing; unrelated jobs still run.
+  /// Takes precedence over fail_fast for the quarantined jobs themselves.
+  bool quarantine = false;
+  /// Transient failures re-run up to retry.max_attempts times with
+  /// deterministic backoff (stream = job id).  Default: never retry.
+  RetryPolicy retry;
   /// Optional external cancellation handle (not owned; may be null).
   CancelSource* cancel = nullptr;
 };

@@ -1,8 +1,10 @@
 #include "util/failpoint.hpp"
 
+#include <charconv>
 #include <cstdlib>
 #include <map>
 #include <mutex>
+#include <vector>
 
 #include "util/error.hpp"
 
@@ -26,6 +28,8 @@ constexpr const char* kBuiltin[] = {
     "runtime.worker.job",     // scheduler worker: break before a job body
     "runtime.cache.load",     // ResultCache::load: read failure
     "runtime.cache.store",    // ResultCache::store: write failure
+    "runtime.journal.append",  // JournalWriter::append: write failure
+    "runtime.journal.replay",  // replay_journal: read failure
     "telemetry.export.write",      // write_chrome_trace: export failure
     "telemetry.registry.snapshot",  // Registry::snapshot: render failure
 };
@@ -56,41 +60,67 @@ Registry& registry() {
   return r;
 }
 
-/// Parse one WCM_FAILPOINTS entry: name[=skip[:times]].
-void arm_from_entry(Registry& r, const std::string& entry,
-                    std::size_t& armed_count) {
-  if (entry.empty()) {
-    return;
-  }
-  std::string name = entry;
+struct ParsedEntry {
+  std::string name;
   std::uint64_t skip = 0;
   std::int64_t times = -1;
+};
+
+[[noreturn]] void bad_entry(const std::string& entry, const char* why) {
+  throw parse_error("bad WCM_FAILPOINTS entry '" + entry + "': " + why +
+                    " (expected name[=skip[:times]])");
+}
+
+/// Strict whole-string integer parse; rejects empty strings, signs where
+/// not allowed, and trailing garbage.
+template <typename T>
+T parse_number(const std::string& entry, const std::string& text,
+               const char* what) {
+  if (text.empty()) {
+    bad_entry(entry, what);
+  }
+  T value{};
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, err] = std::from_chars(first, last, value);
+  if (err != std::errc() || ptr != last) {
+    bad_entry(entry, what);
+  }
+  return value;
+}
+
+/// Parse one WCM_FAILPOINTS entry: name[=skip[:times]].  Malformed entries
+/// (empty name, non-numeric or trailing-garbage counts) are a
+/// wcm::parse_error — a typo'd fault schedule must abort the run (exit 2
+/// in wcmgen), never silently arm nothing.
+ParsedEntry parse_entry(const std::string& entry) {
+  ParsedEntry p;
+  p.name = entry;
   const auto eq = entry.find('=');
   if (eq != std::string::npos) {
-    name = entry.substr(0, eq);
-    std::string spec = entry.substr(eq + 1);
+    p.name = entry.substr(0, eq);
+    const std::string spec = entry.substr(eq + 1);
     const auto colon = spec.find(':');
-    try {
-      if (colon != std::string::npos) {
-        skip = std::stoull(spec.substr(0, colon));
-        times = std::stoll(spec.substr(colon + 1));
-      } else {
-        skip = std::stoull(spec);
-      }
-    } catch (const std::exception&) {
-      throw parse_error("bad WCM_FAILPOINTS entry '" + entry +
-                        "' (expected name[=skip[:times]])");
+    if (colon != std::string::npos) {
+      p.skip = parse_number<std::uint64_t>(entry, spec.substr(0, colon),
+                                           "bad skip count");
+      p.times = parse_number<std::int64_t>(entry, spec.substr(colon + 1),
+                                           "bad times count");
+    } else {
+      p.skip = parse_number<std::uint64_t>(entry, spec, "bad skip count");
     }
   }
-  State& s = r.points[name];  // registers unknown names
-  s.armed = true;
-  s.skip = skip;
-  s.times = times;
-  ++armed_count;
+  if (p.name.empty()) {
+    bad_entry(entry, "empty failpoint name");
+  }
+  return p;
 }
 
 /// Apply WCM_FAILPOINTS if its value changed since the last application.
-/// Caller holds the registry mutex.
+/// Validate-then-apply: the whole value is parsed before any failpoint is
+/// armed, so a malformed entry arms nothing (and parsed_env is left
+/// untouched — the same error re-surfaces on the next evaluation instead
+/// of being swallowed).  Caller holds the registry mutex.
 std::size_t apply_env_locked(Registry& r) {
   r.env_checked = true;
   // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env probe; nothing
@@ -100,19 +130,30 @@ std::size_t apply_env_locked(Registry& r) {
   if (value == r.parsed_env) {
     return 0;
   }
-  r.parsed_env = value;
-  std::size_t armed_count = 0;
+  std::vector<ParsedEntry> parsed;
   std::string entry;
+  const auto flush_entry = [&parsed, &entry] {
+    if (!entry.empty()) {  // empty segments ("a;;b", trailing ';') are fine
+      parsed.push_back(parse_entry(entry));
+    }
+    entry.clear();
+  };
   for (const char c : value) {
     if (c == ';' || c == ',') {
-      arm_from_entry(r, entry, armed_count);
-      entry.clear();
+      flush_entry();
     } else {
       entry.push_back(c);
     }
   }
-  arm_from_entry(r, entry, armed_count);
-  return armed_count;
+  flush_entry();
+  r.parsed_env = value;
+  for (const ParsedEntry& p : parsed) {
+    State& s = r.points[p.name];  // registers unknown names
+    s.armed = true;
+    s.skip = p.skip;
+    s.times = p.times;
+  }
+  return parsed.size();
 }
 
 }  // namespace

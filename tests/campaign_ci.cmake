@@ -114,12 +114,18 @@ file(WRITE ${WORKDIR}/bad_config.json
      [[{"grid": [{"engine": "pairwise", "E": 5, "b": 32, "w": 32}]}]])
 expect_exit(4 ${WCMGEN} campaign ${WORKDIR}/bad_config.json)
 
-# 7. An injected worker fault surfaces as an internal error -> 5.
-expect_exit(5 ${CMAKE_COMMAND} -E env WCM_FAILPOINTS=runtime.worker.job
+# 7. An injected worker fault on every attempt exhausts the retry budget
+#    and quarantines every cell: the campaign completes *degraded* -> 6
+#    (the pre-quarantine fail-fast behavior is opt-in via --fail-fast,
+#    which surfaces the first failure as an internal error -> 5).
+expect_exit(6 ${CMAKE_COMMAND} -E env WCM_FAILPOINTS=runtime.worker.job
             ${WCMGEN} campaign ${spec} --threads 1 --no-cache --quiet)
+expect_exit(5 ${CMAKE_COMMAND} -E env WCM_FAILPOINTS=runtime.worker.job
+            ${WCMGEN} campaign ${spec} --threads 1 --no-cache --quiet
+            --fail-fast)
 
 file(REMOVE_RECURSE ${traces})
-file(REMOVE ${spec} ${cache} ${WORKDIR}/ref.json ${WORKDIR}/par.json
+file(REMOVE ${spec} ${cache} ${spec}.wcmj ${WORKDIR}/ref.json ${WORKDIR}/par.json
      ${WORKDIR}/cold.json ${WORKDIR}/warm.json ${WORKDIR}/salted.json
      ${WORKDIR}/traced.json ${WORKDIR}/not_json.json
      ${WORKDIR}/unknown_key.json ${WORKDIR}/bad_config.json)

@@ -1,0 +1,208 @@
+# Chaos gate (ISSUE acceptance): the campaign runtime must end every run
+# in a *defined* state no matter what is injected underneath it — transient
+# worker faults are retried, permanent ones quarantine their cell and the
+# campaign completes degraded (exit 6), a SIGKILL-style death mid-run
+# leaves a resumable journal (exit 77 from the chaos hook, then --resume
+# converges to byte-identical clean output), a torn journal tail is
+# truncated on replay, and an interrupt drains in-flight work and exits
+# resumably (exit 7).
+#
+# Run as:  cmake -DWCMGEN=<bin> -DWORKDIR=<dir> -P chaos_ci.cmake
+
+if(NOT DEFINED WCMGEN OR NOT DEFINED WORKDIR)
+  message(FATAL_ERROR "pass -DWCMGEN=<bin> -DWORKDIR=<dir>")
+endif()
+
+file(MAKE_DIRECTORY ${WORKDIR})
+
+function(expect_exit code)
+  execute_process(COMMAND ${ARGN}
+                  RESULT_VARIABLE rv
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rv EQUAL ${code})
+    message(FATAL_ERROR
+      "expected exit ${code}, got '${rv}' for: ${ARGN}\n"
+      "stdout: ${out}\nstderr: ${err}")
+  endif()
+endfunction()
+
+set(spec ${WORKDIR}/chaos_ci.json)
+set(jrn ${spec}.wcmj)
+file(WRITE ${spec} [[{
+  "name": "chaos",
+  "device": "m4000",
+  "seed": 29,
+  "grid": [
+    {"engine": "pairwise", "E": 5, "b": 64,
+     "input": ["random", "worst-case"], "k": [1, 2]},
+    {"engine": "multiway", "E": 3, "b": 64, "input": "worst-case",
+     "k": [1], "ways": 2}
+  ]
+}]])
+
+# Clean reference: the bytes every recovered run must converge back to.
+set(ref ${WORKDIR}/chaos_ref.json)
+file(REMOVE ${jrn})
+expect_exit(0 ${WCMGEN} campaign ${spec} --threads 1 --no-cache --quiet
+            --out ${ref})
+
+# 1. Seeded fault schedules: five deterministic skip:times shapes for the
+#    worker failpoint, run with a retry budget that covers the worst shape
+#    (times <= 3 fires on one cell < 4 attempts).  Every run must end
+#    defined: either fully recovered (exit 0, bytes identical to the clean
+#    reference) or degraded (exit 6, aggregate carries a quarantined
+#    section) — never a crash, hang, or undocumented code.
+foreach(seed RANGE 1 5)
+  math(EXPR skip "(${seed} * 7) % 11")
+  math(EXPR times "1 + (${seed} % 3)")
+  set(out ${WORKDIR}/chaos_seed${seed}.json)
+  file(REMOVE ${jrn})
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env
+            WCM_FAILPOINTS=runtime.worker.job=${skip}:${times}
+            ${WCMGEN} campaign ${spec} --threads 2 --no-cache --quiet
+            --retries 3 --out ${out}
+    RESULT_VARIABLE rv OUTPUT_VARIABLE stdout ERROR_VARIABLE stderr)
+  if(rv EQUAL 0)
+    expect_exit(0 ${CMAKE_COMMAND} -E compare_files ${ref} ${out})
+  elseif(rv EQUAL 6)
+    file(READ ${out} degraded)
+    if(NOT degraded MATCHES "\"quarantined\":\\[\\{")
+      message(FATAL_ERROR
+        "degraded run (seed ${seed}) lacks a quarantined section: "
+        "${degraded}")
+    endif()
+  else()
+    message(FATAL_ERROR
+      "chaos schedule ${skip}:${times} ended undefined (exit ${rv})\n"
+      "stderr: ${stderr}")
+  endif()
+  file(REMOVE ${out})
+endforeach()
+
+# 2. A permanent fault exhausts every retry: the campaign completes
+#    *degraded* instead of failing fast — the quarantined cells are named
+#    in the aggregate and on stderr, and the exit code is 6.
+file(REMOVE ${jrn})
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env WCM_FAILPOINTS=runtime.worker.job
+          ${WCMGEN} campaign ${spec} --threads 2 --no-cache --quiet
+          --out ${WORKDIR}/chaos_degraded.json
+  RESULT_VARIABLE rv OUTPUT_VARIABLE stdout ERROR_VARIABLE stderr)
+if(NOT rv EQUAL 6)
+  message(FATAL_ERROR "permanent fault: expected exit 6, got ${rv}\n${stderr}")
+endif()
+if(NOT stderr MATCHES "quarantined=5")
+  message(FATAL_ERROR "summary does not report quarantined=5: ${stderr}")
+endif()
+file(READ ${WORKDIR}/chaos_degraded.json degraded)
+if(NOT degraded MATCHES "\"quarantined\":\\[\\{")
+  message(FATAL_ERROR "degraded aggregate lacks quarantined cells")
+endif()
+file(REMOVE ${WORKDIR}/chaos_degraded.json)
+
+# 3. A transient journal-append fault is absorbed by the retry loop: the
+#    failed cell is recomputed, re-journaled, and the output is clean.
+file(REMOVE ${jrn})
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+          WCM_FAILPOINTS=runtime.journal.append=2:1
+          ${WCMGEN} campaign ${spec} --threads 1 --no-cache --quiet
+          --out ${WORKDIR}/chaos_append.json
+  RESULT_VARIABLE rv OUTPUT_VARIABLE stdout ERROR_VARIABLE stderr)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR
+    "transient append fault not absorbed (exit ${rv})\n${stderr}")
+endif()
+expect_exit(0 ${CMAKE_COMMAND} -E compare_files
+            ${ref} ${WORKDIR}/chaos_append.json)
+file(REMOVE ${WORKDIR}/chaos_append.json)
+
+# 4. An injected replay fault is an io error (exit 3), not a silent fresh
+#    start: a resume that cannot read its own journal must say so.
+expect_exit(3 ${CMAKE_COMMAND} -E env
+            WCM_FAILPOINTS=runtime.journal.replay
+            ${WCMGEN} campaign ${spec} --threads 1 --no-cache --quiet
+            --resume --out ${WORKDIR}/chaos_nope.json)
+
+# 5. Kill/resume cycle: the chaos hook kills the process immediately after
+#    the third durable journal append (exit 77).  A --resume run replays
+#    exactly those three cells, computes the missing two, and produces
+#    byte-identical clean output.
+file(REMOVE ${jrn})
+expect_exit(77 ${CMAKE_COMMAND} -E env WCM_CHAOS_KILL_AFTER=3
+            ${WCMGEN} campaign ${spec} --threads 1 --no-cache --quiet
+            --out ${WORKDIR}/chaos_dead.json)
+execute_process(
+  COMMAND ${WCMGEN} campaign ${spec} --threads 1 --no-cache --quiet
+          --resume --out ${WORKDIR}/chaos_resumed.json
+  RESULT_VARIABLE rv OUTPUT_VARIABLE stdout ERROR_VARIABLE stderr)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "resume after kill failed (exit ${rv})\n${stderr}")
+endif()
+if(NOT stderr MATCHES "computed=2 cached=0 replayed=3")
+  message(FATAL_ERROR "resume did not replay 3 cells: ${stderr}")
+endif()
+expect_exit(0 ${CMAKE_COMMAND} -E compare_files
+            ${ref} ${WORKDIR}/chaos_resumed.json)
+
+# 6. A torn tail (garbage appended after the last sealed record — the
+#    classic crash-mid-write artifact) is truncated on replay: the resume
+#    still replays every sealed record and converges to clean bytes.
+file(APPEND ${jrn} "garbage-torn-tail-bytes")
+execute_process(
+  COMMAND ${WCMGEN} campaign ${spec} --threads 1 --no-cache --quiet
+          --resume --out ${WORKDIR}/chaos_torn.json
+  RESULT_VARIABLE rv OUTPUT_VARIABLE stdout ERROR_VARIABLE stderr)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "resume over torn tail failed (exit ${rv})\n${stderr}")
+endif()
+if(NOT stderr MATCHES "computed=0 cached=0 replayed=5")
+  message(FATAL_ERROR "torn-tail resume did not replay 5 cells: ${stderr}")
+endif()
+expect_exit(0 ${CMAKE_COMMAND} -E compare_files
+            ${ref} ${WORKDIR}/chaos_torn.json)
+
+# 7. Graceful interrupt: the drain failpoint cancels admission after the
+#    first completed cell; the run exits 7 (interrupted, resumable) with
+#    the finished cell journaled, and --resume completes cleanly.
+file(REMOVE ${jrn})
+expect_exit(7 ${CMAKE_COMMAND} -E env
+            WCM_FAILPOINTS=runtime.campaign.interrupt
+            ${WCMGEN} campaign ${spec} --threads 1 --no-cache --quiet
+            --out ${WORKDIR}/chaos_int.json)
+execute_process(
+  COMMAND ${WCMGEN} campaign ${spec} --threads 1 --no-cache --quiet
+          --resume --out ${WORKDIR}/chaos_int.json
+  RESULT_VARIABLE rv OUTPUT_VARIABLE stdout ERROR_VARIABLE stderr)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "resume after interrupt failed (exit ${rv})\n${stderr}")
+endif()
+if(NOT stderr MATCHES "replayed=[1-9]")
+  message(FATAL_ERROR "interrupted run journaled nothing: ${stderr}")
+endif()
+expect_exit(0 ${CMAKE_COMMAND} -E compare_files
+            ${ref} ${WORKDIR}/chaos_int.json)
+
+# 8. Resuming with no journal at all is just a fresh run.
+file(REMOVE ${jrn})
+expect_exit(0 ${WCMGEN} campaign ${spec} --threads 1 --no-cache --quiet
+            --resume --out ${WORKDIR}/chaos_fresh.json)
+expect_exit(0 ${CMAKE_COMMAND} -E compare_files
+            ${ref} ${WORKDIR}/chaos_fresh.json)
+
+# 9. The journal never clobbers a file it does not recognize: a non-WCMJ
+#    file at the journal path is an io error (exit 3) and is left intact.
+file(WRITE ${jrn} "precious data that is definitely not a journal")
+expect_exit(3 ${WCMGEN} campaign ${spec} --threads 1 --no-cache --quiet
+            --out ${WORKDIR}/chaos_clobber.json)
+file(READ ${jrn} precious)
+if(NOT precious STREQUAL "precious data that is definitely not a journal")
+  message(FATAL_ERROR "journal clobbered an unrecognized file")
+endif()
+
+file(REMOVE ${spec} ${jrn} ${ref} ${WORKDIR}/chaos_dead.json
+     ${WORKDIR}/chaos_resumed.json ${WORKDIR}/chaos_torn.json
+     ${WORKDIR}/chaos_int.json ${WORKDIR}/chaos_fresh.json
+     ${WORKDIR}/chaos_nope.json ${WORKDIR}/chaos_clobber.json)

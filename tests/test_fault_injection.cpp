@@ -19,6 +19,7 @@
 #include "gpusim/shared_memory.hpp"
 #include "gpusim/trace.hpp"
 #include "runtime/cache.hpp"
+#include "runtime/journal.hpp"
 #include "runtime/scheduler.hpp"
 #include "sort/multiway.hpp"
 #include "sort/pairwise_sort.hpp"
@@ -240,8 +241,41 @@ TEST_F(FaultInjectionTest, EnvVarArmsFailpoints) {
 }
 
 TEST_F(FaultInjectionTest, EnvVarRejectsGarbageSpec) {
-  ASSERT_EQ(::setenv("WCM_FAILPOINTS", "io.read.open=abc", 1), 0);
+  // Every malformed shape is a parse_error, never a silent no-op: an empty
+  // site name, non-numeric counts, trailing garbage after a count, and a
+  // missing times value all reject the whole variable.
+  for (const char* bad :
+       {"io.read.open=abc", "=1", "io.read.open=", "io.read.open=1x",
+        "io.read.open=1:", "io.read.open=1:2y", "io.read.open=1:2:3",
+        "io.read.open=-1"}) {
+    ASSERT_EQ(::setenv("WCM_FAILPOINTS", bad, 1), 0);
+    EXPECT_THROW((void)failpoint::configure_from_env(), parse_error) << bad;
+  }
+  ASSERT_EQ(::unsetenv("WCM_FAILPOINTS"), 0);
+  (void)failpoint::configure_from_env();
+  failpoint::disarm_all();
+}
+
+TEST_F(FaultInjectionTest, EnvVarMalformedSpecArmsNothing) {
+  // Validate-then-apply: a parse failure anywhere in the list must not arm
+  // the well-formed entries that preceded it.
+  ASSERT_EQ(::setenv("WCM_FAILPOINTS", "io.read.open;io.read.checksum=zz", 1),
+            0);
   EXPECT_THROW((void)failpoint::configure_from_env(), parse_error);
+  EXPECT_FALSE(failpoint::armed("io.read.open"));
+  EXPECT_FALSE(failpoint::armed("io.read.checksum"));
+  ASSERT_EQ(::unsetenv("WCM_FAILPOINTS"), 0);
+  (void)failpoint::configure_from_env();
+  failpoint::disarm_all();
+}
+
+TEST_F(FaultInjectionTest, EnvVarIgnoresEmptySegments) {
+  // Stray separators are harmless; only named entries count.
+  ASSERT_EQ(::setenv("WCM_FAILPOINTS", ";io.read.open;;io.read.checksum,", 1),
+            0);
+  EXPECT_EQ(failpoint::configure_from_env(), 2u);
+  EXPECT_TRUE(failpoint::armed("io.read.open"));
+  EXPECT_TRUE(failpoint::armed("io.read.checksum"));
   ASSERT_EQ(::unsetenv("WCM_FAILPOINTS"), 0);
   (void)failpoint::configure_from_env();
   failpoint::disarm_all();
@@ -254,7 +288,8 @@ TEST_F(FaultInjectionTest, KnownListsAllBuiltins) {
         "io.read.checksum", "io.write.fail", "trace.read.malformed",
         "sim.smem.alloc", "sim.smem.invariant", "sort.pairwise.round",
         "sort.multiway.round", "runtime.worker.job", "runtime.cache.load",
-        "runtime.cache.store", "telemetry.export.write",
+        "runtime.cache.store", "runtime.journal.append",
+        "runtime.journal.replay", "telemetry.export.write",
         "telemetry.registry.snapshot"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
@@ -332,6 +367,26 @@ TEST_F(FaultInjectionTest, EveryRegisteredFailpointFired) {
        {errc::io_failure,
         [&] {
           runtime::ResultCache(u64{1}).store(path_.string() + ".wcmc");
+        }}},
+      {"runtime.journal.append",
+       {errc::io_failure,
+        [&] {
+          const auto jpath = std::filesystem::path(path_.string() + ".wcmj");
+          try {
+            runtime::JournalWriter writer(jpath, 1, 1,
+                                          runtime::JournalReplay{});
+            writer.append(1, runtime::CellMetrics{});
+          } catch (...) {
+            std::filesystem::remove(jpath);
+            throw;
+          }
+          std::filesystem::remove(jpath);
+        }}},
+      {"runtime.journal.replay",
+       {errc::io_failure,
+        [&] {
+          // The failpoint fires before the file is touched; no file needed.
+          (void)runtime::replay_journal(path_.string() + ".wcmj", 1, 1);
         }}},
       {"telemetry.export.write",
        {errc::io_failure,

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "gpusim/trace.hpp"
+#include "runtime/journal.hpp"
 #include "util/error.hpp"
 #include "workload/inputs.hpp"
 #include "workload/io.hpp"
@@ -211,6 +212,214 @@ TEST(TraceCorrupt, CorpusThrowsTypedParseError) {
     std::istringstream is(c.text);
     EXPECT_THROW((void)gpusim::read_trace(is), parse_error);
   }
+}
+
+// The WCMJ campaign journal gets the same treatment.  Its contract is
+// subtler than the WCMI reader's: a torn or corrupt *tail* is the
+// expected crash artifact and must be truncated (keeping the sealed
+// prefix), while a file that is recognizably not WCMJ at all is a typed
+// io_error that never gets clobbered.
+class JournalCorruptTest : public ::testing::Test {
+ protected:
+  static constexpr u64 kSalt = 11;
+  static constexpr u64 kFingerprint = 22;
+  static constexpr std::size_t kHeader = 32;  // documented WCMJ layout
+  static constexpr std::size_t kRecord = 64;
+
+  std::filesystem::path path_ =
+      std::filesystem::temp_directory_path() /
+      ("wcm_journal_corrupt_" + std::to_string(::getpid()) + ".wcmj");
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  /// A byte-exact valid journal of `records` sealed cells (via the real
+  /// writer), returned for surgical corruption.
+  std::vector<char> valid_bytes(int records) {
+    std::filesystem::remove(path_);
+    {
+      runtime::JournalWriter writer(path_, kSalt, kFingerprint,
+                                    runtime::JournalReplay{});
+      for (int i = 0; i < records; ++i) {
+        runtime::CellMetrics m;
+        m.n = 64u + static_cast<u64>(i);
+        m.seconds = 0.25 * i;
+        m.throughput = 100.0 + i;
+        writer.append(100 + static_cast<u64>(i), m);
+      }
+    }
+    std::ifstream is(path_, std::ios::binary);
+    return {std::istreambuf_iterator<char>(is),
+            std::istreambuf_iterator<char>()};
+  }
+
+  void write_file(const std::vector<char>& bytes) {
+    std::ofstream os(path_, std::ios::binary);
+    ASSERT_TRUE(os.is_open());
+    if (!bytes.empty()) {
+      os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+  }
+
+  runtime::JournalReplay replay() {
+    return runtime::replay_journal(path_, kSalt, kFingerprint);
+  }
+};
+
+TEST_F(JournalCorruptTest, MissingAndEmptyFilesAreFreshStarts) {
+  std::filesystem::remove(path_);
+  auto r = replay();
+  EXPECT_TRUE(r.records.empty());
+  EXPECT_TRUE(r.compatible);
+  EXPECT_FALSE(r.truncated);
+
+  write_file({});
+  r = replay();
+  EXPECT_TRUE(r.records.empty());
+  EXPECT_TRUE(r.compatible);
+  EXPECT_FALSE(r.truncated);
+}
+
+TEST_F(JournalCorruptTest, RoundTripReplaysEveryRecord) {
+  const auto bytes = valid_bytes(3);
+  EXPECT_EQ(bytes.size(), kHeader + 3 * kRecord);
+  const auto r = replay();
+  ASSERT_EQ(r.records.size(), 3u);
+  EXPECT_TRUE(r.compatible);
+  EXPECT_FALSE(r.truncated);
+  EXPECT_EQ(r.valid_bytes, bytes.size());
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(r.records[i].key, 100 + i);
+    EXPECT_EQ(r.records[i].metrics.n, 64 + i);
+    EXPECT_EQ(r.records[i].metrics.seconds, 0.25 * static_cast<double>(i));
+    EXPECT_EQ(r.records[i].metrics.throughput,
+              100.0 + static_cast<double>(i));
+  }
+}
+
+TEST_F(JournalCorruptTest, TruncatedEverywhereKeepsTheSealedPrefix) {
+  // Chop the file at every possible byte: replay never throws, never
+  // crashes, and always yields exactly the records whose chain word made
+  // it to disk intact.
+  const auto bytes = valid_bytes(2);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    SCOPED_TRACE(len);
+    write_file({bytes.begin(),
+                bytes.begin() + static_cast<std::ptrdiff_t>(len)});
+    const auto r = replay();
+    EXPECT_TRUE(r.compatible);
+    const std::size_t sealed = len < kHeader ? 0 : (len - kHeader) / kRecord;
+    EXPECT_EQ(r.records.size(), sealed);
+    // A cut exactly at a record boundary is a clean (shorter) journal;
+    // anything else is a torn tail.
+    const bool torn =
+        len < kHeader ? len > 0 : (len - kHeader) % kRecord != 0;
+    EXPECT_EQ(r.truncated, torn);
+  }
+}
+
+TEST_F(JournalCorruptTest, FlippedPayloadByteDropsThatRecordAndTheTail) {
+  auto bytes = valid_bytes(3);
+  bytes[kHeader + kRecord + 5] ^= 0x20;  // inside record 1's payload
+  write_file(bytes);
+  const auto r = replay();
+  ASSERT_EQ(r.records.size(), 1u);  // record 0 survives; 1 and 2 are gone
+  EXPECT_EQ(r.records[0].key, 100u);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_EQ(r.valid_bytes, kHeader + kRecord);
+}
+
+TEST_F(JournalCorruptTest, FlippedChainByteDropsTheRecordItSeals) {
+  auto bytes = valid_bytes(2);
+  bytes[kHeader + kRecord - 1] ^= 0x01;  // record 0's chain word
+  write_file(bytes);
+  const auto r = replay();
+  EXPECT_TRUE(r.records.empty());
+  EXPECT_TRUE(r.truncated);
+  EXPECT_EQ(r.valid_bytes, kHeader);
+}
+
+TEST_F(JournalCorruptTest, GarbageTailIsTruncatedNotFatal) {
+  auto bytes = valid_bytes(2);
+  const std::size_t clean = bytes.size();
+  const char junk[] = "crash-mid-write leftovers";
+  bytes.insert(bytes.end(), junk, junk + sizeof(junk));
+  write_file(bytes);
+  const auto r = replay();
+  EXPECT_EQ(r.records.size(), 2u);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_EQ(r.valid_bytes, clean);
+}
+
+TEST_F(JournalCorruptTest, FlippedHeaderSumByteIsATornHeader) {
+  auto bytes = valid_bytes(1);
+  bytes[kHeader - 2] ^= 0x04;  // inside header_sum
+  write_file(bytes);
+  const auto r = replay();
+  EXPECT_TRUE(r.records.empty());
+  EXPECT_TRUE(r.compatible);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_EQ(r.valid_bytes, 0u);  // writer rewrites from scratch
+}
+
+TEST_F(JournalCorruptTest, BadMagicIsTypedIoError) {
+  write_file({'X', 'X', 'X', 'X', 0, 0, 0, 0});
+  EXPECT_THROW((void)replay(), io_error);
+  write_file({'p', 'r', 'e', 'c', 'i', 'o', 'u', 's'});
+  try {
+    (void)replay();
+    FAIL() << "non-WCMJ file was accepted";
+  } catch (const io_error& e) {
+    EXPECT_EQ(e.code(), errc::io_failure);
+  }
+}
+
+TEST_F(JournalCorruptTest, UnsupportedVersionIsTypedIoError) {
+  auto bytes = valid_bytes(1);
+  bytes[4] = 99;  // version u32 follows the magic
+  write_file(bytes);
+  EXPECT_THROW((void)replay(), io_error);
+}
+
+TEST_F(JournalCorruptTest, SaltOrFingerprintMismatchIsIncompatible) {
+  (void)valid_bytes(2);
+  auto r = runtime::replay_journal(path_, kSalt + 1, kFingerprint);
+  EXPECT_FALSE(r.compatible);
+  EXPECT_TRUE(r.records.empty());
+  r = runtime::replay_journal(path_, kSalt, kFingerprint + 1);
+  EXPECT_FALSE(r.compatible);
+  EXPECT_TRUE(r.records.empty());
+}
+
+TEST_F(JournalCorruptTest, WriterRefusesToClobberForeignFiles) {
+  const std::vector<char> precious{'n', 'o', 't', ' ', 'w', 'c', 'm', 'j'};
+  write_file(precious);
+  EXPECT_THROW(runtime::JournalWriter(path_, kSalt, kFingerprint,
+                                      runtime::JournalReplay{}),
+               io_error);
+  std::ifstream is(path_, std::ios::binary);
+  const std::vector<char> after{std::istreambuf_iterator<char>(is),
+                                std::istreambuf_iterator<char>()};
+  EXPECT_EQ(after, precious);  // untouched
+}
+
+TEST_F(JournalCorruptTest, WriterResumesPastATornTail) {
+  auto bytes = valid_bytes(2);
+  bytes.push_back('j');  // torn tail: half-written third record
+  bytes.push_back('u');
+  write_file(bytes);
+  auto r = replay();
+  ASSERT_EQ(r.records.size(), 2u);
+  ASSERT_TRUE(r.truncated);
+  {
+    runtime::JournalWriter writer(path_, kSalt, kFingerprint, r);
+    runtime::CellMetrics m;
+    m.n = 999;
+    writer.append(555, m);
+  }
+  r = replay();  // tail gone, chain intact through the new record
+  ASSERT_EQ(r.records.size(), 3u);
+  EXPECT_FALSE(r.truncated);
+  EXPECT_EQ(r.records[2].key, 555u);
+  EXPECT_EQ(r.records[2].metrics.n, 999u);
 }
 
 TEST(TraceCorrupt, ValidStreamsStillParse) {

@@ -180,6 +180,86 @@ TEST_F(CacheFile, AbsurdRecordCountIsRejectedBeforeAllocation) {
   EXPECT_THROW((void)ResultCache::load(path_, 1), io_error);
 }
 
+// LRU bound (WCM_CACHE_MAX): a capped cache admits every insert but
+// evicts the coldest entries over the cap; lookups refresh recency.
+TEST(CacheLru, BoundedCacheEvictsTheColdestEntry) {
+  ResultCache cache(7, 3);
+  EXPECT_EQ(cache.max_entries(), 3u);
+  const u64 a = cache.key_of("a");
+  const u64 b = cache.key_of("b");
+  const u64 c = cache.key_of("c");
+  cache.insert(a, metrics(1, 0.1));
+  cache.insert(b, metrics(2, 0.2));
+  cache.insert(c, metrics(3, 0.3));
+  ASSERT_TRUE(cache.lookup(a).has_value());  // refresh: b is now coldest
+  cache.insert(cache.key_of("d"), metrics(4, 0.4));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_FALSE(cache.lookup(b).has_value());
+  EXPECT_TRUE(cache.lookup(a).has_value());
+  EXPECT_TRUE(cache.lookup(c).has_value());
+  EXPECT_TRUE(cache.lookup(cache.key_of("d")).has_value());
+}
+
+TEST(CacheLru, ReinsertRefreshesInsteadOfGrowing) {
+  ResultCache cache(7, 2);
+  const u64 a = cache.key_of("a");
+  const u64 b = cache.key_of("b");
+  cache.insert(a, metrics(1, 0.1));
+  cache.insert(b, metrics(2, 0.2));
+  cache.insert(a, metrics(9, 0.9));  // refresh + overwrite, no eviction
+  EXPECT_EQ(cache.size(), 2u);
+  cache.insert(cache.key_of("c"), metrics(3, 0.3));  // evicts b, not a
+  EXPECT_FALSE(cache.lookup(b).has_value());
+  const auto hit = cache.lookup(a);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, metrics(9, 0.9));
+}
+
+TEST(CacheLru, ZeroMeansUnbounded) {
+  ResultCache cache(7, 0);
+  for (u64 i = 0; i < 100; ++i) {
+    cache.insert(cache.key_of(std::to_string(i)), metrics(i, 0.1));
+  }
+  EXPECT_EQ(cache.size(), 100u);
+}
+
+TEST(CacheLru, EnvVarBoundsEveryNewCache) {
+  setenv("WCM_CACHE_MAX", "2", 1);
+  ResultCache cache(7);
+  unsetenv("WCM_CACHE_MAX");
+  EXPECT_EQ(cache.max_entries(), 2u);
+  for (int i = 0; i < 5; ++i) {
+    cache.insert(cache.key_of(std::to_string(i)), metrics(1, 0.1));
+  }
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(CacheLru, GarbageEnvVarIsConfigError) {
+  for (const char* bad : {"abc", "12x", "-3", " 4"}) {
+    setenv("WCM_CACHE_MAX", bad, 1);
+    EXPECT_THROW(ResultCache{7}, config_error) << bad;
+    EXPECT_THROW((void)cache_max_from_env(), config_error) << bad;
+  }
+  unsetenv("WCM_CACHE_MAX");
+  EXPECT_EQ(cache_max_from_env(), 0u);
+}
+
+TEST_F(CacheFile, LoadAppliesTheEnvBound) {
+  {
+    ResultCache cache(1, 0);
+    for (u64 i = 0; i < 5; ++i) {
+      cache.insert(cache.key_of(std::to_string(i)), metrics(i, 0.5));
+    }
+    cache.store(path_);
+  }
+  setenv("WCM_CACHE_MAX", "2", 1);
+  const auto bounded = ResultCache::load(path_, 1);
+  unsetenv("WCM_CACHE_MAX");
+  EXPECT_EQ(bounded.size(), 2u);
+  const auto full = ResultCache::load(path_, 1);
+  EXPECT_EQ(full.size(), 5u);
+}
+
 TEST_F(CacheFile, LoadFailpointFires) {
   ResultCache cache(1);
   cache.store(path_);

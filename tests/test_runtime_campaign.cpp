@@ -12,7 +12,9 @@
 
 #include "analysis/experiment.hpp"
 #include "runtime/campaign.hpp"
+#include "runtime/scheduler.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace wcm::runtime {
 namespace {
@@ -222,6 +224,155 @@ TEST(CampaignRun, AllEnginesExecute) {
               std::string::npos)
         << engine;
   }
+}
+
+/// Unique journal path per test (gtest runs each TEST in its own ctest
+/// process, but the binary can also be run whole).
+std::filesystem::path temp_journal(const char* name) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    (std::string("wcm_campaign_") + name + ".wcmj");
+  std::filesystem::remove(path);
+  return path;
+}
+
+TEST(CampaignJournal, ResumeIsByteIdenticalToAnUninterruptedRun) {
+  const auto spec = parse_campaign_spec(kSmallSpec);
+  const auto jpath = temp_journal("resume");
+
+  CampaignOptions plain;
+  plain.threads = 1;
+  plain.use_cache = false;
+  const auto ref = run_campaign(spec, plain);
+
+  CampaignOptions journaled = plain;
+  journaled.journal_path = jpath;
+  const auto first = run_campaign(spec, journaled);
+  EXPECT_EQ(first.computed, 4u);
+  EXPECT_EQ(first.json, ref.json);
+
+  // Full resume: every cell replays, nothing recomputes, same bytes.
+  CampaignOptions resume = journaled;
+  resume.resume = true;
+  const auto resumed = run_campaign(spec, resume);
+  EXPECT_EQ(resumed.computed, 0u);
+  EXPECT_EQ(resumed.replayed, 4u);
+  EXPECT_EQ(resumed.json, ref.json);
+
+  // Partial resume (the crash scenario): chop the journal to two sealed
+  // records; the resumed run replays those, recomputes the rest, and the
+  // aggregate is still byte-identical.
+  std::filesystem::resize_file(jpath, 32 + 2 * 64);
+  const auto partial = run_campaign(spec, resume);
+  EXPECT_EQ(partial.replayed, 2u);
+  EXPECT_EQ(partial.computed, 2u);
+  EXPECT_EQ(partial.json, ref.json);
+  std::filesystem::remove(jpath);
+}
+
+TEST(CampaignJournal, FingerprintMismatchStartsFresh) {
+  const auto spec = parse_campaign_spec(kSmallSpec);
+  const auto jpath = temp_journal("fingerprint");
+  CampaignOptions opts;
+  opts.threads = 1;
+  opts.use_cache = false;
+  opts.journal_path = jpath;
+  (void)run_campaign(spec, opts);
+
+  // Same grid, different seed: every canonical string changes, so the
+  // journal belongs to a different campaign and must not replay.
+  auto edited_text = std::string(kSmallSpec);
+  const auto at = edited_text.find("\"seed\": 11");
+  ASSERT_NE(at, std::string::npos);
+  edited_text.replace(at, 10, "\"seed\": 12");
+  const auto edited = parse_campaign_spec(edited_text);
+  opts.resume = true;
+  const auto crossed = run_campaign(edited, opts);
+  EXPECT_EQ(crossed.replayed, 0u);
+  EXPECT_EQ(crossed.computed, 4u);
+
+  // The journal was rewritten for the edited campaign: now it replays.
+  const auto again = run_campaign(edited, opts);
+  EXPECT_EQ(again.replayed, 4u);
+  EXPECT_EQ(again.computed, 0u);
+  EXPECT_EQ(again.json, crossed.json);
+  std::filesystem::remove(jpath);
+}
+
+TEST(CampaignFaults, PermanentFaultQuarantinesInsteadOfFailingFast) {
+  const auto spec = parse_campaign_spec(kSmallSpec);
+  failpoint::scoped_arm fp("runtime.worker.job");  // every attempt fails
+  CampaignOptions opts;
+  opts.threads = 1;
+  opts.use_cache = false;
+  const auto outcome = run_campaign(spec, opts);
+  EXPECT_TRUE(outcome.degraded());
+  EXPECT_FALSE(outcome.interrupted());
+  EXPECT_EQ(outcome.computed, 0u);
+  ASSERT_EQ(outcome.quarantined.size(), 4u);
+  for (const auto& q : outcome.quarantined) {
+    EXPECT_EQ(q.attempts, 3u);  // default policy: two retries
+    EXPECT_FALSE(q.label.empty());
+    EXPECT_NE(q.message.find("runtime.worker.job"), std::string::npos);
+  }
+  // The aggregate is still written: empty cells, populated quarantine.
+  EXPECT_NE(outcome.json.find("\"cells\":[]"), std::string::npos);
+  EXPECT_NE(outcome.json.find("\"quarantined\":[{"), std::string::npos);
+  EXPECT_NE(outcome.json.find("\"attempts\":3"), std::string::npos);
+}
+
+TEST(CampaignFaults, TransientFaultIsRetriedToSuccess) {
+  const auto spec = parse_campaign_spec(kSmallSpec);
+  CampaignOptions plain;
+  plain.threads = 1;
+  plain.use_cache = false;
+  const auto ref = run_campaign(spec, plain);
+
+  // One injected failure: the first attempt of the first cell dies, the
+  // retry recomputes it, and the output converges to the clean bytes.
+  failpoint::scoped_arm fp("runtime.worker.job", /*skip=*/0, /*times=*/1);
+  const auto retried = run_campaign(spec, plain);
+  EXPECT_EQ(retried.computed, 4u);
+  EXPECT_TRUE(retried.quarantined.empty());
+  EXPECT_EQ(retried.json, ref.json);
+}
+
+TEST(CampaignFaults, FailFastRestoresTheOldContract) {
+  const auto spec = parse_campaign_spec(kSmallSpec);
+  failpoint::scoped_arm fp("runtime.worker.job");
+  CampaignOptions opts;
+  opts.threads = 1;
+  opts.use_cache = false;
+  opts.fail_fast = true;
+  EXPECT_THROW((void)run_campaign(spec, opts), wcm::error);
+}
+
+TEST(CampaignFaults, CancelledCampaignDrainsAndStaysResumable) {
+  const auto spec = parse_campaign_spec(kSmallSpec);
+  const auto jpath = temp_journal("cancel");
+  CancelSource cancel;
+  cancel.cancel();  // as if SIGINT arrived before admission
+  CampaignOptions opts;
+  opts.threads = 1;
+  opts.use_cache = false;
+  opts.journal_path = jpath;
+  opts.cancel = &cancel;
+  const auto interrupted = run_campaign(spec, opts);
+  EXPECT_TRUE(interrupted.interrupted());
+  EXPECT_EQ(interrupted.cancelled, 4u);
+  EXPECT_EQ(interrupted.computed, 0u);
+  EXPECT_TRUE(interrupted.json.empty());  // no aggregate: resume instead
+
+  CampaignOptions plain;
+  plain.threads = 1;
+  plain.use_cache = false;
+  const auto ref = run_campaign(spec, plain);
+  CampaignOptions resume = opts;
+  resume.cancel = nullptr;
+  resume.resume = true;
+  const auto resumed = run_campaign(spec, resume);
+  EXPECT_FALSE(resumed.interrupted());
+  EXPECT_EQ(resumed.json, ref.json);
+  std::filesystem::remove(jpath);
 }
 
 TEST(RunSweeps, MatchesTheSerialSweepExactly) {

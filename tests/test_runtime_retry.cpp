@@ -1,0 +1,106 @@
+// RetryPolicy: the transient/permanent split of the error taxonomy and
+// the deterministic jittered backoff schedule (runtime/retry.hpp).
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "runtime/retry.hpp"
+
+namespace wcm::runtime {
+namespace {
+
+TEST(RetryClassification, TransientCodesAreRetryable) {
+  EXPECT_TRUE(is_transient(errc::io_failure));
+  EXPECT_TRUE(is_transient(errc::simulation_invariant));
+}
+
+TEST(RetryClassification, PermanentCodesAreNot) {
+  EXPECT_FALSE(is_transient(errc::contract_violation));
+  EXPECT_FALSE(is_transient(errc::invalid_config));
+  EXPECT_FALSE(is_transient(errc::parse_failure));
+}
+
+TEST(RetryBackoff, PureFunctionOfSeedStreamAndAttempt) {
+  RetryPolicy policy;
+  policy.seed = 41;
+  const double a = backoff_delay_seconds(policy, 7, 1);
+  const double b = backoff_delay_seconds(policy, 7, 1);
+  EXPECT_EQ(a, b);  // bitwise repeatable, not merely close
+}
+
+TEST(RetryBackoff, DistinctStreamsAndAttemptsJitterIndependently) {
+  RetryPolicy policy;
+  policy.seed = 41;
+  EXPECT_NE(backoff_delay_seconds(policy, 7, 1),
+            backoff_delay_seconds(policy, 8, 1));
+  EXPECT_NE(backoff_delay_seconds(policy, 7, 1),
+            backoff_delay_seconds(policy, 7, 2));
+  RetryPolicy other = policy;
+  other.seed = 42;
+  EXPECT_NE(backoff_delay_seconds(policy, 7, 1),
+            backoff_delay_seconds(other, 7, 1));
+}
+
+TEST(RetryBackoff, DelaysStayInTheJitterBand) {
+  // delay = base * 2^(k-1) * (0.5 + jitter/2), jitter in [0, 1): every
+  // delay lands in [scaled/2, scaled) until the ceiling kicks in.
+  RetryPolicy policy;
+  policy.base_delay_seconds = 0.01;
+  policy.max_delay_seconds = 1e9;  // disable the cap for this test
+  for (u64 stream = 0; stream < 16; ++stream) {
+    double scaled = policy.base_delay_seconds;
+    for (u32 attempt = 1; attempt <= 8; ++attempt) {
+      const double d = backoff_delay_seconds(policy, stream, attempt);
+      EXPECT_GE(d, scaled * 0.5) << stream << ":" << attempt;
+      EXPECT_LT(d, scaled) << stream << ":" << attempt;
+      scaled *= 2.0;
+    }
+  }
+}
+
+TEST(RetryBackoff, ExponentDoublesBetweenAttempts) {
+  // The jitter band for attempt k+1 starts where attempt k's band ends,
+  // so successive delays on one stream are strictly increasing.
+  RetryPolicy policy;
+  policy.max_delay_seconds = 1e9;
+  for (u32 attempt = 1; attempt < 8; ++attempt) {
+    EXPECT_LT(backoff_delay_seconds(policy, 3, attempt),
+              backoff_delay_seconds(policy, 3, attempt + 1));
+  }
+}
+
+TEST(RetryBackoff, CeilingClampsLargeAttempts) {
+  // From attempt 7 on the whole jitter band (>= 0.01 * 2^6 / 2 = 0.32)
+  // sits above the 0.25 ceiling, so every delay is exactly the ceiling.
+  RetryPolicy policy;  // base 0.01, max 0.25
+  for (u32 attempt = 7; attempt <= 80; ++attempt) {
+    EXPECT_EQ(backoff_delay_seconds(policy, 0, attempt),
+              policy.max_delay_seconds);
+  }
+}
+
+TEST(RetryBackoff, HugeAttemptCountsDoNotOverflow) {
+  // The exponent is clamped before shifting; attempt counts far past 64
+  // must still produce the (finite) ceiling, not UB or inf.
+  RetryPolicy policy;
+  const double d =
+      backoff_delay_seconds(policy, 1, std::numeric_limits<u32>::max());
+  EXPECT_EQ(d, policy.max_delay_seconds);
+}
+
+TEST(RetryBackoff, ZeroAttemptsAndZeroBaseAreFree) {
+  RetryPolicy policy;
+  EXPECT_EQ(backoff_delay_seconds(policy, 5, 0), 0.0);
+  policy.base_delay_seconds = 0.0;
+  EXPECT_EQ(backoff_delay_seconds(policy, 5, 3), 0.0);
+}
+
+TEST(RetryPolicyDefaults, SingleAttemptNeverRetries) {
+  // The default policy is "no retries": schedulers must opt in.
+  const RetryPolicy policy;
+  EXPECT_EQ(policy.max_attempts, 1u);
+}
+
+}  // namespace
+}  // namespace wcm::runtime

@@ -1,5 +1,6 @@
 # Exit-code contract for wcmgen (see docs/API.md "Error handling & exit
-# codes"): 0 ok, 2 usage, 3 bad input file, 4 bad configuration, 5 internal.
+# codes"): 0 ok, 2 usage, 3 bad input file, 4 bad configuration, 5 internal,
+# 6 degraded campaign (quarantined cells), 7 interrupted campaign.
 #
 # Run as:  cmake -DWCMGEN=<binary> -DWORKDIR=<dir> -P wcmgen_exitcodes.cmake
 
@@ -80,4 +81,22 @@ expect_exit(0 ${WCMGEN} inspect --in ${WORKDIR}/exitcode_ok.wcmi)
 expect_exit(3 ${CMAKE_COMMAND} -E env WCM_FAILPOINTS=io.read.checksum
             ${WCMGEN} inspect --in ${WORKDIR}/exitcode_ok.wcmi)
 
-file(REMOVE ${WORKDIR}/exitcode_corrupt.wcmi ${WORKDIR}/exitcode_ok.wcmi)
+# a malformed fault schedule is a usage error -> 2 (a typo'd chaos run
+# must abort loudly, never silently arm nothing)
+expect_exit(2 ${CMAKE_COMMAND} -E env WCM_FAILPOINTS=io.read.open=abc
+            ${WCMGEN} sort --E 5 --b 64 --k 1)
+expect_exit(2 ${CMAKE_COMMAND} -E env "WCM_FAILPOINTS==1"
+            ${WCMGEN} sort --E 5 --b 64 --k 1)
+expect_exit(2 ${CMAKE_COMMAND} -E env WCM_FAILPOINTS=io.read.open=1:2y
+            ${WCMGEN} sort --E 5 --b 64 --k 1)
+
+# degraded campaign (every cell's retries exhausted) -> 6
+file(WRITE ${WORKDIR}/exitcode_campaign.json
+     [[{"grid": [{"engine": "pairwise", "E": 5, "b": 64, "k": [1]}]}]])
+expect_exit(6 ${CMAKE_COMMAND} -E env WCM_FAILPOINTS=runtime.worker.job
+            ${WCMGEN} campaign ${WORKDIR}/exitcode_campaign.json
+            --threads 1 --no-cache --quiet)
+
+file(REMOVE ${WORKDIR}/exitcode_corrupt.wcmi ${WORKDIR}/exitcode_ok.wcmi
+     ${WORKDIR}/exitcode_campaign.json
+     ${WORKDIR}/exitcode_campaign.json.wcmj)
