@@ -4,7 +4,8 @@
 // uninitialized accesses, and conflict-model divergence between the affine
 // stride predictor and the DMM-measured step costs.
 //
-//   wcm-lint [--json] [--pad n] [--no-cross-check] trace.wcmt [more...]
+//   wcm-lint [--json] [--pad n] [--layout linear|xor|rotation]
+//            [--no-cross-check] trace.wcmt [more...]
 //
 // Exit codes (documented in docs/LINT.md):
 //   0 every trace parsed and is diagnostic-free
@@ -19,6 +20,7 @@
 #include <vector>
 
 #include "analyze/lint.hpp"
+#include "gpusim/layout.hpp"
 #include "util/error.hpp"
 
 namespace {
@@ -28,12 +30,15 @@ using namespace wcm;
 constexpr const char* kUsage =
     R"(wcm-lint — static race/bounds/stride analysis of shared-memory traces
 
-usage: wcm-lint [--json] [--pad n] [--no-cross-check] trace.wcmt [more...]
+usage: wcm-lint [--json] [--pad n] [--layout linear|xor|rotation]
+                [--no-cross-check] trace.wcmt [more...]
 
 flags:
   --json            one JSON array of per-trace reports instead of text
   --pad n           re-price the stride cross-check under a padded layout
                     (n words after every w logical words; default 0)
+  --layout kind     re-price under a bank permutation: linear, xor, or
+                    rotation (default linear; gpusim/layout.hpp)
   --no-cross-check  skip the predicted-vs-measured stride comparison
   --help            print this message
 
@@ -75,9 +80,15 @@ int run(int argc, char** argv) {
         throw parse_error("--pad requires a value");
       }
       opts.analysis.pad = parse_pad(argv[++i]);
+    } else if (arg == "--layout") {
+      if (i + 1 >= argc) {
+        throw parse_error("--layout requires a value");
+      }
+      opts.analysis.layout = gpusim::parse_layout_kind(argv[++i]);
     } else if (arg.rfind("--", 0) == 0) {
       throw parse_error("unknown flag '" + arg +
-                        "' (valid: --json, --pad, --no-cross-check, --help)");
+                        "' (valid: --json, --pad, --layout, --no-cross-check, "
+                        "--help)");
     } else {
       files.push_back(arg);
     }

@@ -5,8 +5,9 @@
 // (E^2 + E + 2Er - r^2 - r)/2 aligned counts at the paper's constructions.
 //
 //   wcm-prove [--engine name|all] [--w n] [--b n] [--pad n]
-//             [--E-min n] [--E-max n] [--any-E] [--ways k]
-//             [--digit-bits n] [--json] [--trace file.wcmt]
+//             [--layout linear|xor|rotation] [--E-min n] [--E-max n]
+//             [--any-E] [--ways k] [--digit-bits n] [--json]
+//             [--trace file.wcmt]
 //
 // With --trace (requires a single --engine), the recorded trace is also
 // replayed through the DMM and every step is certified against the derived
@@ -28,6 +29,7 @@
 #include <vector>
 
 #include "analyze/symbolic/prove.hpp"
+#include "gpusim/layout.hpp"
 #include "gpusim/trace.hpp"
 #include "util/error.hpp"
 
@@ -39,15 +41,18 @@ constexpr const char* kUsage =
     R"(wcm-prove — symbolic bank-conflict bounds for the simulated sort engines
 
 usage: wcm-prove [--engine name|all] [--w n] [--b n] [--pad n]
-                 [--E-min n] [--E-max n] [--any-E] [--ways k]
-                 [--digit-bits n] [--json] [--trace file.wcmt]
+                 [--layout linear|xor|rotation] [--E-min n] [--E-max n]
+                 [--any-E] [--ways k] [--digit-bits n] [--json]
+                 [--trace file.wcmt]
 
 flags:
   --engine name   blocksort, block-merge, pairwise, multiway, bitonic,
-                  radix, scan, or all (default all)
+                  radix, scan, shearsort, or all (default all)
   --w n           warp width / bank count (default 32)
   --b n           block size in threads (default 64)
   --pad n         padded layout: n words after every w (default 0)
+  --layout kind   bank permutation: linear, xor, or rotation
+                  (default linear; gpusim/layout.hpp)
   --E-min n       lower end of the symbolic E range (default 3)
   --E-max n       upper end (default w - 1)
   --any-E         drop the E-odd congruence from the declared range
@@ -114,6 +119,9 @@ int run(int argc, char** argv) {
     } else if (arg == "--pad") {
       opts.pad = parse_u32(arg, need_value(i, arg));
       ++i;
+    } else if (arg == "--layout") {
+      opts.layout = gpusim::parse_layout_kind(need_value(i, arg));
+      ++i;
     } else if (arg == "--E-min") {
       opts.e_min = parse_u32(arg, need_value(i, arg));
       ++i;
@@ -129,8 +137,8 @@ int run(int argc, char** argv) {
     } else {
       throw parse_error(
           "unknown argument '" + arg +
-          "' (valid: --engine, --w, --b, --pad, --E-min, --E-max, --any-E, "
-          "--ways, --digit-bits, --json, --trace, --help)");
+          "' (valid: --engine, --w, --b, --pad, --layout, --E-min, --E-max, "
+          "--any-E, --ways, --digit-bits, --json, --trace, --help)");
     }
   }
   if (!trace_path.empty() && engine == "all") {

@@ -5,14 +5,16 @@
 //                    [--intra] [--rounds m] [--out file.wcmi] [--csv]
 //   wcmgen evaluate  --E 15 [--w 32] [--side L|R] [--strategy name]
 //   wcmgen sort      --E 15 --b 512 [--k 6] [--input kind] [--device name]
-//                    [--library thrust|mgpu] [--padding p] [--seed S]
-//                    [--algorithm pairwise|multiway|bitonic|radix] [--json]
-//                    [--trace-out file.wcmt]
+//                    [--library thrust|mgpu] [--padding p] [--layout kind]
+//                    [--seed S] [--json] [--trace-out file.wcmt]
+//                    [--algorithm pairwise|multiway|bitonic|radix|shearsort]
 //   wcmgen inspect   --in file.wcmi
-//   wcmgen analyze   --in file.wcmt [--json] [--pad p] [--no-cross-check]
+//   wcmgen analyze   --in file.wcmt [--json] [--pad p] [--layout kind]
+//                    [--no-cross-check]
 //   wcmgen prove     [--engine name|all] [--w n] [--b n] [--pad p]
-//                    [--E-min n] [--E-max n] [--any-E] [--ways k]
-//                    [--digit-bits n] [--json]
+//                    [--layout kind] [--E-min n] [--E-max n] [--any-E]
+//                    [--ways k] [--digit-bits n] [--json]
+//                    [--certify [--bs n,n,...] [--pads n,n,...]]
 //   wcmgen visualize --E 7 [--w 16] [--strategy name]
 //   wcmgen campaign  spec.json [--threads n] [--no-cache] [--cache file]
 //                    [--out file.json] [--trace-dir dir] [--quiet]
@@ -47,7 +49,9 @@
 
 #include "analysis/json_export.hpp"
 #include "analyze/lint.hpp"
+#include "analyze/symbolic/certify.hpp"
 #include "analyze/symbolic/prove.hpp"
+#include "gpusim/layout.hpp"
 #include "gpusim/trace.hpp"
 #include "analysis/series.hpp"
 #include "core/conflict_model.hpp"
@@ -61,6 +65,7 @@
 #include "sort/multiway.hpp"
 #include "sort/pairwise_sort.hpp"
 #include "sort/radix.hpp"
+#include "sort/shearsort.hpp"
 #include "util/error.hpp"
 #include "workload/inputs.hpp"
 #include "workload/inversions.hpp"
@@ -84,22 +89,29 @@ subcommands:
              --E n [--w n] [--side L|R] [--strategy name]
   sort       run a simulated sort and report conflicts/time
              --E n --b n [--w n] [--padding n] [--k n] [--seed n]
+             [--layout linear|xor|rotation]
              [--input random|sorted|reversed|nearly-sorted|worst-case]
              [--device m4000|2080ti] [--library thrust|mgpu]
-             [--algorithm pairwise|multiway|bitonic|radix]
+             [--algorithm pairwise|multiway|bitonic|radix|shearsort]
              [--ways n] [--digit-bits n] [--json]
              [--trace-out file.wcmt]
   inspect    validate and summarize a WCMI file
              --in file.wcmi
   analyze    lint a recorded shared-memory trace (races, bounds, strides;
              see docs/LINT.md) -- also available as the wcm-lint binary
-             --in file.wcmt [--json] [--pad n] [--no-cross-check]
+             --in file.wcmt [--json] [--pad n]
+             [--layout linear|xor|rotation] [--no-cross-check]
   prove      derive symbolic bank-conflict bounds for the sort engines,
              valid for every E in the declared range, without executing
-             any trace; cross-checks Theorems 3 and 9 (docs/LINT.md)
+             any trace; cross-checks Theorems 3 and 9 (docs/LINT.md).
+             --certify upgrades the bounds to a machine-checkable
+             certificate over a (b, pad) grid: every statement proved
+             conflict-free, or a DMM-replay-confirmed counterexample
              [--engine blocksort|block-merge|pairwise|multiway|bitonic|
-              radix|scan|all] [--w n] [--b n] [--pad n] [--E-min n]
-             [--E-max n] [--any-E] [--ways k] [--digit-bits n] [--json]
+              radix|scan|shearsort|all] [--w n] [--b n] [--pad n]
+             [--layout linear|xor|rotation] [--E-min n] [--E-max n]
+             [--any-E] [--ways k] [--digit-bits n] [--json]
+             [--certify] [--bs n,n,...] [--pads n,n,...]
   visualize  render one worst-case warp assignment
              --E n [--w n] [--strategy name]
   campaign   expand a JSON grid spec into cells and run them on the
@@ -114,7 +126,7 @@ subcommands:
              (docs/TELEMETRY.md); exit code is the wrapped command's
              profile [--telemetry trace.json] [--metrics metrics.json]
                <subcommand + its flags>            wrap an invocation, or
-               --engine pairwise|multiway|bitonic|radix
+               --engine pairwise|multiway|bitonic|radix|shearsort
                --adversarial small-E|large-E [--k n] [--seed n]
                [--device name] [--json]            canned adversarial sort
   help       print this message (also --help / -h)
@@ -143,6 +155,26 @@ u64 parse_u64_value(const std::string& flag, const std::string& text,
                       " is out of range (max " + std::to_string(max) + ")");
   }
   return value;
+}
+
+/// Comma-separated list of unsigned decimals ("0,1,4"); every element is
+/// parsed with the same strictness as a scalar flag value.
+std::vector<u32> parse_u32_list(const std::string& flag,
+                                const std::string& text) {
+  std::vector<u32> values;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::size_t end = comma == std::string::npos ? text.size() : comma;
+    values.push_back(static_cast<u32>(
+        parse_u64_value(flag, text.substr(start, end - start),
+                        std::numeric_limits<std::uint32_t>::max())));
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return values;
 }
 
 std::string join_choices(const std::vector<std::string>& choices) {
@@ -246,6 +278,7 @@ sort::SortConfig config_from(const Args& a) {
   cfg.b = a.get_u32("b", 512);
   cfg.w = a.get_u32("w", 32);
   cfg.padding = a.get_u32("padding", 0);
+  cfg.layout = gpusim::parse_layout_kind(a.get("layout", "linear"));
   cfg.validate();
   return cfg;
 }
@@ -324,8 +357,8 @@ int cmd_evaluate(const Args& a) {
 }
 
 int cmd_sort(const Args& a) {
-  a.require_known("sort", {"E", "b", "w", "padding", "k", "seed", "input",
-                           "device", "library", "algorithm", "ways",
+  a.require_known("sort", {"E", "b", "w", "padding", "layout", "k", "seed",
+                           "input", "device", "library", "algorithm", "ways",
                            "digit-bits", "json", "trace-out"});
   auto cfg = config_from(a);
   const std::string trace_out = a.get("trace-out", "");
@@ -368,12 +401,14 @@ int cmd_sort(const Args& a) {
         bcfg, dev);
   } else if (algo == "radix") {
     report = sort::radix_sort(input, cfg, dev, a.get_u32("digit-bits", 4));
+  } else if (algo == "shearsort") {
+    report = sort::shearsort(input, cfg, dev);
   } else if (algo == "pairwise") {
     report = sort::pairwise_merge_sort(input, cfg, dev, lib);
   } else {
     throw parse_error("unknown value '" + algo +
                       "' for --algorithm (valid: pairwise, multiway, "
-                      "bitonic, radix)");
+                      "bitonic, radix, shearsort)");
   }
   if (!trace_out.empty()) {
     std::ofstream os(trace_out);
@@ -421,7 +456,8 @@ int cmd_inspect(const Args& a) {
 }
 
 int cmd_analyze(const Args& a) {
-  a.require_known("analyze", {"in", "json", "pad", "no-cross-check"});
+  a.require_known("analyze", {"in", "json", "pad", "layout",
+                              "no-cross-check"});
   const std::string in = a.get("in", "");
   if (in.empty()) {
     throw parse_error("analyze requires --in file.wcmt");
@@ -429,24 +465,61 @@ int cmd_analyze(const Args& a) {
   analyze::LintOptions opts;
   opts.json = a.flag("json");
   opts.analysis.pad = a.get_u32("pad", 0);
+  opts.analysis.layout = gpusim::parse_layout_kind(a.get("layout", "linear"));
   opts.analysis.cross_check = !a.flag("no-cross-check");
   return analyze::run_lint({in}, opts, std::cout, std::cerr);
 }
 
 int cmd_prove(const Args& a) {
-  a.require_known("prove", {"engine", "w", "b", "pad", "E-min", "E-max",
-                            "any-E", "ways", "digit-bits", "json"});
+  a.require_known("prove", {"engine", "w", "b", "pad", "layout", "E-min",
+                            "E-max", "any-E", "ways", "digit-bits", "json",
+                            "certify", "bs", "pads"});
+  const std::string engine = a.get("engine", "all");
+  if (a.flag("certify")) {
+    // Certification mode: universally quantified conflict-freedom over a
+    // (b, pad) grid, or a replay-confirmed counterexample (docs/THEORY.md).
+    analyze::symbolic::CertifyOptions copts;
+    copts.w = a.get_u32("w", 32);
+    copts.bs = parse_u32_list("--bs", a.get("bs", a.get("b", "64")));
+    copts.pads = parse_u32_list("--pads", a.get("pads", a.get("pad", "0")));
+    copts.layout = gpusim::parse_layout_kind(a.get("layout", "linear"));
+    copts.e_min = a.get_u32("E-min", 3);
+    copts.e_max = a.get_u32("E-max", 0);
+    copts.ways = a.get_u32("ways", 4);
+    copts.digit_bits = a.get_u32("digit-bits", 4);
+    copts.any_e = a.flag("any-E");
+    copts.json = a.flag("json");
+    const std::vector<std::string> engines =
+        engine == "all" ? analyze::symbolic::all_engines()
+                        : std::vector<std::string>{engine};
+    bool all_certified = true;
+    for (const auto& name : engines) {
+      const auto cert = analyze::symbolic::certify_engine(name, copts);
+      if (copts.json) {
+        // One JSON document per engine, one per line (NDJSON for "all").
+        analyze::symbolic::render_json(std::cout, cert);
+      } else {
+        analyze::symbolic::render_text(std::cout, cert);
+      }
+      all_certified = all_certified && cert.certified;
+    }
+    return all_certified ? 0 : 1;
+  }
+  if (a.flag("bs") || a.flag("pads")) {
+    throw parse_error("--bs/--pads are grid axes of certification mode "
+                      "(add --certify, or use scalar --b/--pad)");
+  }
   analyze::symbolic::ProveOptions opts;
   opts.w = a.get_u32("w", 32);
   opts.b = a.get_u32("b", 64);
   opts.pad = a.get_u32("pad", 0);
+  opts.layout = gpusim::parse_layout_kind(a.get("layout", "linear"));
   opts.e_min = a.get_u32("E-min", 3);
   opts.e_max = a.get_u32("E-max", 0);
   opts.ways = a.get_u32("ways", 4);
   opts.digit_bits = a.get_u32("digit-bits", 4);
   opts.any_e = a.flag("any-E");
   opts.json = a.flag("json");
-  const std::string engine = a.get("engine", "all");
   const std::vector<std::string> engines =
       engine == "all" ? analyze::symbolic::all_engines()
                       : std::vector<std::string>{engine};
@@ -660,7 +733,7 @@ int cmd_profile(int argc, char** argv) {
     }
     parse_choice<int>("--engine", engine,
                       {{"pairwise", 0}, {"multiway", 1}, {"bitonic", 2},
-                       {"radix", 3}});
+                       {"radix", 3}, {"shearsort", 4}});
     const bool small_e = parse_choice<bool>(
         "--adversarial", a.get("adversarial", "large-E"),
         {{"small-E", true}, {"large-E", false}});

@@ -55,7 +55,8 @@ AnalysisReport analyze_trace(const gpusim::Trace& trace,
 
   if (options.cross_check && replayable) {
     StrideReport strides = check_strides(
-        trace, gpusim::SharedLayout{trace.warp_size, options.pad});
+        trace,
+        gpusim::SharedLayout{trace.warp_size, options.pad, options.layout});
     report.affine_steps = strides.affine_steps;
     report.cross_checked = true;
     std::move(strides.diagnostics.begin(), strides.diagnostics.end(),

@@ -20,6 +20,8 @@ struct AnalyzeOptions {
   /// Padding words per w logical words for the stride cross-check; the
   /// bank count always comes from the trace's warp size.
   u32 pad = 0;
+  /// Bank permutation for the stride cross-check (gpusim/layout.hpp).
+  gpusim::LayoutKind layout = gpusim::LayoutKind::linear;
   /// Run the predicted-vs-measured stride cross-check (skipped
   /// automatically when structural errors make the replay impossible).
   bool cross_check = true;

@@ -101,22 +101,65 @@ dmm::StepCost exact_cost(const gpusim::TraceStep& step,
   return cost;
 }
 
-/// Closed-form predictor for affine steps on unpadded layouts.
-dmm::StepCost affine_cost(const gpusim::TraceStep& step, u32 w, i64 stride) {
-  dmm::StepCost cost;
+/// Closed-form predictor for affine steps: lanes of an affine step collide
+/// iff they are congruent modulo w / gcd(w, eff), where `eff` is the
+/// layout's *effective bank stride*:
+///   linear, pad 0       eff = |stride|      (the classic gcd form)
+///   stride ≡ 0 (mod w)  the column is lane-invariant and the row advances
+///                       by k = stride / w per lane, so the bank is an
+///                       affine function of the row residue:
+///     linear, pad p       bank += k*p        eff = |k*p|
+///     rotation, pad p     bank += k*(1+p)    eff = |k*(1+p)|
+///     xor, pad 0          col ^ r is bijective in r for a fixed col, so
+///                         lanes collide iff their rows agree mod w:
+///                                            eff = |k|
+/// Any other layout x stride combination (sub-w strides under padding or
+/// permutation, xor with padding) has no clean residue form.  Returns
+/// false in that case; the caller falls back to exact counting.
+bool affine_closed_form(const gpusim::TraceStep& step,
+                        const gpusim::SharedLayout& layout, i64 stride,
+                        dmm::StepCost& cost) {
+  using gpusim::LayoutKind;
+  cost = {};
   cost.requests = step.accesses.size();
   if (step.accesses.empty()) {
-    return cost;
+    return true;
   }
   if (stride == 0) {
     cost.serialization = 1;
     cost.replays = 0;
     cost.conflicting_accesses = 0;
     cost.max_bank_degree = 1;
-    return cost;
+    return true;  // broadcast: one address, one bank under every layout
   }
-  const u64 mag = static_cast<u64>(stride < 0 ? -stride : stride);
-  const u64 p = w / gcd(w, mag);
+  const i64 w = static_cast<i64>(layout.w);
+  u64 eff = 0;
+  if (layout.kind == LayoutKind::linear && layout.pad == 0) {
+    eff = static_cast<u64>(stride < 0 ? -stride : stride);
+  } else if (stride % w == 0) {
+    const i64 k = stride / w;
+    i64 signed_eff = 0;
+    switch (layout.kind) {
+      case LayoutKind::linear:
+        signed_eff = k * static_cast<i64>(layout.pad);
+        break;
+      case LayoutKind::rotation:
+        signed_eff = k * (1 + static_cast<i64>(layout.pad));
+        break;
+      case LayoutKind::xor_swizzle:
+        if (layout.pad != 0) {
+          return false;
+        }
+        signed_eff = k;
+        break;
+    }
+    eff = static_cast<u64>(signed_eff < 0 ? -signed_eff : signed_eff);
+  } else {
+    return false;
+  }
+  // gcd(w, 0) = w: a zero effective stride parks every lane in one bank,
+  // with pairwise-distinct addresses (stride != 0).
+  const u64 p = layout.w / gcd(layout.w, eff);
   // Residue classes mod p partition the active lanes; one class = one bank
   // full of pairwise-distinct addresses, distinct classes = distinct banks.
   std::vector<std::size_t> population(p, 0);
@@ -132,7 +175,7 @@ dmm::StepCost affine_cost(const gpusim::TraceStep& step, u32 w, i64 stride) {
   }
   cost.serialization = cost.max_bank_degree;
   cost.replays = cost.max_bank_degree > 0 ? cost.max_bank_degree - 1 : 0;
-  return cost;
+  return true;
 }
 
 }  // namespace
@@ -143,11 +186,14 @@ dmm::StepCost predict_step_cost(const gpusim::TraceStep& step,
     return {};
   }
   const AffineClass cls = classify_affine(step);
-  if (cls.affine && layout.pad == 0 &&
+  if (cls.affine &&
       !(cls.stride == 0 && step.is_write() && step.accesses.size() > 1)) {
     // The excluded case — a multi-lane store to one address — is a CREW
     // violation with no defined cost; exact mode degrades gracefully.
-    return affine_cost(step, layout.w, cls.stride);
+    dmm::StepCost cost;
+    if (affine_closed_form(step, layout, cls.stride, cost)) {
+      return cost;
+    }
   }
   return exact_cost(step, layout);
 }

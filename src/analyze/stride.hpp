@@ -19,10 +19,17 @@
 // (the "w / gcd(w, s) distinct banks" phrasing counts the banks touched,
 // not the cycles; docs/LINT.md spells out both).  A zero stride is the
 // broadcast: one cycle regardless of warp occupancy — for loads; stores
-// to one address are a CREW violation, which the race pass reports.  For
-// padded layouts or non-affine steps the predictor falls back to exact
-// per-bank counting over physical addresses, mirroring dmm::analyze_step
-// without executing the machine.
+// to one address are a CREW violation, which the race pass reports.
+//
+// Padded and permuted layouts (gpusim/layout.hpp) keep a closed form
+// whenever the stride is a multiple of w: the column is lane-invariant,
+// the row advances by k = s/w per lane, and the bank becomes an affine
+// (or, for xor, bijective) function of the row residue with an *effective*
+// stride — k*pad (linear), k*(1+pad) (rotation), k (xor, unpadded) — fed
+// into the same gcd argument.  Combinations with no clean residue form
+// (sub-w strides under padding/permutation, xor with padding) and
+// non-affine steps fall back to exact per-bank counting over physical
+// addresses, mirroring dmm::analyze_step without executing the machine.
 
 #include <span>
 #include <vector>

@@ -122,19 +122,40 @@ AbsVal eval(const ir::LinForm& lf, const ir::KernelDesc& desc) {
   return acc;
 }
 
-u64 exact_degree(u32 w, u32 pad, const std::vector<i64>& addrs) {
-  WCM_EXPECTS(w > 0, "need at least one bank");
+namespace {
+
+/// Bank of a (possibly negative) logical address under a layout: the
+/// floor-division generalization of SharedLayout::bank, so symbolic
+/// instantiations that dip below zero still classify consistently.
+i64 bank_of(const gpusim::SharedLayout& layout, i64 a) {
+  const i64 w = static_cast<i64>(layout.w);
+  const i64 row = floordiv(a, w);
+  const u32 col = static_cast<u32>(mod_floor(a, w));
+  const u32 perm = layout.permute(
+      col, static_cast<std::size_t>(mod_floor(row, w)));
+  return mod_floor(row * static_cast<i64>(layout.pad) +
+                       static_cast<i64>(perm),
+                   w);
+}
+
+}  // namespace
+
+u64 exact_degree(const gpusim::SharedLayout& layout,
+                 const std::vector<i64>& addrs) {
+  WCM_EXPECTS(layout.w > 0, "need at least one bank");
   std::map<i64, std::set<i64>> per_bank;  // bank -> distinct addresses
   for (const i64 a : addrs) {
-    const i64 phys =
-        a + static_cast<i64>(pad) * floordiv(a, static_cast<i64>(w));
-    per_bank[mod_floor(phys, static_cast<i64>(w))].insert(a);
+    per_bank[bank_of(layout, a)].insert(a);
   }
   u64 degree = 0;
   for (const auto& [bank, set] : per_bank) {
     degree = std::max<u64>(degree, set.size());
   }
   return degree;
+}
+
+u64 exact_degree(u32 w, u32 pad, const std::vector<i64>& addrs) {
+  return exact_degree(gpusim::SharedLayout{w, pad}, addrs);
 }
 
 namespace {
@@ -177,34 +198,110 @@ PairRel classify_pair(const ir::LinForm& a, const ir::LinForm& b,
   return PairRel::unknown;
 }
 
-/// Under padding, the congruence argument stays valid iff the whole step
-/// provably lives inside one w-aligned block: split every address into a
-/// lane-invariant part H ≡ 0 (mod w) plus a residue part L, and require
-/// L in [0, w) for every lane.  Then physical differences equal logical
-/// differences and bank relations are pad-invariant.
+/// Split one symbolic address into H + L with H provably ≡ 0 (mod w):
+/// every term whose contribution is a proven multiple of w — plus the
+/// w-aligned part of the constant — lands in H (the row part); the rest is
+/// the residue L.  When L is additionally proven to lie in [0, w), L *is*
+/// the logical column and H/w the logical row, which is what both the
+/// padded-layout and the permuted-layout congruence arguments consume.
+struct AddrSplit {
+  ir::LinForm residue;   ///< L: the column candidate
+  bool resident = false; ///< eval(L) ⊆ [0, w) proven
+};
+
+AddrSplit split_address(const ir::LinForm& addr, const ir::KernelDesc& desc) {
+  AddrSplit out;
+  const i64 w = static_cast<i64>(desc.w);
+  out.residue = ir::LinForm::constant(mod_floor(addr.c, w));
+  for (const auto& [idx, coeff] : addr.terms) {
+    const ir::Symbol& s = desc.symbols[static_cast<std::size_t>(idx)];
+    AbsVal sv;
+    sv.lo = s.lo;
+    sv.hi = s.hi;
+    sv.mod = s.mod <= 1 ? 1 : s.mod;
+    sv.rem = s.mod > 1 ? mod_floor(s.rem, static_cast<i64>(s.mod)) : 0;
+    if (proves_zero_mod(abs_scale(sv, coeff), desc.w)) {
+      continue;  // lands in H
+    }
+    out.residue.add(ir::LinForm::sym(idx, coeff));
+  }
+  const AbsVal l = eval(out.residue, desc);
+  out.resident = l.lo >= 0 && l.hi < w;
+  return out;
+}
+
+/// Under padding, the plain congruence argument stays valid iff the whole
+/// step provably lives inside one w-aligned block: every lane's residue in
+/// [0, w) *and* every lane's row part H identical (pairwise H difference
+/// exactly zero).  Then physical differences equal logical differences and
+/// bank relations are pad-invariant.  Residency alone is not enough — a
+/// stride-w column access has every lane row-aligned yet spans w rows, and
+/// its banks are pad-dependent.
 bool same_block_under_padding(
     const std::vector<std::pair<u32, ir::LinForm>>& lanes,
     const ir::KernelDesc& desc) {
+  bool first = true;
+  ir::LinForm row0;
   for (const auto& [lane, addr] : lanes) {
-    ir::LinForm residue = ir::LinForm::constant(addr.c);
-    for (const auto& [idx, coeff] : addr.terms) {
-      const ir::Symbol& s = desc.symbols[static_cast<std::size_t>(idx)];
-      AbsVal sv;
-      sv.lo = s.lo;
-      sv.hi = s.hi;
-      sv.mod = s.mod <= 1 ? 1 : s.mod;
-      sv.rem = s.mod > 1 ? mod_floor(s.rem, static_cast<i64>(s.mod)) : 0;
-      if (proves_zero_mod(abs_scale(sv, coeff), desc.w)) {
-        continue;  // lands in H
-      }
-      residue.add(ir::LinForm::sym(idx, coeff));
+    const AddrSplit split = split_address(addr, desc);
+    if (!split.resident) {
+      return false;
     }
-    const AbsVal l = eval(residue, desc);
-    if (l.lo < 0 || l.hi >= static_cast<i64>(desc.w)) {
+    ir::LinForm row = addr - split.residue;
+    if (first) {
+      row0 = std::move(row);
+      first = false;
+      continue;
+    }
+    const AbsVal dh = eval(row - row0, desc);
+    if (!(dh.exact() && dh.lo == 0)) {
       return false;
     }
   }
   return true;
+}
+
+/// Bank relation of one lane pair under a permuted (xor/rotation), unpadded
+/// layout.  Both layouts permute columns *within* a row bijectively and
+/// injectively in the row residue for a fixed column, so with each address
+/// split into H (≡ 0 mod w, the row part) + L (the column, in [0, w)):
+///   same column (L diff exactly 0):   rows ≡ (mod w), i.e. H diff ≡ 0
+///     (mod w²)  → same bank; rows provably distinct mod w → distinct bank.
+///   same row (H diff ≡ 0 mod w²):     columns distinct (L diff nonzero,
+///     both in [0, w)) → distinct bank.
+/// Distinct column *and* distinct row is undecidable abstractly (xor can
+/// collide or not) → unknown, deferring to enumeration.  Requires pad == 0:
+/// with padding, the row term pad*Δrow can cancel a column permutation
+/// difference, so only the same-row/same-column cases would survive.
+PairRel classify_pair_permuted(const ir::LinForm& a, const AddrSplit& sa,
+                               const ir::LinForm& b, const AddrSplit& sb,
+                               const ir::KernelDesc& desc) {
+  const ir::LinForm full = b - a;
+  const AbsVal dfull = eval(full, desc);
+  if (dfull.exact() && dfull.lo == 0) {
+    return PairRel::same_addr;
+  }
+  const ir::LinForm ldiff = sb.residue - sa.residue;
+  const AbsVal dl = eval(ldiff, desc);
+  const AbsVal dh = eval(full - ldiff, desc);
+  const u64 w2 = static_cast<u64>(desc.w) * desc.w;
+  if (dl.exact() && dl.lo == 0) {
+    if (proves_nonzero_mod(dh, w2)) {
+      return PairRel::distinct_bank;
+    }
+    if (proves_zero_mod(dh, w2)) {
+      return PairRel::same_bank;
+    }
+    return PairRel::unknown;
+  }
+  if (proves_zero_mod(dh, w2)) {
+    // Same row residue; columns are both in [0, w), so a sign-definite
+    // interval on the difference proves them distinct.
+    if (dl.lo > 0 || dl.hi < 0) {
+      return PairRel::distinct_bank;
+    }
+  }
+  return PairRel::unknown;
 }
 
 struct CongruenceResult {
@@ -215,6 +312,22 @@ struct CongruenceResult {
 CongruenceResult congruence_degree(
     const std::vector<std::pair<u32, ir::LinForm>>& lanes,
     const ir::KernelDesc& desc) {
+  const bool permuted = desc.layout != gpusim::LayoutKind::linear;
+  std::vector<AddrSplit> splits;
+  if (permuted) {
+    if (desc.pad != 0) {
+      // Padding composed with a permutation mixes the row term into the
+      // permuted column; no abstract rule survives — defer to enumeration.
+      return {};
+    }
+    splits.reserve(lanes.size());
+    for (const auto& [lane, addr] : lanes) {
+      splits.push_back(split_address(addr, desc));
+      if (!splits.back().resident) {
+        return {};
+      }
+    }
+  }
   const std::size_t n = lanes.size();
   // Union-find over broadcast (same-address) lanes.
   std::vector<std::size_t> parent(n);
@@ -231,7 +344,10 @@ CongruenceResult congruence_degree(
   std::vector<std::vector<PairRel>> rel(n, std::vector<PairRel>(n));
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
-      const PairRel r = classify_pair(lanes[i].second, lanes[j].second, desc);
+      const PairRel r =
+          permuted ? classify_pair_permuted(lanes[i].second, splits[i],
+                                            lanes[j].second, splits[j], desc)
+                   : classify_pair(lanes[i].second, lanes[j].second, desc);
       if (r == PairRel::unknown) {
         return {};
       }
@@ -263,28 +379,73 @@ CongruenceResult congruence_degree(
   return {true, degree};
 }
 
-struct EnumPlan {
-  bool feasible = false;
-  std::vector<int> order;  // parameter symbol indices, declaration order
+struct EnumVar {
+  int idx = -1;
+  /// Warp-shift symbol swept over the w residues {0, w, ..., (w-1)*w}
+  /// instead of pinned to zero.  Needed under the xor layout only: there a
+  /// uniform shift by k*w xors every lane's column with a different row
+  /// residue, which is *not* a uniform bank rotation (two lanes on distinct
+  /// banks can collide after the shift), so the shift's value mod w² — and
+  /// only that — matters.  {t*w : t in [0, w)} covers every contribution a
+  /// ≡ 0 (mod w) symbol with any coefficient can make mod w².
+  bool shift_sweep = false;
 };
 
-EnumPlan enumeration_plan(const ir::KernelDesc& desc) {
+struct EnumPlan {
+  bool feasible = false;
+  std::vector<EnumVar> order;  // symbol indices, declaration order
+};
+
+/// Enumeration plan restricted to the symbols the group actually reads
+/// (base/stride terms, expanded transitively through upper_sym chains):
+/// unused symbols stay at zero in the valuation vector and never influence
+/// instantiate_addresses, so skipping them keeps the sweep budget tiny.
+EnumPlan enumeration_plan(const ir::KernelDesc& desc,
+                          const ir::StepGroup& group) {
+  std::set<int> used;
+  const auto add_with_uppers = [&](int idx) {
+    while (idx >= 0 && used.insert(idx).second) {
+      idx = desc.symbols[static_cast<std::size_t>(idx)].upper_sym;
+    }
+  };
+  for (const ir::LanePiece& p : group.pattern.pieces) {
+    for (const auto& [idx, coeff] : p.base.terms) {
+      add_with_uppers(idx);
+    }
+    for (const auto& [idx, coeff] : p.stride.terms) {
+      add_with_uppers(idx);
+    }
+  }
   EnumPlan plan;
   u64 combos = 1;
   for (std::size_t i = 0; i < desc.symbols.size(); ++i) {
-    const ir::Symbol& s = desc.symbols[i];
-    if (s.role == ir::SymRole::warp_shift) {
+    if (!used.contains(static_cast<int>(i))) {
       continue;
     }
-    if (s.hi < s.lo) {
-      return {};
+    const ir::Symbol& s = desc.symbols[i];
+    EnumVar var;
+    var.idx = static_cast<int>(i);
+    u64 width = 1;
+    if (s.role == ir::SymRole::warp_shift) {
+      if (desc.layout != gpusim::LayoutKind::xor_swizzle) {
+        // Pinned to zero: under linear, padded, and rotation layouts a
+        // uniform shift by a multiple of w rotates every lane's bank by the
+        // same amount, leaving the conflict degree invariant.
+        continue;
+      }
+      var.shift_sweep = true;
+      width = desc.w;
+    } else {
+      if (s.hi < s.lo) {
+        return {};
+      }
+      width = static_cast<u64>(s.hi - s.lo + 1);
     }
-    const u64 width = static_cast<u64>(s.hi - s.lo + 1);
     if (combos > kEnumLimit / std::max<u64>(width, 1)) {
       return {};
     }
     combos *= std::max<u64>(width, 1);
-    plan.order.push_back(static_cast<int>(i));
+    plan.order.push_back(var);
   }
   plan.feasible = true;
   return plan;
@@ -301,14 +462,22 @@ i64 eval_concrete(const ir::LinForm& lf, const Valuation& valuation) {
 /// Recursive sweep over parameter valuations; calls visit(valuation).
 template <typename Visit>
 void for_each_valuation(const ir::KernelDesc& desc,
-                        const std::vector<int>& order, std::size_t pos,
+                        const std::vector<EnumVar>& order, std::size_t pos,
                         Valuation& valuation, const Visit& visit) {
   if (pos == order.size()) {
     visit(valuation);
     return;
   }
-  const auto idx = static_cast<std::size_t>(order[pos]);
+  const auto idx = static_cast<std::size_t>(order[pos].idx);
   const ir::Symbol& s = desc.symbols[idx];
+  if (order[pos].shift_sweep) {
+    const i64 w = static_cast<i64>(desc.w);
+    for (i64 t = 0; t < w; ++t) {
+      valuation[idx] = t * w;
+      for_each_valuation(desc, order, pos + 1, valuation, visit);
+    }
+    return;
+  }
   i64 hi = s.hi;
   if (s.upper_sym >= 0) {
     hi = std::min<i64>(hi,
@@ -323,6 +492,16 @@ void for_each_valuation(const ir::KernelDesc& desc,
     valuation[idx] = v;
     for_each_valuation(desc, order, pos + 1, valuation, visit);
   }
+}
+
+/// Per-range straddle slack in the window capacity bound.  A contiguous
+/// logical range touches at most ceil(L/w) + 1 rows; under the linear
+/// unpadded layout consecutive rows alias bank-for-bank so the two partial
+/// rows at the ends merge into the ceil, but padding or a bank permutation
+/// makes every touched row contribute up to one address per bank on its
+/// own — one extra unit of slack per range.
+u64 window_straddle(const ir::KernelDesc& desc) {
+  return (desc.pad > 0 || desc.layout != gpusim::LayoutKind::linear) ? 2 : 1;
 }
 
 }  // namespace
@@ -352,10 +531,34 @@ u64 window_bound_at(const ir::KernelDesc& desc, const ir::StepGroup& group,
   const i64 span = eval_concrete(group.pattern.span, valuation);
   const i64 nranges = eval_concrete(group.pattern.nranges, valuation);
   WCM_EXPECTS(span >= 0 && nranges >= 1, "malformed window instantiation");
-  const u64 per_range_straddle = desc.pad > 0 ? 2 : 1;
   const u64 cap = ceil_div(static_cast<u64>(span), desc.w) +
-                  per_range_straddle * static_cast<u64>(nranges) - 1;
+                  window_straddle(desc) * static_cast<u64>(nranges) - 1;
   return std::min<u64>(group.pattern.active, cap);
+}
+
+EnumWorst enumerate_worst(const ir::KernelDesc& desc,
+                          const ir::StepGroup& group) {
+  WCM_EXPECTS(group.pattern.kind == ir::PatternKind::pieces,
+              "only pieces patterns enumerate");
+  const EnumPlan plan = enumeration_plan(desc, group);
+  if (!plan.feasible) {
+    return {};
+  }
+  EnumWorst out;
+  out.feasible = true;
+  out.valuation.assign(desc.symbols.size(), 0);
+  const gpusim::SharedLayout layout{desc.w, desc.pad, desc.layout};
+  Valuation valuation(desc.symbols.size(), 0);
+  for_each_valuation(
+      desc, plan.order, 0, valuation, [&](const Valuation& val) {
+        const auto addrs = instantiate_addresses(desc, group, val);
+        const u64 degree = exact_degree(layout, addrs);
+        if (degree > out.degree) {
+          out.degree = degree;
+          out.valuation = val;
+        }
+      });
+  return out;
 }
 
 StepBound bound_group(const ir::KernelDesc& desc,
@@ -381,14 +584,14 @@ StepBound bound_group(const ir::KernelDesc& desc,
     const AbsVal span = eval(group.pattern.span, desc);
     const AbsVal nranges = eval(group.pattern.nranges, desc);
     WCM_EXPECTS(span.lo >= 0 && nranges.lo >= 1, "malformed window pattern");
-    const u64 per_range_straddle = desc.pad > 0 ? 2 : 1;
+    const u64 straddle = window_straddle(desc);
     const u64 cap = ceil_div(static_cast<u64>(span.hi), desc.w) +
-                    per_range_straddle * static_cast<u64>(nranges.hi) - 1;
+                    straddle * static_cast<u64>(nranges.hi) - 1;
     bound.degree = std::min<u64>(group.pattern.active, cap);
     bound.free = bound.degree <= 1;
     bound.method = "window";
     std::ostringstream os;
-    os << "ceil(span/w) + " << (desc.pad > 0 ? "2*" : "")
+    os << "ceil(span/w) + " << (straddle == 2 ? "2*" : "")
        << "ranges - 1 capacity bound";
     bound.detail = os.str();
     return bound;
@@ -398,9 +601,15 @@ StepBound bound_group(const ir::KernelDesc& desc,
   WCM_EXPECTS(!lanes.empty(), "pieces pattern with no lanes");
   WCM_EXPECTS(lanes.size() <= desc.w, "more lanes than the warp width");
 
-  // 1. Congruence: decide every lane pair abstractly.  Valid under padding
-  //    only when the step provably stays inside one w-aligned block.
-  if (desc.pad == 0 || same_block_under_padding(lanes, desc)) {
+  // 1. Congruence: decide every lane pair abstractly.  Under the linear
+  //    layout, valid with padding only when the step provably stays inside
+  //    one w-aligned block; under a permuted layout congruence_degree
+  //    itself requires pad == 0 and row/column residency.
+  const bool linear = desc.layout == gpusim::LayoutKind::linear;
+  const bool congruence_applies =
+      linear ? (desc.pad == 0 || same_block_under_padding(lanes, desc))
+             : desc.pad == 0;
+  if (congruence_applies) {
     const CongruenceResult cr = congruence_degree(lanes, desc);
     if (cr.decided) {
       bound.degree = cr.degree;
@@ -409,29 +618,33 @@ StepBound bound_group(const ir::KernelDesc& desc,
       // count — is the same for every valuation: the bound is attained.
       bound.exact = true;
       bound.method = "congruence";
-      bound.detail = desc.pad == 0
+      bound.detail = !linear ? "row/column split decided under permutation"
+                     : desc.pad == 0
                          ? "all lane-pair residues decided mod w"
                          : "single w-block step: pad-invariant residues";
       return bound;
     }
   }
 
-  // 2. Enumeration over the declared (finite) parameter ranges, warp-shift
-  //    symbols pinned to zero.
-  const EnumPlan plan = enumeration_plan(desc);
+  // 2. Enumeration over the declared (finite) ranges of the symbols this
+  //    group uses; warp-shift symbols pinned to zero, except under the xor
+  //    layout where each is swept over its w residues mod w².
+  const EnumPlan plan = enumeration_plan(desc, group);
   if (plan.feasible) {
     u64 worst = 0;
     std::string divergence;
+    const gpusim::SharedLayout layout{desc.w, desc.pad, desc.layout};
     Valuation valuation(desc.symbols.size(), 0);
     for_each_valuation(
         desc, plan.order, 0, valuation, [&](const Valuation& val) {
           const auto addrs = instantiate_addresses(desc, group, val);
-          const u64 degree = exact_degree(desc.w, desc.pad, addrs);
+          const u64 degree = exact_degree(layout, addrs);
           worst = std::max(worst, degree);
           // Cross-check the gcd closed form from stride.cpp on full-warp
           // affine instantiations: any disagreement is a model bug.
-          if (desc.pad == 0 && group.pattern.pieces.size() == 1 &&
-              addrs.size() == desc.w && divergence.empty()) {
+          if (linear && desc.pad == 0 &&
+              group.pattern.pieces.size() == 1 && addrs.size() == desc.w &&
+              divergence.empty()) {
             const i64 stride =
                 eval_concrete(group.pattern.pieces[0].stride, val);
             std::vector<u32> lane_ids(desc.w);
@@ -452,7 +665,10 @@ StepBound bound_group(const ir::KernelDesc& desc,
     bound.free = worst <= 1;
     bound.exact = true;
     bound.method = "enumeration";
-    bound.detail = "exhaustive over declared parameter ranges";
+    bound.detail = desc.layout == gpusim::LayoutKind::xor_swizzle
+                       ? "exhaustive over declared ranges, warp shifts "
+                         "swept mod w*w"
+                       : "exhaustive over declared parameter ranges";
     bound.divergence = divergence;
     return bound;
   }

@@ -13,16 +13,24 @@
 //
 // Three proof methods, tried in order per step group:
 //   congruence  — all lane pairs decided abstractly; bound valid for every
-//                 valuation in the declared ranges.
+//                 valuation in the declared ranges.  Under a permuted
+//                 layout (pad == 0 only) the classification runs on the
+//                 row/column split: permutations are bijective within a
+//                 row and injective in the row residue for a fixed column.
 //   enumeration — exhaustive instantiation over the (finite) declared
-//                 parameter ranges with warp-shift symbols pinned to zero
-//                 (sound: a uniform shift by a multiple of w rotates banks
-//                 bijectively under plain and padded layouts); exact, and
-//                 cross-checked against stride.cpp's gcd prediction.
+//                 ranges of the symbols the group uses.  Warp-shift
+//                 symbols are pinned to zero where a uniform multiple-of-w
+//                 shift rotates banks bijectively (linear, padded,
+//                 rotation layouts) — but under the xor layout such a
+//                 shift changes which rows alias, so each shift symbol is
+//                 instead swept over its w distinct residues mod w².
+//                 Exact, and cross-checked against stride.cpp's gcd
+//                 prediction on the linear unpadded layout.
 //   window      — closed-form capacity bound for data-dependent patterns:
 //                 a contiguous range of L words holds at most ceil(L/w)
 //                 addresses per bank (one more per range straddle when
-//                 padded).
+//                 padded or permuted: every touched row then contributes
+//                 independently).
 // A group none of them can bound reports method "trivial" with the
 // min(active, w) fallback — the prover turns that into an
 // unproved-access finding.
@@ -81,9 +89,26 @@ struct StepBound {
 using Valuation = std::vector<i64>;
 
 /// Exact max per-bank distinct-address count of concrete lane addresses
-/// under a (w, pad) layout — the enumeration inner loop, exposed for the
-/// property tests.
+/// under a shared-memory layout — the enumeration inner loop, exposed for
+/// the property tests and the certification replay.
+[[nodiscard]] u64 exact_degree(const gpusim::SharedLayout& layout,
+                               const std::vector<i64>& addrs);
+/// Linear-layout convenience overload.
 [[nodiscard]] u64 exact_degree(u32 w, u32 pad, const std::vector<i64>& addrs);
+
+/// Result of an exhaustive per-group sweep: the worst conflict degree found
+/// and one valuation attaining it — certification's counterexample seed.
+struct EnumWorst {
+  bool feasible = false;  ///< false: range too large to enumerate
+  u64 degree = 0;
+  Valuation valuation;
+};
+
+/// Sweep a pieces-pattern group over the declared ranges of the symbols it
+/// uses (warp shifts pinned or xor-swept as in bound_group) and return the
+/// argmax valuation.
+[[nodiscard]] EnumWorst enumerate_worst(const gpusim::ir::KernelDesc& desc,
+                                        const gpusim::ir::StepGroup& group);
 
 /// Instantiate a pieces-pattern group at one valuation (warp-shift symbols
 /// honored from the valuation vector) and return the per-lane addresses.

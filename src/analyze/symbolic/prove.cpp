@@ -14,10 +14,62 @@ namespace wcm::analyze::symbolic {
 
 namespace ir = gpusim::ir;
 
+namespace {
+
+/// The describer registry: one row per provable engine.  all_engines(),
+/// describe_engine()'s dispatch, and the unknown-engine diagnostic all read
+/// this table, so registering a describer here is the single step that
+/// surfaces it everywhere.
+struct EngineEntry {
+  const char* name;
+  ir::KernelDesc (*describe)(const ProveOptions& opts);
+};
+
+constexpr EngineEntry kEngineRegistry[] = {
+    {"blocksort",
+     [](const ProveOptions& o) {
+       return sort::describe_blocksort(o.w, o.b, o.pad);
+     }},
+    {"block-merge",
+     [](const ProveOptions& o) {
+       return sort::describe_block_merge(o.w, o.b, o.pad);
+     }},
+    {"pairwise",
+     [](const ProveOptions& o) {
+       return sort::describe_pairwise(o.w, o.b, o.pad);
+     }},
+    {"multiway",
+     [](const ProveOptions& o) {
+       return sort::describe_multiway(o.w, o.b, o.pad, o.ways);
+     }},
+    {"bitonic",
+     [](const ProveOptions& o) {
+       return sort::describe_bitonic(o.w, o.b, o.pad);
+     }},
+    {"radix",
+     [](const ProveOptions& o) {
+       return sort::describe_radix(o.w, o.b, o.pad, o.digit_bits);
+     }},
+    {"scan",
+     [](const ProveOptions& o) {
+       return sort::describe_block_scan(o.w, o.b, o.pad);
+     }},
+    {"shearsort",
+     [](const ProveOptions& o) {
+       return sort::describe_shearsort(o.w, o.b, o.pad);
+     }},
+};
+
+}  // namespace
+
 const std::vector<std::string>& all_engines() {
-  static const std::vector<std::string> kEngines = {
-      "blocksort", "block-merge", "pairwise", "multiway",
-      "bitonic",   "radix",       "scan"};
+  static const std::vector<std::string> kEngines = [] {
+    std::vector<std::string> names;
+    for (const EngineEntry& e : kEngineRegistry) {
+      names.emplace_back(e.name);
+    }
+    return names;
+  }();
   return kEngines;
 }
 
@@ -50,8 +102,12 @@ void apply_e_range(ir::KernelDesc& desc, const ProveOptions& opts) {
   }
   const int s = desc.find_symbol("s");
   if (s >= 0) {
+    // s is the inner step in [0, E): follow the declared E range exactly.
+    // The describer's static hi (w - 2) assumes E <= w - 1 and silently
+    // under-covers the enumeration sweep when the proof range pushes E
+    // past the warp width (e.g. the w = 2 cross-check grid).
     ir::Symbol& inner = desc.symbols[static_cast<std::size_t>(s)];
-    inner.hi = std::min<i64>(inner.hi, static_cast<i64>(e_max) - 1);
+    inner.hi = static_cast<i64>(e_max) - 1;
     inner.lo = 0;
   }
 }
@@ -97,7 +153,8 @@ std::string json_body(const ProveReport& report) {
       os << ',';
     }
     os << "{\"engine\":\"" << e.engine << "\",\"w\":" << e.w
-       << ",\"b\":" << e.b << ",\"pad\":" << e.pad << ",\"e_min\":" << e.e_min
+       << ",\"b\":" << e.b << ",\"pad\":" << e.pad << ",\"layout\":\""
+       << gpusim::to_string(e.layout) << "\",\"e_min\":" << e.e_min
        << ",\"e_max\":" << e.e_max
        << ",\"max_read_bound\":" << e.max_read_bound
        << ",\"max_write_bound\":" << e.max_write_bound
@@ -157,28 +214,24 @@ std::string json_body(const ProveReport& report) {
 
 ir::KernelDesc describe_engine(const std::string& name,
                                const ProveOptions& opts) {
-  ir::KernelDesc desc;
-  if (name == "blocksort") {
-    desc = sort::describe_blocksort(opts.w, opts.b, opts.pad);
-  } else if (name == "block-merge") {
-    desc = sort::describe_block_merge(opts.w, opts.b, opts.pad);
-  } else if (name == "pairwise") {
-    desc = sort::describe_pairwise(opts.w, opts.b, opts.pad);
-  } else if (name == "multiway") {
-    desc = sort::describe_multiway(opts.w, opts.b, opts.pad, opts.ways);
-  } else if (name == "bitonic") {
-    desc = sort::describe_bitonic(opts.w, opts.b, opts.pad);
-  } else if (name == "radix") {
-    desc = sort::describe_radix(opts.w, opts.b, opts.pad, opts.digit_bits);
-  } else if (name == "scan") {
-    desc = sort::describe_block_scan(opts.w, opts.b, opts.pad);
-  } else {
-    throw parse_error("unknown engine '" + name +
-                      "' (valid: blocksort, block-merge, pairwise, multiway, "
-                      "bitonic, radix, scan, all)");
+  for (const EngineEntry& entry : kEngineRegistry) {
+    if (name == entry.name) {
+      ir::KernelDesc desc = entry.describe(opts);
+      // The bank permutation is a property of the machine the engine is
+      // proved on, not of the describer: apply it centrally so every
+      // registered engine is provable under every layout.
+      desc.layout = opts.layout;
+      apply_e_range(desc, opts);
+      return desc;
+    }
   }
-  apply_e_range(desc, opts);
-  return desc;
+  std::string valid;
+  for (const std::string& n : all_engines()) {
+    valid += n;
+    valid += ", ";
+  }
+  throw parse_error("unknown engine '" + name + "' (valid: " + valid +
+                    "all)");
 }
 
 EngineReport prove_engine(const std::string& name, const ProveOptions& opts) {
@@ -188,6 +241,7 @@ EngineReport prove_engine(const std::string& name, const ProveOptions& opts) {
   report.w = desc.w;
   report.b = desc.b;
   report.pad = desc.pad;
+  report.layout = desc.layout;
   report.e_min = opts.e_min;
   report.e_max = opts.effective_e_max();
   for (const ir::StepGroup& group : desc.groups) {
@@ -270,7 +324,8 @@ ProveReport prove(const std::vector<std::string>& engines,
 void render_text(std::ostream& os, const ProveReport& report) {
   for (const EngineReport& e : report.engines) {
     os << "engine " << e.engine << " (w=" << e.w << " b=" << e.b
-       << " pad=" << e.pad << " E=" << e.e_min << ".." << e.e_max << ")\n";
+       << " pad=" << e.pad << " layout=" << gpusim::to_string(e.layout)
+       << " E=" << e.e_min << ".." << e.e_max << ")\n";
     for (const GroupReport& gr : e.groups) {
       if (gr.bound.method == "none") {
         continue;  // barriers and fills carry no bound
@@ -322,7 +377,7 @@ void append_findings(ProveReport& report, std::vector<Diagnostic> findings) {
 std::vector<Diagnostic> certify_trace(const gpusim::Trace& trace,
                                       const EngineReport& report) {
   std::vector<Diagnostic> findings;
-  const gpusim::SharedLayout layout{report.w, report.pad};
+  const gpusim::SharedLayout layout{report.w, report.pad, report.layout};
   WCM_EXPECTS(trace.warp_size == report.w,
               "trace warp size does not match the proved shape");
   const std::vector<dmm::StepCost> costs =
@@ -349,7 +404,8 @@ std::vector<Diagnostic> certify_trace(const gpusim::Trace& trace,
       std::ostringstream msg;
       msg << report.engine << ": replayed worst-bank degree " << degree
           << " exceeds the symbolic " << (step.is_write() ? "write" : "read")
-          << " bound " << bound << " (pad " << report.pad << ")";
+          << " bound " << bound << " (pad " << report.pad << ", layout "
+          << gpusim::to_string(report.layout) << ")";
       d.message = msg.str();
       findings.push_back(std::move(d));
     }

@@ -31,6 +31,8 @@ struct ProveOptions {
   u32 w = 32;
   u32 b = 64;
   u32 pad = 0;
+  /// Shared-memory bank permutation the engines are proved under.
+  gpusim::LayoutKind layout = gpusim::LayoutKind::linear;
   u32 e_min = 3;
   u32 e_max = 0;  ///< 0: defaults to w - 1
   u32 ways = 4;        ///< multiway fan-in
@@ -58,6 +60,7 @@ struct EngineReport {
   u32 w = 0;
   u32 b = 0;
   u32 pad = 0;
+  gpusim::LayoutKind layout = gpusim::LayoutKind::linear;
   u32 e_min = 0;
   u32 e_max = 0;
   std::vector<GroupReport> groups;
@@ -73,7 +76,9 @@ struct ProveReport {
   u64 digest = 0;  ///< fnv1a over the rendered JSON body
 };
 
-/// The canonical engine list (`--engine all`).
+/// The canonical engine list (`--engine all`), derived from the describer
+/// registry — the single source the unknown-engine diagnostic and the CLI
+/// choices quote, so it cannot go stale against the registered describers.
 [[nodiscard]] const std::vector<std::string>& all_engines();
 
 /// Lift one engine into the IR with the options' E range applied.
@@ -98,7 +103,7 @@ void render_json(std::ostream& os, const ProveReport& report);
 void append_findings(ProveReport& report, std::vector<Diagnostic> findings);
 
 /// Dynamic certification: replay the trace's step costs under the
-/// (w, pad) layout the report was proved for and flag every read/write
+/// (w, pad, layout) shape the report was proved for and flag every read/write
 /// step whose worst-bank degree exceeds the engine's derived bound.
 [[nodiscard]] std::vector<Diagnostic> certify_trace(
     const gpusim::Trace& trace, const EngineReport& report);

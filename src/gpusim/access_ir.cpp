@@ -99,7 +99,8 @@ void remap_linform(LinForm& lf, const std::vector<int>& map) {
 }  // namespace
 
 void KernelDesc::append(const KernelDesc& other) {
-  WCM_EXPECTS(w == other.w && b == other.b && pad == other.pad,
+  WCM_EXPECTS(w == other.w && b == other.b && pad == other.pad &&
+                  layout == other.layout,
               "appending a kernel description with different machine shape");
   std::vector<int> map(other.symbols.size(), -1);
   for (std::size_t i = 0; i < other.symbols.size(); ++i) {

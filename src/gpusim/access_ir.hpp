@@ -39,6 +39,7 @@
 #include <utility>
 #include <vector>
 
+#include "gpusim/layout.hpp"
 #include "util/math.hpp"
 
 namespace wcm::gpusim::ir {
@@ -114,6 +115,9 @@ struct KernelDesc {
   u32 w = 32;
   u32 b = 64;
   u32 pad = 0;
+  /// Bank permutation the engine stages its tile under (gpusim/layout.hpp);
+  /// the prover's bank relations are derived for this layout.
+  LayoutKind layout = LayoutKind::linear;
   std::vector<Symbol> symbols;
   std::vector<StepGroup> groups;
 

@@ -1,0 +1,33 @@
+#include "gpusim/layout.hpp"
+
+#include "util/error.hpp"
+
+namespace wcm::gpusim {
+
+const char* to_string(LayoutKind kind) noexcept {
+  switch (kind) {
+    case LayoutKind::xor_swizzle:
+      return "xor";
+    case LayoutKind::rotation:
+      return "rotation";
+    case LayoutKind::linear:
+      break;
+  }
+  return "linear";
+}
+
+LayoutKind parse_layout_kind(const std::string& name) {
+  if (name == "linear") {
+    return LayoutKind::linear;
+  }
+  if (name == "xor") {
+    return LayoutKind::xor_swizzle;
+  }
+  if (name == "rotation") {
+    return LayoutKind::rotation;
+  }
+  throw parse_error("unknown layout '" + name +
+                    "' (valid: linear, xor, rotation)");
+}
+
+}  // namespace wcm::gpusim

@@ -7,11 +7,14 @@
 namespace wcm::gpusim {
 
 SharedMemory::SharedMemory(u32 warp_size, std::size_t words, u32 pad)
-    : warp_size_(warp_size),
-      layout_{warp_size, pad},
+    : SharedMemory(SharedLayout{warp_size, pad}, words) {}
+
+SharedMemory::SharedMemory(const SharedLayout& layout, std::size_t words)
+    : warp_size_(layout.w),
+      layout_(layout),
       logical_words_(words),
-      machine_(warp_size, layout_.physical_words(words)) {
-  WCM_CHECK_CONFIG(is_pow2(warp_size), "warp size must be a power of two");
+      machine_(layout.w, layout_.physical_words(words)) {
+  WCM_CHECK_CONFIG(is_pow2(layout.w), "warp size must be a power of two");
   WCM_FAILPOINT("sim.smem.alloc", simulation_error,
                 "injected shared-memory allocation failure");
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "dmm/machine.hpp"
+#include "gpusim/layout.hpp"
 #include "util/math.hpp"
 
 namespace wcm::gpusim {
@@ -29,31 +30,16 @@ struct LaneWrite {
   word value = 0;
 };
 
-/// Optional padded layout (Dotsenko et al. 2008): insert `pad` unused words
-/// after every `w` logical words, so logical address x lives in bank
-/// (x + pad * floor(x / w)) mod w.  Padding breaks the congruences the
-/// worst-case construction relies on — the classic bank-conflict
-/// mitigation, at the price of wasted shared memory.
-struct SharedLayout {
-  u32 w = 32;
-  u32 pad = 0;
-
-  [[nodiscard]] std::size_t physical(std::size_t logical) const noexcept {
-    return logical + (logical / w) * pad;
-  }
-  /// Physical words needed to hold `logical_words` logical words.
-  [[nodiscard]] std::size_t physical_words(
-      std::size_t logical_words) const noexcept {
-    return logical_words == 0 ? 0 : physical(logical_words - 1) + 1;
-  }
-};
-
 class SharedMemory {
  public:
   /// `words` counts *logical* words; with pad > 0 the backing store is
   /// correspondingly larger.  All addresses in the public API are logical;
   /// bank-conflict accounting uses the physical (padded) addresses.
   SharedMemory(u32 warp_size, std::size_t words, u32 pad = 0);
+
+  /// Full layout control (padding and/or a per-row bank permutation, see
+  /// gpusim/layout.hpp); the layout's w is the warp size.
+  SharedMemory(const SharedLayout& layout, std::size_t words);
 
   [[nodiscard]] u32 warp_size() const noexcept { return warp_size_; }
   [[nodiscard]] std::size_t words() const noexcept { return logical_words_; }

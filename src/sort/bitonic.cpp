@@ -162,7 +162,8 @@ SortReport bitonic_sort(std::span<const word> input, const SortConfig& cfg,
   report.n = n;
 
   std::vector<word> data(input.begin(), input.end());
-  gpusim::SharedMemory shm(cfg.w, tile, cfg.padding);
+  gpusim::SharedMemory shm(
+      gpusim::SharedLayout{cfg.w, cfg.padding, cfg.layout}, tile);
   shm.attach_trace(cfg.trace_sink);
 
   const auto run_shared_tail =

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "gpusim/device.hpp"
+#include "gpusim/layout.hpp"
 #include "util/math.hpp"
 
 namespace wcm::gpusim {
@@ -23,6 +24,10 @@ struct SortConfig {
   /// (Dotsenko-style bank-conflict mitigation; 0 = the layout the paper
   /// attacks).
   u32 padding = 0;
+  /// Shared-memory bank permutation (gpusim/layout.hpp).  The engines
+  /// stage their tiles under this layout; xor/rotation are the memory-free
+  /// defenses the certified shearsort engine relies on.
+  gpusim::LayoutKind layout = gpusim::LayoutKind::linear;
   /// Merge-read accounting fidelity.  The paper's model charges one shared
   /// read per lock-step iteration: the *consumed* element (default).  Real
   /// kernels keep both list heads in registers: two initial loads, then a

@@ -53,4 +53,10 @@ namespace wcm::sort {
 [[nodiscard]] gpusim::ir::KernelDesc describe_block_scan(u32 w, u32 b,
                                                          u32 pad);
 
+/// Shearsort mesh engine: stride-1 staging/row/unstage steps plus the
+/// stride-w column traversal — the certification mode's showcase (w-way
+/// conflict on the linear layout, conflict-free under pad or permutation).
+[[nodiscard]] gpusim::ir::KernelDesc describe_shearsort(u32 w, u32 b,
+                                                        u32 pad);
+
 }  // namespace wcm::sort

@@ -396,7 +396,8 @@ SortReport multiway_merge_sort(std::span<const word> input,
 
   std::vector<word> data(input.begin(), input.end());
   std::vector<word> buffer(n);
-  gpusim::SharedMemory shm(cfg.w, tile, cfg.padding);
+  gpusim::SharedMemory shm(
+      gpusim::SharedLayout{cfg.w, cfg.padding, cfg.layout}, tile);
   shm.attach_trace(cfg.trace_sink);
 
   WCM_SPAN("multiway.sort");

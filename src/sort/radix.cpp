@@ -63,7 +63,8 @@ SortReport radix_sort(std::span<const word> input, const SortConfig& cfg,
 
   std::vector<word> data(input.begin(), input.end());
   std::vector<word> buffer(n);
-  gpusim::SharedMemory shm(w, shared_words, cfg.padding);
+  gpusim::SharedMemory shm(
+      gpusim::SharedLayout{w, cfg.padding, cfg.layout}, shared_words);
   shm.attach_trace(cfg.trace_sink);
   std::vector<gpusim::LaneRead> reads;
   std::vector<gpusim::LaneWrite> writes;

@@ -39,7 +39,8 @@ SortReport block_scan(std::span<const word> input, const SortConfig& cfg,
   report.n = n;
 
   std::vector<word> data(input.begin(), input.end());
-  gpusim::SharedMemory shm(w, shared_words, cfg.padding);
+  gpusim::SharedMemory shm(
+      gpusim::SharedLayout{w, cfg.padding, cfg.layout}, shared_words);
   shm.attach_trace(cfg.trace_sink);
   gpusim::KernelStats stats;
   std::vector<gpusim::LaneRead> reads;

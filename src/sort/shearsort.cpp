@@ -1,0 +1,294 @@
+#include "sort/shearsort.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "gpusim/shared_memory.hpp"
+#include "sort/describe.hpp"
+#include "sort/pairwise_sort.hpp"
+#include "telemetry/span.hpp"
+#include "util/check.hpp"
+
+namespace wcm::sort {
+
+namespace {
+
+/// Sort row `r` of the staged mesh in registers: one stride-1 warp load,
+/// a warp-internal sort (shuffle network in a real kernel — only the
+/// shared accesses are accounted), one stride-1 warp store.  Snake order:
+/// even rows ascend, odd rows descend.
+void row_pass(gpusim::SharedMemory& shm, std::size_t r, u32 w,
+              std::vector<gpusim::LaneRead>& reads,
+              std::vector<gpusim::LaneWrite>& writes) {
+  const std::size_t base = r * w;
+  reads.clear();
+  for (u32 lane = 0; lane < w; ++lane) {
+    reads.push_back({lane, base + lane});
+  }
+  shm.warp_read(reads);
+  std::vector<word> row(w);
+  for (u32 lane = 0; lane < w; ++lane) {
+    row[lane] = shm.peek(base + lane);
+  }
+  if (r % 2 == 0) {
+    std::sort(row.begin(), row.end());
+  } else {
+    std::sort(row.begin(), row.end(), std::greater<word>());
+  }
+  writes.clear();
+  for (u32 lane = 0; lane < w; ++lane) {
+    writes.push_back({lane, base + lane, row[lane]});
+  }
+  shm.warp_write(writes);
+}
+
+/// Sort column `c` in registers: ceil(R/w) stride-w warp loads (lane l
+/// holds row rb + l), a cross-lane register sort, stride-w stores.  The
+/// stride-w steps are the engine's only conflict candidates: a full w-way
+/// conflict on the linear layout, conflict-free under padding with
+/// gcd(pad, w) = 1 or under the xor/rotation permutations.
+void column_pass(gpusim::SharedMemory& shm, std::size_t c, std::size_t rows,
+                 u32 w, std::vector<gpusim::LaneRead>& reads,
+                 std::vector<gpusim::LaneWrite>& writes) {
+  std::vector<word> column(rows);
+  for (std::size_t rb = 0; rb < rows; rb += w) {
+    const u32 lanes = static_cast<u32>(std::min<std::size_t>(w, rows - rb));
+    reads.clear();
+    for (u32 lane = 0; lane < lanes; ++lane) {
+      reads.push_back({lane, (rb + lane) * w + c});
+    }
+    shm.warp_read(reads);
+    for (u32 lane = 0; lane < lanes; ++lane) {
+      column[rb + lane] = shm.peek((rb + lane) * w + c);
+    }
+  }
+  std::sort(column.begin(), column.end());
+  for (std::size_t rb = 0; rb < rows; rb += w) {
+    const u32 lanes = static_cast<u32>(std::min<std::size_t>(w, rows - rb));
+    writes.clear();
+    for (u32 lane = 0; lane < lanes; ++lane) {
+      writes.push_back({lane, (rb + lane) * w + c, column[rb + lane]});
+    }
+    shm.warp_write(writes);
+  }
+}
+
+/// Stage one tile, shear it until snake-sorted, and unstage in snake
+/// order so the tile leaves row-major ascending.
+void shear_tile(gpusim::SharedMemory& shm, std::span<word> tile_data, u32 b,
+                u32 E, u32 w, gpusim::KernelStats& stats) {
+  const std::size_t tile = tile_data.size();
+  const std::size_t rows = tile / w;
+
+  // Block boundary: one SharedMemory hosts many simulated tiles.
+  shm.barrier();
+
+  // Coalesced load, then thread-linear warp-synchronous staging stores
+  // (thread t stores elements t, t + b, ..., t + (E-1)b; stride-1).
+  stats.global_transactions += tile / w;
+  stats.global_requests += tile;
+  std::vector<gpusim::LaneWrite> writes;
+  std::vector<gpusim::LaneRead> reads;
+  for (u32 warp_start = 0; warp_start < b; warp_start += w) {
+    for (u32 s = 0; s < E; ++s) {
+      writes.clear();
+      for (u32 lane = 0; lane < w; ++lane) {
+        const std::size_t idx = static_cast<std::size_t>(warp_start + lane) +
+                                static_cast<std::size_t>(s) * b;
+        writes.push_back({lane, idx, tile_data[idx]});
+      }
+      shm.warp_write(writes);
+    }
+  }
+  // __syncthreads: row/column warps read other warps' staged keys.
+  shm.barrier();
+
+  // ceil(log2 rows) shear iterations, then the final row pass (0-1
+  // principle: each row+column pair halves the dirty rows).
+  u32 iters = 0;
+  while ((std::size_t{1} << iters) < rows) {
+    ++iters;
+  }
+  for (u32 it = 0; it < iters; ++it) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      row_pass(shm, r, w, reads, writes);
+    }
+    stats.warp_merge_steps += rows;
+    shm.barrier();
+    for (std::size_t c = 0; c < w; ++c) {
+      column_pass(shm, c, rows, w, reads, writes);
+    }
+    stats.warp_merge_steps += w * ceil_div(rows, w);
+    shm.barrier();
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    row_pass(shm, r, w, reads, writes);
+  }
+  stats.warp_merge_steps += rows;
+  shm.barrier();
+
+  // Unstage in snake order (odd rows reversed), one warp step per row.
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t base = r * w;
+    reads.clear();
+    for (u32 lane = 0; lane < w; ++lane) {
+      const std::size_t col = r % 2 == 0 ? lane : w - 1 - lane;
+      reads.push_back({lane, base + col});
+    }
+    shm.warp_read(reads);
+    for (u32 lane = 0; lane < w; ++lane) {
+      const std::size_t col = r % 2 == 0 ? lane : w - 1 - lane;
+      tile_data[base + lane] = shm.peek(base + col);
+    }
+  }
+  stats.global_transactions += tile / w;
+  stats.global_requests += tile;
+}
+
+}  // namespace
+
+SortReport shearsort(std::span<const word> input, const SortConfig& cfg,
+                     const gpusim::Device& dev, std::vector<word>* output) {
+  cfg.validate();
+  WCM_EXPECTS(cfg.w == dev.warp_size, "config warp size must match device");
+  const std::size_t tile = cfg.tile();
+  const std::size_t n = input.size();
+  WCM_EXPECTS(n >= tile && n % tile == 0,
+              "n must be a positive multiple of the tile bE");
+
+  const gpusim::LaunchConfig launch{n / tile, cfg.b, cfg.shared_bytes()};
+  const gpusim::Calibration cal =
+      library_calibration(MergeSortLibrary::thrust);
+
+  SortReport report;
+  report.config = cfg;
+  report.device = dev;
+  report.n = n;
+
+  std::vector<word> data(input.begin(), input.end());
+  gpusim::SharedMemory shm(
+      gpusim::SharedLayout{cfg.w, cfg.padding, cfg.layout}, tile);
+  shm.attach_trace(cfg.trace_sink);
+
+  WCM_SPAN("shearsort.sort");
+
+  // Per-tile mesh sort in shared memory.
+  {
+    WCM_SPAN("shearsort.tiles");
+    gpusim::KernelStats stats;
+    for (std::size_t base = 0; base < n; base += tile) {
+      shm.reset_stats();
+      shear_tile(shm, std::span<word>(data).subspan(base, tile), cfg.b, cfg.E,
+                 cfg.w, stats);
+      stats.shared += shm.stats();
+      stats.blocks_launched += 1;
+    }
+    stats.elements_processed += n;
+
+    gpusim::RoundStats round;
+    round.name = "shearsort tiles";
+    round.kernel = stats;
+    round.modeled_seconds =
+        gpusim::estimate_kernel_time(dev, launch, stats, cal).seconds;
+    gpusim::record_round_telemetry("shearsort", round.name, cfg.E,
+                                   cfg.padding, stats);
+    report.totals += stats;
+    report.total_time += gpusim::estimate_kernel_time(dev, launch, stats, cal);
+    report.rounds.push_back(std::move(round));
+  }
+
+  // Pairwise merge of sorted runs in global memory: coalesced streaming,
+  // no shared-memory traffic, so the engine's conflict certificate covers
+  // the whole sort.
+  u32 round_idx = 0;
+  for (std::size_t run = tile; run < n; run *= 2) {
+    WCM_SPAN("shearsort.merge_round");
+    ++round_idx;
+    gpusim::KernelStats stats;
+    for (std::size_t base = 0; base + run < n; base += 2 * run) {
+      const std::size_t hi = std::min(base + 2 * run, n);
+      std::inplace_merge(data.begin() + static_cast<std::ptrdiff_t>(base),
+                         data.begin() + static_cast<std::ptrdiff_t>(base + run),
+                         data.begin() + static_cast<std::ptrdiff_t>(hi));
+      stats.global_transactions += 2 * (hi - base) / cfg.w;
+      stats.global_requests += 2 * (hi - base);
+      stats.warp_merge_steps += (hi - base) / cfg.w;
+    }
+    stats.blocks_launched += n / (2 * run);
+    stats.elements_processed += n;
+
+    gpusim::RoundStats round;
+    round.name = "merge round " + std::to_string(round_idx);
+    round.kernel = stats;
+    round.modeled_seconds =
+        gpusim::estimate_kernel_time(dev, launch, stats, cal).seconds;
+    gpusim::record_round_telemetry("shearsort", round.name, cfg.E,
+                                   cfg.padding, stats);
+    report.totals += stats;
+    report.total_time += gpusim::estimate_kernel_time(dev, launch, stats, cal);
+    report.rounds.push_back(std::move(round));
+  }
+
+  WCM_ENSURES(std::is_sorted(data.begin(), data.end()),
+              "shearsort must sort");
+  if (output != nullptr) {
+    *output = std::move(data);
+  }
+  return report;
+}
+
+gpusim::ir::KernelDesc describe_shearsort(u32 w, u32 b, u32 pad) {
+  namespace ir = gpusim::ir;
+  WCM_EXPECTS(w > 0 && is_pow2(w) && b >= w && b % w == 0,
+              "block shape must be a positive multiple of the warp");
+  ir::KernelDesc d;
+  d.kernel = "shearsort";
+  d.w = w;
+  d.b = b;
+  d.pad = pad;
+  // Every row base (r*w) and row-block base (rb*w) is a multiple of w and
+  // uniform across the warp: one warp-shift symbol absorbs them all.  The
+  // column index is the engine's only range parameter; the mesh height R
+  // only changes how *many* stride-w steps run, never their shape (partial
+  // last warps are lane prefixes of the declared full-warp pattern, whose
+  // degree dominates).
+  const int ws = d.add_symbol("ws", ir::SymRole::warp_shift, 0, 0, w, 0);
+  const int c = d.add_symbol("c", ir::SymRole::parameter, 0, w - 1);
+
+  d.groups.push_back(ir::barrier_group("block entry"));
+  d.groups.push_back(ir::affine_group(
+      "stage store", ir::GroupKind::write, w, ir::LinForm::sym(ws),
+      ir::LinForm::constant(1), "E steps x b/w warps"));
+  d.groups.push_back(ir::barrier_group("after staging"));
+
+  d.groups.push_back(ir::affine_group(
+      "row load", ir::GroupKind::read, w, ir::LinForm::sym(ws),
+      ir::LinForm::constant(1), "per row per shear iteration"));
+  d.groups.push_back(ir::affine_group(
+      "row store", ir::GroupKind::write, w, ir::LinForm::sym(ws),
+      ir::LinForm::constant(1), "per row per shear iteration"));
+  d.groups.push_back(ir::barrier_group("rows sorted"));
+
+  // The theorem-relevant site: lane l touches (rb + l)*w + c — a pure
+  // stride-w column traversal.
+  d.groups.push_back(ir::affine_group(
+      "column load", ir::GroupKind::read, w,
+      ir::LinForm::sym(ws) + ir::LinForm::sym(c), ir::LinForm::constant(w),
+      "per column row-block per shear iteration"));
+  d.groups.push_back(ir::affine_group(
+      "column store", ir::GroupKind::write, w,
+      ir::LinForm::sym(ws) + ir::LinForm::sym(c), ir::LinForm::constant(w),
+      "per column row-block per shear iteration"));
+  d.groups.push_back(ir::barrier_group("columns sorted"));
+
+  d.groups.push_back(ir::affine_group(
+      "unstage load even row", ir::GroupKind::read, w, ir::LinForm::sym(ws),
+      ir::LinForm::constant(1), "per even row"));
+  d.groups.push_back(ir::affine_group(
+      "unstage load odd row", ir::GroupKind::read, w,
+      ir::LinForm::sym(ws) + ir::LinForm::constant(w - 1),
+      ir::LinForm::constant(-1), "per odd row"));
+  return d;
+}
+
+}  // namespace wcm::sort

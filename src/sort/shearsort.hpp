@@ -1,0 +1,35 @@
+#pragma once
+// Simulated GPU shearsort (Scherson & Sen's row/column mesh sort).  Like
+// bitonic sort it is *data-oblivious*: the schedule of shared-memory
+// accesses depends only on the shape, never on the keys — but unlike the
+// merge engines its only non-unit-stride pattern is the column traversal,
+// a pure stride-w access.  That makes it the certification showcase: under
+// the linear layout every column step is a full w-way conflict (the
+// prover's counterexample), while one padding word per row or a bank
+// permutation (gpusim/layout.hpp xor/rotation) makes every step of the
+// whole engine provably conflict-free for *all* parameters — the
+// machine-checked "bank-conflict-free engine" of `wcmgen prove --certify`.
+//
+// Execution model: each block stages a tile of bE keys as an R x w mesh
+// (R = bE/w rows) in shared memory.  ceil(log2 R) iterations of
+// (snake row sort, column sort) plus a final row pass leave the mesh
+// snake-sorted (0-1 principle); rows and columns are sorted in registers
+// by one warp each (stride-1 row loads, stride-w column loads).  Tiles
+// then merge pairwise in global memory — no shared accesses — until one
+// run remains.
+
+#include <span>
+
+#include "sort/report.hpp"
+
+namespace wcm::sort {
+
+/// Sort `input` with the simulated shearsort engine.  Requires |input| to
+/// be a positive multiple of the tile bE.  `cfg.padding` / `cfg.layout`
+/// select the shared-memory defense the engine runs under.
+[[nodiscard]] SortReport shearsort(std::span<const word> input,
+                                   const SortConfig& cfg,
+                                   const gpusim::Device& dev,
+                                   std::vector<word>* output = nullptr);
+
+}  // namespace wcm::sort

@@ -1,0 +1,127 @@
+// Exhaustive small-parameter cross-check of every engine describer against
+// concrete recorded traces: at w = 2 (synthetic_device) the whole
+// configuration grid E in 1..8, b in {4, 8}, pad in {0, 1}, layout in
+// {linear, xor, rotation} is cheap enough to run every engine end to end
+// and certify the recorded trace against the bounds the symbolic prover
+// derives for that exact cell.  Any describer whose IR under- or
+// mis-declares an access pattern produces a step that exceeds its own
+// bound, so this is the ground-truth audit of the describer layer — the
+// certificates the wcm_certify_ci gate pins are only as good as these
+// declarations.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/symbolic/prove.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/trace.hpp"
+#include "sort/bitonic.hpp"
+#include "sort/cpu_reference.hpp"
+#include "sort/multiway.hpp"
+#include "sort/pairwise_sort.hpp"
+#include "sort/radix.hpp"
+#include "sort/shearsort.hpp"
+#include "workload/inputs.hpp"
+
+namespace wcm {
+namespace {
+
+constexpr u32 kW = 2;
+constexpr u32 kWays = 2;
+constexpr u32 kDigitBits = 1;
+
+/// Run one engine at one grid cell, recording its trace; returns "" when
+/// the engine is inapplicable at this cell (so the caller can count real
+/// coverage), the failure message when the trace breaks its bounds, and
+/// "ok" otherwise.
+std::string run_cell(const std::string& engine, const sort::SortConfig& base,
+                     const gpusim::Device& dev) {
+  sort::SortConfig cfg = base;
+  gpusim::TraceRecorder rec;
+  cfg.trace_sink = &rec;
+  // Two tiles so the global merge rounds (windows in the IR) are exercised.
+  const std::size_t n = cfg.tile() * 2;
+  const auto input = workload::random_permutation(n, 7 + cfg.E);
+  std::vector<dmm::word> out;
+  if (engine == "pairwise") {
+    (void)sort::pairwise_merge_sort(input, cfg, dev,
+                                    sort::MergeSortLibrary::thrust, &out);
+  } else if (engine == "multiway") {
+    (void)sort::multiway_merge_sort(input, cfg, dev, kWays, &out);
+  } else if (engine == "radix") {
+    (void)sort::radix_sort(input, cfg, dev, kDigitBits, &out);
+  } else if (engine == "bitonic") {
+    if (cfg.E != 2) {
+      return "";  // the bitonic engine is specified at E = 2 only
+    }
+    (void)sort::bitonic_sort(input, cfg, dev, &out);
+  } else if (engine == "shearsort") {
+    (void)sort::shearsort(input, cfg, dev, &out);
+  }
+  if (out != sort::std_sort(input)) {
+    return engine + " " + cfg.to_string() + ": did not sort";
+  }
+
+  analyze::symbolic::ProveOptions popts;
+  popts.w = cfg.w;
+  popts.b = cfg.b;
+  popts.pad = cfg.padding;
+  popts.layout = cfg.layout;
+  popts.e_min = cfg.E;
+  popts.e_max = cfg.E;
+  popts.ways = kWays;
+  popts.digit_bits = kDigitBits;
+  const auto bounds = analyze::symbolic::prove_engine(engine, popts);
+  const auto findings =
+      analyze::symbolic::certify_trace(rec.take(), bounds);
+  if (findings.empty()) {
+    return "ok";
+  }
+  std::ostringstream os;
+  os << engine << " " << cfg.to_string() << " pad " << cfg.padding
+     << " layout " << gpusim::to_string(cfg.layout)
+     << " exceeds its symbolic bound:\n";
+  for (const auto& d : findings) {
+    analyze::render_text(os, d);
+  }
+  return os.str();
+}
+
+TEST(DescribeCrosscheck, EveryEngineEveryCellStaysWithinItsBounds) {
+  const auto dev = gpusim::synthetic_device(kW);
+  const char* engines[] = {"pairwise", "multiway", "radix", "bitonic",
+                           "shearsort"};
+  const gpusim::LayoutKind layouts[] = {gpusim::LayoutKind::linear,
+                                        gpusim::LayoutKind::xor_swizzle,
+                                        gpusim::LayoutKind::rotation};
+  std::size_t covered = 0;
+  for (const char* engine : engines) {
+    for (u32 e = 1; e <= 8; ++e) {
+      for (const u32 b : {4u, 8u}) {
+        for (const u32 pad : {0u, 1u}) {
+          for (const auto layout : layouts) {
+            sort::SortConfig cfg{e, b, kW};
+            cfg.padding = pad;
+            cfg.layout = layout;
+            cfg.validate();
+            const std::string result = run_cell(engine, cfg, dev);
+            if (result.empty()) {
+              continue;  // engine inapplicable at this cell
+            }
+            ASSERT_EQ(result, "ok") << result;
+            ++covered;
+          }
+        }
+      }
+    }
+  }
+  // Four full-grid engines (8 E x 2 b x 2 pad x 3 layouts = 96 cells each)
+  // plus bitonic at E = 2 (12 cells): the audit must never silently shrink.
+  EXPECT_EQ(covered, 4 * 96u + 12u);
+}
+
+}  // namespace
+}  // namespace wcm

@@ -1,4 +1,4 @@
-// Differential fuzzing: all four sorting substrates must agree with
+// Differential fuzzing: all five sorting substrates must agree with
 // std::sort (and hence each other) across randomized configurations,
 // sizes, and key distributions — duplicates, skew, near-sorted, adversarial.
 // Every run also records its shared-memory trace and feeds it to the
@@ -24,6 +24,7 @@
 #include "sort/multiway.hpp"
 #include "sort/pairwise_sort.hpp"
 #include "sort/radix.hpp"
+#include "sort/shearsort.hpp"
 #include "util/rng.hpp"
 #include "workload/inputs.hpp"
 
@@ -33,10 +34,13 @@ namespace {
 /// Sanitize one recorded engine trace: no diagnostics of any severity, and
 /// the stride cross-check must actually have run.  Returns "" when clean
 /// (callable from worker threads; the caller asserts).
-std::string check_clean_trace(const gpusim::Trace& trace, u32 pad,
-                              const char* engine, std::size_t trial) {
+std::string check_clean_trace(
+    const gpusim::Trace& trace, u32 pad, const char* engine,
+    std::size_t trial,
+    gpusim::LayoutKind layout = gpusim::LayoutKind::linear) {
   analyze::AnalyzeOptions opts;
   opts.pad = pad;
+  opts.layout = layout;
   const auto report = analyze::analyze_trace(trace, opts);
   std::ostringstream os;
   if (!report.cross_checked) {
@@ -63,6 +67,7 @@ std::string certify_trace_bounds(const gpusim::Trace& trace,
   popts.w = cfg.w;
   popts.b = cfg.b;
   popts.pad = cfg.padding;
+  popts.layout = cfg.layout;
   popts.e_min = cfg.E;
   popts.e_max = cfg.E;
   popts.ways = ways;
@@ -186,6 +191,30 @@ TEST(DifferentialFuzz, AllSortsAgreeWithStdSort) {
           }
           if (auto msg = certify_trace_bounds(trace, "radix", cfg, 4,
                                               digit_bits, trial);
+              !msg.empty()) {
+            return msg;
+          }
+        }
+
+        // Shearsort runs under the xor layout — the configuration whose
+        // conflict-freedom the certification gate proves; its trace must
+        // both lint clean and stay within the degree-1 symbolic bounds.
+        {
+          sort::SortConfig scfg = cfg;
+          scfg.layout = gpusim::LayoutKind::xor_swizzle;
+          (void)sort::shearsort(input, scfg, dev, &out);
+          if (out != expected) {
+            return "shearsort disagrees with std::sort in trial " +
+                   std::to_string(trial);
+          }
+          const auto trace = rec.take();
+          if (auto msg = check_clean_trace(trace, 0, "shearsort", trial,
+                                           scfg.layout);
+              !msg.empty()) {
+            return msg;
+          }
+          if (auto msg =
+                  certify_trace_bounds(trace, "shearsort", scfg, 4, 4, trial);
               !msg.empty()) {
             return msg;
           }

@@ -3,9 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include "gpusim/layout.hpp"
 #include "gpusim/shared_memory.hpp"
 #include "sort/pairwise_sort.hpp"
 #include "util/check.hpp"
+#include "util/error.hpp"
 #include "workload/inputs.hpp"
 
 namespace wcm::gpusim {
@@ -70,6 +72,84 @@ TEST(SharedMemoryPadded, BoundsAreLogical) {
   EXPECT_THROW((void)shm.peek(64), contract_error);
   const std::vector<LaneRead> bad{{0, 64}};
   EXPECT_THROW((void)shm.warp_read(bad), contract_error);
+}
+
+TEST(SharedLayout, PermutationsAreRowBijections) {
+  // xor and rotation must permute each row's w columns bijectively —
+  // otherwise two logical words would alias one physical word.
+  for (const LayoutKind kind :
+       {LayoutKind::xor_swizzle, LayoutKind::rotation}) {
+    const SharedLayout l{32, 0, kind};
+    for (std::size_t row = 0; row < 64; ++row) {
+      std::vector<bool> hit(32, false);
+      for (u32 col = 0; col < 32; ++col) {
+        const u32 p = l.permute(col, row);
+        ASSERT_LT(p, 32u);
+        ASSERT_FALSE(hit[p]) << "row " << row << " col " << col;
+        hit[p] = true;
+      }
+    }
+  }
+}
+
+TEST(SharedLayout, PermutedColumnsAreConflictFree) {
+  // A logical column (stride w, the attacked pattern) touches w distinct
+  // banks under both memory-free permutations.
+  for (const LayoutKind kind :
+       {LayoutKind::xor_swizzle, LayoutKind::rotation}) {
+    const SharedLayout l{32, 0, kind};
+    for (u32 c = 0; c < 32; ++c) {
+      std::vector<bool> bank(32, false);
+      for (std::size_t r = 0; r < 32; ++r) {
+        const u32 b = l.bank(r * 32 + c);
+        ASSERT_FALSE(bank[b]) << to_string(kind) << " col " << c;
+        bank[b] = true;
+      }
+    }
+  }
+}
+
+TEST(SharedLayout, PermutedPhysicalWordsRoundUpToFullRows) {
+  const SharedLayout x{32, 0, LayoutKind::xor_swizzle};
+  // Row 1 column 0 lives at physical column 0^1 = 1; a partial row still
+  // needs the full row allocated.
+  EXPECT_EQ(x.physical_words(33), 64u);
+  EXPECT_EQ(x.physical_words(32), 32u);
+  const SharedLayout r{32, 1, LayoutKind::rotation};
+  EXPECT_EQ(r.physical_words(33), 66u);
+}
+
+TEST(SharedMemoryPermuted, ValuesUnaffectedByPermutation) {
+  for (const LayoutKind kind :
+       {LayoutKind::xor_swizzle, LayoutKind::rotation}) {
+    SharedMemory shm(SharedLayout{32, 0, kind}, 128);
+    const auto vals = workload::random_permutation(128, 5);
+    shm.fill(vals);
+    EXPECT_EQ(shm.dump(0, 128), vals);
+    shm.poke(100, 42);
+    EXPECT_EQ(shm.peek(100), 42);
+  }
+}
+
+TEST(SharedMemoryPermuted, StrideWBecomesConflictFree) {
+  std::vector<LaneRead> reads;
+  for (u32 lane = 0; lane < 32; ++lane) {
+    reads.push_back({lane, static_cast<std::size_t>(lane) * 32});
+  }
+  for (const LayoutKind kind :
+       {LayoutKind::xor_swizzle, LayoutKind::rotation}) {
+    SharedMemory shm(SharedLayout{32, 0, kind}, 32 * 32);
+    shm.warp_read(reads);
+    EXPECT_EQ(shm.stats().replays, 0u) << to_string(kind);
+  }
+}
+
+TEST(SharedLayout, ParseRoundTrip) {
+  EXPECT_EQ(parse_layout_kind("linear"), LayoutKind::linear);
+  EXPECT_EQ(parse_layout_kind("xor"), LayoutKind::xor_swizzle);
+  EXPECT_EQ(parse_layout_kind("rotation"), LayoutKind::rotation);
+  EXPECT_THROW((void)parse_layout_kind("nope"), parse_error);
+  EXPECT_STREQ(to_string(LayoutKind::xor_swizzle), "xor");
 }
 
 TEST(PaddingMitigation, ConfigSharedBytesIncludePadding) {

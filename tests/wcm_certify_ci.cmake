@@ -1,0 +1,107 @@
+# Certification gate (ISSUE acceptance): engines that claim bank-conflict
+# immunity must *keep* their machine-checked certificate, and the prover
+# must be able to refute a vulnerable engine with a DMM-replay-confirmed
+# counterexample — so the gate can actually fail in both directions.
+#
+#   certified side  shearsort under the xor, rotation, and pad-1 linear
+#                   layouts: exit 0 and a JSON verdict of "certified" with
+#                   zero counterexamples, over a (b, pad) grid.
+#   refuted side    shearsort under the plain linear layout and pairwise
+#                   under every layout: exit 1, verdict "refuted", and at
+#                   least one counterexample with "confirmed":1 (the
+#                   witness valuation replayed through the DMM at the
+#                   same degree).
+#
+# The certificate digest is also checked for self-consistency: two runs of
+# the same grid must render byte-identical JSON (the digest seals the body).
+#
+# Run as:  cmake -DWCMGEN=<bin> -DWORKDIR=<dir> -P wcm_certify_ci.cmake
+
+if(NOT DEFINED WCMGEN OR NOT DEFINED WORKDIR)
+  message(FATAL_ERROR "pass -DWCMGEN=<bin> -DWORKDIR=<dir>")
+endif()
+
+file(MAKE_DIRECTORY ${WORKDIR})
+
+# Run `wcmgen prove --certify` and capture (exit, stdout).
+function(run_certify out_rv out_json)
+  execute_process(COMMAND ${WCMGEN} prove --certify --json ${ARGN}
+                  RESULT_VARIABLE rv
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(rv GREATER 1)
+    message(FATAL_ERROR
+      "certify run crashed (exit ${rv}) for: ${ARGN}\nstderr: ${err}")
+  endif()
+  set(${out_rv} ${rv} PARENT_SCOPE)
+  set(${out_json} "${out}" PARENT_SCOPE)
+endfunction()
+
+# An engine claiming immunity must certify: exit 0, verdict "certified",
+# no counterexamples.
+function(expect_certified)
+  run_certify(rv json ${ARGN})
+  if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "expected certification (exit 0), got ${rv} for: "
+      "${ARGN}\n${json}")
+  endif()
+  if(NOT json MATCHES "\"verdict\":\"certified\"")
+    message(FATAL_ERROR "exit 0 without a certified verdict for: ${ARGN}\n"
+      "${json}")
+  endif()
+  if(NOT json MATCHES "\"counterexamples\":\\[\\]")
+    message(FATAL_ERROR "certified verdict carries counterexamples for: "
+      "${ARGN}\n${json}")
+  endif()
+endfunction()
+
+# A vulnerable engine must be refuted with a replay-confirmed witness.
+function(expect_refuted)
+  run_certify(rv json ${ARGN})
+  if(NOT rv EQUAL 1)
+    message(FATAL_ERROR "expected refutation (exit 1), got ${rv} for: "
+      "${ARGN}\n${json}")
+  endif()
+  if(NOT json MATCHES "\"verdict\":\"refuted\"")
+    message(FATAL_ERROR "exit 1 without a refuted verdict for: ${ARGN}\n"
+      "${json}")
+  endif()
+  if(NOT json MATCHES "\"confirmed\":1")
+    message(FATAL_ERROR
+      "refutation has no DMM-replay-confirmed counterexample for: ${ARGN}\n"
+      "${json}")
+  endif()
+endfunction()
+
+# --- certified side: the BCF engine keeps its certificate -----------------
+expect_certified(--engine shearsort --layout xor --bs 64,128 --pads 0)
+expect_certified(--engine shearsort --layout rotation --bs 64,128 --pads 0)
+expect_certified(--engine shearsort --layout linear --pads 1)
+# Immunity holds with the E-odd congruence dropped, too.
+expect_certified(--engine shearsort --layout xor --any-E)
+
+# --- refuted side: the gate can fail -------------------------------------
+expect_refuted(--engine shearsort --layout linear --pads 0)
+expect_refuted(--engine pairwise --layout linear)
+expect_refuted(--engine pairwise --layout xor)
+expect_refuted(--engine pairwise --layout rotation)
+# A mixed grid with one vulnerable cell refutes the whole certificate.
+expect_refuted(--engine shearsort --layout linear --pads 0,1)
+# Padding *composes badly* with rotation: the effective column bank stride
+# becomes 1 + pad, so pad 1 halves the bank coverage (degree 2).
+expect_refuted(--engine shearsort --layout rotation --pads 1)
+
+# --- determinism: the sealed JSON is reproducible byte for byte ----------
+run_certify(rv1 json1 --engine shearsort --layout xor --bs 64,128)
+run_certify(rv2 json2 --engine shearsort --layout xor --bs 64,128)
+if(NOT json1 STREQUAL json2)
+  message(FATAL_ERROR "certificate JSON is not deterministic")
+endif()
+
+# --- usage contract ------------------------------------------------------
+execute_process(COMMAND ${WCMGEN} prove --certify --engine quicksort
+                RESULT_VARIABLE rv OUTPUT_QUIET ERROR_QUIET)
+if(NOT rv EQUAL 2)
+  message(FATAL_ERROR
+    "certify with an unknown engine: expected exit 2, got ${rv}")
+endif()

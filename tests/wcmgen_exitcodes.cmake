@@ -31,6 +31,26 @@ expect_exit(2 ${WCMGEN} sort --E 5 --b 64 --algorithm nope)
 expect_exit(2 ${WCMGEN} sort --E 5 --b 64 --input nope)
 expect_exit(2 ${WCMGEN} evaluate --E 5 --side Q)
 expect_exit(2 ${WCMGEN} inspect)
+expect_exit(2 ${WCMGEN} sort --E 5 --b 64 --layout nope)
+expect_exit(2 ${WCMGEN} prove --layout nope)
+expect_exit(2 ${WCMGEN} prove --certify --bs 64x)
+expect_exit(2 ${WCMGEN} prove --bs 64,128)  # grid axes need --certify
+
+# The unknown-engine diagnostic must enumerate the registry (one list in
+# prove.cpp feeds the error, all_engines(), and the describers), so a new
+# engine can never be registered half-way.
+execute_process(COMMAND ${WCMGEN} prove --engine quicksort
+                RESULT_VARIABLE rv OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rv EQUAL 2)
+  message(FATAL_ERROR "prove --engine quicksort: expected exit 2, got ${rv}")
+endif()
+foreach(engine blocksort block-merge pairwise multiway bitonic radix scan
+        shearsort)
+  if(NOT err MATCHES "${engine}")
+    message(FATAL_ERROR
+      "unknown-engine diagnostic does not list '${engine}': ${err}")
+  endif()
+endforeach()
 
 # help -> 0
 expect_exit(0 ${WCMGEN} --help)

@@ -54,7 +54,8 @@ function(prove_golden engine pad)
   endif()
 endfunction()
 
-foreach(engine blocksort block-merge pairwise multiway bitonic radix scan)
+foreach(engine blocksort block-merge pairwise multiway bitonic radix scan
+        shearsort)
   foreach(pad 0 1)
     prove_golden(${engine} ${pad})
   endforeach()
