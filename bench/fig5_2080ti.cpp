@@ -86,7 +86,7 @@ int main() {
         const auto mgpu_report =
             sort::recost(thrust_report, dev, sort::MergeSortLibrary::mgpu);
         std::array<analysis::SeriesPoint, 2> out;
-        for (int lib = 0; lib < 2; ++lib) {
+        for (std::size_t lib = 0; lib < 2; ++lib) {
           const auto& rep = lib == 0 ? thrust_report : mgpu_report;
           out[lib].n = n;
           out[lib].throughput = rep.throughput();
@@ -97,7 +97,7 @@ int main() {
         return out;
       });
   for (std::size_t i = 0; i < cells.size(); ++i) {
-    for (int lib = 0; lib < 2; ++lib) {
+    for (std::size_t lib = 0; lib < 2; ++lib) {
       sets[cells[i].set].series[cells[i].input][lib].push_back(points[i][lib]);
     }
   }

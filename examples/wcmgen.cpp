@@ -23,6 +23,12 @@
 //   wcmgen profile   [--telemetry trace.json] [--metrics metrics.json]
 //                    (<any subcommand + its flags> |
 //                     --engine name --adversarial small-E|large-E [--k n])
+//   wcmgen serve     [--socket path|@name] [--data-dir dir] [--threads n]
+//                    [--queue-max n] [--batch-max n] [--max-connections n]
+//                    [--quiet]        (the wcmd daemon, docs/SERVE.md)
+//   wcmgen version   print the release version, the git describe the
+//                    binary was built from, and the cache salt (also
+//                    --version / -V)
 //
 // Every subcommand prints to stdout; `generate --out` additionally writes
 // the WCMI binary (plus .csv with --csv).
@@ -36,6 +42,9 @@
 //   5 internal error (simulator invariant break or any other exception)
 //   6 degraded campaign (cells quarantined; aggregate still written)
 //   7 interrupted campaign (SIGINT/SIGTERM drain; resume with --resume)
+//
+// `serve` exits 0 after a clean drain (every request answered) and 5 when
+// the drain invariant is violated; socket errors map to 3 as usual.
 
 #include <charconv>
 #include <csignal>
@@ -56,8 +65,11 @@
 #include "analysis/series.hpp"
 #include "core/conflict_model.hpp"
 #include "core/generator.hpp"
+#include "runtime/cache.hpp"
 #include "runtime/campaign.hpp"
 #include "runtime/scheduler.hpp"
+#include "serve/server.hpp"
+#include "util/version.hpp"
 #include "sort/bitonic.hpp"
 #include "util/failpoint.hpp"
 #include "telemetry/registry.hpp"
@@ -129,11 +141,21 @@ subcommands:
                --engine pairwise|multiway|bitonic|radix|shearsort
                --adversarial small-E|large-E [--k n] [--seed n]
                [--device name] [--json]            canned adversarial sort
+  serve      run the wcmd daemon in-process: accept line-delimited JSON
+             requests over a Unix-domain socket with request coalescing,
+             batched scheduling, and a multi-tenant response cache
+             (docs/SERVE.md); SIGINT/SIGTERM drain gracefully
+             [--socket path|@name] [--data-dir dir] [--threads n]
+             [--queue-max n] [--batch-max n] [--max-connections n]
+             [--quiet]
+  version    print the release version, the git describe this binary was
+             built from, and the response-cache salt (also --version / -V)
   help       print this message (also --help / -h)
 
 exit codes: 0 ok, 1 findings (analyze/prove), 2 usage, 3 bad input file,
-            4 bad configuration, 5 internal error, 6 degraded campaign
-            (quarantined cells), 7 interrupted campaign (resumable)
+            4 bad configuration, 5 internal error (or a violated serve
+            drain invariant), 6 degraded campaign (quarantined cells),
+            7 interrupted campaign (resumable)
 )";
 
 /// Strict full-string parse of an unsigned decimal; rejects empty values,
@@ -612,6 +634,36 @@ int cmd_campaign(const Args& a, const std::string& spec_path) {
   return outcome.degraded() ? 6 : 0;
 }
 
+int cmd_serve(const Args& a) {
+  a.require_known("serve", {"socket", "data-dir", "threads", "queue-max",
+                            "batch-max", "max-connections", "quiet"});
+  serve::ServerConfig cfg;
+  cfg.socket = a.get("socket", cfg.socket);
+  cfg.data_dir = a.get("data-dir", "");
+  cfg.threads = a.get_u32("threads", 0);
+  cfg.queue_max = a.get_u64("queue-max", cfg.queue_max, 1 << 20);
+  cfg.batch_max = a.get_u64("batch-max", cfg.batch_max, 1 << 20);
+  cfg.max_connections =
+      a.get_u64("max-connections", cfg.max_connections, 1 << 20);
+  if (cfg.queue_max == 0 || cfg.batch_max == 0 || cfg.max_connections == 0) {
+    throw parse_error(
+        "--queue-max, --batch-max, and --max-connections must be >= 1");
+  }
+  serve::Server server(cfg);
+  return serve::run_server(server, a.flag("quiet"));
+}
+
+int cmd_version() {
+  // version = the release; describe = the exact commit the binary came
+  // from; salt = what partitions WCMC/WCMS cache files across builds (a
+  // mismatched salt is why a daemon starts cold after an upgrade).
+  std::cout << "wcmgen " << version_string() << " (" << build_describe()
+            << ")\n"
+            << "cache salt: 0x" << std::hex << runtime::code_version_salt()
+            << std::dec << "\n";
+  return 0;
+}
+
 int cmd_visualize(const Args& a) {
   a.require_known("visualize", {"E", "w", "strategy"});
   const u32 w = a.get_u32("w", 16);
@@ -676,9 +728,13 @@ int dispatch(const std::string& cmd, int argc, char** argv) {
   if (cmd == "visualize") {
     return cmd_visualize(args);
   }
+  if (cmd == "serve") {
+    return cmd_serve(args);
+  }
   throw parse_error("unknown subcommand '" + cmd +
                     "' (valid: generate, evaluate, sort, inspect, analyze, "
-                    "prove, visualize, campaign, profile, help)");
+                    "prove, visualize, campaign, serve, version, profile, "
+                    "help)");
 }
 
 int cmd_profile(int argc, char** argv) {
@@ -793,6 +849,9 @@ int run(int argc, char** argv) {
   if (cmd == "help" || cmd == "--help" || cmd == "-h") {
     std::cout << kUsage;
     return 0;
+  }
+  if (cmd == "version" || cmd == "--version" || cmd == "-V") {
+    return cmd_version();
   }
   if (cmd == "profile") {
     return cmd_profile(argc, argv);

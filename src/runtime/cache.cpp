@@ -77,22 +77,12 @@ u64 ResultCache::key_of(const std::string& canonical_config) const noexcept {
   return fnv1a(h, canonical_config.data(), canonical_config.size());
 }
 
-void ResultCache::touch(u64 key) const {
-  const auto it = recency_.find(key);
-  if (it != recency_.end()) {
-    lru_.splice(lru_.end(), lru_, it->second);  // iterator stays valid
-  }
-}
-
 void ResultCache::evict_over_cap() {
   if (max_entries_ == 0) {
     return;
   }
   while (entries_.size() > max_entries_ && !lru_.empty()) {
-    const u64 victim = lru_.front();
-    lru_.pop_front();
-    recency_.erase(victim);
-    entries_.erase(victim);
+    entries_.erase(lru_.pop_coldest());
     if (telemetry::enabled()) {
       telemetry::registry().counter("runtime.cache.evict").add(1);
     }
@@ -112,17 +102,17 @@ std::optional<CellMetrics> ResultCache::lookup(u64 key) const {
   if (it == entries_.end()) {
     return std::nullopt;
   }
-  touch(key);
+  lru_.touch(key);
   return it->second;
 }
 
 void ResultCache::insert(u64 key, const CellMetrics& metrics) {
   const auto [it, admitted] = entries_.insert_or_assign(key, metrics);
   if (!admitted) {
-    touch(key);  // overwrite of a live entry refreshes it
+    lru_.touch(key);  // overwrite of a live entry refreshes it
     return;
   }
-  recency_[key] = lru_.insert(lru_.end(), key);
+  lru_.insert(key);
   if (telemetry::enabled()) {
     telemetry::registry().counter("runtime.cache.admit").add(1);
   }
@@ -204,7 +194,7 @@ ResultCache ResultCache::load(const std::filesystem::path& path, u64 salt) {
   // file's order) and let the bound trim deterministically from the low
   // keys.
   for (const auto& [key, m] : cache.entries_) {
-    cache.recency_[key] = cache.lru_.insert(cache.lru_.end(), key);
+    cache.lru_.insert(key);
   }
   cache.evict_over_cap();
   if (telemetry::enabled()) {

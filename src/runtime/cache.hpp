@@ -25,11 +25,11 @@
 
 #include <cstdint>
 #include <filesystem>
-#include <list>
 #include <map>
 #include <optional>
 #include <string>
 
+#include "runtime/lru.hpp"
 #include "util/hash.hpp"
 #include "util/math.hpp"
 
@@ -112,16 +112,15 @@ class ResultCache {
   void store(const std::filesystem::path& path) const;
 
  private:
-  void touch(u64 key) const;
   void evict_over_cap();
 
   u64 salt_;
   u64 max_entries_ = 0;  // 0 = unbounded
   std::map<u64, CellMetrics> entries_;  // ordered -> deterministic files
-  // Recency bookkeeping (front = coldest); mutable so a const lookup()
-  // can refresh the entry it just served.
-  mutable std::list<u64> lru_;
-  mutable std::map<u64, std::list<u64>::iterator> recency_;
+  // Recency bookkeeping (runtime/lru.hpp, shared with the serve-layer
+  // response cache); mutable so a const lookup() can refresh the entry it
+  // just served.
+  mutable LruIndex<u64> lru_;
 };
 
 }  // namespace wcm::runtime

@@ -1,0 +1,78 @@
+#pragma once
+// LRU recency index: the eviction-order bookkeeping shared by the WCMC
+// result cache (runtime/cache.hpp) and the serve layer's multi-tenant
+// response cache (serve/tenant_cache.hpp).  The index tracks *order only*;
+// the owning container stores the values and drives eviction by popping
+// the coldest key while it is over its bound.
+//
+// All operations are O(log n) (one map lookup) plus an O(1) list splice;
+// iterators into the recency list stay valid across touches, which is what
+// makes the splice trick safe.  Not thread-safe — owners serialize access
+// under their own lock, exactly like the containers this was extracted
+// from.
+
+#include <cstddef>
+#include <list>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace wcm::runtime {
+
+/// Recency order over a set of keys: front = coldest (evict first),
+/// back = hottest (most recently touched).
+template <typename Key>
+class LruIndex {
+ public:
+  /// Record `key` as the hottest entry.  Inserting an already-tracked key
+  /// is a touch.
+  void insert(const Key& key) {
+    const auto it = where_.find(key);
+    if (it != where_.end()) {
+      order_.splice(order_.end(), order_, it->second);
+      return;
+    }
+    where_[key] = order_.insert(order_.end(), key);
+  }
+
+  /// Refresh `key` to hottest; unknown keys are ignored (a lookup racing
+  /// an eviction is not an error).
+  void touch(const Key& key) {
+    const auto it = where_.find(key);
+    if (it != where_.end()) {
+      order_.splice(order_.end(), order_, it->second);  // iterator stays valid
+    }
+  }
+
+  /// Forget `key` wherever it sits in the order; unknown keys are ignored.
+  void erase(const Key& key) {
+    const auto it = where_.find(key);
+    if (it != where_.end()) {
+      order_.erase(it->second);
+      where_.erase(it);
+    }
+  }
+
+  /// Remove and return the coldest key (contract-checked non-empty).
+  [[nodiscard]] Key pop_coldest() {
+    WCM_EXPECTS(!order_.empty(), "LruIndex::pop_coldest on an empty index");
+    Key victim = order_.front();
+    order_.pop_front();
+    where_.erase(victim);
+    return victim;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return order_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return where_.size(); }
+
+  void clear() noexcept {
+    order_.clear();
+    where_.clear();
+  }
+
+ private:
+  std::list<Key> order_;
+  std::map<Key, typename std::list<Key>::iterator> where_;
+};
+
+}  // namespace wcm::runtime

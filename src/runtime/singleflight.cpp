@@ -1,0 +1,37 @@
+#include "runtime/singleflight.hpp"
+
+#include <utility>
+
+namespace wcm::runtime {
+
+bool SingleFlight::lead_or_join(u64 key, Callback cb) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, led] = flights_.try_emplace(key);
+  it->second.push_back(std::move(cb));
+  return led;
+}
+
+void SingleFlight::complete(u64 key, const FlightResult& result) {
+  std::vector<Callback> callbacks;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = flights_.find(key);
+    if (it == flights_.end()) {
+      return;
+    }
+    callbacks = std::move(it->second);
+    flights_.erase(it);
+  }
+  // Outside the lock: a callback may start (and even complete) a fresh
+  // flight for the same key.
+  for (const Callback& cb : callbacks) {
+    cb(result);
+  }
+}
+
+std::size_t SingleFlight::inflight() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return flights_.size();
+}
+
+}  // namespace wcm::runtime

@@ -1,0 +1,61 @@
+#pragma once
+// In-flight request coalescing ("single flight"): concurrent demands for
+// the same key share one computation.  The first caller becomes the
+// *leader* and owes the flight a result; everyone who asks for the same
+// key before the leader completes *joins* the flight and is answered by
+// the leader's result.  The serve layer (src/serve/server.cpp) keys
+// flights by the canonical request hash, which is what turns N identical
+// concurrent `generate` requests into exactly one scheduler job and one
+// cache store (docs/SERVE.md; asserted by tests/test_serve_daemon.cpp).
+//
+// The callback contract: callbacks registered via lead_or_join() fire
+// exactly once, from the thread that calls complete(), outside the
+// table lock (a callback may re-enter the SingleFlight).  A leader that
+// cannot deliver (queue full, shutdown) must still complete() its flight
+// — typically with an error result — or its followers wait forever.
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/math.hpp"
+
+namespace wcm::runtime {
+
+/// Outcome of one coalesced computation, fanned out verbatim to the leader
+/// and every joined follower.
+struct FlightResult {
+  bool ok = false;
+  std::string value;          ///< serialized result when ok
+  std::string error_type;     ///< typed error class otherwise
+  std::string error_message;  ///< human-readable detail otherwise
+};
+
+class SingleFlight {
+ public:
+  using Callback = std::function<void(const FlightResult&)>;
+
+  /// Returns true when the caller is now the leader of `key` (it must
+  /// eventually call complete(key, ...)); false when an in-flight leader
+  /// already exists and `cb` joined its flight.  In both cases `cb` fires
+  /// exactly once, when the flight completes.
+  [[nodiscard]] bool lead_or_join(u64 key, Callback cb);
+
+  /// Resolve `key`: deliver `result` to the leader's callback and every
+  /// joined follower in join order, then forget the flight.  Calling
+  /// complete for a key with no flight is a no-op (a shed flight may race
+  /// a second completion path).
+  void complete(u64 key, const FlightResult& result);
+
+  /// Number of open flights (leaders that have not completed yet).
+  [[nodiscard]] std::size_t inflight() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<u64, std::vector<Callback>> flights_;
+};
+
+}  // namespace wcm::runtime

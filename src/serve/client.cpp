@@ -1,0 +1,139 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstddef>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/error.hpp"
+
+namespace wcm::serve {
+
+namespace {
+
+int connect_once(const std::string& socket) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  const bool abstract = !socket.empty() && socket.front() == '@';
+  const std::string path = abstract ? socket.substr(1) : socket;
+  WCM_CHECK_IO(!path.empty(), "socket name '" + socket + "' is empty");
+  WCM_CHECK_IO(path.size() + 1 < sizeof(addr.sun_path),
+               "socket name '" + socket + "' exceeds the sockaddr_un limit");
+  socklen_t len = 0;
+  if (abstract) {
+    addr.sun_path[0] = '\0';
+    std::memcpy(addr.sun_path + 1, path.data(), path.size());
+    len = static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) + 1 +
+                                 path.size());
+  } else {
+    std::memcpy(addr.sun_path, path.data(), path.size() + 1);
+    len = static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) +
+                                 path.size() + 1);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  WCM_CHECK_IO(fd >= 0, std::string("socket(): ") + std::strerror(errno));
+  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), len) != 0) {
+    const std::string why = std::strerror(errno);  // NOLINT
+    ::close(fd);
+    throw io_error("connect('" + socket + "'): " + why);
+  }
+  return fd;
+}
+
+}  // namespace
+
+Client::Client(const std::string& socket) : fd_(connect_once(socket)) {}
+
+Client::~Client() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+void Client::send(const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  const char* data = framed.data();
+  std::size_t left = framed.size();
+  while (left > 0) {
+    const ssize_t n = ::send(fd_, data, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw io_error(std::string("send(): ") + std::strerror(errno));
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+std::optional<std::string> Client::recv_line() {
+  for (;;) {
+    const auto newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n == 0) {
+      return std::nullopt;  // clean EOF (a partial line is discarded)
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw io_error(std::string("recv(): ") + std::strerror(errno));
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::string Client::roundtrip(const std::string& line) {
+  send(line);
+  auto response = recv_line();
+  WCM_CHECK_IO(response.has_value(),
+               "daemon closed the connection before answering");
+  return *std::move(response);
+}
+
+Client connect_with_retry(const std::string& socket, u64 timeout_ms) {
+  const auto give_up = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    try {
+      return Client(socket);
+    } catch (const io_error&) {
+      if (std::chrono::steady_clock::now() >= give_up) {
+        throw;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+}
+
+}  // namespace wcm::serve

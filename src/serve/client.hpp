@@ -1,0 +1,52 @@
+#pragma once
+// Blocking line-protocol client of the wcmd daemon, shared by the
+// `wcmgen serve` smoke paths, wcm-loadgen, and the daemon tests.
+//
+// One Client is one connection.  send()/recv_line() are split so a
+// closed-loop caller can roundtrip() while an open-loop load generator
+// pipelines: writes run ahead and a reader drains responses in arrival
+// order (per-connection ordering is part of the protocol contract).
+// Not thread-safe; give each thread its own Client.
+
+#include <optional>
+#include <string>
+
+#include "util/math.hpp"
+
+namespace wcm::serve {
+
+class Client {
+ public:
+  /// Connect to a Unix-domain socket (`@name` = abstract namespace).
+  /// Throws wcm::io_error when nobody is listening.
+  explicit Client(const std::string& socket);
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Write one request line (newline appended).  Throws wcm::io_error on
+  /// a broken connection.
+  void send(const std::string& line);
+
+  /// Read the next response line (newline stripped); std::nullopt on a
+  /// clean EOF.  Throws wcm::io_error on a read failure.
+  [[nodiscard]] std::optional<std::string> recv_line();
+
+  /// send() + recv_line(), throwing wcm::io_error when the daemon closed
+  /// before answering.  For callers with no pipelined writes in flight.
+  [[nodiscard]] std::string roundtrip(const std::string& line);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes received past the last returned line
+};
+
+/// Connect, retrying every 10ms for up to `timeout_ms`, for callers that
+/// just spawned the daemon and must wait for its socket to appear.
+/// Throws wcm::io_error when the timeout expires.
+[[nodiscard]] Client connect_with_retry(const std::string& socket,
+                                        u64 timeout_ms);
+
+}  // namespace wcm::serve

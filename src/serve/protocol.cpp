@@ -1,0 +1,298 @@
+#include "serve/protocol.hpp"
+
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "gpusim/layout.hpp"
+#include "util/error.hpp"
+
+namespace wcm::serve {
+
+const char* to_string(ErrorType type) noexcept {
+  switch (type) {
+    case ErrorType::parse:
+      return "parse";
+    case ErrorType::unknown_op:
+      return "unknown_op";
+    case ErrorType::config:
+      return "config";
+    case ErrorType::io:
+      return "io";
+    case ErrorType::too_large:
+      return "too_large";
+    case ErrorType::overloaded:
+      return "overloaded";
+    case ErrorType::deadline:
+      return "deadline";
+    case ErrorType::interrupted:
+      return "interrupted";
+    case ErrorType::internal:
+      return "internal";
+  }
+  return "?";
+}
+
+bool is_batched_op(const std::string& op) {
+  return op == "generate" || op == "prove" || op == "certify" ||
+         op == "campaign";
+}
+
+namespace {
+
+/// Reject params outside `allowed` so a typo never silently becomes a
+/// default (same contract as wcmgen's require_known).
+void require_known_params(const std::string& op, const json::Object& params,
+                          const std::vector<const char*>& allowed) {
+  for (const auto& [key, value] : params) {
+    bool ok = false;
+    for (const char* a : allowed) {
+      ok = ok || key == a;
+    }
+    if (!ok) {
+      std::string pretty;
+      for (const char* a : allowed) {
+        pretty += pretty.empty() ? "" : ", ";
+        pretty += a;
+      }
+      throw parse_error("unknown param '" + key + "' for op '" + op +
+                        "' (valid: " + pretty + ")");
+    }
+  }
+}
+
+/// Comma-joined canonical form of a u32-list param (e.g. certify's bs).
+std::string join_u32_list(const std::vector<u32>& values) {
+  std::string out;
+  for (const u32 v : values) {
+    out += out.empty() ? "" : ",";
+    out += std::to_string(v);
+  }
+  return out;
+}
+
+/// Validate a layout name by round-tripping it through the gpusim parser
+/// (throws wcm::parse_error on garbage), returning the canonical spelling.
+std::string canonical_layout(const std::string& name) {
+  return gpusim::to_string(gpusim::parse_layout_kind(name));
+}
+
+std::string canonical_strategy(const std::string& name) {
+  if (name != "front-to-back" && name != "back-to-front" &&
+      name != "outside-in") {
+    throw parse_error("unknown value '" + name +
+                      "' for param 'strategy' (valid: front-to-back, "
+                      "back-to-front, outside-in)");
+  }
+  return name;
+}
+
+std::string canonical_generate(const json::Object& p) {
+  require_known_params("generate", p,
+                       {"E", "b", "w", "padding", "layout", "k", "seed",
+                        "strategy", "intra"});
+  constexpr u64 u32_max = std::numeric_limits<std::uint32_t>::max();
+  std::ostringstream os;
+  os << "generate|E=" << param_u64(p, "E", 15, u32_max)
+     << "|b=" << param_u64(p, "b", 512, u32_max)
+     << "|w=" << param_u64(p, "w", 32, u32_max)
+     << "|pad=" << param_u64(p, "padding", 0, u32_max)
+     << "|layout=" << canonical_layout(param_string(p, "layout", "linear"))
+     << "|k=" << param_u64(p, "k", 4, 40)
+     << "|seed=" << param_u64(p, "seed", 1)
+     << "|strategy="
+     << canonical_strategy(param_string(p, "strategy", "front-to-back"))
+     << "|intra=" << (param_bool(p, "intra", false) ? 1 : 0);
+  return os.str();
+}
+
+std::string canonical_prove(const json::Object& p) {
+  require_known_params("prove", p,
+                       {"engine", "w", "b", "pad", "layout", "E_min", "E_max",
+                        "any_E", "ways", "digit_bits"});
+  constexpr u64 u32_max = std::numeric_limits<std::uint32_t>::max();
+  std::ostringstream os;
+  os << "prove|engine=" << param_string(p, "engine", "all")
+     << "|w=" << param_u64(p, "w", 32, u32_max)
+     << "|b=" << param_u64(p, "b", 64, u32_max)
+     << "|pad=" << param_u64(p, "pad", 0, u32_max)
+     << "|layout=" << canonical_layout(param_string(p, "layout", "linear"))
+     << "|E_min=" << param_u64(p, "E_min", 3, u32_max)
+     << "|E_max=" << param_u64(p, "E_max", 0, u32_max)
+     << "|any_E=" << (param_bool(p, "any_E", false) ? 1 : 0)
+     << "|ways=" << param_u64(p, "ways", 4, u32_max)
+     << "|digit_bits=" << param_u64(p, "digit_bits", 4, u32_max);
+  return os.str();
+}
+
+std::string canonical_certify(const json::Object& p) {
+  require_known_params("certify", p,
+                       {"engine", "w", "bs", "pads", "layout", "E_min",
+                        "E_max", "any_E", "ways", "digit_bits"});
+  constexpr u64 u32_max = std::numeric_limits<std::uint32_t>::max();
+  std::ostringstream os;
+  os << "certify|engine=" << param_string(p, "engine", "shearsort")
+     << "|w=" << param_u64(p, "w", 32, u32_max)
+     << "|bs=" << join_u32_list(param_u32_list(p, "bs", {64}))
+     << "|pads=" << join_u32_list(param_u32_list(p, "pads", {0}))
+     << "|layout=" << canonical_layout(param_string(p, "layout", "linear"))
+     << "|E_min=" << param_u64(p, "E_min", 3, u32_max)
+     << "|E_max=" << param_u64(p, "E_max", 0, u32_max)
+     << "|any_E=" << (param_bool(p, "any_E", false) ? 1 : 0)
+     << "|ways=" << param_u64(p, "ways", 4, u32_max)
+     << "|digit_bits=" << param_u64(p, "digit_bits", 4, u32_max);
+  return os.str();
+}
+
+std::string canonical_campaign(const json::Object& p) {
+  require_known_params("campaign", p, {"spec"});
+  const auto it = p.find("spec");
+  if (it == p.end() || !it->second.is_object()) {
+    throw parse_error("op 'campaign' requires an object param 'spec' "
+                      "(the embedded grid spec, docs/RUNTIME.md)");
+  }
+  // Re-serializing the spec sorts its keys, so wire field order cannot
+  // split identical campaigns across cache slots.
+  return "campaign|" + json::to_text(it->second);
+}
+
+}  // namespace
+
+Request parse_request(const std::string& line) {
+  const json::Value doc = json::parse(line);
+  if (!doc.is_object()) {
+    throw parse_error("request must be one JSON object per line");
+  }
+  const json::Object& fields = doc.as_object();
+  for (const auto& [key, value] : fields) {
+    if (key != "op" && key != "id" && key != "tenant" &&
+        key != "deadline_ms" && key != "params") {
+      throw parse_error("unknown request field '" + key +
+                        "' (valid: deadline_ms, id, op, params, tenant)");
+    }
+  }
+  Request req;
+  const auto op = fields.find("op");
+  if (op == fields.end()) {
+    throw parse_error("request is missing the required field 'op'");
+  }
+  req.op = op->second.as_string();
+  if (const auto it = fields.find("id"); it != fields.end()) {
+    req.id = it->second.as_string();
+  }
+  if (const auto it = fields.find("tenant"); it != fields.end()) {
+    req.tenant = it->second.as_string();
+    if (req.tenant.empty() || req.tenant.size() > 64) {
+      throw parse_error("field 'tenant' must be 1..64 characters");
+    }
+  }
+  if (const auto it = fields.find("deadline_ms"); it != fields.end()) {
+    // Cap at one hour: a larger budget than any operation is a typo.
+    req.deadline_ms = it->second.as_u64(3'600'000);
+  }
+  if (const auto it = fields.find("params"); it != fields.end()) {
+    req.params = it->second.as_object();
+  }
+  return req;
+}
+
+std::string canonical_request(const Request& req) {
+  if (req.op == "generate") {
+    return canonical_generate(req.params);
+  }
+  if (req.op == "prove") {
+    return canonical_prove(req.params);
+  }
+  if (req.op == "certify") {
+    return canonical_certify(req.params);
+  }
+  if (req.op == "campaign") {
+    return canonical_campaign(req.params);
+  }
+  // Admin ops take no params; their canonical is the op name itself.
+  require_known_params(req.op, req.params, {});
+  return req.op;
+}
+
+std::string ok_response(const std::string& id,
+                        const std::string& result_json) {
+  std::ostringstream os;
+  os << "{\"id\":";
+  json::write_string(os, id);
+  os << ",\"ok\":true,\"result\":" << result_json << "}";
+  return os.str();
+}
+
+std::string error_response(const std::string& id, ErrorType type,
+                           const std::string& message) {
+  std::ostringstream os;
+  os << "{\"error\":{\"message\":";
+  json::write_string(os, message);
+  os << ",\"type\":\"" << to_string(type) << "\"},\"id\":";
+  json::write_string(os, id);
+  os << ",\"ok\":false}";
+  return os.str();
+}
+
+u64 param_u64(const json::Object& params, const char* name, u64 fallback,
+              u64 max) {
+  const auto it = params.find(name);
+  if (it == params.end()) {
+    return fallback;
+  }
+  try {
+    return it->second.as_u64(max);
+  } catch (const parse_error& e) {
+    throw parse_error(std::string("param '") + name + "': " + e.what());
+  }
+}
+
+bool param_bool(const json::Object& params, const char* name, bool fallback) {
+  const auto it = params.find(name);
+  if (it == params.end()) {
+    return fallback;
+  }
+  try {
+    return it->second.as_bool();
+  } catch (const parse_error& e) {
+    throw parse_error(std::string("param '") + name + "': " + e.what());
+  }
+}
+
+std::string param_string(const json::Object& params, const char* name,
+                         const std::string& fallback) {
+  const auto it = params.find(name);
+  if (it == params.end()) {
+    return fallback;
+  }
+  try {
+    return it->second.as_string();
+  } catch (const parse_error& e) {
+    throw parse_error(std::string("param '") + name + "': " + e.what());
+  }
+}
+
+std::vector<u32> param_u32_list(const json::Object& params, const char* name,
+                                std::vector<u32> fallback) {
+  const auto it = params.find(name);
+  if (it == params.end()) {
+    return fallback;
+  }
+  try {
+    const json::Array& items = it->second.as_array();
+    if (items.empty()) {
+      throw parse_error("list must not be empty");
+    }
+    std::vector<u32> out;
+    out.reserve(items.size());
+    for (const json::Value& v : items) {
+      out.push_back(static_cast<u32>(
+          v.as_u64(std::numeric_limits<std::uint32_t>::max())));
+    }
+    return out;
+  } catch (const parse_error& e) {
+    throw parse_error(std::string("param '") + name + "': " + e.what());
+  }
+}
+
+}  // namespace wcm::serve

@@ -1,0 +1,230 @@
+#include "serve/tenant_cache.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <utility>
+
+#include "runtime/cache.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
+#include "util/check.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/hash.hpp"
+
+namespace wcm::serve {
+
+namespace {
+
+constexpr char kMagic[4] = {'W', 'C', 'M', 'S'};
+
+template <typename T>
+void write_pod(std::ostream& os, u64& h, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  h = fnv1a(h, &v, sizeof(v));
+}
+
+template <typename T>
+T read_pod(std::istream& is, u64& h, const char* what) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  WCM_CHECK_IO(static_cast<bool>(is), std::string("truncated WCMS file (") +
+                                          what + ")");
+  h = fnv1a(h, &v, sizeof(v));
+  return v;
+}
+
+std::string read_bytes(std::istream& is, u64& h, u64 len, const char* what) {
+  std::string s(static_cast<std::size_t>(len), '\0');
+  is.read(s.data(), static_cast<std::streamsize>(len));
+  WCM_CHECK_IO(static_cast<bool>(is), std::string("truncated WCMS file (") +
+                                          what + ")");
+  h = fnv1a(h, s.data(), s.size());
+  return s;
+}
+
+void count(const char* name, const std::string& tenant) {
+  if (telemetry::enabled()) {
+    telemetry::registry().counter(name, {{"tenant", tenant}}).add(1);
+  }
+}
+
+}  // namespace
+
+TenantCache::TenantCache()
+    : salt_(runtime::code_version_salt()),
+      max_per_tenant_(runtime::cache_max_from_env()) {}
+
+u64 TenantCache::key_of(const std::string& canonical) const noexcept {
+  u64 h = fnv1a(fnv_offset_basis, &salt_, sizeof(salt_));
+  return fnv1a(h, canonical.data(), canonical.size());
+}
+
+void TenantCache::evict_over_cap(const std::string& tenant, Shard& shard) {
+  if (max_per_tenant_ == 0) {
+    return;
+  }
+  while (shard.entries.size() > max_per_tenant_ && !shard.lru.empty()) {
+    shard.entries.erase(shard.lru.pop_coldest());
+    count("serve.cache.evict", tenant);
+  }
+}
+
+std::optional<std::string> TenantCache::lookup(const std::string& tenant,
+                                               u64 key) {
+  const std::lock_guard<std::mutex> lock(*mu_);
+  const auto shard_it = shards_.find(tenant);
+  const auto* shard = shard_it == shards_.end() ? nullptr : &shard_it->second;
+  const auto it =
+      shard == nullptr ? std::map<u64, std::string>::const_iterator{}
+                       : shard->entries.find(key);
+  if (shard == nullptr || it == shard->entries.end()) {
+    count("serve.cache.miss", tenant);
+    return std::nullopt;
+  }
+  count("serve.cache.hit", tenant);
+  shard_it->second.lru.touch(key);
+  return it->second;
+}
+
+void TenantCache::insert(const std::string& tenant, u64 key,
+                         std::string result) {
+  const std::lock_guard<std::mutex> lock(*mu_);
+  Shard& shard = shards_[tenant];
+  const auto [it, admitted] =
+      shard.entries.insert_or_assign(key, std::move(result));
+  if (!admitted) {
+    shard.lru.touch(key);  // shared single-flight result re-inserted
+    return;
+  }
+  shard.lru.insert(key);
+  count("serve.cache.admit", tenant);
+  evict_over_cap(tenant, shard);
+}
+
+std::size_t TenantCache::size(const std::string& tenant) const {
+  const std::lock_guard<std::mutex> lock(*mu_);
+  const auto it = shards_.find(tenant);
+  return it == shards_.end() ? 0 : it->second.entries.size();
+}
+
+std::size_t TenantCache::total_size() const {
+  const std::lock_guard<std::mutex> lock(*mu_);
+  std::size_t total = 0;
+  for (const auto& [tenant, shard] : shards_) {
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+TenantCache TenantCache::load(const std::filesystem::path& path, u64 salt) {
+  WCM_SPAN("serve.cache.load");
+  TenantCache cache(salt, runtime::cache_max_from_env());
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) {
+    return cache;  // cold start
+  }
+  std::ifstream is(path, std::ios::binary);
+  WCM_FAILPOINT("runtime.cache.load", io_error,
+                "injected cache read failure");
+  WCM_CHECK_IO(is.is_open(), "cannot open cache file: " + path.string());
+
+  u64 h = fnv_offset_basis;
+  char magic[4] = {};
+  is.read(magic, sizeof(magic));
+  WCM_CHECK_IO(static_cast<bool>(is) && std::equal(magic, magic + 4, kMagic),
+               "not a WCMS file: " + path.string());
+  h = fnv1a(h, magic, sizeof(magic));
+
+  const auto version = read_pod<std::uint32_t>(is, h, "version");
+  WCM_CHECK_IO(version == wcms_version,
+               "unsupported WCMS version " + std::to_string(version) + ": " +
+                   path.string());
+  const u64 file_salt = read_pod<u64>(is, h, "salt");
+  const u64 record_count = read_pod<u64>(is, h, "count");
+  WCM_CHECK_IO(record_count <= max_wcms_records,
+               "WCMS record count " + std::to_string(record_count) +
+                   " exceeds the format cap (corrupt header?): " +
+                   path.string());
+
+  std::map<std::string, Shard> shards;
+  for (u64 i = 0; i < record_count; ++i) {
+    const u64 tenant_len = read_pod<u64>(is, h, "tenant length");
+    WCM_CHECK_IO(tenant_len >= 1 && tenant_len <= 64,
+                 "WCMS tenant length out of range (corrupt record?): " +
+                     path.string());
+    const std::string tenant = read_bytes(is, h, tenant_len, "tenant name");
+    const u64 key = read_pod<u64>(is, h, "record key");
+    const u64 value_len = read_pod<u64>(is, h, "value length");
+    WCM_CHECK_IO(value_len <= max_wcms_value_bytes,
+                 "WCMS value length exceeds the format cap (corrupt "
+                 "record?): " +
+                     path.string());
+    shards[tenant].entries[key] = read_bytes(is, h, value_len, "value");
+  }
+
+  const u64 expected = h;  // checksum covers everything before itself
+  u64 ignored = fnv_offset_basis;
+  const u64 stored = read_pod<u64>(is, ignored, "checksum");
+  WCM_CHECK_IO(stored == expected,
+               "WCMS checksum mismatch (corrupt file): " + path.string());
+  char extra = 0;
+  is.read(&extra, 1);
+  WCM_CHECK_IO(is.eof(), "trailing bytes after WCMS checksum: " +
+                             path.string());
+
+  if (file_salt != salt) {
+    if (telemetry::enabled()) {
+      telemetry::registry().counter("serve.cache.salt_mismatch").add(1);
+    }
+    return cache;  // salt changed -> every entry is stale; start cold
+  }
+  cache.shards_ = std::move(shards);
+  // Recency for loaded entries is unknowable; seed it in key order (the
+  // file's order) and let the bound trim deterministically from low keys.
+  for (auto& [tenant, shard] : cache.shards_) {
+    for (const auto& [key, value] : shard.entries) {
+      shard.lru.insert(key);
+    }
+    cache.evict_over_cap(tenant, shard);
+  }
+  return cache;
+}
+
+void TenantCache::store(const std::filesystem::path& path) const {
+  WCM_SPAN("serve.cache.store");
+  const std::lock_guard<std::mutex> lock(*mu_);
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  WCM_FAILPOINT("runtime.cache.store", io_error,
+                "injected cache write failure");
+  WCM_CHECK_IO(os.is_open(), "cannot open cache file for writing: " +
+                                 path.string());
+  u64 h = fnv_offset_basis;
+  os.write(kMagic, sizeof(kMagic));
+  h = fnv1a(h, kMagic, sizeof(kMagic));
+  write_pod(os, h, wcms_version);
+  write_pod(os, h, salt_);
+  u64 record_count = 0;
+  for (const auto& [tenant, shard] : shards_) {
+    record_count += shard.entries.size();
+  }
+  write_pod(os, h, record_count);
+  for (const auto& [tenant, shard] : shards_) {
+    for (const auto& [key, value] : shard.entries) {
+      const u64 tenant_len = tenant.size();
+      write_pod(os, h, tenant_len);
+      os.write(tenant.data(), static_cast<std::streamsize>(tenant.size()));
+      h = fnv1a(h, tenant.data(), tenant.size());
+      write_pod(os, h, key);
+      const u64 value_len = value.size();
+      write_pod(os, h, value_len);
+      os.write(value.data(), static_cast<std::streamsize>(value.size()));
+      h = fnv1a(h, value.data(), value.size());
+    }
+  }
+  const u64 checksum = h;
+  os.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  WCM_CHECK_IO(static_cast<bool>(os), "cache write failed: " + path.string());
+}
+
+}  // namespace wcm::serve

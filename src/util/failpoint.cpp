@@ -32,6 +32,10 @@ constexpr const char* kBuiltin[] = {
     "runtime.journal.replay",  // replay_journal: read failure
     "telemetry.export.write",      // write_chrome_trace: export failure
     "telemetry.registry.snapshot",  // Registry::snapshot: render failure
+    "serve.accept",    // wcmd accept loop: drop the accepted connection
+    "serve.read",      // wcmd connection reader: injected recv failure
+    "serve.write",     // wcmd response writer: injected send failure
+    "serve.dispatch",  // wcmd dispatcher: break before a request executes
 };
 
 struct State {

@@ -1,7 +1,9 @@
 #include "util/json.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <sstream>
 #include <utility>
 
 #include "util/error.hpp"
@@ -313,5 +315,99 @@ class Parser {
 }  // namespace
 
 Value parse(const std::string& text) { return Parser(text).run(); }
+
+void write_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        // The parser rejects \uXXXX, so raw control bytes have no escape;
+        // replace them rather than emit a document parse() would refuse.
+        os << (static_cast<unsigned char>(c) < 0x20 ? '?' : c);
+    }
+  }
+  os << '"';
+}
+
+namespace {
+
+void write_number(std::ostream& os, double v) {
+  constexpr double exact = 9007199254740992.0;  // 2^53
+  if (std::nearbyint(v) == v && v >= -exact && v <= exact) {
+    os << static_cast<long long>(v);
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+}  // namespace
+
+void write(std::ostream& os, const Value& value) {
+  switch (value.kind()) {
+    case Kind::null:
+      os << "null";
+      return;
+    case Kind::boolean:
+      os << (value.as_bool() ? "true" : "false");
+      return;
+    case Kind::number:
+      write_number(os, value.as_double());
+      return;
+    case Kind::string:
+      write_string(os, value.as_string());
+      return;
+    case Kind::array: {
+      os << '[';
+      bool first = true;
+      for (const Value& v : value.as_array()) {
+        if (!first) {
+          os << ',';
+        }
+        first = false;
+        write(os, v);
+      }
+      os << ']';
+      return;
+    }
+    case Kind::object: {
+      os << '{';
+      bool first = true;
+      for (const auto& [key, v] : value.as_object()) {
+        if (!first) {
+          os << ',';
+        }
+        first = false;
+        write_string(os, key);
+        os << ':';
+        write(os, v);
+      }
+      os << '}';
+      return;
+    }
+  }
+}
+
+std::string to_text(const Value& value) {
+  std::ostringstream os;
+  write(os, value);
+  return os.str();
+}
 
 }  // namespace wcm::json

@@ -13,6 +13,7 @@
 // Objects preserve no insertion order — they are std::map, so iteration is
 // key-sorted and deterministic.
 
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <string>
@@ -77,5 +78,19 @@ class Value {
 /// Parse one JSON document.  Throws wcm::parse_error with a line:column
 /// position on any syntax error, unsupported construct, or trailing text.
 [[nodiscard]] Value parse(const std::string& text);
+
+/// Serialize a value as one line of strict JSON that parse() round-trips:
+/// object keys in map (sorted) order, strings restricted to the escapes
+/// the parser accepts (control bytes outside \n \t \r are replaced with
+/// '?'), integral numbers in [-2^53, 2^53] rendered without a fraction,
+/// all other numbers in %.17g.  The serve protocol's determinism contract
+/// (byte-identical responses, docs/SERVE.md) rests on this writer.
+void write(std::ostream& os, const Value& value);
+
+/// write() into a string.
+[[nodiscard]] std::string to_text(const Value& value);
+
+/// Escape and double-quote one string (the writer's string rule).
+void write_string(std::ostream& os, const std::string& s);
 
 }  // namespace wcm::json

@@ -1,0 +1,18 @@
+#include "util/version.hpp"
+
+// Both macros are injected per-source-file by src/CMakeLists.txt so a new
+// commit only recompiles this translation unit, never the whole library.
+#ifndef WCM_VERSION_STRING
+#define WCM_VERSION_STRING "0.0.0"
+#endif
+#ifndef WCM_GIT_DESCRIBE
+#define WCM_GIT_DESCRIBE "unknown"
+#endif
+
+namespace wcm {
+
+const char* version_string() noexcept { return WCM_VERSION_STRING; }
+
+const char* build_describe() noexcept { return WCM_GIT_DESCRIBE; }
+
+}  // namespace wcm

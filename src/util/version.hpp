@@ -1,0 +1,18 @@
+#pragma once
+// Build identity: the project version plus the git-describe string the
+// build was configured at.  `wcmgen version` prints both together with the
+// current WCMC code-version salt (runtime/cache.hpp), which is the triple
+// an operator needs to debug cache invalidation or daemon/client skew —
+// two binaries that print different describes may disagree about every
+// cache key even when their protocol versions match (docs/SERVE.md).
+
+namespace wcm {
+
+/// The CMake project version ("1.0.0"); "0.0.0" when built outside CMake.
+[[nodiscard]] const char* version_string() noexcept;
+
+/// `git describe --always --dirty` at configure time; "unknown" when the
+/// source tree was not a git checkout (or git was unavailable).
+[[nodiscard]] const char* build_describe() noexcept;
+
+}  // namespace wcm

@@ -21,6 +21,7 @@
 #include "runtime/cache.hpp"
 #include "runtime/journal.hpp"
 #include "runtime/scheduler.hpp"
+#include "serve/server.hpp"
 #include "sort/multiway.hpp"
 #include "sort/pairwise_sort.hpp"
 #include "telemetry/registry.hpp"
@@ -290,7 +291,8 @@ TEST_F(FaultInjectionTest, KnownListsAllBuiltins) {
         "sort.multiway.round", "runtime.worker.job", "runtime.cache.load",
         "runtime.cache.store", "runtime.journal.append",
         "runtime.journal.replay", "telemetry.export.write",
-        "telemetry.registry.snapshot"}) {
+        "telemetry.registry.snapshot", "serve.accept", "serve.read",
+        "serve.write", "serve.dispatch"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
   }
@@ -397,6 +399,16 @@ TEST_F(FaultInjectionTest, EveryRegisteredFailpointFired) {
       {"telemetry.registry.snapshot",
        {errc::simulation_invariant,
         [] { (void)telemetry::registry().snapshot(); }}},
+      // The wcmd daemon catches these at its I/O sites (dropping the
+      // connection or logging a failed write); the hooks in
+      // serve::detail expose the sites for direct coverage here, and
+      // tests/test_serve_daemon.cpp proves the daemon-level handling.
+      {"serve.accept", {errc::io_failure, [] { serve::detail::accept_failpoint(); }}},
+      {"serve.read", {errc::io_failure, [] { serve::detail::read_failpoint(); }}},
+      {"serve.write", {errc::io_failure, [] { serve::detail::write_failpoint(); }}},
+      {"serve.dispatch",
+       {errc::simulation_invariant,
+        [] { serve::detail::dispatch_failpoint(); }}},
   };
 
   for (const auto& name : failpoint::known()) {

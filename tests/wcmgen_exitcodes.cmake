@@ -56,6 +56,26 @@ endforeach()
 expect_exit(0 ${WCMGEN} --help)
 expect_exit(0 ${WCMGEN} generate --help)
 
+# version -> 0, printing the git-describe build info and the cache salt
+# (so an operator can tell at a glance whether two daemons share caches)
+foreach(spelling version --version -V)
+  execute_process(COMMAND ${WCMGEN} ${spelling}
+                  RESULT_VARIABLE rv OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "wcmgen ${spelling}: expected exit 0, got ${rv}")
+  endif()
+  if(NOT out MATCHES "^wcmgen [0-9]+\\.[0-9]+\\.[0-9]+ \\(.+\\)\n")
+    message(FATAL_ERROR "wcmgen ${spelling}: malformed version line: ${out}")
+  endif()
+  if(NOT out MATCHES "cache salt: 0x[0-9a-f]+")
+    message(FATAL_ERROR "wcmgen ${spelling}: missing cache salt: ${out}")
+  endif()
+endforeach()
+
+# serve with malformed bounds is a usage error -> 2
+expect_exit(2 ${WCMGEN} serve --queue-max 0)
+expect_exit(2 ${WCMGEN} serve --no-such-flag x)
+
 # bad configuration -> 4
 expect_exit(4 ${WCMGEN} generate --E 0 --b 64)
 expect_exit(4 ${WCMGEN} sort --E 5 --b 32 --w 32)   # b < 2w
