@@ -15,6 +15,10 @@
 //                    [--layout kind] [--E-min n] [--E-max n] [--any-E]
 //                    [--ways k] [--digit-bits n] [--json]
 //                    [--certify [--bs n,n,...] [--pads n,n,...]]
+//   wcmgen verify    [--engine name|all] [--ws n,n,...] [--b n] [--pad p]
+//                    [--layout kind] [--E-min n] [--E-max n] [--odd-E]
+//                    [--ways k] [--digit-bits n] [--no-differential]
+//                    [--json]
 //   wcmgen visualize --E 7 [--w 16] [--strategy name]
 //   wcmgen campaign  spec.json [--threads n] [--no-cache] [--cache file]
 //                    [--out file.json] [--trace-dir dir] [--quiet]
@@ -35,7 +39,7 @@
 //
 // Exit codes (documented in docs/API.md):
 //   0 success
-//   1 findings reported (analyze and prove subcommands only)
+//   1 findings reported (analyze, prove, and verify subcommands only)
 //   2 usage error (unknown subcommand/flag, unparseable or unknown value)
 //   3 bad input file (missing, truncated, corrupt WCMI/WCMT)
 //   4 invalid configuration (E/b/w constraint violated)
@@ -58,6 +62,7 @@
 
 #include "analysis/json_export.hpp"
 #include "analyze/lint.hpp"
+#include "analyze/passes/verify.hpp"
 #include "analyze/symbolic/certify.hpp"
 #include "analyze/symbolic/prove.hpp"
 #include "gpusim/layout.hpp"
@@ -124,6 +129,17 @@ subcommands:
              [--layout linear|xor|rotation] [--E-min n] [--E-max n]
              [--any-E] [--ways k] [--digit-bits n] [--json]
              [--certify] [--bs n,n,...] [--pads n,n,...]
+  verify     statically verify the engines' access-pattern declarations
+             across warp widths: barrier uniformity, def-use (no
+             uninitialized or out-of-bounds shared-memory access) for
+             every E in range, parametric-w conflict bounds, the
+             non-coprime gcd(w,E) breakdown sweep of Theorems 3/9, and a
+             static-vs-dynamic differential gate (docs/LINT.md); the
+             report is digest-sealed like prove --certify
+             [--engine name|all] [--ws n,n,...] [--b n] [--pad n]
+             [--layout linear|xor|rotation] [--E-min n] [--E-max n]
+             [--odd-E] [--ways k] [--digit-bits n] [--no-differential]
+             [--json]
   visualize  render one worst-case warp assignment
              --E n [--w n] [--strategy name]
   campaign   expand a JSON grid spec into cells and run them on the
@@ -152,7 +168,8 @@ subcommands:
              built from, and the response-cache salt (also --version / -V)
   help       print this message (also --help / -h)
 
-exit codes: 0 ok, 1 findings (analyze/prove), 2 usage, 3 bad input file,
+exit codes: 0 ok, 1 findings (analyze/prove/verify), 2 usage, 3 bad input
+            file,
             4 bad configuration, 5 internal error (or a violated serve
             drain invariant), 6 degraded campaign (quarantined cells),
             7 interrupted campaign (resumable)
@@ -492,28 +509,64 @@ int cmd_analyze(const Args& a) {
   return analyze::run_lint({in}, opts, std::cout, std::cerr);
 }
 
+/// The symbolic shape flag set shared by the `prove` branches and
+/// `verify`: one parse, one set of defaults, so the subcommands cannot
+/// drift apart on flag semantics.
+struct SymbolicShapeFlags {
+  u32 w = 32;
+  u32 b = 64;
+  u32 pad = 0;
+  gpusim::LayoutKind layout = gpusim::LayoutKind::linear;
+  u32 e_min = 3;
+  u32 e_max = 0;
+  u32 ways = 4;
+  u32 digit_bits = 4;
+  bool any_e = false;
+  bool json = false;
+};
+
+SymbolicShapeFlags symbolic_shape_flags(const Args& a, u32 e_min_default,
+                                        u32 e_max_default) {
+  SymbolicShapeFlags f;
+  f.w = a.get_u32("w", 32);
+  f.b = a.get_u32("b", 64);
+  f.pad = a.get_u32("pad", 0);
+  f.layout = gpusim::parse_layout_kind(a.get("layout", "linear"));
+  f.e_min = a.get_u32("E-min", e_min_default);
+  f.e_max = a.get_u32("E-max", e_max_default);
+  f.ways = a.get_u32("ways", 4);
+  f.digit_bits = a.get_u32("digit-bits", 4);
+  f.any_e = a.flag("any-E");
+  f.json = a.flag("json");
+  return f;
+}
+
+std::vector<std::string> engine_list(const Args& a) {
+  const std::string engine = a.get("engine", "all");
+  return engine == "all" ? analyze::symbolic::all_engines()
+                         : std::vector<std::string>{engine};
+}
+
 int cmd_prove(const Args& a) {
   a.require_known("prove", {"engine", "w", "b", "pad", "layout", "E-min",
                             "E-max", "any-E", "ways", "digit-bits", "json",
                             "certify", "bs", "pads"});
-  const std::string engine = a.get("engine", "all");
+  const SymbolicShapeFlags shape = symbolic_shape_flags(a, 3, 0);
   if (a.flag("certify")) {
     // Certification mode: universally quantified conflict-freedom over a
     // (b, pad) grid, or a replay-confirmed counterexample (docs/THEORY.md).
     analyze::symbolic::CertifyOptions copts;
-    copts.w = a.get_u32("w", 32);
+    copts.w = shape.w;
     copts.bs = parse_u32_list("--bs", a.get("bs", a.get("b", "64")));
     copts.pads = parse_u32_list("--pads", a.get("pads", a.get("pad", "0")));
-    copts.layout = gpusim::parse_layout_kind(a.get("layout", "linear"));
-    copts.e_min = a.get_u32("E-min", 3);
-    copts.e_max = a.get_u32("E-max", 0);
-    copts.ways = a.get_u32("ways", 4);
-    copts.digit_bits = a.get_u32("digit-bits", 4);
-    copts.any_e = a.flag("any-E");
-    copts.json = a.flag("json");
-    const std::vector<std::string> engines =
-        engine == "all" ? analyze::symbolic::all_engines()
-                        : std::vector<std::string>{engine};
+    copts.layout = shape.layout;
+    copts.e_min = shape.e_min;
+    copts.e_max = shape.e_max;
+    copts.ways = shape.ways;
+    copts.digit_bits = shape.digit_bits;
+    copts.any_e = shape.any_e;
+    copts.json = shape.json;
+    const std::vector<std::string> engines = engine_list(a);
     bool all_certified = true;
     for (const auto& name : engines) {
       const auto cert = analyze::symbolic::certify_engine(name, copts);
@@ -532,26 +585,62 @@ int cmd_prove(const Args& a) {
                       "(add --certify, or use scalar --b/--pad)");
   }
   analyze::symbolic::ProveOptions opts;
-  opts.w = a.get_u32("w", 32);
-  opts.b = a.get_u32("b", 64);
-  opts.pad = a.get_u32("pad", 0);
-  opts.layout = gpusim::parse_layout_kind(a.get("layout", "linear"));
-  opts.e_min = a.get_u32("E-min", 3);
-  opts.e_max = a.get_u32("E-max", 0);
-  opts.ways = a.get_u32("ways", 4);
-  opts.digit_bits = a.get_u32("digit-bits", 4);
-  opts.any_e = a.flag("any-E");
-  opts.json = a.flag("json");
-  const std::vector<std::string> engines =
-      engine == "all" ? analyze::symbolic::all_engines()
-                      : std::vector<std::string>{engine};
-  const auto report = analyze::symbolic::prove(engines, opts);
+  opts.w = shape.w;
+  opts.b = shape.b;
+  opts.pad = shape.pad;
+  opts.layout = shape.layout;
+  opts.e_min = shape.e_min;
+  opts.e_max = shape.e_max;
+  opts.ways = shape.ways;
+  opts.digit_bits = shape.digit_bits;
+  opts.any_e = shape.any_e;
+  opts.json = shape.json;
+  const auto report = analyze::symbolic::prove(engine_list(a), opts);
   if (opts.json) {
     analyze::symbolic::render_json(std::cout, report);
   } else {
     analyze::symbolic::render_text(std::cout, report);
   }
   return report.findings.empty() ? 0 : 1;
+}
+
+int cmd_verify(const Args& a) {
+  a.require_known("verify", {"engine", "ws", "b", "pad", "layout", "E-min",
+                             "E-max", "odd-E", "ways", "digit-bits", "json",
+                             "no-differential"});
+  analyze::passes::VerifyOptions opts;
+  // E defaults deliberately exceed the conflict prover's E < w domain:
+  // the def-use and barrier passes are universal over the whole range,
+  // the conflict-bound pass clamps itself to the model's regime.
+  const SymbolicShapeFlags shape = symbolic_shape_flags(a, 1, 256);
+  opts.ws = parse_u32_list("--ws", a.get("ws", "2,4,8,16,32,64"));
+  for (const u32 w : opts.ws) {
+    if (w < 1) {
+      throw parse_error("--ws values must be >= 1");
+    }
+  }
+  opts.b = shape.b;
+  opts.pad = shape.pad;
+  opts.layout = shape.layout;
+  opts.e_min = shape.e_min;
+  opts.e_max = shape.e_max;
+  opts.ways = shape.ways;
+  opts.digit_bits = shape.digit_bits;
+  // verify defaults to every E (the static claims are universal); --odd-E
+  // restricts to the paper's odd-E congruence like prove's default.
+  opts.any_e = !a.flag("odd-E");
+  opts.differential = !a.flag("no-differential");
+  opts.json = shape.json;
+  if (opts.e_min < 1 || opts.e_min > opts.e_max) {
+    throw parse_error("verify needs 1 <= --E-min <= --E-max");
+  }
+  const auto report = analyze::passes::run_verify(engine_list(a), opts);
+  if (opts.json) {
+    analyze::passes::render_json(std::cout, report);
+  } else {
+    analyze::passes::render_text(std::cout, report);
+  }
+  return report.proved && report.differential_ok ? 0 : 1;
 }
 
 /// Shared by the SIGINT/SIGTERM handlers and the campaign: cancel() is a
@@ -679,7 +768,7 @@ int cmd_visualize(const Args& a) {
 bool is_subcommand(const std::string& cmd) {
   return cmd == "generate" || cmd == "evaluate" || cmd == "sort" ||
          cmd == "inspect" || cmd == "analyze" || cmd == "prove" ||
-         cmd == "visualize" || cmd == "campaign";
+         cmd == "verify" || cmd == "visualize" || cmd == "campaign";
 }
 
 /// Route one subcommand invocation; `argv[1]` must be `cmd`.  Shared by
@@ -725,6 +814,9 @@ int dispatch(const std::string& cmd, int argc, char** argv) {
   if (cmd == "prove") {
     return cmd_prove(args);
   }
+  if (cmd == "verify") {
+    return cmd_verify(args);
+  }
   if (cmd == "visualize") {
     return cmd_visualize(args);
   }
@@ -733,8 +825,8 @@ int dispatch(const std::string& cmd, int argc, char** argv) {
   }
   throw parse_error("unknown subcommand '" + cmd +
                     "' (valid: generate, evaluate, sort, inspect, analyze, "
-                    "prove, visualize, campaign, serve, version, profile, "
-                    "help)");
+                    "prove, verify, visualize, campaign, serve, version, "
+                    "profile, help)");
 }
 
 int cmd_profile(int argc, char** argv) {

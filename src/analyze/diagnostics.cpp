@@ -42,6 +42,8 @@ const char* to_string(Rule r) noexcept {
       return "symbolic-divergence";
     case Rule::theorem_divergence:
       return "theorem-divergence";
+    case Rule::barrier_divergence:
+      return "barrier-divergence";
   }
   return "?";
 }

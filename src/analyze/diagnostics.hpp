@@ -31,6 +31,7 @@ enum class Rule : unsigned char {
   unproved_access,    ///< symbolic prover could not bound a step group
   symbolic_divergence, ///< symbolic bound vs gcd/replay model disagreement
   theorem_divergence, ///< Theorem 3/9 instance failed its cross-check
+  barrier_divergence, ///< a barrier not provably reached by all lanes
 };
 
 [[nodiscard]] const char* to_string(Severity s) noexcept;

@@ -1,0 +1,443 @@
+// Symbolic def-use pass: shared-memory liveness over interval x congruence
+// address sets.  Proves, for every E in the declared range, that
+//
+//   * every access lands in [0, words)  (OOB-freedom; masked groups skip
+//     the upper check because the kernel clamps lane participation at the
+//     tile edge), and
+//   * every read group's address set is contained in words initialized by
+//     an earlier fill region or by a write group whose footprint is
+//     *proved contiguous* by a tiling argument.
+//
+// The universal quantifier over E is discharged by pinning E to each value
+// in [e_min, e_max] in turn; all other dimensions (warp shifts, inner loop
+// parameters, lanes) stay symbolic and are handled abstractly:
+//
+// Tiling argument.  A pinned piece's address set is base + a sum of
+// independent arithmetic generators {0, s, 2s, ..., s*(n-1)} — one per
+// lane dimension, per parameter symbol (step = coeff * congruence modulus),
+// and per warp-shift extent (step = step_form).  Sorting the generators by
+// |step| and checking each |step| <= 1 + sum of earlier spans proves the
+// set is a contiguous interval, which then credits the initialized set;
+// a group that fails the argument simply earns no credit (sound: def-use
+// may under-approximate writes, never over-approximate).
+//
+// Engines with no fill group whose first access is a read (block-merge)
+// get the whole tile seeded as a *documented caller precondition* — the
+// report flags the seed so the claim is visibly weaker than a proof.
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analyze/passes/pass.hpp"
+#include "analyze/symbolic/domain.hpp"
+#include "util/math.hpp"
+
+namespace wcm::analyze::passes {
+
+namespace ir = gpusim::ir;
+
+namespace {
+
+/// Sorted, merged set of inclusive address intervals.
+class IntervalSet {
+ public:
+  void add(i64 lo, i64 hi) {
+    if (lo > hi) {
+      return;
+    }
+    iv_.emplace_back(lo, hi);
+    std::sort(iv_.begin(), iv_.end());
+    std::vector<std::pair<i64, i64>> merged;
+    for (const auto& [l, h] : iv_) {
+      if (!merged.empty() && l <= merged.back().second + 1) {
+        merged.back().second = std::max(merged.back().second, h);
+      } else {
+        merged.emplace_back(l, h);
+      }
+    }
+    iv_ = std::move(merged);
+  }
+
+  [[nodiscard]] bool covers(i64 lo, i64 hi) const {
+    if (lo > hi) {
+      return true;
+    }
+    for (const auto& [l, h] : iv_) {
+      if (l <= lo && hi <= h) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::pair<i64, i64>> iv_;
+};
+
+/// One arithmetic generator: the value set {0, step, ..., step*(count-1)}.
+struct Gen {
+  i64 step = 0;
+  i64 count = 1;
+};
+
+/// A pinned piece decomposed into base + generators, or the reason it
+/// could not be decomposed exactly.
+struct PieceSet {
+  bool exact = false;    ///< generators below are the exact address set
+  bool executes = true;  ///< some symbol range was empty: piece never runs
+  i64 base = 0;
+  std::vector<Gen> gens;
+  i64 lo = 0;  ///< footprint bounds (always valid, even when !exact)
+  i64 hi = 0;
+};
+
+i64 span_of(const Gen& g) { return g.step * (g.count - 1); }
+
+/// Decompose one lane piece of a pinned desc into base + generators.
+PieceSet decompose(const ir::KernelDesc& desc, const ir::LanePiece& piece) {
+  PieceSet out;
+  out.base = piece.base.c;
+  bool exact = true;
+
+  const auto symbol_values =
+      [&](const ir::Symbol& s) -> std::optional<std::pair<i64, Gen>> {
+    // Returns (first value, generator over the offsets), or nullopt when
+    // the value set cannot be enumerated exactly.
+    if (s.role == ir::SymRole::warp_shift) {
+      if (s.step_form.is_zero()) {
+        if (s.lo != s.hi) {
+          return std::nullopt;
+        }
+        return std::make_pair(s.lo, Gen{0, 1});
+      }
+      const auto step = symbolic::eval(s.step_form, desc);
+      const auto max = symbolic::eval(s.max_form, desc);
+      if (!step.exact() || !max.exact() || step.lo < 1 || max.lo < 0) {
+        return std::nullopt;
+      }
+      return std::make_pair(i64{0}, Gen{step.lo, max.lo / step.lo + 1});
+    }
+    i64 hi = s.hi;
+    if (s.upper_sym >= 0) {
+      const ir::Symbol& upper =
+          desc.symbols[static_cast<std::size_t>(s.upper_sym)];
+      if (upper.lo != upper.hi) {
+        return std::nullopt;
+      }
+      hi = upper.lo - 1;
+    }
+    const i64 m = s.mod > 1 ? static_cast<i64>(s.mod) : 1;
+    const i64 first = s.lo + mod_floor(s.rem - s.lo, m);
+    if (first > hi) {
+      return std::make_pair(i64{0}, Gen{0, 0});  // empty range: never runs
+    }
+    return std::make_pair(first, Gen{m, (hi - first) / m + 1});
+  };
+
+  for (const auto& [idx, coeff] : piece.base.terms) {
+    const ir::Symbol& s = desc.symbols[static_cast<std::size_t>(idx)];
+    const auto values = symbol_values(s);
+    if (!values) {
+      exact = false;
+      continue;
+    }
+    if (values->second.count == 0) {
+      out.executes = false;
+      return out;
+    }
+    out.base += coeff * values->first;
+    if (values->second.count > 1) {
+      out.gens.push_back(
+          Gen{coeff * values->second.step, values->second.count});
+    }
+  }
+
+  const auto stride = symbolic::eval(piece.stride, desc);
+  const i64 nlanes =
+      static_cast<i64>(piece.lane_hi) - static_cast<i64>(piece.lane_lo) + 1;
+  if (nlanes > 1) {
+    if (stride.exact()) {
+      out.gens.push_back(Gen{stride.lo, nlanes});
+    } else {
+      exact = false;
+    }
+  }
+
+  if (exact) {
+    out.exact = true;
+    out.lo = out.base;
+    out.hi = out.base;
+    for (const Gen& g : out.gens) {
+      out.lo += std::min<i64>(0, span_of(g));
+      out.hi += std::max<i64>(0, span_of(g));
+    }
+  } else {
+    // Fall back to the abstract footprint: base through the extent-aware
+    // domain plus the stride term's interval span.
+    const auto base = symbolic::eval_extent(piece.base, desc);
+    out.lo = base.lo;
+    out.hi = base.hi;
+    if (nlanes > 1) {
+      out.lo += std::min<i64>({i64{0}, stride.lo * (nlanes - 1),
+                               stride.hi * (nlanes - 1)});
+      out.hi += std::max<i64>({i64{0}, stride.lo * (nlanes - 1),
+                               stride.hi * (nlanes - 1)});
+    }
+  }
+  return out;
+}
+
+/// Tiling contiguity proof over the generators.
+bool proves_contiguous(std::vector<Gen> gens) {
+  for (Gen& g : gens) {
+    g.step = g.step < 0 ? -g.step : g.step;
+  }
+  std::sort(gens.begin(), gens.end(),
+            [](const Gen& a, const Gen& b) { return a.step < b.step; });
+  i64 span = 1;  // one address is trivially contiguous
+  for (const Gen& g : gens) {
+    if (g.step > span) {
+      return false;
+    }
+    span += g.step * (g.count - 1);
+  }
+  return true;
+}
+
+class DefUsePass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "def-use";
+  }
+
+  void run(PassContext& ctx) override {
+    const std::size_t errors_before = ctx.error_count();
+    ctx.defuse_seeded = false;
+
+    if (ctx.desc.words.is_zero()) {
+      Diagnostic d;
+      d.severity = Severity::warning;
+      d.rule = Rule::out_of_bounds;
+      d.message = "kernel '" + ctx.desc.kernel +
+                  "' declares no shared-word budget; def-use not provable";
+      ctx.findings.push_back(std::move(d));
+      ctx.defuse_clean = false;
+      return;
+    }
+
+    const int e_sym = ctx.desc.find_symbol("E");
+    const u32 e_lo = e_sym >= 0 ? ctx.opts.e_min : 1;
+    const u32 e_hi = e_sym >= 0 ? ctx.opts.effective_e_max() : 1;
+    for (u32 e = e_lo; e <= e_hi; ++e) {
+      if (e_sym >= 0) {
+        // Respect the declared E congruence (an odd-E-only range must not
+        // be "refuted" at an E outside it).
+        const ir::Symbol& es =
+            ctx.desc.symbols[static_cast<std::size_t>(e_sym)];
+        if (es.mod > 1 &&
+            mod_floor(static_cast<i64>(e), static_cast<i64>(es.mod)) !=
+                es.rem) {
+          continue;
+        }
+      }
+      ir::KernelDesc pinned = ctx.desc;
+      if (e_sym >= 0) {
+        ir::Symbol& s = pinned.symbols[static_cast<std::size_t>(e_sym)];
+        s.lo = e;
+        s.hi = e;
+        s.mod = 1;
+        s.rem = 0;
+      }
+      check_pinned(ctx, pinned, e);
+    }
+
+    ctx.defuse_clean = ctx.error_count() == errors_before;
+  }
+
+ private:
+  /// One finding per (group, rule) across the whole E sweep — the first
+  /// failing E is the witness; repeating it 256 times adds nothing.
+  std::set<std::pair<std::size_t, int>> reported_;
+
+  void emit(PassContext& ctx, Rule rule, std::size_t g, Severity severity,
+            std::string message) {
+    if (!reported_.insert({g, static_cast<int>(rule)}).second) {
+      return;
+    }
+    Diagnostic d;
+    d.severity = severity;
+    d.rule = rule;
+    d.step = g;
+    d.message = std::move(message);
+    ctx.findings.push_back(std::move(d));
+  }
+
+  void check_pinned(PassContext& ctx, const ir::KernelDesc& desc, u32 e) {
+    const auto words = symbolic::eval(desc.words, desc);
+    if (!words.exact() || words.lo < 1) {
+      emit(ctx, Rule::out_of_bounds, Diagnostic::kNoStep, Severity::error,
+           "shared-word budget does not evaluate to a positive constant at "
+           "E=" + std::to_string(e));
+      return;
+    }
+    const i64 W = words.lo;
+    const std::string at = " at E=" + std::to_string(e);
+
+    IntervalSet init;
+    seed_if_precondition(ctx, desc, W, init);
+
+    for (std::size_t g = 0; g < desc.groups.size(); ++g) {
+      const ir::StepGroup& group = desc.groups[g];
+      switch (group.kind) {
+        case ir::GroupKind::barrier:
+          break;
+        case ir::GroupKind::fill: {
+          const auto region = region_of(desc, group);
+          if (!region) {
+            emit(ctx, Rule::uninitialized_read, g, Severity::warning,
+                 "fill '" + group.name +
+                     "' has no evaluable region; no initialization credit");
+            break;
+          }
+          check_bounds(ctx, g, group, region->first, region->second, W, at);
+          init.add(region->first, region->second);
+          break;
+        }
+        case ir::GroupKind::read:
+        case ir::GroupKind::write:
+          check_access(ctx, desc, g, group, W, init, at);
+          break;
+      }
+    }
+  }
+
+  void seed_if_precondition(PassContext& ctx, const ir::KernelDesc& desc,
+                            i64 W, IntervalSet& init) {
+    bool has_fill = false;
+    for (const ir::StepGroup& g : desc.groups) {
+      has_fill = has_fill || g.kind == ir::GroupKind::fill;
+    }
+    if (has_fill) {
+      return;
+    }
+    for (const ir::StepGroup& g : desc.groups) {
+      if (g.kind == ir::GroupKind::barrier) {
+        continue;
+      }
+      if (g.kind == ir::GroupKind::read) {
+        // No fill and the kernel leads with a read: the tile is staged by
+        // the caller (block-merge runs after blocksort).  Seed the whole
+        // budget and say so — this is a precondition, not a proof.
+        init.add(0, W - 1);
+        if (!ctx.defuse_seeded) {
+          ctx.defuse_seeded = true;
+          Diagnostic d;
+          d.severity = Severity::note;
+          d.rule = Rule::uninitialized_read;
+          d.message = "kernel '" + ctx.desc.kernel +
+                      "' reads before any fill or write: tile assumed "
+                      "caller-staged (documented precondition)";
+          ctx.findings.push_back(std::move(d));
+        }
+      }
+      return;  // only the first access group decides
+    }
+  }
+
+  /// Declared region of a group, exactly evaluated; nullopt when absent or
+  /// not constant under the pinned valuation.
+  static std::optional<std::pair<i64, i64>> region_of(
+      const ir::KernelDesc& desc, const ir::StepGroup& group) {
+    if (!group.has_region) {
+      return std::nullopt;
+    }
+    const auto lo = symbolic::eval(group.region_lo, desc);
+    const auto hi = symbolic::eval(group.region_hi, desc);
+    if (!lo.exact() || !hi.exact()) {
+      return std::nullopt;
+    }
+    return std::make_pair(lo.lo, hi.lo);
+  }
+
+  void check_bounds(PassContext& ctx, std::size_t g,
+                    const ir::StepGroup& group, i64 lo, i64 hi, i64 W,
+                    const std::string& at) {
+    if (lo < 0) {
+      emit(ctx, Rule::out_of_bounds, g, Severity::error,
+           "group '" + group.name + "' reaches address " +
+               std::to_string(lo) + " below the tile" + at);
+    }
+    // Masked groups clamp lane participation at the tile edge, so their
+    // declared upper footprint may legally overshoot the budget.
+    if (!group.masked && hi >= W) {
+      emit(ctx, Rule::out_of_bounds, g, Severity::error,
+           "group '" + group.name + "' reaches address " +
+               std::to_string(hi) + " past the " + std::to_string(W) +
+               "-word budget" + at);
+    }
+  }
+
+  void check_access(PassContext& ctx, const ir::KernelDesc& desc,
+                    std::size_t g, const ir::StepGroup& group, i64 W,
+                    IntervalSet& init, const std::string& at) {
+    const bool is_read = group.kind == ir::GroupKind::read;
+    const auto region = region_of(desc, group);
+
+    if (group.pattern.kind == ir::PatternKind::window) {
+      if (!region) {
+        emit(ctx, is_read ? Rule::uninitialized_read : Rule::out_of_bounds,
+             g, is_read ? Severity::error : Severity::warning,
+             "window '" + group.name +
+                 "' has no declared region; containment unprovable" + at);
+        return;
+      }
+      check_bounds(ctx, g, group, region->first, region->second, W, at);
+      if (is_read && !init.covers(region->first,
+                                  std::min(region->second, W - 1))) {
+        emit(ctx, Rule::uninitialized_read, g, Severity::error,
+             "window read '" + group.name + "' region [" +
+                 std::to_string(region->first) + ", " +
+                 std::to_string(region->second) +
+                 "] is not fully initialized" + at);
+      }
+      // Window writes scatter data-dependently inside the region: sound
+      // for bounds, but no coverage credit.
+      return;
+    }
+
+    for (const ir::LanePiece& piece : group.pattern.pieces) {
+      const PieceSet set = decompose(desc, piece);
+      if (!set.executes) {
+        continue;
+      }
+      const i64 lo = region ? std::max(set.lo, region->first) : set.lo;
+      const i64 hi = region ? std::min(set.hi, region->second) : set.hi;
+      check_bounds(ctx, g, group,
+                   region ? region->first : set.lo,
+                   region ? region->second : set.hi, W, at);
+      if (is_read) {
+        if (!init.covers(lo, std::min(hi, W - 1))) {
+          emit(ctx, Rule::uninitialized_read, g, Severity::error,
+               "read '" + group.name + "' footprint [" + std::to_string(lo) +
+                   ", " + std::to_string(hi) +
+                   "] is not fully initialized" + at);
+        }
+      } else if (!group.masked && set.exact &&
+                 proves_contiguous(set.gens)) {
+        init.add(std::max<i64>(set.lo, 0), std::min<i64>(set.hi, W - 1));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_defuse_pass() {
+  return std::make_unique<DefUsePass>();
+}
+
+}  // namespace wcm::analyze::passes

@@ -1,0 +1,206 @@
+// Barrier-divergence pass: proves every barrier group of a KernelDesc is
+// reached uniformly by all w lanes for every valuation of the declared
+// symbol ranges.
+//
+// The IR is straight-line (groups execute in declaration order; repeat
+// counts come from warp-uniform parameter symbols), so divergence can only
+// enter through an ill-formed declaration: a barrier that carries an
+// access pattern, a lane piece outside [0, w), two pieces claiming the
+// same lane in one step, a window admitting more lanes than the warp has,
+// or a trip-count symbol whose declared range is empty or whose warp-shift
+// extent is malformed.  Each such defect is a concrete way real kernels
+// deadlock (a __syncthreads inside a lane-divergent branch); proving their
+// absence, together with the warp-uniformity of every symbol role, proves
+// uniform reachability.
+
+#include <string>
+
+#include "analyze/passes/pass.hpp"
+#include "analyze/symbolic/domain.hpp"
+
+namespace wcm::analyze::passes {
+
+namespace ir = gpusim::ir;
+
+namespace {
+
+class BarrierDivergencePass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "barrier-divergence";
+  }
+
+  void run(PassContext& ctx) override {
+    const ir::KernelDesc& desc = ctx.desc;
+    const std::size_t errors_before = ctx.error_count();
+    ctx.barriers_checked = 0;
+
+    check_symbols(ctx);
+    for (std::size_t g = 0; g < desc.groups.size(); ++g) {
+      const ir::StepGroup& group = desc.groups[g];
+      if (group.kind == ir::GroupKind::barrier) {
+        ++ctx.barriers_checked;
+        check_barrier(ctx, g, group);
+      } else {
+        check_lanes(ctx, g, group);
+      }
+      check_forms(ctx, g, group);
+    }
+
+    ctx.barriers_uniform = ctx.error_count() == errors_before;
+  }
+
+ private:
+  static void emit(PassContext& ctx, Rule rule, std::size_t step,
+                   std::string message) {
+    Diagnostic d;
+    d.severity = Severity::error;
+    d.rule = rule;
+    d.step = step;
+    d.message = std::move(message);
+    ctx.findings.push_back(std::move(d));
+  }
+
+  /// Every symbol a trip count or address can mention must be warp-uniform
+  /// with a nonempty value set; warp-shift extents may only reference
+  /// earlier parameter symbols (so they evaluate before the shift does).
+  static void check_symbols(PassContext& ctx) {
+    const ir::KernelDesc& desc = ctx.desc;
+    for (std::size_t i = 0; i < desc.symbols.size(); ++i) {
+      const ir::Symbol& s = desc.symbols[i];
+      if (s.mod < 1) {
+        emit(ctx, Rule::barrier_divergence, Diagnostic::kNoStep,
+             "symbol '" + s.name + "' declares a zero congruence modulus");
+        continue;
+      }
+      if (s.upper_sym < 0 && s.lo > s.hi) {
+        emit(ctx, Rule::barrier_divergence, Diagnostic::kNoStep,
+             "symbol '" + s.name + "' has an empty declared range [" +
+                 std::to_string(s.lo) + ", " + std::to_string(s.hi) + "]");
+      }
+      if (s.upper_sym >= 0 && static_cast<std::size_t>(s.upper_sym) >= i) {
+        emit(ctx, Rule::barrier_divergence, Diagnostic::kNoStep,
+             "symbol '" + s.name + "' bounds itself by a later symbol");
+      }
+      if (s.role != ir::SymRole::warp_shift) {
+        continue;
+      }
+      // A zero step_form is the "pinned" sentinel, so an extent declared
+      // without a step is unverifiable; a zero max_form with a live step
+      // is fine — it is the degenerate one-warp value set {0} (b == w).
+      if (s.step_form.is_zero() && !s.max_form.is_zero()) {
+        emit(ctx, Rule::barrier_divergence, Diagnostic::kNoStep,
+             "warp shift '" + s.name + "' declares an extent but no step");
+        continue;
+      }
+      if (s.step_form.is_zero()) {
+        continue;  // pinned-zero shift: nothing else to validate
+      }
+      for (const ir::LinForm* form : {&s.max_form, &s.step_form}) {
+        for (const auto& [idx, coeff] : form->terms) {
+          (void)coeff;
+          const bool earlier_param =
+              idx >= 0 && static_cast<std::size_t>(idx) < i &&
+              desc.symbols[static_cast<std::size_t>(idx)].role ==
+                  ir::SymRole::parameter;
+          if (!earlier_param) {
+            emit(ctx, Rule::barrier_divergence, Diagnostic::kNoStep,
+                 "warp shift '" + s.name +
+                     "' extent references a non-prior symbol");
+          }
+        }
+      }
+      const symbolic::AbsVal step = symbolic::eval(s.step_form, desc);
+      if (step.lo < 1) {
+        emit(ctx, Rule::barrier_divergence, Diagnostic::kNoStep,
+             "warp shift '" + s.name + "' can step by less than one word");
+      }
+      if (symbolic::eval(s.max_form, desc).lo < 0) {
+        emit(ctx, Rule::barrier_divergence, Diagnostic::kNoStep,
+             "warp shift '" + s.name + "' extent can be negative");
+      }
+    }
+  }
+
+  /// A barrier is uniform only if it is *bare*: any attached access,
+  /// masking, or atomicity means some lanes would do work others skip on
+  /// the way in.
+  static void check_barrier(PassContext& ctx, std::size_t g,
+                            const ir::StepGroup& group) {
+    const bool bare = group.pattern.pieces.empty() &&
+                      group.pattern.active == 0 && !group.atomic &&
+                      !group.masked;
+    if (!bare) {
+      emit(ctx, Rule::barrier_divergence, g,
+           "barrier '" + group.name +
+               "' carries lane work; not provably reached uniformly");
+    }
+  }
+
+  static void check_lanes(PassContext& ctx, std::size_t g,
+                          const ir::StepGroup& group) {
+    const u32 w = ctx.desc.w;
+    if (group.pattern.kind == ir::PatternKind::window) {
+      if (group.pattern.active < 1 || group.pattern.active > w) {
+        emit(ctx, Rule::lane_out_of_range, g,
+             "window '" + group.name + "' admits " +
+                 std::to_string(group.pattern.active) + " lanes on a " +
+                 std::to_string(w) + "-lane warp");
+      }
+      return;
+    }
+    std::vector<bool> claimed(w, false);
+    for (const ir::LanePiece& piece : group.pattern.pieces) {
+      if (piece.lane_lo > piece.lane_hi || piece.lane_hi >= w) {
+        emit(ctx, Rule::lane_out_of_range, g,
+             "group '" + group.name + "' piece covers lanes [" +
+                 std::to_string(piece.lane_lo) + ", " +
+                 std::to_string(piece.lane_hi) + "] outside the " +
+                 std::to_string(w) + "-lane warp");
+        continue;
+      }
+      for (u32 lane = piece.lane_lo; lane <= piece.lane_hi; ++lane) {
+        if (claimed[lane]) {
+          emit(ctx, Rule::duplicate_lane, g,
+               "group '" + group.name + "' claims lane " +
+                   std::to_string(lane) + " in two pieces of one step");
+          break;
+        }
+        claimed[lane] = true;
+      }
+    }
+  }
+
+  /// Every linear form must stay inside the symbol table.
+  static void check_forms(PassContext& ctx, std::size_t g,
+                          const ir::StepGroup& group) {
+    const auto valid = [&](const ir::LinForm& lf) {
+      for (const auto& [idx, coeff] : lf.terms) {
+        (void)coeff;
+        if (idx < 0 ||
+            static_cast<std::size_t>(idx) >= ctx.desc.symbols.size()) {
+          return false;
+        }
+      }
+      return true;
+    };
+    bool ok = valid(group.pattern.span) && valid(group.pattern.nranges) &&
+              valid(group.region_lo) && valid(group.region_hi);
+    for (const ir::LanePiece& piece : group.pattern.pieces) {
+      ok = ok && valid(piece.base) && valid(piece.stride);
+    }
+    if (!ok) {
+      emit(ctx, Rule::barrier_divergence, g,
+           "group '" + group.name +
+               "' references a symbol outside the declared table");
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_barrier_divergence_pass() {
+  return std::make_unique<BarrierDivergencePass>();
+}
+
+}  // namespace wcm::analyze::passes

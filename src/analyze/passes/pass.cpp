@@ -1,0 +1,54 @@
+#include "analyze/passes/pass.hpp"
+
+#include "telemetry/registry.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+
+namespace wcm::analyze::passes {
+
+void PassManager::add(std::unique_ptr<Pass> pass) {
+  passes_.push_back(std::move(pass));
+}
+
+std::size_t PassManager::run(PassContext& ctx) const {
+  const std::size_t before = ctx.error_count();
+  for (const auto& pass : passes_) {
+    // Fault-injection seam: a failure here must abort the whole shape's
+    // verification (typed error, nonzero exit, no partial report) rather
+    // than let later passes certify on top of a half-run pipeline.
+    WCM_FAILPOINT("analyze.verify.pass", simulation_error,
+                  "injected verification pass failure");
+    if (telemetry::enabled()) {
+      telemetry::registry()
+          .counter("analyze.verify.pass",
+                   {{"pass", std::string(pass->name())},
+                    {"engine", ctx.engine}})
+          .add(1);
+    }
+    pass->run(ctx);
+    if (ctx.error_count() > before) {
+      // Each pass assumes the invariants its predecessors proved (the
+      // def-use decomposition indexes symbols the divergence pass vets),
+      // so stop at the first erroring pass; the skipped passes leave
+      // their verdict slots at the unproven default.
+      break;
+    }
+  }
+  const std::size_t added = ctx.error_count() - before;
+  if (telemetry::enabled() && added > 0) {
+    telemetry::registry()
+        .counter("analyze.verify.findings", {{"engine", ctx.engine}})
+        .add(added);
+  }
+  return added;
+}
+
+PassManager PassManager::standard() {
+  PassManager pm;
+  pm.add(make_barrier_divergence_pass());
+  pm.add(make_defuse_pass());
+  pm.add(make_conflict_bound_pass());
+  return pm;
+}
+
+}  // namespace wcm::analyze::passes

@@ -1,0 +1,98 @@
+#pragma once
+// Static-analysis pass manager over the parametric access-pattern IR
+// (gpusim/access_ir.hpp): ordered, composable verification passes that
+// each read one engine's KernelDesc at one concrete warp width and emit
+// analyze::Diagnostic findings.  Where the symbolic prover (analyze/
+// symbolic) bounds *conflict degree*, these passes prove the memory-safety
+// side of the same declarations, universally over the declared E range:
+//
+//   barrier-divergence  every barrier group is structurally well-formed
+//                       and reached uniformly by all w lanes for every
+//                       valuation (no lane-dependent trip counts, no
+//                       overlapping or out-of-range lane pieces);
+//   def-use             shared-memory liveness over interval x congruence
+//                       address sets: every read group's footprint is
+//                       contained in words initialized by an earlier fill
+//                       or tiling-proved write, and every access stays
+//                       inside [0, words);
+//   conflict-bound      the parametric-w lift of the abstract interpreter:
+//                       re-derives the prover's per-group bounds at the
+//                       context's warp width and flags unproved groups and
+//                       model divergences.
+//
+// The manager runs the passes in registration order, bumps the
+// analyze.verify.* telemetry counters, and evaluates the
+// "analyze.verify.pass" failpoint before each pass, so fault-injection
+// tests can prove that a mid-pipeline failure surfaces as a typed
+// wcm::error and never as a partially verified report.
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "analyze/diagnostics.hpp"
+#include "analyze/symbolic/prove.hpp"
+#include "gpusim/access_ir.hpp"
+
+namespace wcm::analyze::passes {
+
+/// Mutable state one (engine, shape) verification run threads through the
+/// pipeline: the lifted IR, the findings sink, and per-pass verdict slots
+/// the report renderer reads back.
+struct PassContext {
+  std::string engine;
+  symbolic::ProveOptions opts;    ///< shape: w, b, pad, layout, E range
+  gpusim::ir::KernelDesc desc;    ///< describe_engine(engine, opts)
+  std::vector<Diagnostic> findings;
+
+  // barrier-divergence verdict:
+  bool barriers_uniform = false;
+  std::size_t barriers_checked = 0;
+
+  // def-use verdict:
+  bool defuse_clean = false;
+  /// The tile was assumed staged by the caller (an engine with no fill
+  /// group whose first access is a read, e.g. block-merge) — a documented
+  /// precondition, not a proof.
+  bool defuse_seeded = false;
+
+  // conflict-bound verdict:
+  bool bounds_proved = false;
+  symbolic::EngineReport bounds;
+
+  [[nodiscard]] std::size_t error_count() const noexcept {
+    std::size_t n = 0;
+    for (const Diagnostic& d : findings) {
+      n += d.severity == Severity::error ? 1 : 0;
+    }
+    return n;
+  }
+};
+
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  virtual void run(PassContext& ctx) = 0;
+};
+
+[[nodiscard]] std::unique_ptr<Pass> make_barrier_divergence_pass();
+[[nodiscard]] std::unique_ptr<Pass> make_defuse_pass();
+[[nodiscard]] std::unique_ptr<Pass> make_conflict_bound_pass();
+
+/// Ordered pass pipeline.  run() executes every registered pass against
+/// the context and returns the number of error-severity findings added.
+class PassManager {
+ public:
+  void add(std::unique_ptr<Pass> pass);
+  std::size_t run(PassContext& ctx) const;
+
+  /// The canonical `wcmgen verify` pipeline: barrier-divergence, def-use,
+  /// conflict-bound, in that order.
+  [[nodiscard]] static PassManager standard();
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+}  // namespace wcm::analyze::passes

@@ -122,6 +122,34 @@ AbsVal eval(const ir::LinForm& lf, const ir::KernelDesc& desc) {
   return acc;
 }
 
+AbsVal eval_extent(const ir::LinForm& lf, const ir::KernelDesc& desc) {
+  AbsVal acc = abs_constant(lf.c);
+  for (const auto& [idx, coeff] : lf.terms) {
+    const ir::Symbol& s = desc.symbols[static_cast<std::size_t>(idx)];
+    AbsVal sv;
+    if (s.role == ir::SymRole::warp_shift && !s.step_form.is_zero()) {
+      const AbsVal max_av = eval(s.max_form, desc);
+      const AbsVal step_av = eval(s.step_form, desc);
+      sv.lo = 0;
+      sv.hi = std::max<i64>(max_av.hi, 0);
+      if (step_av.exact() && step_av.lo > 1) {
+        sv.mod = static_cast<u64>(step_av.lo);
+        sv.rem = 0;
+      } else {
+        sv.mod = 1;
+        sv.rem = 0;
+      }
+    } else {
+      sv.lo = s.lo;
+      sv.hi = s.hi;
+      sv.mod = s.mod > 1 ? s.mod : 1;
+      sv.rem = s.mod > 1 ? mod_floor(s.rem, static_cast<i64>(s.mod)) : 0;
+    }
+    acc = abs_add(acc, abs_scale(sv, coeff));
+  }
+  return acc;
+}
+
 namespace {
 
 /// Bank of a (possibly negative) logical address under a layout: the

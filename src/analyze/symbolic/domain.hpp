@@ -67,6 +67,16 @@ struct AbsVal {
 [[nodiscard]] AbsVal eval(const gpusim::ir::LinForm& lf,
                           const gpusim::ir::KernelDesc& desc);
 
+/// Footprint variant for the static verifier: warp-shift symbols widen to
+/// their declared value set {0, step_form, ..., max_form} instead of the
+/// pinned [lo, hi] the conflict prover uses (bank rotation lets the prover
+/// pin shifts; address-range reasoning must not).  Shifts with a zero
+/// step_form (undeclared extent) keep the pinned range.  The extent forms
+/// may reference only earlier, non-shift symbols and evaluate through the
+/// plain domain.
+[[nodiscard]] AbsVal eval_extent(const gpusim::ir::LinForm& lf,
+                                 const gpusim::ir::KernelDesc& desc);
+
 /// A derived per-step conflict-degree bound for one step group.
 struct StepBound {
   u64 degree = 0;     ///< bound on max per-bank distinct addresses per step

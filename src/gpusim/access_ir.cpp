@@ -61,6 +61,10 @@ LinForm scaled(LinForm a, i64 k) {
   return a;
 }
 
+bool operator==(const LinForm& a, const LinForm& b) noexcept {
+  return a.c == b.c && a.terms == b.terms;
+}
+
 int KernelDesc::add_symbol(std::string name, SymRole role, i64 lo, i64 hi,
                            u64 mod, i64 rem, int upper_sym) {
   WCM_EXPECTS(find_symbol(name) < 0, "duplicate symbol: " + name);
@@ -106,20 +110,40 @@ void KernelDesc::append(const KernelDesc& other) {
   for (std::size_t i = 0; i < other.symbols.size(); ++i) {
     const Symbol& s = other.symbols[i];
     const int existing = find_symbol(s.name);
+    // Extent forms reference earlier symbols only, so `map` is complete
+    // for every index they mention by the time we remap them.
+    LinForm max_form = s.max_form;
+    LinForm step_form = s.step_form;
+    remap_linform(max_form, map);
+    remap_linform(step_form, map);
     if (existing >= 0) {
       const Symbol& mine = symbols[static_cast<std::size_t>(existing)];
       WCM_EXPECTS(mine.role == s.role && mine.lo == s.lo && mine.hi == s.hi &&
-                      mine.mod == s.mod && mine.rem == s.rem,
+                      mine.mod == s.mod && mine.rem == s.rem &&
+                      mine.max_form == max_form &&
+                      mine.step_form == step_form,
                   "symbol '" + s.name + "' declared differently");
       map[i] = existing;
     } else {
       Symbol copy = s;
+      copy.max_form = std::move(max_form);
+      copy.step_form = std::move(step_form);
       if (copy.upper_sym >= 0) {
         copy.upper_sym = map[static_cast<std::size_t>(copy.upper_sym)];
         WCM_EXPECTS(copy.upper_sym >= 0, "upper_sym remap failed");
       }
       symbols.push_back(std::move(copy));
       map[i] = static_cast<int>(symbols.size()) - 1;
+    }
+  }
+  if (!other.words.is_zero()) {
+    LinForm other_words = other.words;
+    remap_linform(other_words, map);
+    if (words.is_zero()) {
+      words = std::move(other_words);
+    } else {
+      WCM_EXPECTS(words == other_words,
+                  "appending a kernel with a different shared-word count");
     }
   }
   for (StepGroup g : other.groups) {
@@ -129,6 +153,8 @@ void KernelDesc::append(const KernelDesc& other) {
     }
     remap_linform(g.pattern.span, map);
     remap_linform(g.pattern.nranges, map);
+    remap_linform(g.region_lo, map);
+    remap_linform(g.region_hi, map);
     groups.push_back(std::move(g));
   }
 }
@@ -178,6 +204,13 @@ StepGroup window_group(std::string name, GroupKind kind, u32 active,
   g.pattern.active = active;
   g.pattern.span = std::move(span);
   g.pattern.nranges = std::move(nranges);
+  return g;
+}
+
+StepGroup with_region(StepGroup g, LinForm lo, LinForm hi) {
+  g.has_region = true;
+  g.region_lo = std::move(lo);
+  g.region_hi = std::move(hi);
   return g;
 }
 

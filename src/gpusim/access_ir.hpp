@@ -49,6 +49,31 @@ enum class SymRole : unsigned char {
   warp_shift,  ///< per-warp base offset, ≡ 0 (mod w), uniform across lanes
 };
 
+/// c + sum(coeff * symbol); terms sorted by symbol index, no zero coeffs.
+struct LinForm {
+  i64 c = 0;
+  std::vector<std::pair<int, i64>> terms;
+
+  [[nodiscard]] static LinForm constant(i64 v);
+  [[nodiscard]] static LinForm sym(int index, i64 coeff = 1);
+  [[nodiscard]] bool is_constant() const noexcept { return terms.empty(); }
+  /// Identically zero (the default-constructed form).
+  [[nodiscard]] bool is_zero() const noexcept {
+    return c == 0 && terms.empty();
+  }
+
+  LinForm& add(const LinForm& o, i64 scale = 1);
+};
+
+[[nodiscard]] LinForm operator+(LinForm a, const LinForm& b);
+[[nodiscard]] LinForm operator-(LinForm a, const LinForm& b);
+[[nodiscard]] LinForm scaled(LinForm a, i64 k);
+[[nodiscard]] bool operator==(const LinForm& a, const LinForm& b) noexcept;
+[[nodiscard]] inline bool operator!=(const LinForm& a,
+                                     const LinForm& b) noexcept {
+  return !(a == b);
+}
+
 struct Symbol {
   std::string name;
   SymRole role = SymRole::parameter;
@@ -59,23 +84,16 @@ struct Symbol {
   /// If >= 0: the effective upper bound is value(symbols[upper_sym]) - 1
   /// (inner loops like s in [0, E)).  Must reference an earlier symbol.
   int upper_sym = -1;
+  /// Warp-shift extent, for the static verifier (analyze/passes).  The
+  /// declared interval of a warp_shift is pinned to [0, 0] because the
+  /// conflict prover factors the uniform bank rotation out; the def-use /
+  /// OOB passes instead need the *true* values the shift takes:
+  /// {0, step_form, 2*step_form, ..., max_form}.  A zero step_form means
+  /// the extent is undeclared and the shift really is the constant 0.
+  /// Both forms may only reference earlier symbols.
+  LinForm max_form;
+  LinForm step_form;
 };
-
-/// c + sum(coeff * symbol); terms sorted by symbol index, no zero coeffs.
-struct LinForm {
-  i64 c = 0;
-  std::vector<std::pair<int, i64>> terms;
-
-  [[nodiscard]] static LinForm constant(i64 v);
-  [[nodiscard]] static LinForm sym(int index, i64 coeff = 1);
-  [[nodiscard]] bool is_constant() const noexcept { return terms.empty(); }
-
-  LinForm& add(const LinForm& o, i64 scale = 1);
-};
-
-[[nodiscard]] LinForm operator+(LinForm a, const LinForm& b);
-[[nodiscard]] LinForm operator-(LinForm a, const LinForm& b);
-[[nodiscard]] LinForm scaled(LinForm a, i64 k);
 
 /// One affine lane range: addr(lane) = base + stride * (lane - lane_lo)
 /// for lane in [lane_lo, lane_hi].
@@ -106,6 +124,17 @@ struct StepGroup {
   bool atomic = false;
   /// Lock-step pairwise merge read: the site Theorems 3/9 bound.
   bool theorem_site = false;
+  /// Lane participation is clamped at the tile edge (a partial final warp
+  /// when w does not divide the thread count).  Masked groups keep every
+  /// conflict bound sound — dropping lanes never raises degree — but opt
+  /// out of the def-use coverage proof (analyze/passes).
+  bool masked = false;
+  /// Declared address region [region_lo, region_hi] (inclusive) for fill
+  /// and window groups; pieces groups carry their footprint in the pieces
+  /// themselves.  Fills initialize the region, window reads stay inside it.
+  bool has_region = false;
+  LinForm region_lo;
+  LinForm region_hi;
   AccessPattern pattern;
   std::string repeat;  ///< documentation: how often the step recurs
 };
@@ -118,6 +147,9 @@ struct KernelDesc {
   /// Bank permutation the engine stages its tile under (gpusim/layout.hpp);
   /// the prover's bank relations are derived for this layout.
   LayoutKind layout = LayoutKind::linear;
+  /// Total shared-memory words the kernel owns, as a form over the symbol
+  /// table (zero = undeclared); every access must land in [0, words).
+  LinForm words;
   std::vector<Symbol> symbols;
   std::vector<StepGroup> groups;
 
@@ -144,6 +176,8 @@ struct KernelDesc {
                                      u32 active, LinForm span, LinForm nranges,
                                      std::string repeat, bool atomic = false,
                                      bool theorem_site = false);
+/// Attach a declared address region [lo, hi] (inclusive) to a group.
+[[nodiscard]] StepGroup with_region(StepGroup g, LinForm lo, LinForm hi);
 
 // -- rendering (the grammar documented in docs/LINT.md) --------------------
 

@@ -3,14 +3,13 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/math.hpp"
 
 namespace wcm::gpusim {
 
 Occupancy occupancy(const Device& dev, u32 threads_per_block,
                     std::size_t shared_bytes_per_block) {
   WCM_EXPECTS(threads_per_block > 0, "empty thread block");
-  WCM_EXPECTS(threads_per_block % dev.warp_size == 0,
-              "block size must be a whole number of warps");
 
   Occupancy occ;
   if (shared_bytes_per_block > dev.shared_mem_per_block ||
@@ -37,7 +36,11 @@ Occupancy occupancy(const Device& dev, u32 threads_per_block,
   }
 
   occ.resident_threads = occ.resident_blocks * threads_per_block;
-  occ.resident_warps = occ.resident_threads / dev.warp_size;
+  // A block need not be a whole number of warps: the hardware pads the
+  // last warp with inactive lanes, so warp accounting rounds up.
+  occ.resident_warps =
+      occ.resident_blocks *
+      static_cast<u32>(ceil_div(threads_per_block, dev.warp_size));
   occ.fraction = static_cast<double>(occ.resident_threads) /
                  static_cast<double>(dev.max_threads_per_sm);
   return occ;

@@ -14,7 +14,13 @@ SharedMemory::SharedMemory(const SharedLayout& layout, std::size_t words)
       layout_(layout),
       logical_words_(words),
       machine_(layout.w, layout_.physical_words(words)) {
-  WCM_CHECK_CONFIG(is_pow2(layout.w), "warp size must be a power of two");
+  WCM_CHECK_CONFIG(layout.w >= 1, "warp size must be positive");
+  // Only the xor permutation needs a power of two: `col ^ (row % w)` is
+  // bijective on [0, w) iff w is a power of two, while the linear and
+  // rotation layouts are plain mod-w arithmetic for any width (the w = 3
+  // describer cross-check runs non-power-of-two warps through here).
+  WCM_CHECK_CONFIG(layout.kind != LayoutKind::xor_swizzle || is_pow2(layout.w),
+                   "the xor layout needs a power-of-two warp size");
   WCM_FAILPOINT("sim.smem.alloc", simulation_error,
                 "injected shared-memory allocation failure");
 }

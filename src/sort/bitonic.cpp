@@ -71,7 +71,7 @@ void shared_tile_pass(
   for (u32 warp_start = 0; warp_start < b; warp_start += w) {
     for (u32 s = 0; s < 2; ++s) {
       writes.clear();
-      for (u32 lane = 0; lane < w; ++lane) {
+      for (u32 lane = 0; lane < w && warp_start + lane < b; ++lane) {
         const std::size_t idx =
             static_cast<std::size_t>(warp_start + lane) +
             static_cast<std::size_t>(s) * b;
@@ -88,13 +88,13 @@ void shared_tile_pass(
     for (u32 warp_start = 0; warp_start < b; warp_start += w) {
       // Warp-synchronous: read lows, read highs, write lows, write highs.
       reads.clear();
-      for (u32 lane = 0; lane < w; ++lane) {
+      for (u32 lane = 0; lane < w && warp_start + lane < b; ++lane) {
         reads.push_back(
             {lane, comparator_low(warp_start + lane, stride)});
       }
       shm.warp_read(reads);
       reads.clear();
-      for (u32 lane = 0; lane < w; ++lane) {
+      for (u32 lane = 0; lane < w && warp_start + lane < b; ++lane) {
         reads.push_back(
             {lane, comparator_low(warp_start + lane, stride) + stride});
       }
@@ -102,7 +102,7 @@ void shared_tile_pass(
 
       writes.clear();
       std::vector<gpusim::LaneWrite> writes_high;
-      for (u32 lane = 0; lane < w; ++lane) {
+      for (u32 lane = 0; lane < w && warp_start + lane < b; ++lane) {
         const std::size_t l = comparator_low(warp_start + lane, stride);
         const std::size_t h = l + stride;
         word lo = shm.peek(l);
@@ -127,7 +127,7 @@ void shared_tile_pass(
   for (u32 warp_start = 0; warp_start < b; warp_start += w) {
     for (u32 s = 0; s < 2; ++s) {
       reads.clear();
-      for (u32 lane = 0; lane < w; ++lane) {
+      for (u32 lane = 0; lane < w && warp_start + lane < b; ++lane) {
         reads.push_back({lane, static_cast<std::size_t>(warp_start + lane) +
                                    static_cast<std::size_t>(s) * b});
       }
@@ -249,41 +249,77 @@ SortReport bitonic_sort(std::span<const word> input, const SortConfig& cfg,
 
 gpusim::ir::KernelDesc describe_bitonic(u32 w, u32 b, u32 pad) {
   namespace ir = gpusim::ir;
-  WCM_EXPECTS(w > 0 && is_pow2(w) && b >= w && b % w == 0 && is_pow2(b),
-              "block shape must be power-of-two multiples of the warp");
+  WCM_EXPECTS(w > 0 && b >= w && is_pow2(b),
+              "block size must be a power of two no smaller than the warp");
   ir::KernelDesc d;
   d.kernel = "bitonic";
   d.w = w;
   d.b = b;
   d.pad = pad;
-  // Bitonic runs at E = 2 over a tile of 2b words; every warp-uniform base
-  // offset (warp_start, comparator-block bases) is a multiple of w, so one
-  // warp-shift symbol absorbs them all.
+  const i64 tile = 2 * static_cast<i64>(b);
+  d.words = ir::LinForm::constant(tile);
+  const bool partial_warp = b % w != 0;
+  // Bitonic runs at E = 2 over a tile of 2b words.  When w divides b every
+  // warp-uniform base offset (warp_start, the staging half, comparator
+  // block bases) is a multiple of w, so one warp-shift symbol absorbs them
+  // all; otherwise only warp_start is, and the staging half offset needs
+  // its own enumerable parameter.
   const int ws = d.add_symbol("ws", ir::SymRole::warp_shift, 0, 0, w, 0);
+  const i64 last_warp = static_cast<i64>(w) * ((static_cast<i64>(b) - 1) /
+                                               static_cast<i64>(w));
+  d.symbols[static_cast<std::size_t>(ws)].max_form = ir::LinForm::constant(
+      partial_warp ? last_warp : tile - static_cast<i64>(w));
+  d.symbols[static_cast<std::size_t>(ws)].step_form =
+      ir::LinForm::constant(static_cast<i64>(w));
+  // Sub-warp comparator substages (sigma < w) split a warp into lane
+  // blocks spanning 2w words, so their warp-uniform base steps by 2w up
+  // to tile - 2w — half the reach of the generic shift.  The conflict
+  // prover pins every shift to zero, but the def-use footprint analysis
+  // reads the declared extent, so the tighter value set matters.
+  const int ws2 = d.add_symbol("ws2", ir::SymRole::warp_shift, 0, 0, w, 0);
+  const i64 two_w = 2 * static_cast<i64>(w);
+  d.symbols[static_cast<std::size_t>(ws2)].max_form =
+      ir::LinForm::constant(two_w * ((tile - two_w) / two_w));
+  d.symbols[static_cast<std::size_t>(ws2)].step_form =
+      ir::LinForm::constant(two_w);
+  const int half =
+      partial_warp
+          ? d.add_symbol("half", ir::SymRole::parameter, 0, 1)
+          : -1;
+  const ir::LinForm stage_base =
+      partial_warp ? ir::LinForm::sym(ws) +
+                         ir::LinForm::sym(half, static_cast<i64>(b))
+                   : ir::LinForm::sym(ws);
 
   d.groups.push_back(ir::barrier_group("block entry"));
-  d.groups.push_back(ir::affine_group(
-      "stage store", ir::GroupKind::write, w, ir::LinForm::sym(ws),
-      ir::LinForm::constant(1), "2 steps x b/w warps"));
+  ir::StepGroup stage = ir::affine_group(
+      "stage store", ir::GroupKind::write, w, stage_base,
+      ir::LinForm::constant(1), "2 steps x b/w warps");
+  stage.masked = partial_warp;
+  d.groups.push_back(std::move(stage));
   d.groups.push_back(ir::barrier_group("after staging"));
 
   // Comparator substages, largest stride first.  Thread c handles the pair
   // (low, low + sigma) with low = (c/sigma)*2*sigma + c%sigma.  For
-  // sigma >= w a warp's lows are consecutive and the +sigma offset is a
-  // multiple of w (absorbed); below w the warp splits into w/sigma lane
-  // blocks 2*sigma apart — the classic power-of-two conflict the padded
-  // layout is there to fix.
+  // sigma >= w (and sigma a multiple of w) a warp's lows are consecutive
+  // and the +sigma offset is a multiple of w (absorbed); for 2*sigma
+  // dividing w the warp splits into w/sigma lane blocks 2*sigma apart —
+  // the classic power-of-two conflict the padded layout is there to fix.
+  // Any other alignment (non-power-of-two w) falls back to a window: a
+  // warp's lows (or highs) form at most (w-1)/sigma + 2 contiguous runs of
+  // w addresses total inside the tile.
   for (u32 sigma = b; sigma >= 1; sigma /= 2) {
     const std::string tag = " (stride " + std::to_string(sigma) + ")";
-    if (sigma >= w) {
+    if (sigma >= w && sigma % w == 0) {
       for (const auto kind : {ir::GroupKind::read, ir::GroupKind::write}) {
         d.groups.push_back(ir::affine_group(
             (kind == ir::GroupKind::read ? "comparator load" + tag
                                          : "comparator store" + tag),
             kind, w, ir::LinForm::sym(ws), ir::LinForm::constant(1),
             "low then high, per substage pass"));
+        d.groups.back().masked = partial_warp;
       }
-    } else {
+    } else if (sigma < w && w % (2 * sigma) == 0) {
       for (const auto kind : {ir::GroupKind::read, ir::GroupKind::write}) {
         for (const i64 off : {i64{0}, static_cast<i64>(sigma)}) {
           ir::StepGroup g;
@@ -297,7 +333,7 @@ gpusim::ir::KernelDesc describe_bitonic(u32 w, u32 b, u32 pad) {
             ir::LanePiece piece;
             piece.lane_lo = m * sigma;
             piece.lane_hi = (m + 1) * sigma - 1;
-            piece.base = ir::LinForm::sym(ws) +
+            piece.base = ir::LinForm::sym(ws2) +
                          ir::LinForm::constant(
                              static_cast<i64>(2 * sigma * m) + off);
             piece.stride = ir::LinForm::constant(1);
@@ -306,13 +342,31 @@ gpusim::ir::KernelDesc describe_bitonic(u32 w, u32 b, u32 pad) {
           d.groups.push_back(g);
         }
       }
+    } else {
+      const i64 runs = (static_cast<i64>(w) - 1) / static_cast<i64>(sigma) + 2;
+      for (const auto kind : {ir::GroupKind::read, ir::GroupKind::write}) {
+        for (const char* side : {"low", "high"}) {
+          d.groups.push_back(ir::with_region(
+              ir::window_group(
+                  std::string(kind == ir::GroupKind::read
+                                  ? "comparator load "
+                                  : "comparator store ") +
+                      side + tag,
+                  kind, w, ir::LinForm::constant(static_cast<i64>(w)),
+                  ir::LinForm::constant(runs), "per substage pass"),
+              ir::LinForm::constant(0), ir::LinForm::constant(tile - 1)));
+          d.groups.back().masked = partial_warp;
+        }
+      }
     }
     d.groups.push_back(ir::barrier_group("substage barrier" + tag));
   }
 
-  d.groups.push_back(ir::affine_group(
-      "unstage load", ir::GroupKind::read, w, ir::LinForm::sym(ws),
-      ir::LinForm::constant(1), "2 steps x b/w warps"));
+  ir::StepGroup unstage = ir::affine_group(
+      "unstage load", ir::GroupKind::read, w, stage_base,
+      ir::LinForm::constant(1), "2 steps x b/w warps");
+  unstage.masked = partial_warp;
+  d.groups.push_back(std::move(unstage));
   return d;
 }
 

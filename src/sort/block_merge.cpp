@@ -223,8 +223,8 @@ std::vector<word> simulate_block_merge(gpusim::SharedMemory& shm,
 
 gpusim::ir::KernelDesc describe_block_merge(u32 w, u32 b, u32 pad) {
   namespace ir = gpusim::ir;
-  WCM_EXPECTS(w > 0 && is_pow2(w) && b >= w && b % w == 0 && is_pow2(b),
-              "block shape must be power-of-two multiples of the warp");
+  WCM_EXPECTS(w > 0 && b >= w && is_pow2(b),
+              "block size must be a power of two no smaller than the warp");
   ir::KernelDesc d;
   d.kernel = "block-merge";
   d.w = w;
@@ -235,34 +235,54 @@ gpusim::ir::KernelDesc describe_block_merge(u32 w, u32 b, u32 pad) {
   const int s = d.add_symbol("s", ir::SymRole::parameter, 0,
                              static_cast<i64>(w) - 2, 1, 0, e);
   const int wse = d.add_symbol("wsE", ir::SymRole::warp_shift, 0, 0, w, 0);
+  const i64 last_warp = static_cast<i64>(w) * ((static_cast<i64>(b) - 1) /
+                                               static_cast<i64>(w));
+  d.symbols[static_cast<std::size_t>(wse)].max_form =
+      ir::LinForm::sym(e, last_warp);
+  d.symbols[static_cast<std::size_t>(wse)].step_form =
+      ir::LinForm::sym(e, static_cast<i64>(w));
+  d.words = ir::LinForm::sym(e, static_cast<i64>(b));
+  const ir::LinForm tile_hi =
+      ir::LinForm::sym(e, static_cast<i64>(b)) - ir::LinForm::constant(1);
 
   // Round r merges pairs of runs of half = 2^(r-1)*E elements with
   // tpp = 2^r threads per pair; a warp spans whole pairs while tpp <= w
   // (its merge sources form ONE contiguous w*E range) and part of one
   // pair afterwards (two contiguous ranges: an A part and a B part).
+  // Non-power-of-two warps can straddle pair boundaries on both sides;
+  // floor((w-1)/tpp)+2 pairs bound the warp's reach in that regime.
   const u32 rounds = log2_exact(b);
   for (u32 r = 1; r <= rounds; ++r) {
     const u64 tpp = u64{1} << r;
-    const u64 npairs = tpp <= w ? w / tpp : 1;
+    const bool aligned = tpp <= w ? w % tpp == 0 : tpp % w == 0;
+    const u64 npairs = !aligned ? (w - 1) / tpp + 2
+                                : (tpp <= w ? w / tpp : 1);
     const std::string tag = " (round " + std::to_string(r) + ")";
-    d.groups.push_back(ir::window_group(
-        "search probes" + tag, ir::GroupKind::read, w,
-        ir::LinForm::sym(e, static_cast<i64>(npairs * (tpp / 2))),
-        ir::LinForm::constant(static_cast<i64>(npairs)),
-        "<= ceil(log2(half+1)) bisection iterations, A then B probes"));
-    d.groups.push_back(ir::window_group(
-        "merge reads" + tag, ir::GroupKind::read, w,
-        ir::LinForm::sym(e, static_cast<i64>(w)),
-        ir::LinForm::constant(tpp <= w ? 1 : 2),
-        "E lock-step iterations x b/w warps", /*atomic=*/false,
-        /*theorem_site=*/true));
+    d.groups.push_back(ir::with_region(
+        ir::window_group(
+            "search probes" + tag, ir::GroupKind::read, w,
+            ir::LinForm::sym(e, static_cast<i64>(npairs * (tpp / 2))),
+            ir::LinForm::constant(static_cast<i64>(npairs)),
+            "<= ceil(log2(half+1)) bisection iterations, A then B probes"),
+        ir::LinForm::constant(0), tile_hi));
+    d.groups.push_back(ir::with_region(
+        ir::window_group(
+            "merge reads" + tag, ir::GroupKind::read, w,
+            aligned ? ir::LinForm::sym(e, static_cast<i64>(w))
+                    : ir::LinForm::sym(e, static_cast<i64>(npairs * tpp)),
+            ir::LinForm::constant(aligned ? (tpp <= w ? 1 : 2) : 1),
+            "E lock-step iterations x b/w warps", /*atomic=*/false,
+            /*theorem_site=*/true),
+        ir::LinForm::constant(0), tile_hi));
   }
   d.groups.push_back(ir::barrier_group("pre/post write-back barrier"));
   d.groups.back().repeat = "2 per round";
-  d.groups.push_back(ir::affine_group(
+  ir::StepGroup wb = ir::affine_group(
       "merged write-back", ir::GroupKind::write, w,
       ir::LinForm::sym(wse) + ir::LinForm::sym(s), ir::LinForm::sym(e),
-      "E steps x b/w warps x log2(b) rounds"));
+      "E steps x b/w warps x log2(b) rounds");
+  wb.masked = b % w != 0;
+  d.groups.push_back(std::move(wb));
   return d;
 }
 

@@ -41,7 +41,7 @@ void simulate_block_sort(gpusim::SharedMemory& shm, std::span<word> tile,
   for (u32 warp_start = 0; warp_start < b; warp_start += w) {
     for (u32 s = 0; s < E; ++s) {
       reads.clear();
-      for (u32 lane = 0; lane < w; ++lane) {
+      for (u32 lane = 0; lane < w && warp_start + lane < b; ++lane) {
         reads.push_back({lane, static_cast<std::size_t>(warp_start + lane) * E + s});
       }
       shm.warp_read(reads);
@@ -61,7 +61,7 @@ void simulate_block_sort(gpusim::SharedMemory& shm, std::span<word> tile,
   for (u32 warp_start = 0; warp_start < b; warp_start += w) {
     for (u32 s = 0; s < E; ++s) {
       writes.clear();
-      for (u32 lane = 0; lane < w; ++lane) {
+      for (u32 lane = 0; lane < w && warp_start + lane < b; ++lane) {
         const std::size_t addr =
             static_cast<std::size_t>(warp_start + lane) * E + s;
         writes.push_back({lane, addr, shm.peek(addr)});
@@ -141,20 +141,36 @@ gpusim::ir::KernelDesc describe_blocksort(u32 w, u32 b, u32 pad) {
   const int s = d.add_symbol("s", ir::SymRole::parameter, 0,
                              static_cast<i64>(w) - 2, 1, 0, e);
   const int wse = d.add_symbol("wsE", ir::SymRole::warp_shift, 0, 0, w, 0);
+  // True extent of the warp shift: warp_start*E for warp_start in
+  // {0, w, ..., w*floor((b-1)/w)} (the last value drops below b-w only
+  // when w does not divide b, where the final warp is partial).
+  const i64 last_warp = static_cast<i64>(w) * ((static_cast<i64>(b) - 1) /
+                                               static_cast<i64>(w));
+  d.symbols[static_cast<std::size_t>(wse)].max_form =
+      ir::LinForm::sym(e, last_warp);
+  d.symbols[static_cast<std::size_t>(wse)].step_form =
+      ir::LinForm::sym(e, static_cast<i64>(w));
+  d.words = ir::LinForm::sym(e, static_cast<i64>(b));
 
   d.groups.push_back(ir::barrier_group("block entry"));
-  d.groups.push_back(ir::fill_group("tile load", "1 per tile"));
+  d.groups.push_back(ir::with_region(
+      ir::fill_group("tile load", "1 per tile"), ir::LinForm::constant(0),
+      ir::LinForm::sym(e, static_cast<i64>(b)) - ir::LinForm::constant(1)));
   // Thread t reads/writes its E consecutive keys: lane address
   // wsE + s + E*lane — the Dotsenko stride-E pattern the congruence
   // domain proves conflict-free for every odd E (unpadded).
-  d.groups.push_back(ir::affine_group(
+  ir::StepGroup reg_load = ir::affine_group(
       "register-sort load", ir::GroupKind::read, w,
       ir::LinForm::sym(wse) + ir::LinForm::sym(s), ir::LinForm::sym(e),
-      "E steps x b/w warps"));
-  d.groups.push_back(ir::affine_group(
+      "E steps x b/w warps");
+  reg_load.masked = b % w != 0;
+  ir::StepGroup reg_store = ir::affine_group(
       "register-sort store", ir::GroupKind::write, w,
       ir::LinForm::sym(wse) + ir::LinForm::sym(s), ir::LinForm::sym(e),
-      "E steps x b/w warps"));
+      "E steps x b/w warps");
+  reg_store.masked = b % w != 0;
+  d.groups.push_back(std::move(reg_load));
+  d.groups.push_back(std::move(reg_store));
   d.groups.push_back(ir::barrier_group("before merge rounds"));
   d.append(merge);
   return d;

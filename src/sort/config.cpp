@@ -8,7 +8,9 @@ namespace wcm::sort {
 
 void SortConfig::validate() const {
   WCM_CHECK_CONFIG(E >= 1, "E must be positive");
-  WCM_CHECK_CONFIG(is_pow2(w), "warp size must be a power of two");
+  // Any warp width >= 1 is a valid machine shape: the parametric-w passes
+  // and the describer cross-check exercise non-power-of-two warps (w=3).
+  WCM_CHECK_CONFIG(w >= 1, "warp size must be positive");
   WCM_CHECK_CONFIG(is_pow2(b),
                    "block size must be a power of two (paper Sec. II-A)");
   WCM_CHECK_CONFIG(b >= 2 * w, "block must contain at least two warps");

@@ -494,37 +494,56 @@ gpusim::ir::KernelDesc describe_multiway(u32 w, u32 b, u32 pad, u32 ways) {
   const int s = d.find_symbol("s");
   const int wse = d.find_symbol("wsE");
   const int ws = d.add_symbol("ws", ir::SymRole::warp_shift, 0, 0, w, 0);
+  const i64 last_warp = static_cast<i64>(w) * ((static_cast<i64>(b) - 1) /
+                                               static_cast<i64>(w));
+  d.symbols[static_cast<std::size_t>(ws)].max_form =
+      ir::LinForm::constant(last_warp);
+  d.symbols[static_cast<std::size_t>(ws)].step_form =
+      ir::LinForm::constant(static_cast<i64>(w));
+  const ir::LinForm tile_hi =
+      ir::LinForm::sym(e, static_cast<i64>(b)) - ir::LinForm::constant(1);
+  const bool partial_warp = b % w != 0;
 
   d.groups.push_back(ir::barrier_group("round entry"));
-  d.groups.push_back(ir::affine_group(
+  ir::StepGroup stage = ir::affine_group(
       "stage store", ir::GroupKind::write, w,
       ir::LinForm::sym(ws) + ir::LinForm::sym(s, static_cast<i64>(b)),
-      ir::LinForm::constant(1), "E steps x b/w warps x rounds"));
+      ir::LinForm::constant(1), "E steps x b/w warps x rounds");
+  stage.masked = partial_warp;
+  d.groups.push_back(std::move(stage));
   d.groups.push_back(ir::barrier_group("after staging"));
   // Each thread bisects for its quantile in every one of the K staged
   // runs in turn; one warp step probes within a single run's segment,
   // conservatively widened to the whole tile.
-  d.groups.push_back(ir::window_group(
-      "quantile probes", ir::GroupKind::read, w,
-      ir::LinForm::sym(e, static_cast<i64>(b)), ir::LinForm::constant(1),
-      "<= ceil(log2(bE/K+1)) bisection iterations x K runs"));
+  d.groups.push_back(ir::with_region(
+      ir::window_group(
+          "quantile probes", ir::GroupKind::read, w,
+          ir::LinForm::sym(e, static_cast<i64>(b)), ir::LinForm::constant(1),
+          "<= ceil(log2(bE/K+1)) bisection iterations x K runs"),
+      ir::LinForm::constant(0), tile_hi));
   // Lock-step K-way merge: a warp's E outputs per thread come from K
   // cursor ranges, one per source run.
-  d.groups.push_back(ir::window_group(
-      "k-way merge reads", ir::GroupKind::read, w,
-      ir::LinForm::sym(e, static_cast<i64>(w)),
-      ir::LinForm::constant(static_cast<i64>(ways)),
-      "E lock-step iterations, K-head selection"));
+  d.groups.push_back(ir::with_region(
+      ir::window_group(
+          "k-way merge reads", ir::GroupKind::read, w,
+          ir::LinForm::sym(e, static_cast<i64>(w)),
+          ir::LinForm::constant(static_cast<i64>(ways)),
+          "E lock-step iterations, K-head selection"),
+      ir::LinForm::constant(0), tile_hi));
   d.groups.push_back(ir::barrier_group("pre/post write-back barrier"));
   d.groups.back().repeat = "2 per round";
-  d.groups.push_back(ir::affine_group(
+  ir::StepGroup wb = ir::affine_group(
       "merge write-back", ir::GroupKind::write, w,
       ir::LinForm::sym(wse) + ir::LinForm::sym(s), ir::LinForm::sym(e),
-      "E steps x b/w warps x rounds"));
-  d.groups.push_back(ir::affine_group(
+      "E steps x b/w warps x rounds");
+  wb.masked = partial_warp;
+  d.groups.push_back(std::move(wb));
+  ir::StepGroup unstage = ir::affine_group(
       "unstage load", ir::GroupKind::read, w,
       ir::LinForm::sym(ws) + ir::LinForm::sym(s, static_cast<i64>(b)),
-      ir::LinForm::constant(1), "E steps x b/w warps x rounds"));
+      ir::LinForm::constant(1), "E steps x b/w warps x rounds");
+  unstage.masked = partial_warp;
+  d.groups.push_back(std::move(unstage));
   d.groups.push_back(ir::barrier_group("round exit"));
   return d;
 }

@@ -315,36 +315,58 @@ gpusim::ir::KernelDesc describe_pairwise(u32 w, u32 b, u32 pad) {
   const int s = d.find_symbol("s");
   const int wse = d.find_symbol("wsE");
   const int ws = d.add_symbol("ws", ir::SymRole::warp_shift, 0, 0, w, 0);
+  // ws stands for warp_start itself: {0, w, ..., w*floor((b-1)/w)}.
+  const i64 last_warp = static_cast<i64>(w) * ((static_cast<i64>(b) - 1) /
+                                               static_cast<i64>(w));
+  d.symbols[static_cast<std::size_t>(ws)].max_form =
+      ir::LinForm::constant(last_warp);
+  d.symbols[static_cast<std::size_t>(ws)].step_form =
+      ir::LinForm::constant(static_cast<i64>(w));
+  const ir::LinForm tile_hi =
+      ir::LinForm::sym(e, static_cast<i64>(b)) - ir::LinForm::constant(1);
+  const bool partial_warp = b % w != 0;
 
   // One global merge round (every round repeats the same shapes): two
   // sorted runs are staged into the b*E tile coalesced, merge-path
   // searched, lock-step merged, written back in rank order, unstaged.
   d.groups.push_back(ir::barrier_group("global round entry"));
-  d.groups.push_back(ir::fill_group("stage source runs", "1 per round"));
-  d.groups.push_back(ir::affine_group(
+  d.groups.push_back(ir::with_region(
+      ir::fill_group("stage source runs", "1 per round"),
+      ir::LinForm::constant(0), tile_hi));
+  ir::StepGroup stage = ir::affine_group(
       "stage store", ir::GroupKind::write, w,
       ir::LinForm::sym(ws) + ir::LinForm::sym(s, static_cast<i64>(b)),
-      ir::LinForm::constant(1), "E steps x b/w warps x rounds"));
+      ir::LinForm::constant(1), "E steps x b/w warps x rounds");
+  stage.masked = partial_warp;
+  d.groups.push_back(std::move(stage));
   d.groups.push_back(ir::barrier_group("after staging"));
-  d.groups.push_back(ir::window_group(
-      "global search probes", ir::GroupKind::read, w,
-      ir::LinForm::sym(e, static_cast<i64>(b)), ir::LinForm::constant(1),
-      "<= ceil(log2(bE/2+1)) bisection iterations, A then B probes"));
-  d.groups.push_back(ir::window_group(
-      "global merge reads", ir::GroupKind::read, w,
-      ir::LinForm::sym(e, static_cast<i64>(w)), ir::LinForm::constant(2),
-      "E lock-step iterations x b/w warps x rounds", /*atomic=*/false,
-      /*theorem_site=*/true));
+  d.groups.push_back(ir::with_region(
+      ir::window_group(
+          "global search probes", ir::GroupKind::read, w,
+          ir::LinForm::sym(e, static_cast<i64>(b)), ir::LinForm::constant(1),
+          "<= ceil(log2(bE/2+1)) bisection iterations, A then B probes"),
+      ir::LinForm::constant(0), tile_hi));
+  d.groups.push_back(ir::with_region(
+      ir::window_group(
+          "global merge reads", ir::GroupKind::read, w,
+          ir::LinForm::sym(e, static_cast<i64>(w)), ir::LinForm::constant(2),
+          "E lock-step iterations x b/w warps x rounds", /*atomic=*/false,
+          /*theorem_site=*/true),
+      ir::LinForm::constant(0), tile_hi));
   d.groups.push_back(ir::barrier_group("pre/post write-back barrier"));
   d.groups.back().repeat = "2 per round";
-  d.groups.push_back(ir::affine_group(
+  ir::StepGroup wb = ir::affine_group(
       "global merge write-back", ir::GroupKind::write, w,
       ir::LinForm::sym(wse) + ir::LinForm::sym(s), ir::LinForm::sym(e),
-      "E steps x b/w warps x rounds"));
-  d.groups.push_back(ir::affine_group(
+      "E steps x b/w warps x rounds");
+  wb.masked = partial_warp;
+  d.groups.push_back(std::move(wb));
+  ir::StepGroup unstage = ir::affine_group(
       "unstage load", ir::GroupKind::read, w,
       ir::LinForm::sym(ws) + ir::LinForm::sym(s, static_cast<i64>(b)),
-      ir::LinForm::constant(1), "E steps x b/w warps x rounds"));
+      ir::LinForm::constant(1), "E steps x b/w warps x rounds");
+  unstage.masked = partial_warp;
+  d.groups.push_back(std::move(unstage));
   return d;
 }
 

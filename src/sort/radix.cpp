@@ -192,8 +192,8 @@ SortReport radix_sort(std::span<const word> input, const SortConfig& cfg,
 gpusim::ir::KernelDesc describe_radix(u32 w, u32 b, u32 pad, u32 digit_bits) {
   namespace ir = gpusim::ir;
   WCM_EXPECTS(digit_bits >= 1 && digit_bits <= 16, "digit width 1..16");
-  WCM_EXPECTS(w > 0 && is_pow2(w) && b >= w && b % w == 0 && is_pow2(b),
-              "block shape must be power-of-two multiples of the warp");
+  WCM_EXPECTS(w > 0 && b >= w && is_pow2(b),
+              "block size must be a power of two no smaller than the warp");
   ir::KernelDesc d;
   d.kernel = "radix";
   d.w = w;
@@ -204,18 +204,31 @@ gpusim::ir::KernelDesc describe_radix(u32 w, u32 b, u32 pad, u32 digit_bits) {
   // [bE, bE + bins).
   const int e = d.add_symbol("E", ir::SymRole::parameter, 3,
                              static_cast<i64>(w) - 1, 2, 1);
+  d.words = ir::LinForm::sym(e, static_cast<i64>(b)) +
+            ir::LinForm::constant(static_cast<i64>(bins));
+  const ir::LinForm hist_lo = ir::LinForm::sym(e, static_cast<i64>(b));
+  const ir::LinForm hist_hi =
+      ir::LinForm::sym(e, static_cast<i64>(b)) +
+      ir::LinForm::constant(static_cast<i64>(bins) - 1);
 
   d.groups.push_back(ir::barrier_group("pass entry"));
-  d.groups.push_back(ir::fill_group("tile keys", "1 per pass"));
+  d.groups.push_back(ir::with_region(
+      ir::fill_group("tile keys", "1 per pass"), ir::LinForm::constant(0),
+      ir::LinForm::sym(e, static_cast<i64>(b)) - ir::LinForm::constant(1)));
   if (bins >= w) {
     // Zeroing sweeps the histogram in w-wide chunks; the chunk base bin0
     // steps by w, so it is itself ≡ 0 (mod w) and uniform across lanes.
+    // The last chunk is partial when w does not divide bins.
+    const i64 last_chunk = static_cast<i64>(w) *
+                           ((static_cast<i64>(bins) - 1) /
+                            static_cast<i64>(w));
     const int bin0 = d.add_symbol("bin0", ir::SymRole::parameter, 0,
-                                  static_cast<i64>(bins) - w, w, 0);
+                                  last_chunk, w, 0);
     d.groups.push_back(ir::affine_group(
         "histogram zero", ir::GroupKind::write, w,
         ir::LinForm::sym(e, static_cast<i64>(b)) + ir::LinForm::sym(bin0),
         ir::LinForm::constant(1), "bins/w chunks x passes"));
+    d.groups.back().masked = bins % w != 0;
   } else {
     d.groups.push_back(ir::affine_group(
         "histogram zero", ir::GroupKind::write, bins,
@@ -225,14 +238,20 @@ gpusim::ir::KernelDesc describe_radix(u32 w, u32 b, u32 pad, u32 digit_bits) {
   d.groups.push_back(ir::barrier_group("after zeroing"));
   // Atomic bin updates: each conflict-resolution round serves lanes with
   // pairwise-distinct bins, all inside the bins-wide histogram region.
-  d.groups.push_back(ir::window_group(
-      "histogram update load", ir::GroupKind::read, std::min(w, bins),
-      ir::LinForm::constant(static_cast<i64>(bins)), ir::LinForm::constant(1),
-      "<= w rounds x tile/w chunks x passes", /*atomic=*/true));
-  d.groups.push_back(ir::window_group(
-      "histogram update store", ir::GroupKind::write, std::min(w, bins),
-      ir::LinForm::constant(static_cast<i64>(bins)), ir::LinForm::constant(1),
-      "<= w rounds x tile/w chunks x passes", /*atomic=*/true));
+  d.groups.push_back(ir::with_region(
+      ir::window_group(
+          "histogram update load", ir::GroupKind::read, std::min(w, bins),
+          ir::LinForm::constant(static_cast<i64>(bins)),
+          ir::LinForm::constant(1),
+          "<= w rounds x tile/w chunks x passes", /*atomic=*/true),
+      hist_lo, hist_hi));
+  d.groups.push_back(ir::with_region(
+      ir::window_group(
+          "histogram update store", ir::GroupKind::write, std::min(w, bins),
+          ir::LinForm::constant(static_cast<i64>(bins)),
+          ir::LinForm::constant(1),
+          "<= w rounds x tile/w chunks x passes", /*atomic=*/true),
+      hist_lo, hist_hi));
   return d;
 }
 

@@ -190,9 +190,21 @@ gpusim::ir::KernelDesc describe_block_scan(u32 w, u32 b, u32 pad) {
   const int ws = d.add_symbol("ws", ir::SymRole::warp_shift, 0, 0, w, 0);
   const int wse = d.add_symbol("wsE", ir::SymRole::warp_shift, 0, 0, w, 0);
   const ir::LinForm tile = ir::LinForm::sym(e, static_cast<i64>(b));
+  d.symbols[static_cast<std::size_t>(ws)].max_form =
+      ir::LinForm::constant(static_cast<i64>(b) - static_cast<i64>(w));
+  d.symbols[static_cast<std::size_t>(ws)].step_form =
+      ir::LinForm::constant(static_cast<i64>(w));
+  d.symbols[static_cast<std::size_t>(wse)].max_form =
+      ir::LinForm::sym(e, static_cast<i64>(b) - static_cast<i64>(w));
+  d.symbols[static_cast<std::size_t>(wse)].step_form =
+      ir::LinForm::sym(e, static_cast<i64>(w));
+  // Tile keys at [0, bE), the b per-thread totals at [bE, bE + b).
+  d.words = tile + ir::LinForm::constant(static_cast<i64>(b));
 
   d.groups.push_back(ir::barrier_group("block entry"));
-  d.groups.push_back(ir::fill_group("tile load", "1 per tile"));
+  d.groups.push_back(ir::with_region(
+      ir::fill_group("tile load", "1 per tile"), ir::LinForm::constant(0),
+      tile - ir::LinForm::constant(1)));
   // Phase 1: thread t serially accumulates its E consecutive elements —
   // the Dotsenko stride-E read-modify-write pattern.
   d.groups.push_back(ir::affine_group(

@@ -151,6 +151,9 @@ SortReport shearsort(std::span<const word> input, const SortConfig& cfg,
                      const gpusim::Device& dev, std::vector<word>* output) {
   cfg.validate();
   WCM_EXPECTS(cfg.w == dev.warp_size, "config warp size must match device");
+  // The mesh is w columns by bE/w rows and the staging loop writes full
+  // warps; both need the block to split into whole warps.
+  WCM_EXPECTS(cfg.b % cfg.w == 0, "block size must be a multiple of the warp");
   const std::size_t tile = cfg.tile();
   const std::size_t n = input.size();
   WCM_EXPECTS(n >= tile && n % tile == 0,
@@ -239,7 +242,7 @@ SortReport shearsort(std::span<const word> input, const SortConfig& cfg,
 
 gpusim::ir::KernelDesc describe_shearsort(u32 w, u32 b, u32 pad) {
   namespace ir = gpusim::ir;
-  WCM_EXPECTS(w > 0 && is_pow2(w) && b >= w && b % w == 0,
+  WCM_EXPECTS(w > 0 && b >= w && b % w == 0,
               "block shape must be a positive multiple of the warp");
   ir::KernelDesc d;
   d.kernel = "shearsort";
@@ -251,9 +254,23 @@ gpusim::ir::KernelDesc describe_shearsort(u32 w, u32 b, u32 pad) {
   // column index is the engine's only range parameter; the mesh height R
   // only changes how *many* stride-w steps run, never their shape (partial
   // last warps are lane prefixes of the declared full-warp pattern, whose
-  // degree dominates).
-  const int ws = d.add_symbol("ws", ir::SymRole::warp_shift, 0, 0, w, 0);
+  // degree dominates).  The staging bases warp_start + s*b and the row
+  // bases r*w jointly sweep every multiple of w in [0, bE - w] (w | b), so
+  // the shift's value set is exactly {0, w, 2w, ..., bE - w}.
+  // Parameters first: a warp shift's extent may only reference symbols
+  // declared before it (the divergence pass rejects forward references).
   const int c = d.add_symbol("c", ir::SymRole::parameter, 0, w - 1);
+  const int e = d.add_symbol("E", ir::SymRole::parameter, 3,
+                             static_cast<i64>(w) - 1, 2, 1);
+  const int ws = d.add_symbol("ws", ir::SymRole::warp_shift, 0, 0, w, 0);
+  d.symbols[static_cast<std::size_t>(ws)].max_form =
+      ir::LinForm::sym(e, static_cast<i64>(b)) -
+      ir::LinForm::constant(static_cast<i64>(w));
+  d.symbols[static_cast<std::size_t>(ws)].step_form =
+      ir::LinForm::constant(static_cast<i64>(w));
+  d.words = ir::LinForm::sym(e, static_cast<i64>(b));
+  const ir::LinForm tile_hi =
+      ir::LinForm::sym(e, static_cast<i64>(b)) - ir::LinForm::constant(1);
 
   d.groups.push_back(ir::barrier_group("block entry"));
   d.groups.push_back(ir::affine_group(
@@ -270,15 +287,21 @@ gpusim::ir::KernelDesc describe_shearsort(u32 w, u32 b, u32 pad) {
   d.groups.push_back(ir::barrier_group("rows sorted"));
 
   // The theorem-relevant site: lane l touches (rb + l)*w + c — a pure
-  // stride-w column traversal.
-  d.groups.push_back(ir::affine_group(
-      "column load", ir::GroupKind::read, w,
-      ir::LinForm::sym(ws) + ir::LinForm::sym(c), ir::LinForm::constant(w),
-      "per column row-block per shear iteration"));
-  d.groups.push_back(ir::affine_group(
-      "column store", ir::GroupKind::write, w,
-      ir::LinForm::sym(ws) + ir::LinForm::sym(c), ir::LinForm::constant(w),
-      "per column row-block per shear iteration"));
+  // stride-w column traversal.  The shift models the row-block base rb*w
+  // (multiples of w^2), so the generic ws extent over-approximates the
+  // footprint; the declared region restores the kernel's tile containment.
+  d.groups.push_back(ir::with_region(
+      ir::affine_group(
+          "column load", ir::GroupKind::read, w,
+          ir::LinForm::sym(ws) + ir::LinForm::sym(c), ir::LinForm::constant(w),
+          "per column row-block per shear iteration"),
+      ir::LinForm::constant(0), tile_hi));
+  d.groups.push_back(ir::with_region(
+      ir::affine_group(
+          "column store", ir::GroupKind::write, w,
+          ir::LinForm::sym(ws) + ir::LinForm::sym(c), ir::LinForm::constant(w),
+          "per column row-block per shear iteration"),
+      ir::LinForm::constant(0), tile_hi));
   d.groups.push_back(ir::barrier_group("columns sorted"));
 
   d.groups.push_back(ir::affine_group(

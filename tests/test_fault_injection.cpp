@@ -15,6 +15,7 @@
 #include <sstream>
 #include <string>
 
+#include "analyze/passes/verify.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/shared_memory.hpp"
 #include "gpusim/trace.hpp"
@@ -123,6 +124,35 @@ TEST_F(FaultInjectionTest, SortPairwiseRound) {
 TEST_F(FaultInjectionTest, SortMultiwayRound) {
   failpoint::scoped_arm fp("sort.multiway.round");
   EXPECT_THROW(run_multiway(), simulation_error);
+}
+
+// Satellite contract: a fault injected between verification passes must
+// surface as a typed wcm::error (nonzero CLI exit via the main() map) and
+// must abort before any report is assembled — never a partially verified
+// certificate.
+TEST_F(FaultInjectionTest, AnalyzeVerifyPass) {
+  failpoint::scoped_arm fp("analyze.verify.pass");
+  analyze::passes::VerifyOptions vopts;
+  vopts.ws = {2};
+  vopts.e_max = 4;
+  vopts.differential = false;
+  EXPECT_THROW((void)analyze::passes::run_verify({"pairwise"}, vopts),
+               simulation_error);
+}
+
+TEST_F(FaultInjectionTest, AnalyzeVerifyPassCarriesContext) {
+  failpoint::scoped_arm fp("analyze.verify.pass");
+  analyze::passes::VerifyOptions vopts;
+  vopts.ws = {2};
+  vopts.e_max = 4;
+  vopts.differential = false;
+  try {
+    (void)analyze::passes::run_verify({"pairwise"}, vopts);
+    FAIL() << "failpoint did not fire";
+  } catch (const simulation_error& e) {
+    EXPECT_EQ(e.code(), errc::simulation_invariant);
+    EXPECT_NE(e.context().find("analyze.verify.pass"), std::string::npos);
+  }
 }
 
 TEST_F(FaultInjectionTest, TelemetryExportWrite) {

@@ -55,8 +55,17 @@ TEST(SharedMemory, RejectsBadLanes) {
   EXPECT_THROW((void)shm.warp_read(too_many), contract_error);
 }
 
-TEST(SharedMemory, WarpSizeMustBePow2) {
-  EXPECT_THROW(SharedMemory(31, 64), contract_error);
+TEST(SharedMemory, NonPow2WarpAllowedExceptUnderXor) {
+  // Linear and rotation layouts are plain mod-w arithmetic, so any
+  // positive warp size works (the w = 3 describer cross-check depends on
+  // this); the xor permutation is only bijective for a power of two.
+  SharedMemory shm(31, 62);
+  shm.poke(33, 7);
+  const std::vector<LaneRead> reads{{0, 33}};
+  EXPECT_EQ(shm.warp_read(reads), std::vector<word>{7});
+  EXPECT_THROW(
+      SharedMemory(SharedLayout{31, 0, LayoutKind::xor_swizzle}, 62),
+      contract_error);
 }
 
 TEST(SharedMemory, FillAndDump) {

@@ -1,0 +1,118 @@
+# Static-verification gate (ISSUE acceptance): `wcmgen verify` must prove
+# barrier-uniformity, def-use cleanliness, and parametric-w conflict
+# bounds for all eight engines across warp widths, the static bounds must
+# bracket the DMM-replayed traces on the differential grid, the sealed
+# JSON report must be byte-deterministic and carry the non-coprime
+# gcd(w,E) breakdown rows (where the Theorem 3/9 closed forms stop being
+# worst-case), and an injected mid-pipeline pass fault must exit nonzero
+# without emitting a partial report.
+#
+# Run as:  cmake -DWCMGEN=<bin> -DWORKDIR=<dir> -P wcm_verify_ci.cmake
+
+if(NOT DEFINED WCMGEN OR NOT DEFINED WORKDIR)
+  message(FATAL_ERROR "pass -DWCMGEN=<bin> -DWORKDIR=<dir>")
+endif()
+
+file(MAKE_DIRECTORY ${WORKDIR})
+
+function(run_verify out_rv out_json)
+  execute_process(COMMAND ${WCMGEN} verify --json ${ARGN}
+                  RESULT_VARIABLE rv
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(rv GREATER 1)
+    message(FATAL_ERROR
+      "verify run crashed (exit ${rv}) for: ${ARGN}\nstderr: ${err}")
+  endif()
+  set(${out_rv} ${rv} PARENT_SCOPE)
+  set(${out_json} "${out}" PARENT_SCOPE)
+endfunction()
+
+# --- the headline proof: all 8 engines, w in {2, 4, 32}, E up to 256 ------
+run_verify(rv json --engine all --ws 2,4,32 --E-min 1 --E-max 256)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "verify --engine all: expected exit 0, got ${rv}\n${json}")
+endif()
+if(NOT json MATCHES "\"proved\":1")
+  message(FATAL_ERROR "verify exit 0 without proved:1\n${json}")
+endif()
+if(NOT json MATCHES "\"differential_ok\":1")
+  message(FATAL_ERROR "verify exit 0 without differential_ok:1\n${json}")
+endif()
+# Every engine shape verdict must be present and individually ok.
+foreach(engine blocksort block-merge pairwise multiway bitonic radix scan
+        shearsort)
+  if(NOT json MATCHES "\"engine\":\"${engine}\",\"w\":32")
+    message(FATAL_ERROR "verify report is missing engine ${engine} at w=32")
+  endif()
+endforeach()
+if(json MATCHES "\"ok\":0")
+  message(FATAL_ERROR "verify report contains a failing verdict\n${json}")
+endif()
+# The differential grid must actually have run (static bounds bracketing
+# DMM replay on the concrete cells).
+if(NOT json MATCHES "\"differential\":\\[{")
+  message(FATAL_ERROR "verify report has an empty differential grid\n${json}")
+endif()
+# The breakdown sweep must pinpoint a non-coprime (w, E) where the coprime
+# closed form overpromises: gcd(w,E) = E at E = 4, w = 32 is the canonical
+# power-of-two regime row.
+if(NOT json MATCHES "\"w\":32,\"E\":4,\"gcd\":4,\"regime\":\"power_of_two\"")
+  message(FATAL_ERROR "verify report lacks the w=32 E=4 breakdown row\n${json}")
+endif()
+if(NOT json MATCHES "\"breaks_down\":1")
+  message(FATAL_ERROR
+    "breakdown sweep found no (w, E) where Theorem 3/9 stops being "
+    "worst-case\n${json}")
+endif()
+# The documented pinpoint (docs/LINT.md): at w = 32, E = 6 the coprime
+# closed form promises E^2 = 36 but the gcd-capped construction tops out
+# at 12 — the shared-factor regime is where the theorems stop being
+# worst-case.
+if(NOT json MATCHES
+   "{\"w\":32,\"E\":6,\"gcd\":2,\"regime\":\"shared_factor\",\"promised\":36,\"attained\":12,\"step_bound\":6,\"breaks_down\":1}")
+  message(FATAL_ERROR
+    "verify report lacks the documented w=32 E=6 pinpoint row\n${json}")
+endif()
+
+# --- determinism: the sealed JSON is reproducible byte for byte ----------
+run_verify(rv2 json2 --engine all --ws 2,4,32 --E-min 1 --E-max 256)
+if(NOT json STREQUAL json2)
+  message(FATAL_ERROR "verify JSON is not deterministic across runs")
+endif()
+if(NOT json MATCHES "\"digest\":\"fnv1a:")
+  message(FATAL_ERROR "verify JSON carries no digest seal\n${json}")
+endif()
+
+# --- usage contract ------------------------------------------------------
+execute_process(COMMAND ${WCMGEN} verify --engine quicksort
+                RESULT_VARIABLE rv OUTPUT_QUIET ERROR_QUIET)
+if(NOT rv EQUAL 2)
+  message(FATAL_ERROR
+    "verify with an unknown engine: expected exit 2, got ${rv}")
+endif()
+execute_process(COMMAND ${WCMGEN} verify --ws 0
+                RESULT_VARIABLE rv OUTPUT_QUIET ERROR_QUIET)
+if(NOT rv EQUAL 2)
+  message(FATAL_ERROR "verify --ws 0: expected exit 2, got ${rv}")
+endif()
+
+# --- fault injection: a pass fault must not leave a partial report -------
+execute_process(COMMAND ${CMAKE_COMMAND} -E env
+                        WCM_FAILPOINTS=analyze.verify.pass
+                        ${WCMGEN} verify --engine pairwise --ws 2 --json
+                RESULT_VARIABLE rv
+                OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+if(rv EQUAL 0 OR rv EQUAL 1)
+  message(FATAL_ERROR
+    "injected pass fault must fail the run (exit >= 2), got ${rv}")
+endif()
+if(out MATCHES "wcm_verify")
+  message(FATAL_ERROR
+    "injected pass fault leaked a partial verify report:\n${out}")
+endif()
+if(NOT err MATCHES "injected verification pass failure")
+  message(FATAL_ERROR
+    "fault exit does not surface the injected failpoint message:\n${err}")
+endif()
