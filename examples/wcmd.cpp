@@ -18,6 +18,7 @@
 #include <string>
 
 #include "serve/server.hpp"
+#include "telemetry/eventlog.hpp"
 #include "telemetry/span.hpp"
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
@@ -32,7 +33,7 @@ constexpr const char* kUsage =
 
 usage: wcmd [--socket path|@name] [--data-dir dir] [--threads n]
             [--queue-max n] [--batch-max n] [--max-connections n]
-            [--quiet]
+            [--eventlog file.jsonl] [--quiet]
 
   --socket           Unix-domain socket to serve on; a leading '@' selects
                      the Linux abstract namespace (default @wcmd)
@@ -42,6 +43,9 @@ usage: wcmd [--socket path|@name] [--data-dir dir] [--threads n]
   --queue-max        admission queue bound before load-shedding (256)
   --batch-max        max requests per scheduler batch (16)
   --max-connections  concurrent client bound before load-shedding (64)
+  --eventlog         append structured JSONL request events with
+                     correlation ids (also WCM_EVENTLOG;
+                     docs/TELEMETRY.md "Request tracing")
   --quiet            suppress startup/drain log lines
 
 SIGINT/SIGTERM drain gracefully.  Exit codes: 0 clean drain, 2 usage,
@@ -87,6 +91,8 @@ int run(int argc, char** argv) {
     const std::string value = argv[++i];
     if (arg == "--socket") {
       cfg.socket = value;
+    } else if (arg == "--eventlog") {
+      telemetry::eventlog::set_path(value);
     } else if (arg == "--data-dir") {
       cfg.data_dir = value;
     } else if (arg == "--threads") {
@@ -115,6 +121,7 @@ int run(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   telemetry::configure_from_env();
+  telemetry::eventlog::configure_from_env();
   int code = 0;
   try {
     code = run(argc, argv);

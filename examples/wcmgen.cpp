@@ -73,7 +73,10 @@
 #include "runtime/cache.hpp"
 #include "runtime/campaign.hpp"
 #include "runtime/scheduler.hpp"
+#include "serve/client.hpp"
 #include "serve/server.hpp"
+#include "telemetry/eventlog.hpp"
+#include "util/json.hpp"
 #include "util/version.hpp"
 #include "sort/bitonic.hpp"
 #include "util/failpoint.hpp"
@@ -164,6 +167,11 @@ subcommands:
              [--socket path|@name] [--data-dir dir] [--threads n]
              [--queue-max n] [--batch-max n] [--max-connections n]
              [--quiet]
+  metrics    fetch a running daemon's metrics over its socket and print
+             them (docs/TELEMETRY.md "Exposition formats"); --format
+             prometheus emits Prometheus text exposition 0.0.4
+             [--socket path|@name] [--format json|text|prometheus]
+             [--timeout-ms n]
   version    print the release version, the git describe this binary was
              built from, and the response-cache salt (also --version / -V)
   help       print this message (also --help / -h)
@@ -742,6 +750,41 @@ int cmd_serve(const Args& a) {
   return serve::run_server(server, a.flag("quiet"));
 }
 
+int cmd_metrics(const Args& a) {
+  a.require_known("metrics", {"socket", "format", "timeout-ms"});
+  const std::string socket = a.get("socket", "@wcmd");
+  const std::string format = a.get("format", "json");
+  if (format != "json" && format != "text" && format != "prometheus") {
+    throw parse_error("invalid value '" + format +
+                      "' for --format (valid: json, prometheus, text)");
+  }
+  const u64 timeout_ms = a.get_u64("timeout-ms", 2000, 600'000);
+  serve::Client client = serve::connect_with_retry(socket, timeout_ms);
+  json::Object params;
+  params.emplace("format", json::Value(format));
+  json::Object req;
+  req.emplace("id", json::Value(std::string("metrics")));
+  req.emplace("op", json::Value(std::string("metrics")));
+  req.emplace("params", json::Value(std::move(params)));
+  const std::string reply =
+      client.roundtrip(json::to_text(json::Value(std::move(req))));
+  const json::Value doc = json::parse(reply);
+  const json::Object& fields = doc.as_object();
+  const auto ok = fields.find("ok");
+  if (ok == fields.end() || !ok->second.as_bool()) {
+    throw io_error("daemon refused the metrics request", reply);
+  }
+  const json::Value& result = fields.at("result");
+  if (format == "json") {
+    std::cout << json::to_text(result) << "\n";
+  } else {
+    // The daemon wraps line-oriented expositions in a {"body","format"}
+    // envelope; unwrap so stdout is the raw scrape document.
+    std::cout << result.as_object().at("body").as_string();
+  }
+  return 0;
+}
+
 int cmd_version() {
   // version = the release; describe = the exact commit the binary came
   // from; salt = what partitions WCMC/WCMS cache files across builds (a
@@ -823,10 +866,13 @@ int dispatch(const std::string& cmd, int argc, char** argv) {
   if (cmd == "serve") {
     return cmd_serve(args);
   }
+  if (cmd == "metrics") {
+    return cmd_metrics(args);
+  }
   throw parse_error("unknown subcommand '" + cmd +
                     "' (valid: generate, evaluate, sort, inspect, analyze, "
-                    "prove, verify, visualize, campaign, serve, version, "
-                    "profile, help)");
+                    "prove, verify, visualize, campaign, serve, metrics, "
+                    "version, profile, help)");
 }
 
 int cmd_profile(int argc, char** argv) {
@@ -954,9 +1000,10 @@ int run(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // WCM_TRACE_OUT / WCM_TELEMETRY work for every subcommand, not just
-  // profile (docs/TELEMETRY.md).
+  // WCM_TRACE_OUT / WCM_TELEMETRY / WCM_EVENTLOG work for every
+  // subcommand, not just profile (docs/TELEMETRY.md).
   telemetry::configure_from_env();
+  telemetry::eventlog::configure_from_env();
   int code = 0;
   try {
     code = run(argc, argv);

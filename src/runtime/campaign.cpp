@@ -668,6 +668,11 @@ CampaignOutcome run_campaign(const CampaignSpec& spec,
   }
 
   JobGraph graph;
+  // A campaign submitted through wcmd runs under that request's trace
+  // context; hand it to every cell so the per-cell spans stay in the
+  // request's causal tree across the second thread hop.
+  const telemetry::TraceContext campaign_trace =
+      telemetry::current_trace_context();
   for (const std::size_t idx : misses) {
     graph.add(
         [&, idx](JobContext&) {
@@ -714,7 +719,7 @@ CampaignOutcome run_campaign(const CampaignSpec& spec,
             cancel->cancel();  // chaos: drain as if a signal arrived
           }
         },
-        JobOptions{{}, {}, runs[idx].cell.label});
+        JobOptions{{}, {}, runs[idx].cell.label, campaign_trace});
   }
 
   RunOptions run_opts;

@@ -137,6 +137,11 @@ struct RunState {
   }
 
   void execute(JobId id) {
+    // Install the job's request context before the span opens, so
+    // "scheduler.job" and everything nested under it (kernel rounds
+    // included) carry the originating request's trace_id on this worker.
+    const telemetry::ScopedTraceContext trace_scope(
+        graph.jobs_[id].opts.trace);
     WCM_SPAN("scheduler.job");
     const auto& job = graph.jobs_[id];
     JobOutcome outcome;

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "runtime/retry.hpp"
+#include "telemetry/trace_context.hpp"
 #include "util/error.hpp"
 #include "util/math.hpp"
 
@@ -56,6 +57,12 @@ struct JobOptions {
   /// Wall-clock budget measured from run() start; zero = unlimited.
   std::chrono::steady_clock::duration timeout{0};
   std::string label;  ///< for error messages and progress lines
+  /// Request trace context installed on the worker for the job's whole
+  /// execution (including retries), so spans recorded inside the job —
+  /// down to kernel rounds — carry the originating request's trace_id
+  /// across the thread hop (docs/TELEMETRY.md "Request tracing").
+  /// Default ({}): no context.
+  telemetry::TraceContext trace;
 };
 
 enum class JobState {

@@ -11,6 +11,7 @@
 #include "core/generator.hpp"
 #include "gpusim/layout.hpp"
 #include "runtime/campaign.hpp"
+#include "telemetry/exposition.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/span.hpp"
 #include "util/hash.hpp"
@@ -177,10 +178,39 @@ std::string run_campaign(const Request& req, const ServerConfig& cfg,
   return json::to_text(json::Value(std::move(result)));
 }
 
-std::string run_metrics() {
+std::string run_metrics(const json::Object& p) {
+  // The admin path answers inline, without canonical_request(), so the
+  // params are validated here (mirroring canonical_metrics in protocol.cpp).
+  for (const auto& [key, value] : p) {
+    if (key != "format") {
+      throw parse_error("unknown param '" + key +
+                        "' for op 'metrics' (valid: format)");
+    }
+  }
+  const std::string format = param_string(p, "format", "json");
+  if (format != "json" && format != "text" && format != "prometheus") {
+    throw parse_error("unknown value '" + format +
+                      "' for param 'format' (valid: json, prometheus, "
+                      "text)");
+  }
+  const telemetry::Snapshot snap = telemetry::registry().snapshot();
+  if (format == "json") {
+    std::ostringstream os;
+    snap.write_json(os);
+    return as_one_line(os.str());
+  }
+  // Text and Prometheus expositions are line-oriented documents; wrap
+  // them in a JSON envelope so the response stays one strict-JSON line.
   std::ostringstream os;
-  telemetry::registry().snapshot().write_json(os);
-  return as_one_line(os.str());
+  if (format == "prometheus") {
+    telemetry::write_prometheus(os, snap);
+  } else {
+    snap.write_text(os);
+  }
+  json::Object result;
+  result.emplace("body", json::Value(os.str()));
+  result.emplace("format", json::Value(format));
+  return json::to_text(json::Value(std::move(result)));
 }
 
 std::string run_trace() {
@@ -206,7 +236,7 @@ std::string execute(const Request& req, const ServerConfig& cfg,
     return run_campaign(req, cfg, drain);
   }
   if (req.op == "metrics") {
-    return run_metrics();
+    return run_metrics(req.params);
   }
   if (req.op == "trace") {
     return run_trace();

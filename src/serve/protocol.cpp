@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "gpusim/layout.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/trace_context.hpp"
 #include "util/error.hpp"
 
 namespace wcm::serve {
@@ -156,6 +158,58 @@ std::string canonical_campaign(const json::Object& p) {
   return "campaign|" + json::to_text(it->second);
 }
 
+/// Count one malformed trace field.  Tracing observes requests — a typo in
+/// a correlation id must surface on a counter, never as a refused request.
+void count_invalid_trace() {
+  if (telemetry::enabled()) {
+    telemetry::registry().counter("serve.trace.invalid").add(1);
+  }
+}
+
+/// Tolerant decode of the optional "trace" request field: an object whose
+/// `trace_id` / `parent_span_id` subfields are 1..16-digit hex strings.
+/// Unknown subfields are ignored (a newer client may send more); any
+/// corrupt value — wrong type, non-hex, non-object trace — degrades that
+/// id to absent and bumps `serve.trace.invalid`.  Never throws.
+void parse_trace_field(const json::Value& value, Request& req) {
+  if (!value.is_object()) {
+    count_invalid_trace();
+    return;
+  }
+  for (const auto& [key, sub] : value.as_object()) {
+    u64* target = nullptr;
+    if (key == "trace_id") {
+      target = &req.trace_id;
+    } else if (key == "parent_span_id") {
+      target = &req.parent_span_id;
+    } else {
+      continue;
+    }
+    u64 parsed = 0;
+    if (sub.is_string() &&
+        telemetry::parse_trace_hex(sub.as_string(), parsed)) {
+      *target = parsed;
+    } else {
+      count_invalid_trace();
+    }
+  }
+}
+
+/// The metrics op accepts an optional exposition format; folding it into
+/// the canonical keeps "metrics" and "metrics|format=prometheus" as
+/// distinct inline results (admin ops bypass the cache, but the canonical
+/// still names the work in the event log and error messages).
+std::string canonical_metrics(const json::Object& p) {
+  require_known_params("metrics", p, {"format"});
+  const std::string format = param_string(p, "format", "json");
+  if (format != "json" && format != "text" && format != "prometheus") {
+    throw parse_error("unknown value '" + format +
+                      "' for param 'format' (valid: json, prometheus, "
+                      "text)");
+  }
+  return "metrics|format=" + format;
+}
+
 }  // namespace
 
 Request parse_request(const std::string& line) {
@@ -166,9 +220,10 @@ Request parse_request(const std::string& line) {
   const json::Object& fields = doc.as_object();
   for (const auto& [key, value] : fields) {
     if (key != "op" && key != "id" && key != "tenant" &&
-        key != "deadline_ms" && key != "params") {
-      throw parse_error("unknown request field '" + key +
-                        "' (valid: deadline_ms, id, op, params, tenant)");
+        key != "deadline_ms" && key != "params" && key != "trace") {
+      throw parse_error(
+          "unknown request field '" + key +
+          "' (valid: deadline_ms, id, op, params, tenant, trace)");
     }
   }
   Request req;
@@ -193,6 +248,9 @@ Request parse_request(const std::string& line) {
   if (const auto it = fields.find("params"); it != fields.end()) {
     req.params = it->second.as_object();
   }
+  if (const auto it = fields.find("trace"); it != fields.end()) {
+    parse_trace_field(it->second, req);
+  }
   return req;
 }
 
@@ -209,7 +267,10 @@ std::string canonical_request(const Request& req) {
   if (req.op == "campaign") {
     return canonical_campaign(req.params);
   }
-  // Admin ops take no params; their canonical is the op name itself.
+  if (req.op == "metrics") {
+    return canonical_metrics(req.params);
+  }
+  // Remaining admin ops take no params; their canonical is the op name.
   require_known_params(req.op, req.params, {});
   return req.op;
 }

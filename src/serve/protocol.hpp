@@ -6,11 +6,16 @@
 // request order per connection.  Requests:
 //
 //   {"op":"generate","id":"r1","tenant":"ci","deadline_ms":2000,
-//    "params":{"E":5,"b":64,"k":2}}
+//    "params":{"E":5,"b":64,"k":2},
+//    "trace":{"trace_id":"00000000000000a7"}}
 //
 // `op` is required; `id` (echo token), `tenant` (cache shard, default
-// "default"), `deadline_ms` (queueing budget, 0 = none) and `params`
-// (op-specific object) are optional.  Responses are either
+// "default"), `deadline_ms` (queueing budget, 0 = none), `params`
+// (op-specific object) and `trace` (correlation ids, docs/SERVE.md
+// "Request tracing") are optional.  Unlike every other field, `trace` is
+// parsed *tolerantly*: unknown subfields are ignored and corrupt values
+// degrade to "no context" — tracing observes requests, it must never
+// fail one.  Responses are either
 //
 //   {"id":"r1","ok":true,"result":{...}}
 //   {"error":{"message":"...","type":"parse"},"id":"r1","ok":false}
@@ -64,6 +69,15 @@ struct Request {
   std::string tenant = "default";  ///< response-cache shard
   u64 deadline_ms = 0;             ///< 0 = no deadline
   json::Object params;
+  // Optional trace context from the wire ("trace" object field,
+  // docs/SERVE.md): correlation ids the daemon threads through batching,
+  // scheduler jobs, and kernel spans.  0 = absent (the daemon mints a
+  // trace_id itself).  Trace fields are observability-only: they never
+  // enter canonical_request(), the cache key, or the response bytes, and
+  // a corrupt trace field degrades to "absent" (counted on
+  // `serve.trace.invalid`) instead of refusing the request.
+  u64 trace_id = 0;
+  u64 parent_span_id = 0;
 };
 
 /// True iff `op` names an operation the daemon dispatches through the

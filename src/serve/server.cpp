@@ -11,11 +11,13 @@
 #include <condition_variable>
 #include <csignal>
 #include <cstddef>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <filesystem>
 #include <iostream>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -26,8 +28,11 @@
 #include "runtime/singleflight.hpp"
 #include "runtime/thread_pool.hpp"
 #include "serve/tenant_cache.hpp"
+#include "telemetry/eventlog.hpp"
 #include "telemetry/registry.hpp"
+#include "telemetry/sliding.hpp"
 #include "telemetry/span.hpp"
+#include "telemetry/trace_context.hpp"
 #include "util/check.hpp"
 #include "util/failpoint.hpp"
 #include "util/json.hpp"
@@ -52,6 +57,11 @@ void write_failpoint() {
 void dispatch_failpoint() {
   WCM_FAILPOINT("serve.dispatch", simulation_error,
                 "injected dispatch failure");
+}
+
+void trace_inject_failpoint() {
+  WCM_FAILPOINT("serve.trace.inject", simulation_error,
+                "injected trace-context failure");
 }
 
 }  // namespace detail
@@ -109,6 +119,21 @@ SocketAddr socket_addr(const std::string& name) {
 
 std::string errno_text() { return std::strerror(errno); }  // NOLINT
 
+/// Positive-double env knob; anything unset, non-numeric, trailing-junk,
+/// or non-positive falls back.
+double env_double(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const double parsed = std::strtod(raw, &end);
+  if (end == raw || *end != '\0' || !(parsed > 0.0)) {
+    return fallback;
+  }
+  return parsed;
+}
+
 }  // namespace
 
 struct Server::Impl {
@@ -131,9 +156,15 @@ struct Server::Impl {
     std::chrono::steady_clock::time_point enqueued;
     std::chrono::steady_clock::time_point deadline;
     bool has_deadline = false;
+    /// The leader's request trace context (serve.request span as parent),
+    /// installed on the worker that runs the batch job.
+    telemetry::TraceContext trace;
   };
 
-  explicit Impl(ServerConfig cfg) : cfg_(std::move(cfg)) {
+  explicit Impl(ServerConfig cfg)
+      : cfg_(std::move(cfg)),
+        slo_ms_(env_double("WCM_SLO_MS", 250.0)),
+        slo_window_s_(env_double("WCM_SLO_WINDOW_S", 60.0)) {
     worker_threads_ = cfg_.threads != 0 ? cfg_.threads
                                         : runtime::threads_from_env(1);
     if (worker_threads_ == 0) {
@@ -341,6 +372,17 @@ struct Server::Impl {
       write_line(*conn, error_response("", ErrorType::parse, e.what()));
       return;
     }
+    // Everything from here runs under the request's trace context: the
+    // serve.request span, the admission decisions, and (for batched ops)
+    // the context captured into the queue item and the deliver callback.
+    const telemetry::ScopedTraceContext trace_scope(request_trace(req));
+    WCM_SPAN("serve.request");
+    if (telemetry::eventlog::log_enabled()) {
+      json::Object fields;
+      fields.emplace("id", json::Value(req.id));
+      fields.emplace("op", json::Value(req.op));
+      telemetry::eventlog::emit("serve.request", std::move(fields));
+    }
     if (req.op == "health") {
       write_line(*conn, ok_response(req.id, health_json()));
       return;
@@ -375,11 +417,18 @@ struct Server::Impl {
     const u64 key = cache_.key_of(canonical);
     if (const auto hit = cache_.lookup(req.tenant, key)) {
       write_line(*conn, ok_response(req.id, *hit));
+      emit_respond(req.id, true);
       return;
     }
     conn->pending.fetch_add(1, std::memory_order_acq_rel);
-    auto deliver = [this, conn, id = req.id, tenant = req.tenant,
-                    key](const runtime::FlightResult& r) {
+    // current_trace_context() here carries the serve.request span as the
+    // parent, so serve.respond (and the scheduler job, via the queue item)
+    // nest under it in the exported causal tree.
+    auto deliver = [this, conn, id = req.id, tenant = req.tenant, key,
+                    trace = telemetry::current_trace_context()](
+                       const runtime::FlightResult& r) {
+      const telemetry::ScopedTraceContext trace_scope(trace);
+      WCM_SPAN("serve.respond");
       if (r.ok) {
         // Idempotent across the flight's waiters; populates the shard of
         // every tenant that joined, each within its own quota.
@@ -389,6 +438,7 @@ struct Server::Impl {
         write_line(*conn, error_response(id, error_type_from(r.error_type),
                                          r.error_message));
       }
+      emit_respond(id, r.ok);
       conn->pending.fetch_sub(1, std::memory_order_acq_rel);
     };
     if (!flights_.lead_or_join(key, std::move(deliver))) {
@@ -398,9 +448,46 @@ struct Server::Impl {
     enqueue(std::move(req), key);
   }
 
+  /// Mint the request's trace context: the wire trace_id when the client
+  /// sent one, a fresh daemon-minted id otherwise.  Tracing is pure
+  /// observation — when neither the tracer nor the event log is on, no
+  /// context is minted, and an injected "serve.trace.inject" failure
+  /// degrades to no-context (counted on `serve.trace.drop`) instead of
+  /// touching the response path.
+  [[nodiscard]] telemetry::TraceContext request_trace(const Request& req) {
+    if (!telemetry::tracing() && !telemetry::eventlog::log_enabled()) {
+      return {};
+    }
+    try {
+      detail::trace_inject_failpoint();
+    } catch (const error&) {
+      count("serve.trace.drop");
+      return {};
+    }
+    telemetry::TraceContext ctx;
+    ctx.trace_id =
+        req.trace_id != 0 ? req.trace_id : telemetry::next_trace_id();
+    ctx.span_id = req.parent_span_id;
+    ctx.tenant = req.tenant;
+    return ctx;
+  }
+
+  /// Event-log record of one response write (runs under the caller's
+  /// trace scope, so the line carries the request's correlation ids).
+  void emit_respond(const std::string& id, bool ok) {
+    if (!telemetry::eventlog::log_enabled()) {
+      return;
+    }
+    json::Object fields;
+    fields.emplace("id", json::Value(id));
+    fields.emplace("ok", json::Value(ok));
+    telemetry::eventlog::emit("serve.respond", std::move(fields));
+  }
+
   void enqueue(Request req, u64 key) {
     QueueItem item;
     item.key = key;
+    item.trace = telemetry::current_trace_context();
     item.enqueued = std::chrono::steady_clock::now();
     if (req.deadline_ms != 0) {
       item.has_deadline = true;
@@ -490,6 +577,7 @@ struct Server::Impl {
       job_slot.push_back(i);
       runtime::JobOptions opts;
       opts.label = item.req.op;
+      opts.trace = item.trace;
       graph.add(
           [this, &item, &slot = slots[i]](runtime::JobContext&) {
             detail::dispatch_failpoint();
@@ -525,17 +613,48 @@ struct Server::Impl {
       }
     }
     const auto done = std::chrono::steady_clock::now();
+    const u64 done_ns = static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            done.time_since_epoch())
+            .count());
     for (std::size_t i = 0; i < batch.size(); ++i) {
       if (telemetry::enabled()) {
         const std::chrono::duration<double, std::milli> waited =
             done - batch[i].enqueued;
         telemetry::registry()
-            .histogram("serve.latency_ms", {},
-                       {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000})
+            .histogram("serve.latency_ms", {}, latency_bounds_)
             .observe(waited.count());
+        observe_tenant_latency(batch[i].req.tenant, done_ns, waited.count());
       }
       flights_.complete(batch[i].key, slots[i].result);
     }
+  }
+
+  /// Feed one completed request into its tenant's sliding window and
+  /// refresh that tenant's window-p50/p99 and SLO burn-rate gauges
+  /// (docs/TELEMETRY.md "Serving metrics").
+  void observe_tenant_latency(const std::string& tenant, u64 now_ns,
+                              double waited_ms) {
+    telemetry::SlidingStats::Summary sum;
+    {
+      std::lock_guard<std::mutex> lock(slo_mu_);
+      auto it = tenant_stats_.find(tenant);
+      if (it == tenant_stats_.end()) {
+        it = tenant_stats_
+                 .emplace(tenant,
+                          telemetry::SlidingStats(slo_window_s_, slo_ms_))
+                 .first;
+      }
+      it->second.observe(now_ns, waited_ms);
+      sum = it->second.summarize(now_ns);
+    }
+    telemetry::Registry& reg = telemetry::registry();
+    reg.gauge("serve.latency.window_p50_ms", {{"tenant", tenant}})
+        .set(sum.p50_ms);
+    reg.gauge("serve.latency.window_p99_ms", {{"tenant", tenant}})
+        .set(sum.p99_ms);
+    reg.gauge("serve.slo.burn_rate", {{"tenant", tenant}})
+        .set(sum.burn_rate);
   }
 
   // ---- responses -------------------------------------------------------
@@ -641,6 +760,15 @@ struct Server::Impl {
   // ---- state -----------------------------------------------------------
 
   ServerConfig cfg_;
+  /// serve.latency_ms bucket layout: 3 bounds per decade from 0.01 ms to
+  /// 10 s, so a 0.05 ms cache hit and a multi-second campaign both land in
+  /// meaningful buckets (satellite: log-scale latency histograms).
+  const std::vector<double> latency_bounds_ =
+      telemetry::log_scale_bounds(0.01, 10000.0, 3);
+  double slo_ms_;       ///< WCM_SLO_MS (default 250)
+  double slo_window_s_; ///< WCM_SLO_WINDOW_S (default 60)
+  std::mutex slo_mu_;
+  std::map<std::string, telemetry::SlidingStats> tenant_stats_;
   u32 worker_threads_ = 1;
   std::ostream* log_ = &std::cerr;
   int listen_fd_ = -1;

@@ -82,6 +82,10 @@ void accept_failpoint();    ///< "serve.accept": throws wcm::io_error
 void read_failpoint();      ///< "serve.read": throws wcm::io_error
 void write_failpoint();     ///< "serve.write": throws wcm::io_error
 void dispatch_failpoint();  ///< "serve.dispatch": throws simulation_error
+/// "serve.trace.inject": throws simulation_error.  A triggered failure
+/// degrades the request to "no trace context" (counted on
+/// `serve.trace.drop`) — it must never cost a response.
+void trace_inject_failpoint();
 }  // namespace detail
 
 }  // namespace wcm::serve

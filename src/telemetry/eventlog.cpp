@@ -1,0 +1,123 @@
+#include "telemetry/eventlog.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <utility>
+
+#include "telemetry/registry.hpp"
+#include "telemetry/stopwatch.hpp"
+#include "telemetry/trace_context.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+
+namespace wcm::telemetry::eventlog {
+
+namespace {
+
+struct LogState {
+  std::mutex mu;
+  std::string path;
+  std::ofstream out;
+};
+
+LogState& log_state() {
+  static LogState s;
+  return s;
+}
+
+/// Fast-path guard so a disabled log costs one relaxed load per emit().
+std::atomic<bool> g_enabled{false};
+std::atomic<u64> g_dropped{0};
+
+void count_dropped() noexcept {
+  g_dropped.fetch_add(1, std::memory_order_relaxed);
+  try {
+    if (telemetry::enabled()) {
+      registry().counter("telemetry.eventlog.dropped").add();
+    }
+  } catch (...) {  // a dying counter must not escalate a dropped line
+  }
+}
+
+}  // namespace
+
+void set_path(const std::string& path) {
+  LogState& s = log_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.out.is_open()) {
+    s.out.close();
+  }
+  s.path = path;
+  if (!path.empty()) {
+    s.out.clear();
+    s.out.open(path, std::ios::binary | std::ios::app);
+  }
+  g_enabled.store(!path.empty(), std::memory_order_relaxed);
+}
+
+std::string path() {
+  LogState& s = log_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.path;
+}
+
+bool log_enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void configure_from_env() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env probe.
+  const char* path = std::getenv("WCM_EVENTLOG");
+  if (path != nullptr && path[0] != '\0') {
+    set_path(path);
+  }
+}
+
+void emit(const char* event, json::Object fields) noexcept {
+  if (!log_enabled()) {
+    return;
+  }
+  try {
+    const TraceContext& ctx = current_trace_context();
+    fields.insert_or_assign("event", json::Value(std::string(event)));
+    fields.insert_or_assign(
+        "ts_ns", json::Value(static_cast<double>(monotonic_ns())));
+    if (ctx.active()) {
+      fields.insert_or_assign("trace_id",
+                              json::Value(trace_hex(ctx.trace_id)));
+      fields.insert_or_assign("span_id", json::Value(trace_hex(ctx.span_id)));
+      fields.insert_or_assign("tenant", json::Value(ctx.tenant));
+    }
+    const std::string line = json::to_text(json::Value(std::move(fields)));
+    LogState& s = log_state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    WCM_FAILPOINT("telemetry.eventlog.write", io_error,
+                  "injected event-log write failure");
+    if (!s.out.is_open()) {
+      throw io_error("event log is not open", s.path);
+    }
+    s.out << line << '\n';
+    s.out.flush();
+    if (!s.out) {
+      s.out.clear();  // keep the stream usable for the next attempt
+      throw io_error("event log write failed", s.path);
+    }
+    if (telemetry::enabled()) {
+      registry().counter("telemetry.eventlog.lines").add();
+    }
+  } catch (...) {
+    // The degrade contract: a failed event-log write becomes a counter
+    // bump, never a lost response or a thrown exception.
+    count_dropped();
+  }
+}
+
+u64 dropped() noexcept { return g_dropped.load(std::memory_order_relaxed); }
+
+void reset_for_tests() {
+  set_path("");
+  g_dropped.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace wcm::telemetry::eventlog

@@ -1,0 +1,53 @@
+#pragma once
+// Structured JSONL event log: one strict-JSON object per line, carrying
+// the same correlation ids as the span tracer, so a request can be
+// followed through admission, batching, execution, and response without
+// loading a full Chrome trace (docs/TELEMETRY.md "Request tracing").
+//
+// Each line is rendered through util/json (sorted keys, strict syntax),
+// so `util/json`-based consumers — and the obs_ci gate — can parse every
+// line back.  Alongside the caller's fields, emit() attaches:
+//
+//   "event"    the event name (the caller's first argument)
+//   "ts_ns"    monotonic timestamp (volatile, like trace timestamps)
+//   "trace_id"/"span_id"/"tenant"  from the calling thread's
+//              TraceContext, when one is active
+//
+// Failure contract (the fault-injection satellite): a failed write —
+// including the "telemetry.eventlog.write" failpoint — increments
+// dropped() and the `telemetry.eventlog.dropped` counter and otherwise
+// disappears; emit() never throws, so a dying event log can never cost a
+// response.  The log is disabled (zero-cost boolean check) until a path
+// is set via set_path(), WCM_EVENTLOG, or the daemon's --eventlog flag.
+
+#include <string>
+
+#include "util/json.hpp"
+#include "util/math.hpp"
+
+namespace wcm::telemetry::eventlog {
+
+/// Open (append) the JSONL sink at `path`; an empty path closes and
+/// disables the log.  A path that cannot be opened counts every
+/// subsequent emit() as dropped.
+void set_path(const std::string& path);
+[[nodiscard]] std::string path();
+
+/// True iff a sink path is configured (emit() is a no-op otherwise).
+[[nodiscard]] bool log_enabled() noexcept;
+
+/// Apply WCM_EVENTLOG=<path>.  Idempotent, called from CLI main()s.
+void configure_from_env();
+
+/// Append one event line.  `fields` must not use the reserved keys
+/// (event, ts_ns, trace_id, span_id, tenant) — reserved keys win.
+/// Never throws; failures increment dropped().
+void emit(const char* event, json::Object fields) noexcept;
+
+/// Lines lost to write failures since the last reset_for_tests().
+[[nodiscard]] u64 dropped() noexcept;
+
+/// Close the sink, clear the path, and zero the dropped tally.
+void reset_for_tests();
+
+}  // namespace wcm::telemetry::eventlog

@@ -1,0 +1,149 @@
+#include "telemetry/exposition.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace wcm::telemetry {
+
+namespace {
+
+/// Same rendering contract as the text/JSON writers: integral values
+/// print as integers, everything else with round-trip precision.
+std::string number_text(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    std::ostringstream os;
+    os << static_cast<long long>(v);
+    return os.str();
+  }
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+/// Escape one label value per the exposition spec.
+void write_label_value(std::ostream& os, const std::string& value) {
+  os << '"';
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        os << "\\\\";
+        break;
+      case '"':
+        os << "\\\"";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      default:
+        os << c;
+    }
+  }
+  os << '"';
+}
+
+/// Render `{k="v",...}` (plus an optional trailing `le`), or nothing when
+/// there are no labels at all.
+void write_labels(std::ostream& os, const Labels& labels, const char* le_key,
+                  const std::string& le_value) {
+  if (labels.empty() && le_key == nullptr) {
+    return;
+  }
+  os << '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) {
+      os << ',';
+    }
+    first = false;
+    os << key << '=';
+    write_label_value(os, value);
+  }
+  if (le_key != nullptr) {
+    if (!first) {
+      os << ',';
+    }
+    os << le_key << '=';
+    write_label_value(os, le_value);
+  }
+  os << '}';
+}
+
+const char* type_name(MetricKind kind) noexcept {
+  switch (kind) {
+    case MetricKind::counter:
+      return "counter";
+    case MetricKind::gauge:
+      return "gauge";
+    case MetricKind::histogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name, MetricKind kind) {
+  std::string out;
+  out.reserve(name.size() + 6);
+  for (const char c : name) {
+    const bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(valid ? c : '_');
+  }
+  if (out.empty() || (out.front() >= '0' && out.front() <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  constexpr const char* suffix = "_total";
+  const bool has_suffix =
+      out.size() >= 6 && out.compare(out.size() - 6, 6, suffix) == 0;
+  if (kind == MetricKind::counter && !has_suffix) {
+    out += suffix;
+  }
+  return out;
+}
+
+void write_prometheus(std::ostream& os, const Snapshot& snap) {
+  std::string open_family;  // family whose # TYPE header is already out
+  for (const MetricRow& row : snap.rows) {
+    const std::string family = prometheus_name(row.name, row.kind);
+    if (family != open_family) {
+      os << "# TYPE " << family << ' ' << type_name(row.kind) << '\n';
+      open_family = family;
+    }
+    switch (row.kind) {
+      case MetricKind::counter:
+        os << family;
+        write_labels(os, row.labels, nullptr, "");
+        os << ' ' << row.counter_value << '\n';
+        break;
+      case MetricKind::gauge:
+        os << family;
+        write_labels(os, row.labels, nullptr, "");
+        os << ' ' << number_text(row.gauge_value) << '\n';
+        break;
+      case MetricKind::histogram: {
+        u64 cumulative = 0;
+        for (std::size_t i = 0; i < row.hist_buckets.size(); ++i) {
+          cumulative += row.hist_buckets[i];
+          const std::string le = i < row.hist_bounds.size()
+                                     ? number_text(row.hist_bounds[i])
+                                     : std::string("+Inf");
+          os << family << "_bucket";
+          write_labels(os, row.labels, "le", le);
+          os << ' ' << cumulative << '\n';
+        }
+        os << family << "_sum";
+        write_labels(os, row.labels, nullptr, "");
+        os << ' ' << number_text(row.hist_sum) << '\n';
+        os << family << "_count";
+        write_labels(os, row.labels, nullptr, "");
+        os << ' ' << row.hist_count << '\n';
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace wcm::telemetry

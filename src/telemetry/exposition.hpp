@@ -1,0 +1,36 @@
+#pragma once
+// Prometheus text exposition (format 0.0.4) of a metrics Snapshot — the
+// scrape surface of the wcmd daemon: the `metrics` op serves it with
+// params {"format":"prometheus"}, and `wcmgen metrics
+// --format=prometheus` prints it for piping into node_exporter-style
+// collectors (docs/TELEMETRY.md "Exposition formats").
+//
+// Mapping rules, chosen so the output validates under promtool:
+//   * names are sanitized to [a-zA-Z_:][a-zA-Z0-9_:]* (dots/dashes ->
+//     underscores) and counters gain the conventional `_total` suffix;
+//   * one `# TYPE` header per metric family, families in sorted order
+//     (snapshots are already deterministically sorted, so the exposition
+//     inherits the byte-stability of write_text/write_json);
+//   * histograms render as cumulative `_bucket{le="..."}` series plus
+//     `_sum` and `_count`, with the implicit overflow bucket as
+//     `le="+Inf"`;
+//   * label values are escaped per the exposition spec (backslash,
+//     double-quote, newline).
+
+#include <iosfwd>
+#include <string>
+
+#include "telemetry/registry.hpp"
+
+namespace wcm::telemetry {
+
+/// Sanitized exposition name of one metric family: invalid characters
+/// become '_', a leading digit gains a '_' prefix, and counters are
+/// suffixed `_total` (idempotently).
+[[nodiscard]] std::string prometheus_name(const std::string& name,
+                                          MetricKind kind);
+
+/// Render the snapshot in the Prometheus text exposition format.
+void write_prometheus(std::ostream& os, const Snapshot& snap);
+
+}  // namespace wcm::telemetry

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "telemetry/span.hpp"
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
 
@@ -81,6 +82,55 @@ bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
 
 void set_enabled(bool on) noexcept {
   g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::vector<double> log_scale_bounds(double lo, double hi, u32 per_decade) {
+  if (!(lo > 0.0) || !(hi > lo) || per_decade == 0) {
+    throw contract_error(
+        "log_scale_bounds requires 0 < lo < hi and per_decade >= 1");
+  }
+  std::vector<double> bounds;
+  const double lg_lo = std::log10(lo);
+  for (u32 i = 0;; ++i) {
+    const double bound = std::pow(10.0, lg_lo + static_cast<double>(i) /
+                                                    per_decade);
+    bounds.push_back(bound);
+    if (bound >= hi) {
+      break;
+    }
+  }
+  return bounds;
+}
+
+double bucket_quantile(const std::vector<double>& bounds,
+                       const std::vector<u64>& buckets, double q) noexcept {
+  u64 total = 0;
+  for (const u64 n : buckets) {
+    total += n;
+  }
+  if (total == 0 || bounds.empty()) {
+    return 0.0;
+  }
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target observation, 1-based; q=0 selects the first.
+  const double rank = std::max(1.0, q * static_cast<double>(total));
+  u64 seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (static_cast<double>(seen) < rank) {
+      continue;
+    }
+    if (i >= bounds.size()) {
+      return bounds.back();  // overflow bucket: clamp to the last bound
+    }
+    const double upper = bounds[i];
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    const u64 before = seen - buckets[i];
+    const double within =
+        (rank - static_cast<double>(before)) / static_cast<double>(buckets[i]);
+    return lower + (upper - lower) * within;
+  }
+  return bounds.back();
 }
 
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
@@ -261,6 +311,16 @@ Snapshot Registry::snapshot() const {
     row.labels = {{"name", name}};
     row.kind = MetricKind::counter;
     row.counter_value = trips;
+    snap.rows.push_back(std::move(row));
+  }
+  // Span-buffer overflow is tallied in the tracer (telemetry/span.cpp),
+  // not through an instrument handle; surface it as a synthetic counter
+  // so the daemon's metrics op reports trace degradation.
+  if (const u64 dropped = dropped_spans(); dropped > 0) {
+    MetricRow row;
+    row.name = "telemetry.dropped_spans";
+    row.kind = MetricKind::counter;
+    row.counter_value = dropped;
     snap.rows.push_back(std::move(row));
   }
   std::sort(snap.rows.begin(), snap.rows.end(),

@@ -74,9 +74,29 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-/// Fixed-bucket histogram: `bounds` are inclusive upper bounds, plus an
-/// implicit +inf overflow bucket.  Observation is two relaxed adds and a
-/// CAS-accumulated sum.
+/// Geometrically spaced histogram bounds: `per_decade` bounds per power
+/// of ten, starting at `lo`, extended until `hi` is covered (the last
+/// bound is >= hi).  This is how latency histograms stay meaningful
+/// across five orders of magnitude — `serve.latency_ms` resolves a
+/// 0.05 ms cache hit and a multi-second campaign from the same
+/// instrument.  Throws wcm::contract_error unless 0 < lo < hi and
+/// per_decade >= 1.
+[[nodiscard]] std::vector<double> log_scale_bounds(double lo, double hi,
+                                                   u32 per_decade);
+
+/// Estimate the q-quantile (0 <= q <= 1) of a bucketed distribution by
+/// linear interpolation inside the selected bucket; `bounds` and
+/// `buckets` follow the Histogram layout (buckets has one extra overflow
+/// slot).  Returns 0 when the histogram is empty; an overflow-bucket hit
+/// clamps to the last finite bound.
+[[nodiscard]] double bucket_quantile(const std::vector<double>& bounds,
+                                     const std::vector<u64>& buckets,
+                                     double q) noexcept;
+
+/// Bucketed histogram: `bounds` are inclusive upper bounds, plus an
+/// implicit +inf overflow bucket.  Bounds may be any sorted sequence —
+/// use log_scale_bounds() for wide-dynamic-range latencies.  Observation
+/// is two relaxed adds and a CAS-accumulated sum.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);

@@ -1,0 +1,81 @@
+#include "telemetry/sliding.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace wcm::telemetry {
+
+SlidingStats::SlidingStats(double window_seconds, double slo_ms,
+                           double slo_target, std::size_t max_samples)
+    : window_seconds_(window_seconds),
+      slo_ms_(slo_ms),
+      error_budget_(1.0 - slo_target),
+      max_samples_(max_samples) {
+  if (!(window_seconds > 0.0)) {
+    throw contract_error("SlidingStats window must be positive");
+  }
+  if (!(slo_ms > 0.0)) {
+    throw contract_error("SlidingStats slo_ms must be positive");
+  }
+  if (!(slo_target > 0.0) || !(slo_target < 1.0)) {
+    throw contract_error("SlidingStats slo_target must be in (0, 1)");
+  }
+  if (max_samples == 0) {
+    throw contract_error("SlidingStats max_samples must be >= 1");
+  }
+}
+
+void SlidingStats::evict(u64 now_ns) {
+  const u64 window_ns = static_cast<u64>(window_seconds_ * 1e9);
+  const u64 horizon = now_ns >= window_ns ? now_ns - window_ns : 0;
+  while (head_ < samples_.size() && samples_[head_].at_ns < horizon) {
+    ++head_;
+  }
+  // Compact once the dead prefix dominates, keeping appends amortized
+  // O(1) without a deque's per-block allocation.
+  if (head_ > 1024 && head_ * 2 > samples_.size()) {
+    samples_.erase(samples_.begin(),
+                   samples_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+}
+
+void SlidingStats::observe(u64 now_ns, double value_ms) {
+  evict(now_ns);
+  if (samples_.size() - head_ >= max_samples_) {
+    ++head_;  // bounded memory beats a perfect window under overload
+  }
+  samples_.push_back(Sample{now_ns, value_ms});
+}
+
+SlidingStats::Summary SlidingStats::summarize(u64 now_ns) {
+  evict(now_ns);
+  Summary out;
+  const std::size_t n = samples_.size() - head_;
+  if (n == 0) {
+    return out;
+  }
+  std::vector<double> values;
+  values.reserve(n);
+  for (std::size_t i = head_; i < samples_.size(); ++i) {
+    values.push_back(samples_[i].value_ms);
+    if (samples_[i].value_ms > slo_ms_) {
+      ++out.over_slo;
+    }
+  }
+  std::sort(values.begin(), values.end());
+  const auto rank = [n](double q) {
+    const auto r = static_cast<std::size_t>(q * static_cast<double>(n - 1));
+    return std::min(r, n - 1);
+  };
+  out.count = n;
+  out.p50_ms = values[rank(0.50)];
+  out.p99_ms = values[rank(0.99)];
+  const double violation_rate =
+      static_cast<double>(out.over_slo) / static_cast<double>(n);
+  out.burn_rate = violation_rate / error_budget_;
+  return out;
+}
+
+}  // namespace wcm::telemetry

@@ -1,0 +1,69 @@
+#pragma once
+// Sliding-window latency statistics + SLO burn rate, feeding the
+// per-tenant gauges the wcmd daemon exports (docs/TELEMETRY.md).
+//
+// A cumulative histogram answers "p99 since boot", which goes stale the
+// moment traffic changes; the serve layer wants "p99 over the last
+// minute" and "how fast is this tenant burning its error budget".
+// SlidingStats keeps the raw observations of the last `window_seconds`
+// (bounded by `max_samples`, oldest evicted first) and summarizes them
+// on demand:
+//
+//   * p50 / p99 by nearest-rank over the live window;
+//   * burn rate = (fraction of observations over `slo_ms`) divided by
+//     the error budget (1 - slo_target).  1.0 means the tenant is
+//     consuming budget exactly as fast as the SLO allows; 10.0 means
+//     ten times too fast (page); 0 means no violations in the window.
+//
+// Time is passed in explicitly (monotonic ns) so tests drive the window
+// deterministically.
+
+#include <vector>
+
+#include "util/math.hpp"
+
+namespace wcm::telemetry {
+
+class SlidingStats {
+ public:
+  /// `slo_target` is the availability objective (default 99% of
+  /// observations under `slo_ms`).  Throws wcm::contract_error on a
+  /// non-positive window, a non-positive max_samples, or a target
+  /// outside (0, 1).
+  SlidingStats(double window_seconds, double slo_ms, double slo_target = 0.99,
+               std::size_t max_samples = 4096);
+
+  void observe(u64 now_ns, double value_ms);
+
+  struct Summary {
+    u64 count = 0;       ///< observations in the live window
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    u64 over_slo = 0;    ///< observations above slo_ms
+    double burn_rate = 0.0;
+  };
+
+  /// Evict everything older than the window, then summarize what's left.
+  [[nodiscard]] Summary summarize(u64 now_ns);
+
+  [[nodiscard]] double slo_ms() const noexcept { return slo_ms_; }
+  [[nodiscard]] double window_seconds() const noexcept {
+    return window_seconds_;
+  }
+
+ private:
+  void evict(u64 now_ns);
+
+  double window_seconds_;
+  double slo_ms_;
+  double error_budget_;  ///< 1 - slo_target
+  std::size_t max_samples_;
+  struct Sample {
+    u64 at_ns;
+    double value_ms;
+  };
+  std::vector<Sample> samples_;  ///< ring in arrival order
+  std::size_t head_ = 0;         ///< index of the oldest live sample
+};
+
+}  // namespace wcm::telemetry

@@ -11,14 +11,22 @@
 
 #include "telemetry/registry.hpp"
 #include "telemetry/stopwatch.hpp"
+#include "telemetry/trace_context.hpp"
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
+#include "util/json.hpp"
 
 namespace wcm::telemetry {
 
 namespace {
 
 std::atomic<bool> g_tracing{false};
+
+/// Per-thread event cap (satellite: a long-running daemon must degrade
+/// its trace on overflow, never OOM) and the overflow tally behind
+/// dropped_spans().
+std::atomic<std::size_t> g_max_spans{std::size_t{1} << 20};
+std::atomic<u64> g_dropped_spans{0};
 
 // Spans read the library-wide clock (telemetry/stopwatch.hpp) so trace
 // timestamps line up with every other reported duration.
@@ -28,13 +36,18 @@ std::atomic<bool> g_tracing{false};
 
 namespace detail {
 
-/// One completed span.
+/// One completed span.  The trace fields are zero / empty when the span
+/// ran outside any TraceContext, and the export omits "args" for them.
 struct Event {
   const char* name;
   u64 start_ns;
   u64 dur_ns;
   u32 depth;  ///< nesting level at entry (0 = top of this thread's stack)
   u64 seq;    ///< per-thread entry order — the deterministic sort key
+  u64 trace_id = 0;        ///< correlation id of the owning request
+  u64 span_id = 0;         ///< this span's own id
+  u64 parent_span_id = 0;  ///< enclosing span (possibly on another thread)
+  std::string tenant;      ///< the context's tenant, for per-tenant filters
 };
 
 /// Per-thread span storage.  `depth`/`next_seq` are touched only by the
@@ -82,19 +95,39 @@ ThreadBuf* thread_buf() {
 }
 
 void span_begin(ThreadBuf* buf, const char* /*name*/, u32& depth_out,
-                u64& seq_out, u64& start_ns_out) noexcept {
+                u64& seq_out, u64& start_ns_out, u64& span_id_out,
+                u64& parent_span_id_out) noexcept {
   depth_out = buf->depth++;
   seq_out = buf->next_seq++;
+  // Become the current parent for nested spans (restored in span_end);
+  // the ids cost one relaxed atomic and keep the causal tree linked even
+  // across the thread hops a TraceContext makes.
+  TraceContext& ctx = detail::mutable_trace_context();
+  parent_span_id_out = ctx.span_id;
+  span_id_out = next_span_id();
+  ctx.span_id = span_id_out;
   start_ns_out = now_ns();
 }
 
 void span_end(ThreadBuf* buf, const char* name, u32 depth, u64 seq,
-              u64 start_ns) noexcept {
+              u64 start_ns, u64 span_id, u64 parent_span_id) noexcept {
   const u64 end_ns = now_ns();
   buf->depth = depth;  // unwind even if inner spans leaked depth
+  TraceContext& ctx = detail::mutable_trace_context();
+  ctx.span_id = parent_span_id;
+  Event event{name, start_ns, end_ns - start_ns, depth, seq};
+  if (ctx.active()) {
+    event.trace_id = ctx.trace_id;
+    event.span_id = span_id;
+    event.parent_span_id = parent_span_id;
+    event.tenant = ctx.tenant;
+  }
   std::lock_guard<std::mutex> lock(buf->mu);
-  buf->events.push_back(
-      Event{name, start_ns, end_ns - start_ns, depth, seq});
+  if (buf->events.size() >= trace_max_spans()) {
+    g_dropped_spans.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buf->events.push_back(std::move(event));
 }
 
 }  // namespace detail
@@ -180,6 +213,18 @@ std::size_t trace_event_count() {
   return n;
 }
 
+void set_trace_max_spans(std::size_t cap) noexcept {
+  g_max_spans.store(cap == 0 ? 1 : cap, std::memory_order_relaxed);
+}
+
+std::size_t trace_max_spans() noexcept {
+  return g_max_spans.load(std::memory_order_relaxed);
+}
+
+u64 dropped_spans() noexcept {
+  return g_dropped_spans.load(std::memory_order_relaxed);
+}
+
 void reset_trace() {
   detail::TraceState& s = detail::trace_state();
   std::lock_guard<std::mutex> lock(s.mu);
@@ -187,6 +232,7 @@ void reset_trace() {
     std::lock_guard<std::mutex> buf_lock(buf->mu);
     buf->events.clear();
   }
+  g_dropped_spans.store(0, std::memory_order_relaxed);
 }
 
 void write_chrome_trace(std::ostream& os) {
@@ -213,6 +259,15 @@ void write_chrome_trace(std::ostream& os) {
       write_us(os, e.start_ns - t0);
       os << ",\"dur\":";
       write_us(os, e.dur_ns);
+      if (e.trace_id != 0) {
+        // The causal tree: every span of one request carries that
+        // request's trace_id, whatever thread recorded it.  Keys sorted
+        // so exports stay canonical.
+        os << ",\"args\":{\"parent_span_id\":\"" << trace_hex(e.parent_span_id)
+           << "\",\"span_id\":\"" << trace_hex(e.span_id) << "\",\"tenant\":";
+        json::write_string(os, e.tenant);
+        os << ",\"trace_id\":\"" << trace_hex(e.trace_id) << "\"}";
+      }
       os << '}';
     }
   }
@@ -278,6 +333,15 @@ void configure_from_env() {
   const char* metrics_on = std::getenv("WCM_TELEMETRY");
   if (metrics_on != nullptr && metrics_on[0] != '\0') {
     set_enabled(true);
+  }
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env probe.
+  const char* max_spans = std::getenv("WCM_TRACE_MAX_SPANS");
+  if (max_spans != nullptr && max_spans[0] != '\0') {
+    char* end = nullptr;
+    const unsigned long long cap = std::strtoull(max_spans, &end, 10);
+    if (end != max_spans && *end == '\0') {
+      set_trace_max_spans(static_cast<std::size_t>(cap));
+    }
   }
 }
 

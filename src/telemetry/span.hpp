@@ -19,6 +19,18 @@
 // same per-thread order export byte-identical traces modulo timestamps
 // (and golden tests can compare structure without flaking under
 // WCM_THREADS>1).
+//
+// Request tracing (docs/TELEMETRY.md): a span recorded while a
+// TraceContext is active (telemetry/trace_context.hpp) carries the
+// context's trace_id and tenant, a fresh span_id, and its parent span's
+// id — exported as the event's "args" object — so every span of one wcmd
+// request shares that request's trace_id across threads.  Spans recorded
+// with no context export exactly as before (no "args").
+//
+// Buffers are bounded: each thread keeps at most trace_max_spans()
+// events (WCM_TRACE_MAX_SPANS, default 2^20); overflow drops the event
+// and bumps dropped_spans(), surfaced as the `telemetry.dropped_spans`
+// counter — a long-running daemon degrades its trace, never its memory.
 
 #include <cstdint>
 #include <iosfwd>
@@ -42,9 +54,10 @@ struct ThreadBuf;
 [[nodiscard]] ThreadBuf* thread_buf();
 
 void span_begin(ThreadBuf* buf, const char* name, u32& depth_out,
-                u64& seq_out, u64& start_ns_out) noexcept;
+                u64& seq_out, u64& start_ns_out, u64& span_id_out,
+                u64& parent_span_id_out) noexcept;
 void span_end(ThreadBuf* buf, const char* name, u32 depth, u64 seq,
-              u64 start_ns) noexcept;
+              u64 start_ns, u64 span_id, u64 parent_span_id) noexcept;
 
 }  // namespace detail
 
@@ -57,12 +70,14 @@ class Span {
   explicit Span(const char* name) noexcept : name_(name) {
     if (tracing()) {
       buf_ = detail::thread_buf();
-      detail::span_begin(buf_, name_, depth_, seq_, start_ns_);
+      detail::span_begin(buf_, name_, depth_, seq_, start_ns_, span_id_,
+                         parent_span_id_);
     }
   }
   ~Span() {
     if (buf_ != nullptr) {
-      detail::span_end(buf_, name_, depth_, seq_, start_ns_);
+      detail::span_end(buf_, name_, depth_, seq_, start_ns_, span_id_,
+                       parent_span_id_);
     }
   }
   Span(const Span&) = delete;
@@ -74,12 +89,25 @@ class Span {
   u32 depth_ = 0;
   u64 seq_ = 0;
   u64 start_ns_ = 0;
+  u64 span_id_ = 0;
+  u64 parent_span_id_ = 0;
 };
 
 /// Number of completed span events buffered across all threads.
 [[nodiscard]] std::size_t trace_event_count();
 
-/// Drop every buffered event and forget dead threads' buffers.
+/// Per-thread cap on buffered span events (default 2^20, or
+/// WCM_TRACE_MAX_SPANS via configure_from_env()).  A cap of 0 is treated
+/// as 1: the buffer must be able to hold at least one event.
+void set_trace_max_spans(std::size_t cap) noexcept;
+[[nodiscard]] std::size_t trace_max_spans() noexcept;
+
+/// Span events dropped on buffer overflow since the last reset_trace()
+/// (exported as the `telemetry.dropped_spans` counter in snapshots).
+[[nodiscard]] u64 dropped_spans() noexcept;
+
+/// Drop every buffered event (and the dropped-span tally) and forget
+/// dead threads' buffers.
 void reset_trace();
 
 /// Export the buffered spans as Chrome trace-event JSON
@@ -97,9 +125,10 @@ void write_flamegraph(std::ostream& os);
 void set_trace_path(std::string path);
 [[nodiscard]] std::string trace_path();
 
-/// Apply WCM_TRACE_OUT (enables tracing, sets the path) and WCM_TELEMETRY
-/// (any non-empty value enables the metrics registry).  Called once from
-/// CLI main()s; idempotent.
+/// Apply WCM_TRACE_OUT (enables tracing, sets the path), WCM_TELEMETRY
+/// (any non-empty value enables the metrics registry), and
+/// WCM_TRACE_MAX_SPANS (per-thread buffer cap; non-numeric values are
+/// ignored).  Called once from CLI main()s; idempotent.
 void configure_from_env();
 
 /// Write the Chrome trace to trace_path() if tracing produced events.

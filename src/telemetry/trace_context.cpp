@@ -1,0 +1,82 @@
+#include "telemetry/trace_context.hpp"
+
+#include <atomic>
+#include <utility>
+
+namespace wcm::telemetry {
+
+namespace {
+
+std::atomic<u64> g_next_trace_id{1};
+std::atomic<u64> g_next_span_id{1};
+
+thread_local TraceContext t_context;
+
+[[nodiscard]] int hex_digit(char c) noexcept {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  if (c >= 'A' && c <= 'F') {
+    return c - 'A' + 10;
+  }
+  return -1;
+}
+
+}  // namespace
+
+const TraceContext& current_trace_context() noexcept { return t_context; }
+
+u64 next_trace_id() noexcept {
+  return g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+u64 next_span_id() noexcept {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string trace_hex(u64 v) {
+  static constexpr char digits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+bool parse_trace_hex(const std::string& text, u64& out) noexcept {
+  std::size_t start = 0;
+  if (text.size() > 2 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X')) {
+    start = 2;
+  }
+  const std::size_t len = text.size() - start;
+  if (len == 0 || len > 16) {
+    return false;
+  }
+  u64 value = 0;
+  for (std::size_t i = start; i < text.size(); ++i) {
+    const int d = hex_digit(text[i]);
+    if (d < 0) {
+      return false;
+    }
+    value = (value << 4) | static_cast<u64>(d);
+  }
+  out = value;
+  return true;
+}
+
+ScopedTraceContext::ScopedTraceContext(TraceContext ctx) noexcept
+    : saved_(std::move(t_context)) {
+  t_context = std::move(ctx);
+}
+
+ScopedTraceContext::~ScopedTraceContext() { t_context = std::move(saved_); }
+
+namespace detail {
+TraceContext& mutable_trace_context() noexcept { return t_context; }
+}  // namespace detail
+
+}  // namespace wcm::telemetry

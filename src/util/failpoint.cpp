@@ -32,10 +32,12 @@ constexpr const char* kBuiltin[] = {
     "runtime.journal.replay",  // replay_journal: read failure
     "telemetry.export.write",      // write_chrome_trace: export failure
     "telemetry.registry.snapshot",  // Registry::snapshot: render failure
+    "telemetry.eventlog.write",  // eventlog::emit: swallowed, counts a drop
     "serve.accept",    // wcmd accept loop: drop the accepted connection
     "serve.read",      // wcmd connection reader: injected recv failure
     "serve.write",     // wcmd response writer: injected send failure
     "serve.dispatch",  // wcmd dispatcher: break before a request executes
+    "serve.trace.inject",  // wcmd trace minting: degrade to an untraced req
 };
 
 struct State {

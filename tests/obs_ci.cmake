@@ -1,0 +1,288 @@
+# Observability gate (ISSUE acceptance): the request-tracing and metrics
+# surfaces end to end, through the real binaries —
+#
+#   1. a traced serve session (WCM_TRACE_OUT + WCM_EVENTLOG + telemetry)
+#      exports one Chrome trace in which every request's spans share that
+#      request's wire trace_id across >= 2 exported threads, with the
+#      serve.request -> scheduler.job -> serve.respond causal chain and
+#      the wire parent_span_id on the root span;
+#   2. the structured event log strict-parses line by line as JSON and
+#      carries the same correlation ids;
+#   3. a live daemon answers `wcmgen metrics` in all three exposition
+#      formats (json parses, prometheus carries # TYPE headers and
+#      cumulative histogram buckets) and one `wcm-top --once` frame;
+#   4. WCM_TRACE_MAX_SPANS=4 under load degrades the trace, not the
+#      daemon: every request still answers, and the metrics op reports a
+#      nonzero telemetry.dropped_spans counter;
+#   5. wcm-benchdiff: identical reports exit 0, a synthetically regressed
+#      p99 exits 1 (and 0 under --report-only), an unreadable report
+#      exits 3.
+#
+# Run as:  cmake -DWCMD=<bin> -DLOADGEN=<bin> -DWCMGEN=<bin>
+#                -DWCMTOP=<bin> -DBENCHDIFF=<bin>
+#                -DBENCH=<BENCH_serve.json> -DWORKDIR=<dir> -P obs_ci.cmake
+
+# string(JSON ...) needs 3.19; this also sets the IN_LIST policy.
+cmake_minimum_required(VERSION 3.19)
+
+foreach(var WCMD LOADGEN WCMGEN WCMTOP BENCHDIFF BENCH WORKDIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "pass -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${WORKDIR})
+# Abstract-namespace sockets are machine-global; a random run id keeps
+# concurrent build trees from colliding.
+string(RANDOM LENGTH 8 ALPHABET 0123456789abcdef run_id)
+
+function(expect_exit code)
+  execute_process(COMMAND ${ARGN}
+                  RESULT_VARIABLE rv
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rv EQUAL ${code})
+    message(FATAL_ERROR
+      "expected exit ${code}, got '${rv}' for: ${ARGN}\n"
+      "stdout: ${out}\nstderr: ${err}")
+  endif()
+endfunction()
+
+function(require_match file pattern why)
+  file(READ ${file} contents)
+  if(NOT contents MATCHES "${pattern}")
+    message(FATAL_ERROR "${why}\npattern: ${pattern}\nin ${file}:\n${contents}")
+  endif()
+endfunction()
+
+# ---- 1. traced session: one Chrome trace, one causal tree per request ----
+
+set(trace_json ${WORKDIR}/obs_trace.json)
+set(eventlog ${WORKDIR}/obs_events.jsonl)
+file(REMOVE ${trace_json} ${eventlog})
+
+# r1 carries a bare trace_id; r2 adds a caller-side parent span, which
+# must come back as the parent of r2's serve.request root.
+set(script ${WORKDIR}/obs_traced.txt)
+file(WRITE ${script} [[{"op":"generate","id":"r1","params":{"E":5,"b":64,"k":1},"trace":{"trace_id":"a1"}}
+{"op":"generate","id":"r2","params":{"E":7,"b":64,"k":1},"trace":{"parent_span_id":"c3","trace_id":"b2"}}
+]])
+expect_exit(0 ${CMAKE_COMMAND} -E env WCM_TELEMETRY=1 WCM_THREADS=2
+            WCM_TRACE_OUT=${trace_json} WCM_EVENTLOG=${eventlog}
+            ${LOADGEN} --socket @wcm-obs-${run_id}-traced --spawn ${WCMD}
+            --script ${script} --out ${WORKDIR}/obs_traced_out.txt --drain)
+
+if(NOT EXISTS ${trace_json})
+  message(FATAL_ERROR "traced daemon exited without exporting ${trace_json}")
+endif()
+file(READ ${trace_json} trace)
+string(JSON n_events ERROR_VARIABLE jerr LENGTH "${trace}" traceEvents)
+if(NOT jerr STREQUAL "NOTFOUND")
+  message(FATAL_ERROR "Chrome trace is not valid JSON: ${jerr}")
+endif()
+
+# Walk every exported span and bin (name, tid, parent) by args.trace_id.
+set(t_a1 "00000000000000a1")
+set(t_b2 "00000000000000b2")
+foreach(t ${t_a1} ${t_b2})
+  set(names_${t} "")
+  set(tids_${t} "")
+  set(root_parent_${t} "")
+endforeach()
+math(EXPR last "${n_events} - 1")
+foreach(i RANGE 0 ${last})
+  string(JSON tid ERROR_VARIABLE jerr GET "${trace}" traceEvents ${i}
+         args trace_id)
+  if(NOT jerr STREQUAL "NOTFOUND")
+    continue()  # untraced span: no args object
+  endif()
+  set(t ${tid})
+  if(NOT DEFINED names_${t})
+    continue()  # daemon-minted id (e.g. the drain op's own trace)
+  endif()
+  string(JSON name GET "${trace}" traceEvents ${i} name)
+  string(JSON thread GET "${trace}" traceEvents ${i} tid)
+  list(APPEND names_${t} ${name})
+  list(APPEND tids_${t} ${thread})
+  if(name STREQUAL "serve.request")
+    string(JSON root_parent_${t} GET "${trace}" traceEvents ${i}
+           args parent_span_id)
+  endif()
+endforeach()
+
+foreach(t ${t_a1} ${t_b2})
+  foreach(required serve.request scheduler.job serve.respond)
+    if(NOT "${required}" IN_LIST names_${t})
+      message(FATAL_ERROR
+        "trace ${t} is missing its '${required}' span; got: ${names_${t}}")
+    endif()
+  endforeach()
+  list(REMOVE_DUPLICATES tids_${t})
+  list(LENGTH tids_${t} n_tids)
+  if(n_tids LESS 2)
+    message(FATAL_ERROR
+      "trace ${t} never crossed a thread boundary (tids: ${tids_${t}})")
+  endif()
+endforeach()
+if(NOT root_parent_${t_a1} STREQUAL "0000000000000000")
+  message(FATAL_ERROR
+    "r1 sent no parent span, but its root has parent "
+    "'${root_parent_${t_a1}}'")
+endif()
+if(NOT root_parent_${t_b2} STREQUAL "00000000000000c3")
+  message(FATAL_ERROR
+    "r2's wire parent_span_id c3 was lost; root parent is "
+    "'${root_parent_${t_b2}}'")
+endif()
+
+# ---- 2. event log: strict JSONL with the same correlation ids ------------
+
+if(NOT EXISTS ${eventlog})
+  message(FATAL_ERROR "WCM_EVENTLOG produced no ${eventlog}")
+endif()
+file(STRINGS ${eventlog} ev_lines)
+list(LENGTH ev_lines n_lines)
+if(n_lines EQUAL 0)
+  message(FATAL_ERROR "event log is empty")
+endif()
+set(ev_names "")
+set(ev_traces "")
+foreach(line ${ev_lines})
+  string(JSON ev ERROR_VARIABLE jerr GET "${line}" event)
+  if(NOT jerr STREQUAL "NOTFOUND")
+    message(FATAL_ERROR "event-log line is not strict JSON: ${jerr}\n${line}")
+  endif()
+  list(APPEND ev_names ${ev})
+  string(JSON t ERROR_VARIABLE jerr GET "${line}" trace_id)
+  if(jerr STREQUAL "NOTFOUND")
+    list(APPEND ev_traces ${t})
+  endif()
+endforeach()
+foreach(required serve.request serve.respond)
+  if(NOT "${required}" IN_LIST ev_names)
+    message(FATAL_ERROR "event log has no '${required}' event: ${ev_names}")
+  endif()
+endforeach()
+if(NOT "${t_a1}" IN_LIST ev_traces)
+  message(FATAL_ERROR
+    "event log never mentions r1's trace id ${t_a1}: ${ev_traces}")
+endif()
+
+# ---- 3. live daemon: exposition formats + one wcm-top frame ---------------
+
+set(live_sock @wcm-obs-${run_id}-live)
+set(pidfile ${WORKDIR}/obs_wcmd.pid)
+# Backgrounded by hand (loadgen --spawn reaps its daemon at exit, but this
+# phase needs one that outlives several client invocations).  Output is
+# redirected so the pipe closes when sh exits.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env WCM_TELEMETRY=1
+          sh -c "${WCMD} --socket ${live_sock} --quiet >/dev/null 2>&1 & \
+                 echo $! > ${pidfile}"
+  RESULT_VARIABLE rv ERROR_VARIABLE err)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "could not background a live daemon: ${err}")
+endif()
+
+# wcmgen retries the connect up to --timeout-ms, so this both waits for
+# the socket and checks the json exposition parses.
+execute_process(
+  COMMAND ${WCMGEN} metrics --socket ${live_sock} --format json
+          --timeout-ms 10000
+  RESULT_VARIABLE rv OUTPUT_VARIABLE metrics_json ERROR_VARIABLE err)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "wcmgen metrics --format json failed (${rv}): ${err}")
+endif()
+string(JSON n ERROR_VARIABLE jerr LENGTH "${metrics_json}" metrics)
+if(NOT jerr STREQUAL "NOTFOUND")
+  message(FATAL_ERROR
+    "metrics json exposition does not parse: ${jerr}\n${metrics_json}")
+endif()
+
+# Some traffic, so the serve counters and latency histogram exist.
+expect_exit(0 ${LOADGEN} --socket ${live_sock}
+            --requests 60 --conns 2 --seed 3
+            --out ${WORKDIR}/obs_live_mix.json)
+
+execute_process(
+  COMMAND ${WCMGEN} metrics --socket ${live_sock} --format prometheus
+  RESULT_VARIABLE rv OUTPUT_VARIABLE prom ERROR_VARIABLE err)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "prometheus exposition failed (${rv}): ${err}")
+endif()
+foreach(pattern
+    "# TYPE serve_requests_total counter"
+    "serve_requests_total 6[0-9]"  # 60 mix requests + the metrics ops
+    "# TYPE serve_latency_ms histogram"
+    "serve_latency_ms_bucket{le=\"\\+Inf\"} "
+    "serve_latency_ms_count ")
+  if(NOT prom MATCHES "${pattern}")
+    message(FATAL_ERROR
+      "prometheus exposition is missing '${pattern}':\n${prom}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${WCMGEN} metrics --socket ${live_sock} --format text
+  RESULT_VARIABLE rv OUTPUT_VARIABLE text_out ERROR_VARIABLE err)
+if(NOT rv EQUAL 0 OR NOT text_out MATCHES "serve.requests")
+  message(FATAL_ERROR "text exposition failed (${rv}):\n${text_out}\n${err}")
+endif()
+
+execute_process(
+  COMMAND ${WCMTOP} --once --no-clear --socket ${live_sock}
+  RESULT_VARIABLE rv OUTPUT_VARIABLE top_out ERROR_VARIABLE err)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "wcm-top --once failed (${rv}): ${err}")
+endif()
+foreach(pattern "qps" "p50" "p99" "cache" "queue" "quarantine")
+  if(NOT top_out MATCHES "${pattern}")
+    message(FATAL_ERROR "wcm-top frame is missing '${pattern}':\n${top_out}")
+  endif()
+endforeach()
+
+# Stop the live daemon through the drain op, then wait for the pid to go.
+set(drain_script ${WORKDIR}/obs_drain.txt)
+file(WRITE ${drain_script} "{\"op\":\"health\",\"id\":\"h\"}\n")
+expect_exit(0 ${LOADGEN} --socket ${live_sock} --script ${drain_script}
+            --out ${WORKDIR}/obs_drain_out.txt --drain)
+execute_process(
+  COMMAND sh -c "pid=$(cat ${pidfile}); for i in $(seq 1 100); do \
+                 kill -0 $pid 2>/dev/null || exit 0; sleep 0.1; done; exit 1"
+  RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "live daemon did not exit after the drain op")
+endif()
+
+# ---- 4. bounded span buffers degrade the trace, never the service --------
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env WCM_TELEMETRY=1 WCM_TRACE_MAX_SPANS=4
+          WCM_TRACE_OUT=${WORKDIR}/obs_trace_capped.json
+          ${LOADGEN} --socket @wcm-obs-${run_id}-capped --spawn ${WCMD}
+          --requests 80 --conns 2 --seed 5
+          --metrics-out ${WORKDIR}/obs_capped_metrics.json
+          --require-counter serve.requests:80,serve.responses:80
+          --drain
+  RESULT_VARIABLE rv OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR
+    "capped-trace run dropped responses instead of spans (${rv})\n${err}")
+endif()
+require_match(${WORKDIR}/obs_capped_metrics.json
+              "\"name\":\"telemetry.dropped_spans\",\"value\":[1-9]"
+              "WCM_TRACE_MAX_SPANS=4 under load reported no dropped spans")
+
+# ---- 5. wcm-benchdiff: the perf-regression gate ---------------------------
+
+expect_exit(0 ${BENCHDIFF} ${BENCH} ${BENCH})
+
+file(READ ${BENCH} bench)
+string(JSON regressed SET "${bench}" latency_ms p99 9999.5)
+file(WRITE ${WORKDIR}/obs_regressed.json "${regressed}")
+expect_exit(1 ${BENCHDIFF} ${BENCH} ${WORKDIR}/obs_regressed.json)
+expect_exit(0 ${BENCHDIFF} ${BENCH} ${WORKDIR}/obs_regressed.json
+            --report-only)
+expect_exit(3 ${BENCHDIFF} ${BENCH} ${WORKDIR}/does_not_exist.json)
+
+file(REMOVE_RECURSE ${WORKDIR})

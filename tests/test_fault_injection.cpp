@@ -10,10 +10,12 @@
 #include <algorithm>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <functional>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "analyze/passes/verify.hpp"
 #include "gpusim/device.hpp"
@@ -22,13 +24,16 @@
 #include "runtime/cache.hpp"
 #include "runtime/journal.hpp"
 #include "runtime/scheduler.hpp"
+#include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "sort/multiway.hpp"
 #include "sort/pairwise_sort.hpp"
+#include "telemetry/eventlog.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/span.hpp"
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
+#include "util/json.hpp"
 #include "workload/inputs.hpp"
 #include "workload/io.hpp"
 
@@ -187,6 +192,73 @@ TEST_F(FaultInjectionTest, TraceExportFailureDegradesGracefully) {
   telemetry::reset_trace();
 }
 
+// Satellite contract: a failed event-log write becomes a counter bump —
+// the line vanishes, emit() never throws, and the log keeps working once
+// the fault clears.
+TEST_F(FaultInjectionTest, EventlogWriteFailureDegradesToTheDropCounter) {
+  const std::string log = path_.string() + ".jsonl";
+  telemetry::eventlog::reset_for_tests();
+  telemetry::eventlog::set_path(log);
+  {
+    const failpoint::scoped_arm fp("telemetry.eventlog.write");
+    telemetry::eventlog::emit("doomed", {});  // must not throw
+  }
+  EXPECT_EQ(telemetry::eventlog::dropped(), 1u);
+  telemetry::eventlog::emit("survivor", {});
+  EXPECT_EQ(telemetry::eventlog::dropped(), 1u);
+  std::ifstream is(log);
+  std::string line;
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_NE(line.find("\"event\":\"survivor\""), std::string::npos) << line;
+  EXPECT_FALSE(std::getline(is, line)) << "dropped line was written: " << line;
+  telemetry::eventlog::reset_for_tests();
+  std::filesystem::remove(log);
+}
+
+// Satellite contract: an injected trace-context failure degrades the
+// request to untraced — counted on serve.trace.drop — and never costs the
+// client its response.
+TEST_F(FaultInjectionTest, TraceInjectionFailureNeverCostsAResponse) {
+  telemetry::registry().reset();
+  telemetry::set_enabled(true);
+  telemetry::set_tracing(true);  // trace minting is active, and fails
+  const failpoint::scoped_arm fp("serve.trace.inject");
+  serve::ServerConfig cfg;
+  cfg.socket = "@wcm-fault-trace-" + std::to_string(::getpid());
+  serve::Server server(cfg);
+  server.set_log(nullptr);
+  std::exception_ptr failure;
+  std::thread thread([&] {
+    try {
+      (void)server.serve();
+    } catch (...) {
+      failure = std::current_exception();
+    }
+  });
+  {
+    serve::Client client = serve::connect_with_retry(cfg.socket, 5000);
+    const auto reply =
+        json::parse(client.roundtrip(
+                        R"({"op":"generate","id":"g","params":)"
+                        R"({"E":5,"b":64,"k":1},"trace":{"trace_id":"a1"}})"))
+            .as_object();
+    EXPECT_TRUE(reply.at("ok").as_bool());
+    EXPECT_EQ(reply.at("id").as_string(), "g");
+  }
+  server.request_drain();
+  thread.join();
+  telemetry::set_tracing(false);
+  if (failure) {
+    std::rethrow_exception(failure);
+  }
+  EXPECT_GE(telemetry::registry().snapshot().counter_total(
+                "serve.trace.drop"),
+            1u);
+  telemetry::set_enabled(false);
+  telemetry::registry().reset();
+  telemetry::reset_trace();
+}
+
 TEST_F(FaultInjectionTest, ErrorsCarryFailpointContext) {
   write_valid_file();
   failpoint::scoped_arm fp("io.read.checksum");
@@ -321,8 +393,9 @@ TEST_F(FaultInjectionTest, KnownListsAllBuiltins) {
         "sort.multiway.round", "runtime.worker.job", "runtime.cache.load",
         "runtime.cache.store", "runtime.journal.append",
         "runtime.journal.replay", "telemetry.export.write",
-        "telemetry.registry.snapshot", "serve.accept", "serve.read",
-        "serve.write", "serve.dispatch"}) {
+        "telemetry.registry.snapshot", "telemetry.eventlog.write",
+        "serve.accept", "serve.read", "serve.write", "serve.dispatch",
+        "serve.trace.inject"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
   }
@@ -336,6 +409,10 @@ TEST_F(FaultInjectionTest, EveryRegisteredFailpointFired) {
   struct Driver {
     errc expected;
     std::function<void()> run;
+    /// False for sites that swallow the injected error by design (the
+    /// event log's degrade contract); the loop then only checks that the
+    /// failpoint actually fired.
+    bool throws = true;
   };
   const std::map<std::string, Driver> drivers{
       {"io.read.open",
@@ -439,6 +516,24 @@ TEST_F(FaultInjectionTest, EveryRegisteredFailpointFired) {
       {"serve.dispatch",
        {errc::simulation_invariant,
         [] { serve::detail::dispatch_failpoint(); }}},
+      {"serve.trace.inject",
+       {errc::simulation_invariant,
+        [] { serve::detail::trace_inject_failpoint(); }}},
+      // emit() swallows the injected io_error by contract — a dying
+      // event log may never cost a response — so this driver checks the
+      // degrade path (dropped tally) instead of a surfaced error.
+      {"telemetry.eventlog.write",
+       {errc::io_failure,
+        [&] {
+          telemetry::eventlog::reset_for_tests();
+          telemetry::eventlog::set_path(path_.string() + ".jsonl");
+          const u64 before = telemetry::eventlog::dropped();
+          telemetry::eventlog::emit("doomed", {});
+          EXPECT_EQ(telemetry::eventlog::dropped(), before + 1);
+          telemetry::eventlog::reset_for_tests();
+          std::filesystem::remove(path_.string() + ".jsonl");
+        },
+        /*throws=*/false}},
   };
 
   for (const auto& name : failpoint::known()) {
@@ -449,14 +544,18 @@ TEST_F(FaultInjectionTest, EveryRegisteredFailpointFired) {
     const auto fired_before = failpoint::triggers(name);
     {
       failpoint::scoped_arm fp(name);
-      try {
-        it->second.run();
-        FAIL() << "failpoint '" << name << "' did not fire";
-      } catch (const wcm::error& e) {
-        EXPECT_EQ(e.code(), it->second.expected)
-            << name << " surfaced the wrong error class: " << e.what();
-        EXPECT_NE(e.context().find(name), std::string::npos)
-            << name << " error lacks failpoint context: " << e.what();
+      if (!it->second.throws) {
+        it->second.run();  // the driver asserts its own degrade path
+      } else {
+        try {
+          it->second.run();
+          FAIL() << "failpoint '" << name << "' did not fire";
+        } catch (const wcm::error& e) {
+          EXPECT_EQ(e.code(), it->second.expected)
+              << name << " surfaced the wrong error class: " << e.what();
+          EXPECT_NE(e.context().find(name), std::string::npos)
+              << name << " error lacks failpoint context: " << e.what();
+        }
       }
     }
     EXPECT_GE(failpoint::triggers(name), fired_before + 1) << name;

@@ -16,6 +16,7 @@
 #include "serve/handlers.hpp"
 #include "serve/protocol.hpp"
 #include "serve/tenant_cache.hpp"
+#include "telemetry/registry.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
 
@@ -65,6 +66,66 @@ TEST(ServeProtocol, RejectsMalformedRequests) {
                parse_error);
 }
 
+// ---- the trace field ------------------------------------------------------
+
+TEST(ServeProtocol, ParsesTraceIds) {
+  const Request req = parse_request(
+      R"({"op":"generate","id":"r1","trace":)"
+      R"({"trace_id":"00000000000000ab","parent_span_id":"cd"}})");
+  EXPECT_EQ(req.trace_id, 0xabu);
+  EXPECT_EQ(req.parent_span_id, 0xcdu);
+}
+
+TEST(ServeProtocol, TraceAcceptsShortAndPrefixedHex) {
+  EXPECT_EQ(parse_request(R"({"op":"health","trace":{"trace_id":"a1"}})")
+                .trace_id,
+            0xa1u);
+  EXPECT_EQ(parse_request(R"({"op":"health","trace":{"trace_id":"0xA1"}})")
+                .trace_id,
+            0xa1u);
+  EXPECT_EQ(parse_request(R"({"op":"health"})").trace_id, 0u);
+}
+
+TEST(ServeProtocol, CorruptTraceFieldsDegradeToAbsentNeverThrow) {
+  // The tolerant-parse contract (docs/SERVE.md): observability metadata
+  // must never cost a response.  Every insult parses; the ids stay 0.
+  const char* corpus[] = {
+      R"({"op":"health","trace":1})",                        // non-object
+      R"({"op":"health","trace":"a1"})",                     // non-object
+      R"({"op":"health","trace":[]})",                       // non-object
+      R"({"op":"health","trace":{"trace_id":17}})",          // non-string id
+      R"({"op":"health","trace":{"trace_id":"zz"}})",        // non-hex
+      R"({"op":"health","trace":{"trace_id":""}})",          // empty
+      R"({"op":"health","trace":{"trace_id":"0x"}})",        // digitless
+      R"({"op":"health","trace":{"trace_id":"a1 "}})",       // whitespace
+      R"({"op":"health","trace":{"trace_id":"-1"}})",        // sign
+      R"({"op":"health","trace":{"trace_id":"12345678901234567"}})",  // 17
+      R"({"op":"health","trace":{"parent_span_id":null}})",  // non-string
+  };
+  for (const char* line : corpus) {
+    const Request req = parse_request(line);  // must not throw
+    EXPECT_EQ(req.trace_id, 0u) << line;
+    EXPECT_EQ(req.parent_span_id, 0u) << line;
+  }
+  // Unknown trace subkeys are ignored (forward compatibility), and do
+  // not poison the known ones.
+  const Request req = parse_request(
+      R"({"op":"health","trace":{"baggage":"x","trace_id":"a1"}})");
+  EXPECT_EQ(req.trace_id, 0xa1u);
+}
+
+TEST(ServeProtocol, CorruptTraceBumpsTheInvalidCounter) {
+  telemetry::registry().reset();
+  telemetry::set_enabled(true);
+  (void)parse_request(R"({"op":"health","trace":{"trace_id":"zz"}})");
+  (void)parse_request(R"({"op":"health","trace":17})");
+  telemetry::set_enabled(false);
+  EXPECT_EQ(telemetry::registry().snapshot().counter_total(
+                "serve.trace.invalid"),
+            2u);
+  telemetry::registry().reset();
+}
+
 // ---- canonical_request ----------------------------------------------------
 
 Request req_of(const std::string& line) { return parse_request(line); }
@@ -99,9 +160,38 @@ TEST(ServeProtocol, CanonicalRejectsUnknownAndIllTypedParams) {
   EXPECT_THROW(canonical_request(req_of(
                    R"({"op":"generate","params":{"strategy":"sideways"}})")),
                parse_error);
-  // Admin ops take no params at all.
+  // Admin ops reject unknown params (metrics knows only "format").
   EXPECT_THROW(canonical_request(req_of(
                    R"({"op":"metrics","params":{"x":1}})")),
+               parse_error);
+}
+
+TEST(ServeProtocol, CanonicalIgnoresTheTraceField) {
+  // The trace is observability metadata: it must never split the dedup /
+  // cache key (two identical asks with different traces share one
+  // computation) and never leak into response bytes.
+  const auto bare = canonical_request(
+      req_of(R"({"op":"generate","params":{"E":5,"b":64}})"));
+  const auto traced = canonical_request(req_of(
+      R"({"op":"generate","params":{"E":5,"b":64},)"
+      R"("trace":{"trace_id":"a1","parent_span_id":"b2"}})"));
+  EXPECT_EQ(bare, traced);
+}
+
+TEST(ServeProtocol, CanonicalMetricsCarriesTheFormat) {
+  EXPECT_EQ(canonical_request(req_of(R"({"op":"metrics"})")),
+            "metrics|format=json");
+  EXPECT_EQ(canonical_request(req_of(
+                R"({"op":"metrics","params":{"format":"prometheus"}})")),
+            "metrics|format=prometheus");
+  EXPECT_EQ(canonical_request(req_of(
+                R"({"op":"metrics","params":{"format":"text"}})")),
+            "metrics|format=text");
+  EXPECT_THROW(canonical_request(req_of(
+                   R"({"op":"metrics","params":{"format":"xml"}})")),
+               parse_error);
+  EXPECT_THROW(canonical_request(req_of(
+                   R"({"op":"metrics","params":{"format":17}})")),
                parse_error);
 }
 

@@ -1,0 +1,363 @@
+// Observability-layer unit tests: log-scale histogram bounds and bucket
+// quantiles (registry), sliding-window latency stats and SLO burn rate,
+// the Prometheus text exposition, the JSONL event log (including its
+// never-throw failure contract), and the bounded span buffers behind
+// WCM_TRACE_MAX_SPANS / telemetry.dropped_spans.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/eventlog.hpp"
+#include "telemetry/exposition.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/sliding.hpp"
+#include "telemetry/span.hpp"
+#include "telemetry/trace_context.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/json.hpp"
+
+namespace wcm::telemetry {
+namespace {
+
+struct MetricsOn {
+  MetricsOn() {
+    registry().reset();
+    set_enabled(true);
+  }
+  ~MetricsOn() {
+    set_enabled(false);
+    registry().reset();
+  }
+};
+
+// ---- log-scale bounds ----------------------------------------------------
+
+TEST(LogScaleBounds, CoversTheRangeGeometrically) {
+  const auto bounds = log_scale_bounds(0.01, 10000.0, 3);
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_NEAR(bounds.front(), 0.01, 1e-9);
+  EXPECT_GE(bounds.back(), 10000.0);
+  // Geometric spacing: each step multiplies by 10^(1/3).
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_NEAR(bounds[i] / bounds[i - 1], std::pow(10.0, 1.0 / 3.0), 1e-6);
+  }
+  // Five decades above covered with 3 per decade: 16 bounds.
+  EXPECT_EQ(bounds.size(), 19u);
+}
+
+TEST(LogScaleBounds, RejectsDegenerateRanges) {
+  EXPECT_THROW(log_scale_bounds(0.0, 1.0, 3), contract_error);
+  EXPECT_THROW(log_scale_bounds(-1.0, 1.0, 3), contract_error);
+  EXPECT_THROW(log_scale_bounds(1.0, 1.0, 3), contract_error);
+  EXPECT_THROW(log_scale_bounds(2.0, 1.0, 3), contract_error);
+  EXPECT_THROW(log_scale_bounds(0.1, 10.0, 0), contract_error);
+}
+
+TEST(BucketQuantile, InterpolatesInsideTheSelectedBucket) {
+  const std::vector<double> bounds = {1.0, 2.0, 4.0};
+  // 10 observations in (1,2], none elsewhere.
+  const std::vector<u64> buckets = {0, 10, 0, 0};
+  EXPECT_NEAR(bucket_quantile(bounds, buckets, 0.0), 1.1, 1e-9);
+  EXPECT_NEAR(bucket_quantile(bounds, buckets, 0.5), 1.5, 1e-9);
+  EXPECT_NEAR(bucket_quantile(bounds, buckets, 1.0), 2.0, 1e-9);
+}
+
+TEST(BucketQuantile, EmptyAndOverflowBehave) {
+  const std::vector<double> bounds = {1.0, 2.0};
+  EXPECT_EQ(bucket_quantile(bounds, {0, 0, 0}, 0.99), 0.0);
+  // Everything in the overflow bucket clamps to the last finite bound.
+  EXPECT_EQ(bucket_quantile(bounds, {0, 0, 5}, 0.99), 2.0);
+}
+
+TEST(BucketQuantile, ResolvesSubMillisecondAndMultiSecondFromOneLayout) {
+  // The serve.latency_ms layout must distinguish a 0.05 ms cache hit from
+  // a 2 s campaign (the satellite's motivating case).
+  const auto bounds = log_scale_bounds(0.01, 10000.0, 3);
+  Histogram fast(bounds);
+  for (int i = 0; i < 100; ++i) {
+    fast.observe(0.05);
+  }
+  const double fast_p99 = bucket_quantile(bounds, fast.bucket_counts(), 0.99);
+  EXPECT_GT(fast_p99, 0.01);
+  EXPECT_LT(fast_p99, 0.5);
+  Histogram slow(bounds);
+  for (int i = 0; i < 100; ++i) {
+    slow.observe(2000.0);
+  }
+  const double slow_p99 = bucket_quantile(bounds, slow.bucket_counts(), 0.99);
+  EXPECT_GT(slow_p99, 500.0);
+}
+
+// ---- sliding window + burn rate ------------------------------------------
+
+constexpr u64 kSecond = 1'000'000'000ULL;
+
+TEST(SlidingStatsTest, EvictsOutsideTheWindow) {
+  SlidingStats stats(10.0, 100.0);
+  stats.observe(1 * kSecond, 5.0);
+  stats.observe(2 * kSecond, 7.0);
+  stats.observe(14 * kSecond, 9.0);
+  const auto sum = stats.summarize(15 * kSecond);
+  // The 1 s and 2 s samples are older than 15-10=5 s; only 9.0 remains.
+  EXPECT_EQ(sum.count, 1u);
+  EXPECT_EQ(sum.p50_ms, 9.0);
+  EXPECT_EQ(sum.p99_ms, 9.0);
+}
+
+TEST(SlidingStatsTest, BurnRateIsViolationRateOverErrorBudget) {
+  SlidingStats stats(60.0, 100.0, 0.99);  // 1% error budget
+  // 2 of 100 over SLO: violation rate 2%, budget 1% -> burn rate 2.
+  for (int i = 0; i < 98; ++i) {
+    stats.observe(kSecond, 10.0);
+  }
+  stats.observe(kSecond, 200.0);
+  stats.observe(kSecond, 300.0);
+  const auto sum = stats.summarize(2 * kSecond);
+  EXPECT_EQ(sum.count, 100u);
+  EXPECT_EQ(sum.over_slo, 2u);
+  EXPECT_NEAR(sum.burn_rate, 2.0, 1e-9);
+  EXPECT_LE(sum.p50_ms, 100.0);
+  EXPECT_GE(sum.p99_ms, 200.0);
+}
+
+TEST(SlidingStatsTest, CleanWindowBurnsNothing) {
+  SlidingStats stats(60.0, 100.0);
+  for (int i = 0; i < 50; ++i) {
+    stats.observe(kSecond, 1.0);
+  }
+  EXPECT_EQ(stats.summarize(kSecond).burn_rate, 0.0);
+}
+
+TEST(SlidingStatsTest, BoundedByMaxSamples) {
+  SlidingStats stats(1e6, 100.0, 0.99, 16);
+  for (int i = 0; i < 1000; ++i) {
+    stats.observe(kSecond + static_cast<u64>(i), static_cast<double>(i));
+  }
+  EXPECT_LE(stats.summarize(kSecond + 1000).count, 16u);
+}
+
+TEST(SlidingStatsTest, RejectsBadConfig) {
+  EXPECT_THROW(SlidingStats(0.0, 100.0), contract_error);
+  EXPECT_THROW(SlidingStats(60.0, 100.0, 1.5), contract_error);
+  EXPECT_THROW(SlidingStats(60.0, 100.0, 0.99, 0), contract_error);
+}
+
+// ---- Prometheus exposition -----------------------------------------------
+
+TEST(Exposition, NamesAreSanitizedAndCountersSuffixed) {
+  EXPECT_EQ(prometheus_name("serve.requests", MetricKind::counter),
+            "serve_requests_total");
+  EXPECT_EQ(prometheus_name("serve.queue.depth", MetricKind::gauge),
+            "serve_queue_depth");
+  EXPECT_EQ(prometheus_name("serve.latency_ms", MetricKind::histogram),
+            "serve_latency_ms");
+}
+
+TEST(Exposition, RendersTypesLabelsAndHistogramBuckets) {
+  const MetricsOn guard;
+  Registry& reg = registry();
+  reg.counter("serve.requests").add(5);
+  reg.counter("sim.rounds", {{"engine", "pairwise"}}).add(3);
+  reg.gauge("serve.queue.depth").set(2.0);
+  Histogram& h = reg.histogram("serve.latency_ms", {}, {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(50.0);
+  std::ostringstream os;
+  write_prometheus(os, reg.snapshot());
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE serve_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_requests_total 5\n"), std::string::npos);
+  EXPECT_NE(text.find("sim_rounds_total{engine=\"pairwise\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE serve_queue_depth gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_queue_depth 2\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE serve_latency_ms histogram\n"),
+            std::string::npos);
+  // Cumulative buckets: le="1" holds 1, le="10" holds 2, +Inf holds 3.
+  EXPECT_NE(text.find("serve_latency_ms_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_latency_ms_bucket{le=\"10\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_latency_ms_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_latency_ms_count 3\n"), std::string::npos);
+}
+
+TEST(Exposition, EscapesLabelValues) {
+  const MetricsOn guard;
+  registry().counter("odd.metric", {{"path", "a\\b\"c\nd"}}).add(1);
+  std::ostringstream os;
+  write_prometheus(os, registry().snapshot());
+  EXPECT_NE(os.str().find("{path=\"a\\\\b\\\"c\\nd\"}"), std::string::npos);
+}
+
+// ---- event log -----------------------------------------------------------
+
+struct EventLogFile {
+  EventLogFile() {
+    path = std::filesystem::temp_directory_path() /
+           ("wcm-eventlog-test-" + std::to_string(::getpid()) + ".jsonl");
+    eventlog::reset_for_tests();
+    eventlog::set_path(path.string());
+  }
+  ~EventLogFile() {
+    eventlog::reset_for_tests();
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  }
+  [[nodiscard]] std::vector<json::Value> lines() const {
+    std::ifstream is(path);
+    std::vector<json::Value> out;
+    std::string line;
+    while (std::getline(is, line)) {
+      out.push_back(json::parse(line));  // throws on malformed JSONL
+    }
+    return out;
+  }
+  std::filesystem::path path;
+};
+
+TEST(EventLog, EmitWritesStrictJsonWithCorrelationIds) {
+  const EventLogFile log;
+  TraceContext ctx;
+  ctx.trace_id = 0xab;
+  ctx.span_id = 0xcd;
+  ctx.tenant = "t1";
+  {
+    const ScopedTraceContext scope(ctx);
+    json::Object fields;
+    fields.emplace("op", json::Value(std::string("generate")));
+    eventlog::emit("serve.request", std::move(fields));
+  }
+  eventlog::emit("no.context", {});
+  const auto lines = log.lines();
+  ASSERT_EQ(lines.size(), 2u);
+  const json::Object& first = lines[0].as_object();
+  EXPECT_EQ(first.at("event").as_string(), "serve.request");
+  EXPECT_EQ(first.at("op").as_string(), "generate");
+  EXPECT_EQ(first.at("trace_id").as_string(), "00000000000000ab");
+  EXPECT_EQ(first.at("span_id").as_string(), "00000000000000cd");
+  EXPECT_EQ(first.at("tenant").as_string(), "t1");
+  EXPECT_TRUE(first.at("ts_ns").is_number());
+  const json::Object& second = lines[1].as_object();
+  EXPECT_EQ(second.at("event").as_string(), "no.context");
+  EXPECT_EQ(second.find("trace_id"), second.end());
+}
+
+TEST(EventLog, ReservedKeysWinOverCallerFields) {
+  const EventLogFile log;
+  json::Object fields;
+  fields.emplace("event", json::Value(std::string("spoofed")));
+  eventlog::emit("real.event", std::move(fields));
+  const auto lines = log.lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].as_object().at("event").as_string(), "real.event");
+}
+
+TEST(EventLog, DisabledLogCostsNothingAndDropsNothing) {
+  eventlog::reset_for_tests();
+  EXPECT_FALSE(eventlog::log_enabled());
+  eventlog::emit("ignored", {});
+  EXPECT_EQ(eventlog::dropped(), 0u);
+}
+
+TEST(EventLog, InjectedWriteFailureDegradesToTheDropCounter) {
+  const MetricsOn metrics;
+  const EventLogFile log;
+  {
+    const failpoint::scoped_arm arm("telemetry.eventlog.write");
+    eventlog::emit("doomed", {});  // must not throw
+    EXPECT_EQ(eventlog::dropped(), 1u);
+  }
+  eventlog::emit("survivor", {});
+  EXPECT_EQ(eventlog::dropped(), 1u);
+  const auto lines = log.lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].as_object().at("event").as_string(), "survivor");
+  EXPECT_EQ(registry().snapshot().counter_total("telemetry.eventlog.dropped"),
+            1u);
+}
+
+TEST(EventLog, UnopenablePathCountsEveryEmitAsDropped) {
+  eventlog::reset_for_tests();
+  eventlog::set_path("/nonexistent-dir-for-wcm-tests/event.jsonl");
+  eventlog::emit("lost", {});
+  EXPECT_GE(eventlog::dropped(), 1u);
+  eventlog::reset_for_tests();
+}
+
+// ---- bounded span buffers ------------------------------------------------
+
+TEST(SpanBuffers, CapDropsEventsAndCountsThem) {
+  reset_trace();
+  const std::size_t saved = trace_max_spans();
+  set_trace_max_spans(4);
+  set_tracing(true);
+  for (int i = 0; i < 10; ++i) {
+    WCM_SPAN("overflowing");
+  }
+  set_tracing(false);
+  EXPECT_EQ(trace_event_count(), 4u);
+  EXPECT_EQ(dropped_spans(), 6u);
+  // The synthetic counter row surfaces the tally in snapshots.
+  const Snapshot snap = registry().snapshot();
+  EXPECT_EQ(snap.counter_total("telemetry.dropped_spans"), 6u);
+  reset_trace();
+  EXPECT_EQ(dropped_spans(), 0u);
+  set_trace_max_spans(saved);
+}
+
+TEST(SpanBuffers, CapOfZeroStillHoldsOneEvent) {
+  reset_trace();
+  const std::size_t saved = trace_max_spans();
+  set_trace_max_spans(0);
+  EXPECT_EQ(trace_max_spans(), 1u);
+  set_tracing(true);
+  { WCM_SPAN("one"); }
+  { WCM_SPAN("two"); }
+  set_tracing(false);
+  EXPECT_EQ(trace_event_count(), 1u);
+  EXPECT_EQ(dropped_spans(), 1u);
+  reset_trace();
+  set_trace_max_spans(saved);
+}
+
+TEST(SpanBuffers, CapIsPerThread) {
+  reset_trace();
+  const std::size_t saved = trace_max_spans();
+  set_trace_max_spans(2);
+  set_tracing(true);
+  std::thread a([] {
+    for (int i = 0; i < 5; ++i) {
+      WCM_SPAN("thread-a");
+    }
+  });
+  std::thread b([] {
+    for (int i = 0; i < 5; ++i) {
+      WCM_SPAN("thread-b");
+    }
+  });
+  a.join();
+  b.join();
+  set_tracing(false);
+  EXPECT_EQ(trace_event_count(), 4u);  // 2 per thread
+  EXPECT_EQ(dropped_spans(), 6u);
+  reset_trace();
+  set_trace_max_spans(saved);
+}
+
+}  // namespace
+}  // namespace wcm::telemetry
